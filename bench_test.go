@@ -1,0 +1,308 @@
+// Benchmarks regenerating the paper's evaluation, one benchmark group per
+// table/figure, plus core-kernel microbenchmarks. These run on reduced
+// workloads so `go test -bench=.` finishes quickly; the full paper-scale
+// sweeps are produced by cmd/megabench.
+package mega_test
+
+import (
+	"sync"
+	"testing"
+
+	"mega"
+	"mega/internal/algo"
+	"mega/internal/bench"
+	"mega/internal/engine"
+	"mega/internal/evolve"
+	"mega/internal/gen"
+	"mega/internal/power"
+	"mega/internal/sched"
+	"mega/internal/sim"
+	"mega/internal/swcost"
+)
+
+var (
+	benchOnce sync.Once
+	benchEv   *gen.Evolution
+	benchWin  *evolve.Window
+	benchHG   *sim.HopGraphs
+	benchSrc  mega.VertexID
+)
+
+func benchWorkload(b *testing.B) (*gen.Evolution, *evolve.Window, *sim.HopGraphs, mega.VertexID) {
+	b.Helper()
+	benchOnce.Do(func() {
+		spec := gen.GraphSpec{
+			Name: "bench", Vertices: 2_048, Edges: 40_960,
+			A: 0.45, B: 0.15, C: 0.15, MaxWeight: 16, Seed: 77,
+		}
+		ev, err := gen.Evolve(spec, gen.EvolutionSpec{Snapshots: 16, BatchFraction: 0.01, Seed: 7})
+		if err != nil {
+			panic(err)
+		}
+		win, err := evolve.NewWindow(ev)
+		if err != nil {
+			panic(err)
+		}
+		hg, err := sim.BuildHopGraphs(ev)
+		if err != nil {
+			panic(err)
+		}
+		deg := make([]int, spec.Vertices)
+		best := 0
+		for _, e := range ev.Initial {
+			deg[e.Src]++
+			if deg[e.Src] > deg[best] {
+				best = int(e.Src)
+			}
+		}
+		benchEv, benchWin, benchHG, benchSrc = ev, win, hg, mega.VertexID(best)
+	})
+	return benchEv, benchWin, benchHG, benchSrc
+}
+
+// --- Figure 2: deletion vs addition batch cost on JetStream ---
+
+func BenchmarkFig02_JetStreamWindow(b *testing.B) {
+	ev, _, hg, src := benchWorkload(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunJetStreamOn(ev, hg, algo.SSSP, src, sim.JetStreamConfig(), false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 3: schedule generation and addition counting ---
+
+func BenchmarkFig03_ScheduleDirectHop(b *testing.B) {
+	_, win, _, _ := benchWorkload(b)
+	for i := 0; i < b.N; i++ {
+		_ = sched.NewDirectHop(win).AdditionsProcessed()
+	}
+}
+
+func BenchmarkFig03_ScheduleWorkSharing(b *testing.B) {
+	_, win, _, _ := benchWorkload(b)
+	for i := 0; i < b.N; i++ {
+		_ = sched.NewWorkSharing(win).AdditionsProcessed()
+	}
+}
+
+func BenchmarkFig03_ScheduleBOE(b *testing.B) {
+	_, win, _, _ := benchWorkload(b)
+	for i := 0; i < b.N; i++ {
+		_ = sched.NewBOE(win).AdditionsProcessed()
+	}
+}
+
+// --- Figures 4/5: the reuse measurement machinery (functional engine) ---
+
+func BenchmarkFig04_05_FunctionalBOE(b *testing.B) {
+	_, win, _, src := benchWorkload(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := sched.New(sched.BOE, win)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := engine.NewMulti(win, algo.New(algo.SSSP), src, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Run(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 10: round-series capture ---
+
+func BenchmarkFig10_RoundSeries(b *testing.B) {
+	ev, _, hg, src := benchWorkload(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunJetStreamOn(ev, hg, algo.SSWP, src, sim.JetStreamConfig(), true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 4: the four simulated workflows ---
+
+func benchmarkMEGA(b *testing.B, mode sched.Mode, k algo.Kind) {
+	_, win, _, src := benchWorkload(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunMEGA(win, k, src, mode, sim.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4_DirectHop(b *testing.B)   { benchmarkMEGA(b, sched.DirectHop, algo.SSSP) }
+func BenchmarkTable4_WorkSharing(b *testing.B) { benchmarkMEGA(b, sched.WorkSharing, algo.SSSP) }
+func BenchmarkTable4_BOE(b *testing.B)         { benchmarkMEGA(b, sched.BOE, algo.SSSP) }
+func BenchmarkTable4_BOE_SSWP(b *testing.B)    { benchmarkMEGA(b, sched.BOE, algo.SSWP) }
+
+// --- Figure 14: software baseline pricing ---
+
+func BenchmarkFig14_SoftwareModels(b *testing.B) {
+	_, win, _, src := benchWorkload(b)
+	r, err := sim.RunMEGA(win, algo.SSSP, src, sched.WorkSharing, sim.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts := swcost.FromStats(r.Counts, 4_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = swcost.KickStarter.RuntimeMs(counts)
+		_ = swcost.RisGraph.RuntimeMs(counts)
+		_ = swcost.RisGraphBOE.RuntimeMs(counts)
+		_ = swcost.Subway.RuntimeMs(counts)
+	}
+}
+
+// --- Figure 15: partitioned configuration ---
+
+func BenchmarkFig15_SmallMemoryBOE(b *testing.B) {
+	_, win, _, src := benchWorkload(b)
+	cfg := sim.DefaultConfig()
+	cfg.OnChipBytes = 64 << 10 // forces partitioning
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunMEGA(win, algo.SSSP, src, sched.BOE, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figures 16-18: counter extraction ---
+
+func BenchmarkFig16to18_Counters(b *testing.B) {
+	_, win, _, src := benchWorkload(b)
+	for i := 0; i < b.N; i++ {
+		r, err := sim.RunMEGA(win, algo.BFS, src, sched.BOE, sim.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = r.Counts.EdgesRead + r.Counts.Events + r.Counts.Applied
+	}
+}
+
+// --- Figures 19-21: workload synthesis for the sweeps ---
+
+func BenchmarkFig19_BatchSizePoint(b *testing.B) {
+	spec := gen.GraphSpec{
+		Name: "sweep", Vertices: 2_048, Edges: 40_960,
+		A: 0.45, B: 0.15, C: 0.15, MaxWeight: 16, Seed: 78,
+	}
+	for i := 0; i < b.N; i++ {
+		ev, err := gen.Evolve(spec, gen.EvolutionSpec{Snapshots: 16, BatchFraction: 0.002, Seed: 9})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := evolve.NewWindow(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig20_SnapshotCountPoint(b *testing.B) {
+	spec := gen.GraphSpec{
+		Name: "sweep", Vertices: 2_048, Edges: 40_960,
+		A: 0.45, B: 0.15, C: 0.15, MaxWeight: 16, Seed: 79,
+	}
+	for i := 0; i < b.N; i++ {
+		ev, err := gen.Evolve(spec, gen.EvolutionSpec{Snapshots: 24, BatchFraction: 0.001, Seed: 9})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := evolve.NewWindow(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig21_ImbalancedWindow(b *testing.B) {
+	spec := gen.GraphSpec{
+		Name: "sweep", Vertices: 2_048, Edges: 40_960,
+		A: 0.45, B: 0.15, C: 0.15, MaxWeight: 16, Seed: 80,
+	}
+	for i := 0; i < b.N; i++ {
+		ev, err := gen.Evolve(spec, gen.EvolutionSpec{Snapshots: 16, BatchFraction: 0.01, Imbalance: 4, Seed: 9})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := evolve.NewWindow(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 5: power/area model ---
+
+func BenchmarkTable5_PowerModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = power.Model(power.MEGA())
+		_, _ = power.Overheads()
+	}
+}
+
+// --- Core kernels ---
+
+func BenchmarkCore_StaticSolveSSSP(b *testing.B) {
+	ev, _, hg, src := benchWorkload(b)
+	_ = ev
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = engine.Solve(hg.G0, algo.New(algo.SSSP), src, engine.NopProbe{})
+	}
+}
+
+func BenchmarkCore_WindowConstruction(b *testing.B) {
+	ev, _, _, _ := benchWorkload(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := evolve.NewWindow(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCore_RMATGeneration(b *testing.B) {
+	spec := gen.GraphSpec{
+		Name: "rmat", Vertices: 2_048, Edges: 40_960,
+		A: 0.45, B: 0.15, C: 0.15, MaxWeight: 16, Seed: 81,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := gen.RMAT(spec, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCore_EvaluatePublicAPI(b *testing.B) {
+	_, win, _, src := benchWorkload(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := mega.Evaluate(win, mega.SSSP, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Guard: the experiment registry stays runnable end to end on a minimal
+// context (exercised as a benchmark so `-bench` covers the harness too).
+func BenchmarkHarness_Fig3(b *testing.B) {
+	c := bench.NewContext()
+	c.Graphs = []gen.GraphSpec{{
+		Name: "Wen", Vertices: 1_024, Edges: 20_480,
+		A: 0.45, B: 0.15, C: 0.15, MaxWeight: 16, Seed: 82,
+	}}
+	c.Algos = []algo.Kind{algo.SSSP}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig3(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

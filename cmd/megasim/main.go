@@ -1,0 +1,203 @@
+// Command megasim simulates one evolving-graph query on the MEGA
+// accelerator (or the JetStream baseline) and prints timing, memory-system
+// and functional statistics.
+//
+// Usage:
+//
+//	megasim [-graph PK|LJ|OR|DL|UK|Wen] [-algo SSSP] [-mode boe|ws|dh|jetstream|recompute]
+//	        [-snapshots 16] [-batch 0.01] [-onchip 524288] [-load dir]
+//
+// By default it runs SSSP over 16 snapshots of the PK stand-in under BOE.
+// With -load it consumes a dataset directory written by megagen instead of
+// synthesizing one.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mega"
+)
+
+func main() {
+	graphName := flag.String("graph", "PK", "paper stand-in graph name")
+	algoName := flag.String("algo", "SSSP", "algorithm: BFS SSSP SSWP SSNP Viterbi")
+	mode := flag.String("mode", "boe", "workflow: boe, ws, dh, or jetstream")
+	snapshots := flag.Int("snapshots", 16, "snapshot window size")
+	batch := flag.Float64("batch", 0.01, "per-hop batch fraction of edges")
+	imbalance := flag.Float64("imbalance", 1, "largest/smallest batch ratio")
+	onchip := flag.Int64("onchip", 0, "on-chip memory bytes (0 = default)")
+	source := flag.Int("source", -1, "source vertex (-1 = highest out-degree)")
+	load := flag.String("load", "", "load a megagen dataset directory instead of synthesizing")
+	edgeList := flag.String("edgelist", "", "build the window from a SNAP-style edge-list file")
+	profile := flag.Bool("profile", false, "print the per-operation timing profile")
+	flag.Parse()
+
+	showProfile = *profile
+	if err := run(*graphName, *algoName, *mode, *snapshots, *batch, *imbalance, *onchip, *source, *load, *edgeList); err != nil {
+		fmt.Fprintln(os.Stderr, "megasim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(graphName, algoName, mode string, snapshots int, batch, imbalance float64, onchip int64, source int, load, edgeList string) error {
+	kind, err := mega.ParseAlgorithm(algoName)
+	if err != nil {
+		return err
+	}
+
+	var ev *mega.Evolution
+	switch {
+	case load != "":
+		if ev, err = mega.LoadEvolution(load); err != nil {
+			return err
+		}
+	case edgeList != "":
+		n, edges, lerr := mega.LoadEdgeList(edgeList, 1)
+		if lerr != nil {
+			return lerr
+		}
+		es := mega.EvolutionSpec{
+			Snapshots: snapshots, BatchFraction: batch, Imbalance: imbalance, Seed: 42,
+		}
+		if ev, err = mega.EvolveFromEdges(n, edges, es); err != nil {
+			return err
+		}
+	default:
+		spec, ok := findGraph(graphName)
+		if !ok {
+			return fmt.Errorf("unknown graph %q", graphName)
+		}
+		es := mega.EvolutionSpec{
+			Snapshots: snapshots, BatchFraction: batch, Imbalance: imbalance, Seed: 42,
+		}
+		if ev, err = mega.Evolve(spec, es); err != nil {
+			return err
+		}
+	}
+
+	src := mega.VertexID(0)
+	if source >= 0 {
+		src = mega.VertexID(source)
+	} else {
+		src = hub(ev)
+	}
+
+	var res *mega.SimResult
+	switch mode {
+	case "jetstream":
+		cfg := mega.JetStreamSimConfig()
+		if onchip > 0 {
+			cfg.OnChipBytes = onchip
+		}
+		res, err = mega.SimulateJetStream(ev, kind, src, cfg)
+	case "recompute":
+		w, werr := mega.NewWindow(ev)
+		if werr != nil {
+			return werr
+		}
+		cfg := mega.DefaultSimConfig()
+		if onchip > 0 {
+			cfg.OnChipBytes = onchip
+		}
+		res, err = mega.SimulateRecompute(w, kind, src, cfg)
+	case "boe-cycle":
+		w, werr := mega.NewWindow(ev)
+		if werr != nil {
+			return werr
+		}
+		r, uerr := mega.SimulateCycleLevel(w, kind, src, mega.DefaultUarchConfig())
+		if uerr != nil {
+			return uerr
+		}
+		fmt.Printf("workflow:        BOE (cycle-level) / %s (source %d)\n", kind, src)
+		fmt.Printf("snapshots:       %d\n", len(r.SnapshotValues))
+		fmt.Printf("cycles:          %d (%.4f ms @1GHz)\n", r.Cycles, float64(r.Cycles)/1e6)
+		fmt.Printf("events:          %d dispatched, %d applied, %d generated, %d coalesced\n",
+			r.Events, r.Applied, r.Generated, r.Coalesced)
+		fmt.Printf("edge unit:       %d fetches, %d cache hits, %.2f MB DRAM\n",
+			r.Fetches, r.CacheHits, mb(r.DRAMBytes))
+		fmt.Printf("PE utilization:  %.0f%%, max live events %d\n",
+			r.Utilization(mega.DefaultUarchConfig())*100, r.MaxLiveEvents)
+		return nil
+	case "jetstream-cycle":
+		r, uerr := mega.SimulateStreamCycleLevel(ev, kind, src, mega.DefaultUarchConfig())
+		if uerr != nil {
+			return uerr
+		}
+		fmt.Printf("workflow:        JetStream (cycle-level) / %s (source %d)\n", kind, src)
+		fmt.Printf("cycles:          %d (%.4f ms @1GHz)\n", r.Cycles, float64(r.Cycles)/1e6)
+		fmt.Printf("  deletions:     %d cycles (%.0f%%)\n", r.DelCycles,
+			100*float64(r.DelCycles)/float64(r.Cycles))
+		fmt.Printf("  additions:     %d cycles\n", r.AddCycles)
+		fmt.Printf("events:          %d processed, %d generated\n", r.Events, r.Generated)
+		fmt.Printf("edge unit:       %d fetches, %d cache hits, %.2f MB DRAM\n",
+			r.Fetches, r.CacheHits, mb(r.DRAMBytes))
+		return nil
+	case "boe", "ws", "dh":
+		w, werr := mega.NewWindow(ev)
+		if werr != nil {
+			return werr
+		}
+		cfg := mega.DefaultSimConfig()
+		if onchip > 0 {
+			cfg.OnChipBytes = onchip
+		}
+		m := map[string]mega.ScheduleMode{"boe": mega.BOE, "ws": mega.WorkSharing, "dh": mega.DirectHop}[mode]
+		res, err = mega.Simulate(w, kind, src, m, cfg)
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("workflow:        %s / %s (source %d)\n", res.Workflow, res.Algo, src)
+	fmt.Printf("snapshots:       %d\n", len(res.SnapshotValues))
+	fmt.Printf("cycles:          %d (%.4f ms @1GHz)\n", res.Cycles, res.TimeMs)
+	fmt.Printf("cycles w/ BP:    %d (%.4f ms)\n", res.CyclesBP, res.TimeMsBP)
+	fmt.Printf("partitions:      %d\n", res.Partitions)
+	fmt.Printf("DRAM traffic:    %.2f MB (spill %.2f MB, bin swap %.2f MB)\n",
+		mb(res.DRAMBytes), mb(res.SpillBytes), mb(res.SwapBytes))
+	fmt.Printf("edge cache:      %d hits / %d misses\n", res.CacheHits, res.CacheMiss)
+	fmt.Printf("events:          %d processed, %d applied, %d generated\n",
+		res.Counts.Events, res.Counts.Applied, res.Counts.GeneratedEvents)
+	fmt.Printf("edges read:      %d (+%d reused by concurrent snapshots)\n",
+		res.Counts.EdgesRead, res.Counts.SharedEdges)
+	fmt.Printf("rounds:          %d\n", res.Counts.Rounds)
+	if showProfile {
+		fmt.Printf("\n%-10s %6s %9s %9s %9s %9s\n", "op", "batch", "contexts", "rounds", "events", "cycles")
+		for _, p := range res.OpProfiles {
+			fmt.Printf("%-10s %6d %9d %9d %9d %9d\n",
+				p.Kind, p.BatchEdges, p.Contexts, p.Rounds, p.Events, p.Cycles)
+		}
+	}
+	return nil
+}
+
+// showProfile is set by the -profile flag.
+var showProfile bool
+
+func findGraph(name string) (mega.GraphSpec, bool) {
+	for _, s := range mega.PaperGraphs() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return mega.GraphSpec{}, false
+}
+
+func hub(ev *mega.Evolution) mega.VertexID {
+	deg := make([]int, ev.NumVertices)
+	best := 0
+	for _, e := range ev.Initial {
+		deg[e.Src]++
+		if deg[e.Src] > deg[best] {
+			best = int(e.Src)
+		}
+	}
+	return mega.VertexID(best)
+}
+
+func mb(b int64) float64 { return float64(b) / (1 << 20) }

@@ -1,0 +1,169 @@
+package algo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStrings(t *testing.T) {
+	want := []string{"BFS", "SSSP", "SSWP", "SSNP", "Viterbi"}
+	for i, k := range All {
+		if k.String() != want[i] {
+			t.Errorf("All[%d].String() = %q, want %q", i, k.String(), want[i])
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Errorf("invalid kind string = %q", Kind(99).String())
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, k := range All {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("PageRank"); err == nil {
+		t.Error("ParseKind accepted unknown name")
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(99) did not panic")
+		}
+	}()
+	New(Kind(99))
+}
+
+func TestEdgeFunctions(t *testing.T) {
+	tests := []struct {
+		kind    Kind
+		src, wt float64
+		want    float64
+	}{
+		{BFS, 3, 99, 4},      // weight ignored, +1 hop
+		{SSSP, 3, 2.5, 5.5},  // sum
+		{SSWP, 3, 2.5, 2.5},  // min(src, wt)
+		{SSWP, 2, 2.5, 2},    // min picks src side
+		{SSNP, 3, 2.5, 3},    // max(src, wt)
+		{SSNP, 2, 2.5, 2.5},  // max picks weight side
+		{Viterbi, 1, 2, 0.5}, // division decay
+	}
+	for _, tc := range tests {
+		if got := New(tc.kind).EdgeFunc(tc.src, tc.wt); got != tc.want {
+			t.Errorf("%v.EdgeFunc(%v,%v) = %v, want %v", tc.kind, tc.src, tc.wt, got, tc.want)
+		}
+	}
+}
+
+func TestIdentityIsWorst(t *testing.T) {
+	// The identity must never be Better than any reachable value, and the
+	// source value must be Better than identity.
+	for _, k := range All {
+		a := New(k)
+		if a.Better(a.Identity(), a.SourceValue()) {
+			t.Errorf("%v: identity better than source value", k)
+		}
+		if !a.Better(a.SourceValue(), a.Identity()) {
+			t.Errorf("%v: source value not better than identity", k)
+		}
+	}
+}
+
+func TestBetterIsStrict(t *testing.T) {
+	for _, k := range All {
+		a := New(k)
+		if a.Better(5, 5) {
+			t.Errorf("%v: Better(5,5) = true, want strict comparison", k)
+		}
+	}
+}
+
+// Property: EdgeFunc never produces a value Better than its input source
+// value (path values only get worse with more hops), for valid weight
+// domains (wt >= 1 covers all five algorithms' assumptions).
+func TestMonotoneDecayQuick(t *testing.T) {
+	f := func(srcRaw, wtRaw uint16) bool {
+		wt := 1 + float64(wtRaw)/1000 // weights in [1, ~66]
+		for _, k := range All {
+			a := New(k)
+			src := a.SourceValue()
+			if !math.IsInf(src, 0) {
+				src += float64(srcRaw) / 100 // perturb away from source
+			}
+			if k == Viterbi {
+				src = 1 / (1 + float64(srcRaw)/100) // valid (0,1] domain
+			}
+			out := a.EdgeFunc(src, wt)
+			if a.Better(out, src) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Better defines a strict total order on finite values: exactly
+// one of Better(a,b), Better(b,a), a==b holds.
+func TestBetterTrichotomyQuick(t *testing.T) {
+	f := func(x, y int16) bool {
+		a, b := float64(x), float64(y)
+		for _, k := range All {
+			alg := New(k)
+			n := 0
+			if alg.Better(a, b) {
+				n++
+			}
+			if alg.Better(b, a) {
+				n++
+			}
+			if a == b {
+				n++
+			}
+			if n != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCCProperties(t *testing.T) {
+	a := New(CC)
+	if a.Kind() != CC || a.Kind().String() != "CC" {
+		t.Error("CC kind/name wrong")
+	}
+	ss, ok := a.(SelfSeeding)
+	if !ok {
+		t.Fatal("CC does not implement SelfSeeding")
+	}
+	if ss.VertexInit(7) != 7 {
+		t.Errorf("VertexInit(7) = %v", ss.VertexInit(7))
+	}
+	// Label propagation: EdgeFunc forwards the label unchanged.
+	if a.EdgeFunc(3, 99) != 3 {
+		t.Errorf("EdgeFunc(3, w) = %v, want 3", a.EdgeFunc(3, 99))
+	}
+	if !a.Better(2, 5) || a.Better(5, 2) {
+		t.Error("CC Better is not min")
+	}
+	if got, err := ParseKind("CC"); err != nil || got != CC {
+		t.Errorf("ParseKind(CC) = %v, %v", got, err)
+	}
+	// CC stays out of the paper's sweep set.
+	for _, k := range All {
+		if k == CC {
+			t.Error("All includes CC")
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package bench
+
+import (
+	"fmt"
+
+	"mega/internal/algo"
+	"mega/internal/gen"
+	"mega/internal/sched"
+	"mega/internal/sim"
+	"mega/internal/uarch"
+)
+
+// Ablation experiments beyond the paper's figures (DESIGN.md §6): they
+// isolate the contribution of individual design choices that Table 4
+// only shows combined.
+
+// AblationFetch quantifies the effect of the cross-snapshot prefetch-reuse
+// circuit by disabling it. Finding: within a BOE stage the duplicate
+// fetches all hit the edge cache (the first context just brought the block
+// in), so the circuit's *timing* contribution is near zero — BOE's DRAM
+// savings come from its batch-major ordering, and the sharing circuit's
+// role is relieving cache-port pressure (visible in the fetch counts).
+func AblationFetch(c *Context) ([]Table, error) {
+	spec, err := c.graphSpec("Wen")
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		ID:    "ablation-fetch",
+		Title: "BOE with and without cross-snapshot fetch sharing (Wen)",
+		Header: []string{"Algo", "BOE", "BOE no-share", "ShareContribution",
+			"FetchOps", "FetchOps no-share"},
+	}
+	es := gen.DefaultEvolution
+	wl, err := c.workloadFor(spec, es)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range c.Algos {
+		js, err := c.jetStream(wl, k, es)
+		if err != nil {
+			return nil, err
+		}
+		boe, err := c.mega(wl, k, "BOE", es)
+		if err != nil {
+			return nil, err
+		}
+		key := fmt.Sprintf("abl-fetch/%s/%v", spec.Name, k)
+		noShare, ok := c.results[key]
+		if !ok {
+			if noShare, err = sim.RunMEGANoFetchShare(wl.win, k, wl.src, sched.BOE, sim.DefaultConfig()); err != nil {
+				return nil, err
+			}
+			c.results[key] = noShare
+		}
+		sp := boe.Speedup(js)
+		spNo := noShare.Speedup(js)
+		t.Rows = append(t.Rows, []string{
+			k.String(),
+			fmt.Sprintf("%.2fx", sp),
+			fmt.Sprintf("%.2fx", spNo),
+			fmt.Sprintf("%.0f%%", (sp/spNo-1)*100),
+			fmt.Sprintf("%d", boe.Counts.EdgeFetches),
+			fmt.Sprintf("%d", noShare.Counts.EdgeFetches),
+		})
+	}
+	return []Table{t}, nil
+}
+
+// AblationBP sweeps the batch-pipelining threshold (0 disables BP).
+func AblationBP(c *Context) ([]Table, error) {
+	spec, err := c.graphSpec("Wen")
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		ID:     "ablation-bp",
+		Title:  "Batch-pipelining threshold sweep (Wen/SSSP), BOE speedup vs JetStream",
+		Header: []string{"Threshold", "Speedup"},
+	}
+	es := gen.DefaultEvolution
+	wl, err := c.workloadFor(spec, es)
+	if err != nil {
+		return nil, err
+	}
+	js, err := c.jetStream(wl, algo.SSSP, es)
+	if err != nil {
+		return nil, err
+	}
+	for _, thr := range []int{0, 64, 256, 1024, 4096} {
+		cfg := sim.DefaultConfig()
+		cfg.BPThresholdEvents = thr
+		key := fmt.Sprintf("abl-bp/%s/%d", spec.Name, thr)
+		r, err := c.run(wl, algo.SSSP, "BOE", cfg, key)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", thr), fmt.Sprintf("%.2fx", r.Speedup(js)),
+		})
+	}
+	return []Table{t}, nil
+}
+
+// AblationPE sweeps the processing-engine count. §5.2: "adding additional
+// PEs did not improve performance without increasing the memory bandwidth
+// as well as internal bandwidth of the NoC and event queues" — the curve
+// should flatten beyond the default 8.
+func AblationPE(c *Context) ([]Table, error) {
+	spec, err := c.graphSpec("Wen")
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		ID:     "ablation-pe",
+		Title:  "Processing-engine count sweep (Wen/SSSP), BOE speedup vs JetStream",
+		Header: []string{"PEs", "Speedup"},
+	}
+	es := gen.DefaultEvolution
+	wl, err := c.workloadFor(spec, es)
+	if err != nil {
+		return nil, err
+	}
+	js, err := c.jetStream(wl, algo.SSSP, es)
+	if err != nil {
+		return nil, err
+	}
+	for _, pes := range []int{2, 4, 8, 16, 32} {
+		cfg := sim.DefaultConfig()
+		cfg.PEs = pes
+		key := fmt.Sprintf("abl-pe/%s/%d", spec.Name, pes)
+		r, err := c.run(wl, algo.SSSP, "BOE", cfg, key)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", pes), fmt.Sprintf("%.2fx", r.Speedup(js)),
+		})
+	}
+	return []Table{t}, nil
+}
+
+// AblationRecompute adds the naive strategy the paper's §2.1 dismisses —
+// recompute every snapshot from scratch — to the workflow comparison.
+func AblationRecompute(c *Context) ([]Table, error) {
+	t := Table{
+		ID:     "ablation-recompute",
+		Title:  "Naive per-snapshot recompute vs JetStream vs BOE (SSSP)",
+		Header: []string{"Graph", "Recompute", "JetStream", "BOE+BP"},
+	}
+	es := gen.DefaultEvolution
+	for _, spec := range c.Graphs {
+		wl, err := c.workloadFor(spec, es)
+		if err != nil {
+			return nil, err
+		}
+		js, err := c.jetStream(wl, algo.SSSP, es)
+		if err != nil {
+			return nil, err
+		}
+		boe, err := c.mega(wl, algo.SSSP, "BOE", es)
+		if err != nil {
+			return nil, err
+		}
+		key := fmt.Sprintf("abl-rec/%s", spec.Name)
+		rec, ok := c.results[key]
+		if !ok {
+			if rec, err = sim.RunRecompute(wl.win, algo.SSSP, wl.src, sim.DefaultConfig()); err != nil {
+				return nil, err
+			}
+			c.results[key] = rec
+		}
+		t.Rows = append(t.Rows, []string{
+			spec.Name,
+			fmt.Sprintf("%.3fms", rec.TimeMs),
+			fmt.Sprintf("%.3fms", js.TimeMs),
+			fmt.Sprintf("%.3fms", boe.TimeMsBP),
+		})
+	}
+	return []Table{t}, nil
+}
+
+// AblationUarch cross-validates the aggregate timing model against the
+// cycle-by-cycle microarchitectural simulator on an unpartitioned
+// workload: the two fidelity levels should agree on cycle counts within a
+// small factor and produce identical functional results.
+func AblationUarch(c *Context) ([]Table, error) {
+	t := Table{
+		ID:    "ablation-uarch",
+		Title: "Aggregate model vs cycle-level simulation (BOE, unpartitioned)",
+		Header: []string{"Graph", "Algo", "Aggregate cycles", "Cycle-level cycles",
+			"Ratio", "PE util", "ValuesMatch"},
+	}
+	// A window small enough to stay unpartitioned under the default
+	// on-chip budget.
+	spec := gen.GraphSpec{
+		Name: "ux", Vertices: 3_000, Edges: 56_000,
+		A: 0.45, B: 0.15, C: 0.15, MaxWeight: 16, Seed: 71,
+	}
+	es := gen.EvolutionSpec{Snapshots: 16, BatchFraction: 0.01, Seed: 71}
+	wl, err := c.workloadFor(spec, es)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range c.Algos {
+		agg, err := sim.RunMEGA(wl.win, k, wl.src, sched.BOE, sim.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		mcfg := uarch.DefaultConfig()
+		micro, err := uarch.Run(wl.win, k, wl.src, mcfg)
+		if err != nil {
+			return nil, err
+		}
+		match := "yes"
+		for snap := range micro.SnapshotValues {
+			if !equalValues(micro.SnapshotValues[snap], agg.SnapshotValues[snap]) {
+				match = "NO"
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			spec.Name, k.String(),
+			fmt.Sprintf("%d", agg.CyclesBP),
+			fmt.Sprintf("%d", micro.Cycles),
+			fmt.Sprintf("%.2f", float64(micro.Cycles)/float64(agg.CyclesBP)),
+			fmt.Sprintf("%.0f%%", micro.Utilization(mcfg)*100),
+			match,
+		})
+	}
+
+	// Cycle-level workflow comparison: the streaming baseline (with its
+	// phased deletion invalidation) versus BOE on the same machine.
+	t2 := Table{
+		ID:     "ablation-uarch",
+		Title:  "Cycle-level JetStream vs BOE on the same machine",
+		Header: []string{"Algo", "JetStream cycles", "Del share", "BOE cycles", "Speedup"},
+	}
+	for _, k := range c.Algos {
+		js, err := uarch.RunStream(wl.ev, k, wl.src, uarch.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		boe, err := uarch.Run(wl.win, k, wl.src, uarch.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		t2.Rows = append(t2.Rows, []string{
+			k.String(),
+			fmt.Sprintf("%d", js.Cycles),
+			fmt.Sprintf("%.0f%%", 100*float64(js.DelCycles)/float64(js.Cycles)),
+			fmt.Sprintf("%d", boe.Cycles),
+			fmt.Sprintf("%.2fx", float64(js.Cycles)/float64(boe.Cycles)),
+		})
+	}
+	return []Table{t, t2}, nil
+}
+
+func equalValues(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,299 @@
+// Package bench regenerates every table and figure of the MEGA paper's
+// evaluation (§2.2 motivation data and §5 performance results) on the
+// scaled stand-in workloads. Each experiment produces one or more Tables
+// whose rows mirror the paper's presentation; EXPERIMENTS.md records the
+// paper-versus-measured comparison.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"mega/internal/algo"
+	"mega/internal/evolve"
+	"mega/internal/gen"
+	"mega/internal/graph"
+	"mega/internal/sched"
+	"mega/internal/sim"
+)
+
+// Table is one result table/figure data series.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", w, c)
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	printRow(t.Header)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// FprintCSV renders the table as RFC-4180-style CSV with a leading
+// experiment-ID column, suitable for downstream plotting.
+func (t *Table) FprintCSV(w io.Writer) {
+	writeCSVRow := func(cells []string) {
+		out := make([]string, 0, len(cells)+1)
+		out = append(out, csvQuote(t.ID))
+		for _, c := range cells {
+			out = append(out, csvQuote(c))
+		}
+		fmt.Fprintln(w, strings.Join(out, ","))
+	}
+	writeCSVRow(t.Header)
+	for _, row := range t.Rows {
+		writeCSVRow(row)
+	}
+}
+
+func csvQuote(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Context carries experiment configuration and caches shared workloads and
+// simulation results, so composite experiments do not recompute them.
+type Context struct {
+	// Graphs are the input specs (defaults to gen.PaperGraphs).
+	Graphs []gen.GraphSpec
+	// Algos are the evaluated algorithms (defaults to algo.All).
+	Algos []algo.Kind
+	// Log receives progress lines; nil silences them.
+	Log io.Writer
+
+	workloads map[string]*workload
+	results   map[string]*sim.Result
+}
+
+// workload is one generated evolving-graph instance.
+type workload struct {
+	spec gen.GraphSpec
+	ev   *gen.Evolution
+	win  *evolve.Window
+	src  graph.VertexID
+	hg   *sim.HopGraphs // lazily built, shared across algorithm runs
+}
+
+func (wl *workload) hopGraphs() (*sim.HopGraphs, error) {
+	if wl.hg == nil {
+		hg, err := sim.BuildHopGraphs(wl.ev)
+		if err != nil {
+			return nil, err
+		}
+		wl.hg = hg
+	}
+	return wl.hg, nil
+}
+
+// NewContext returns a Context with the paper's default inputs.
+func NewContext() *Context {
+	return &Context{
+		Graphs:    gen.PaperGraphs,
+		Algos:     algo.All,
+		workloads: make(map[string]*workload),
+		results:   make(map[string]*sim.Result),
+	}
+}
+
+func (c *Context) logf(format string, args ...any) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, format+"\n", args...)
+	}
+}
+
+// graphSpec finds the configured spec by name.
+func (c *Context) graphSpec(name string) (gen.GraphSpec, error) {
+	for _, s := range c.Graphs {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return gen.GraphSpec{}, fmt.Errorf("bench: graph %q not configured", name)
+}
+
+// workloadFor builds (or returns a cached) evolving window.
+func (c *Context) workloadFor(spec gen.GraphSpec, es gen.EvolutionSpec) (*workload, error) {
+	key := fmt.Sprintf("%s/%d/%g/%g/%d", spec.Name, es.Snapshots, es.BatchFraction, es.Imbalance, es.Seed)
+	if wl, ok := c.workloads[key]; ok {
+		return wl, nil
+	}
+	c.logf("generating %s (V=%d E=%d, N=%d, batch=%.2g)", spec.Name, spec.Vertices, spec.Edges, es.Snapshots, es.BatchFraction)
+	ev, err := gen.Evolve(spec, es)
+	if err != nil {
+		return nil, err
+	}
+	win, err := evolve.NewWindow(ev)
+	if err != nil {
+		return nil, err
+	}
+	wl := &workload{spec: spec, ev: ev, win: win, src: hubVertex(spec.Vertices, ev.Initial)}
+	c.workloads[key] = wl
+	return wl, nil
+}
+
+// hubVertex returns the highest-out-degree vertex, the conventional source
+// for single-source queries on synthetic graphs.
+func hubVertex(numVertices int, edges graph.EdgeList) graph.VertexID {
+	deg := make([]int, numVertices)
+	for _, e := range edges {
+		deg[e.Src]++
+	}
+	best := 0
+	for v, d := range deg {
+		if d > deg[best] {
+			best = v
+		}
+	}
+	return graph.VertexID(best)
+}
+
+// run simulates one configuration, caching by a descriptive key.
+func (c *Context) run(wl *workload, k algo.Kind, mode string, cfg sim.Config, key string) (*sim.Result, error) {
+	if r, ok := c.results[key]; ok {
+		return r, nil
+	}
+	var (
+		r   *sim.Result
+		err error
+	)
+	switch mode {
+	case "JetStream":
+		var hg *sim.HopGraphs
+		if hg, err = wl.hopGraphs(); err == nil {
+			r, err = sim.RunJetStreamOn(wl.ev, hg, k, wl.src, cfg, false)
+		}
+	case "Direct-Hop":
+		r, err = sim.RunMEGA(wl.win, k, wl.src, sched.DirectHop, cfg)
+	case "Work-Sharing":
+		r, err = sim.RunMEGA(wl.win, k, wl.src, sched.WorkSharing, cfg)
+	case "BOE":
+		r, err = sim.RunMEGA(wl.win, k, wl.src, sched.BOE, cfg)
+	default:
+		return nil, fmt.Errorf("bench: unknown mode %q", mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c.results[key] = r
+	c.logf("  %s %s %s: %.3f ms", wl.spec.Name, k, mode, r.TimeMs)
+	return r, nil
+}
+
+// jetStream runs (or fetches) the JetStream baseline for the workload.
+func (c *Context) jetStream(wl *workload, k algo.Kind, es gen.EvolutionSpec) (*sim.Result, error) {
+	key := fmt.Sprintf("js/%s/%v/%d/%g/%g", wl.spec.Name, k, es.Snapshots, es.BatchFraction, es.Imbalance)
+	return c.run(wl, k, "JetStream", sim.JetStreamConfig(), key)
+}
+
+// mega runs (or fetches) a MEGA workflow for the workload.
+func (c *Context) mega(wl *workload, k algo.Kind, mode string, es gen.EvolutionSpec) (*sim.Result, error) {
+	key := fmt.Sprintf("mega/%s/%v/%s/%d/%g/%g", wl.spec.Name, k, mode, es.Snapshots, es.BatchFraction, es.Imbalance)
+	return c.run(wl, k, mode, sim.DefaultConfig(), key)
+}
+
+// simRunSeries runs the JetStream baseline with per-round series capture.
+func simRunSeries(wl *workload, k algo.Kind) (*sim.Result, error) {
+	hg, err := wl.hopGraphs()
+	if err != nil {
+		return nil, err
+	}
+	return sim.RunJetStreamOn(wl.ev, hg, k, wl.src, sim.JetStreamConfig(), true)
+}
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(c *Context) ([]Table, error)
+}
+
+// Experiments lists every experiment in paper order.
+var Experiments = []Experiment{
+	{"fig2", "Cost of deletions vs additions on JetStream", Fig2},
+	{"fig3", "Additions processed: Direct-Hop vs Work-Sharing vs Streaming (SSSP)", Fig3},
+	{"fig4", "Edge reuse across different batches, same snapshot", Fig4},
+	{"fig5", "Edge reuse for the same batch across snapshots", Fig5},
+	{"fig10", "Events per round on Wen (JetStream)", Fig10},
+	{"table4", "JetStream time and DH/WS/BOE/BOE+BP speedups", Table4},
+	{"fig14", "MEGA speedup over software CommonGraph baselines", Fig14},
+	{"fig15", "Effect of on-chip memory size (Wen)", Fig15},
+	{"fig16", "Normalized edge reads (Wen)", Fig16},
+	{"fig17", "Normalized vertex reads (Wen)", Fig17},
+	{"fig18", "Normalized vertex writes (Wen)", Fig18},
+	{"fig19", "Effect of batch size (Wen/SSWP)", Fig19},
+	{"fig20", "Effect of snapshot count (Wen/SSWP)", Fig20},
+	{"fig21", "Effect of batch imbalance (Wen/SSWP)", Fig21},
+	{"table5", "Power and area of MEGA components", Table5},
+	{"ablation-fetch", "Ablation: BOE without cross-snapshot fetch sharing", AblationFetch},
+	{"ablation-bp", "Ablation: batch-pipelining threshold sweep", AblationBP},
+	{"ablation-pe", "Ablation: processing-engine count sweep", AblationPE},
+	{"ablation-recompute", "Ablation: naive per-snapshot recompute baseline", AblationRecompute},
+	{"ablation-uarch", "Ablation: aggregate vs cycle-level simulation", AblationUarch},
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range Experiments {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all experiment IDs in order.
+func IDs() []string {
+	out := make([]string, len(Experiments))
+	for i, e := range Experiments {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// geomean returns the geometric mean of the values (0 if any are
+// non-positive).
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}

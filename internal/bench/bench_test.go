@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"mega/internal/algo"
+	"mega/internal/gen"
+)
+
+// quickContext runs experiments on two small graphs and two algorithms so
+// the whole registry can be exercised in tests.
+func quickContext() *Context {
+	c := NewContext()
+	c.Graphs = []gen.GraphSpec{
+		{Name: "Wen", Vertices: 2_048, Edges: 40_960, A: 0.45, B: 0.15, C: 0.15, MaxWeight: 16, Seed: 61},
+		{Name: "PK", Vertices: 1_024, Edges: 19_200, A: 0.45, B: 0.15, C: 0.15, MaxWeight: 16, Seed: 62},
+	}
+	c.Algos = []algo.Kind{algo.SSSP, algo.SSWP}
+	return c
+}
+
+func cell(t *testing.T, tab Table, row, col int) float64 {
+	t.Helper()
+	s := strings.TrimSuffix(tab.Rows[row][col], "x")
+	s = strings.TrimSuffix(s, "ms")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not numeric: %v", row, col, tab.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep in -short mode")
+	}
+	c := quickContext()
+	for _, e := range Experiments {
+		tables, err := e.Run(c)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if len(tables) == 0 {
+			t.Fatalf("%s produced no tables", e.ID)
+		}
+		for _, tab := range tables {
+			if len(tab.Rows) == 0 {
+				t.Errorf("%s: table %q empty", e.ID, tab.Title)
+			}
+			for _, row := range tab.Rows {
+				if len(row) != len(tab.Header) && tab.ID != "table5" {
+					t.Errorf("%s: row width %d != header %d", e.ID, len(row), len(tab.Header))
+				}
+			}
+		}
+	}
+}
+
+func TestFig2DeletionsDominant(t *testing.T) {
+	c := quickContext()
+	tables, err := Fig2(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tables[0].Rows {
+		add := cell(t, tables[0], i, 2)
+		del := cell(t, tables[0], i, 3)
+		if del <= add {
+			t.Errorf("row %v: deletion %.4f not above addition %.4f", tables[0].Rows[i][:2], del, add)
+		}
+	}
+}
+
+func TestFig3Ratios(t *testing.T) {
+	c := quickContext()
+	tables, err := Fig3(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tables[0].Rows {
+		dh := cell(t, tables[0], i, 4)
+		ws := cell(t, tables[0], i, 5)
+		// The paper's analysis: DH = N/2 x streaming, WS ~ 2x.
+		if dh < 7 || dh > 9 {
+			t.Errorf("DH/streaming = %.2f, want ~8", dh)
+		}
+		if ws < 1.5 || ws > 3 {
+			t.Errorf("WS/streaming = %.2f, want ~2", ws)
+		}
+	}
+}
+
+func TestFig4LowFig5High(t *testing.T) {
+	c := quickContext()
+	f4, err := Fig4(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f5, err := Fig5(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f4[0].Rows {
+		if v := cell(t, f4[0], i, 2); v > 0.10 {
+			t.Errorf("fig4 row %v: cross-batch reuse %.3f > 0.10", f4[0].Rows[i][:2], v)
+		}
+	}
+	for i := range f5[0].Rows {
+		if v := cell(t, f5[0], i, 2); v < 0.85 {
+			t.Errorf("fig5 row %v: same-batch reuse %.3f < 0.85", f5[0].Rows[i][:2], v)
+		}
+	}
+}
+
+func TestTable4Ordering(t *testing.T) {
+	c := quickContext()
+	tables, err := Table4(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tables[0].Rows {
+		dh := cell(t, tables[0], i, 3)
+		ws := cell(t, tables[0], i, 4)
+		boe := cell(t, tables[0], i, 5)
+		bp := cell(t, tables[0], i, 6)
+		if !(boe > ws && ws > dh) {
+			t.Errorf("row %v: BOE %.2f / WS %.2f / DH %.2f out of order", tables[0].Rows[i][:2], boe, ws, dh)
+		}
+		if bp < boe {
+			t.Errorf("row %v: BOE+BP %.2f below BOE %.2f", tables[0].Rows[i][:2], bp, boe)
+		}
+	}
+}
+
+func TestFig16EdgeReadsDecrease(t *testing.T) {
+	c := quickContext()
+	tables, err := Fig16(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tables[0].Rows {
+		ws := cell(t, tables[0], i, 2)
+		boe := cell(t, tables[0], i, 3)
+		if !(boe < ws && ws < 1.0) {
+			t.Errorf("row %v: BOE %.2f / WS %.2f not decreasing below 1", tables[0].Rows[i][:1], boe, ws)
+		}
+	}
+}
+
+func TestFig15Monotone(t *testing.T) {
+	c := quickContext()
+	tables, err := Fig15(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tables[0].Rows {
+		prev := 0.0
+		for col := 1; col <= 5; col++ {
+			v := cell(t, tables[0], i, col)
+			if v < prev*0.98 { // tiny tolerance for cache noise
+				t.Errorf("row %v: speedup %.2f drops below %.2f with more memory", tables[0].Rows[i][:1], v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestLookupAndIDs(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(Experiments) {
+		t.Fatalf("IDs() = %d entries, want %d", len(ids), len(Experiments))
+	}
+	for _, id := range ids {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("Lookup(%q) failed", id)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup accepted unknown id")
+	}
+}
+
+func TestTablePrint(t *testing.T) {
+	tab := Table{ID: "x", Title: "T", Header: []string{"A", "B"}, Rows: [][]string{{"1", "22"}}}
+	var sb strings.Builder
+	tab.Fprint(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "== x: T ==") || !strings.Contains(out, "22") {
+		t.Errorf("Fprint output:\n%s", out)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := geomean([]float64{2, 8}); g < 3.99 || g > 4.01 {
+		t.Errorf("geomean(2,8) = %v, want 4", g)
+	}
+	if geomean(nil) != 0 {
+		t.Error("geomean(nil) != 0")
+	}
+	if geomean([]float64{1, -1}) != 0 {
+		t.Error("geomean with negative != 0")
+	}
+}
+
+func TestHubVertex(t *testing.T) {
+	wl, err := quickContext().workloadFor(quickContext().Graphs[0], gen.DefaultEvolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := 0
+	for _, e := range wl.ev.Initial {
+		if e.Src == wl.src {
+			deg++
+		}
+	}
+	if deg < 10 {
+		t.Errorf("hub vertex %d has out-degree %d; not a hub", wl.src, deg)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := Table{ID: "x", Header: []string{"A", "B"}, Rows: [][]string{{"1", `va"l,ue`}}}
+	var sb strings.Builder
+	tab.FprintCSV(&sb)
+	want := "x,A,B\nx,1,\"va\"\"l,ue\"\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}

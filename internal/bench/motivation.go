@@ -1,0 +1,334 @@
+package bench
+
+import (
+	"fmt"
+
+	"mega/internal/algo"
+	"mega/internal/engine"
+	"mega/internal/evolve"
+	"mega/internal/gen"
+	"mega/internal/graph"
+	"mega/internal/sched"
+)
+
+// Fig2 reproduces Figure 2: the per-hop cost of a batch of edge deletions
+// versus an equal-sized batch of additions on the JetStream baseline,
+// using the motivation scenario (16 snapshots, 0.5% batches).
+func Fig2(c *Context) ([]Table, error) {
+	t := Table{
+		ID:     "fig2",
+		Title:  "JetStream per-hop batch cost (ms): deletions vs additions",
+		Header: []string{"Algo", "Graph", "Addition", "Deletion", "Del/Add"},
+	}
+	for _, k := range c.Algos {
+		for _, spec := range c.Graphs {
+			wl, err := c.workloadFor(spec, gen.MotivationEvolution)
+			if err != nil {
+				return nil, err
+			}
+			js, err := c.jetStream(wl, k, gen.MotivationEvolution)
+			if err != nil {
+				return nil, err
+			}
+			var addCyc, delCyc int64
+			var addN, delN int64
+			for _, p := range js.OpProfiles {
+				switch p.Kind {
+				case "add":
+					addCyc += p.Cycles
+					addN++
+				case "del":
+					delCyc += p.Cycles
+					delN++
+				}
+			}
+			if addN == 0 || delN == 0 {
+				return nil, fmt.Errorf("fig2: %s/%v has no add/del ops", spec.Name, k)
+			}
+			addMs := sumMs(addCyc, addN)
+			delMs := sumMs(delCyc, delN)
+			t.Rows = append(t.Rows, []string{
+				k.String(), spec.Name,
+				fmt.Sprintf("%.4f", addMs),
+				fmt.Sprintf("%.4f", delMs),
+				fmt.Sprintf("%.2fx", delMs/addMs),
+			})
+		}
+	}
+	return []Table{t}, nil
+}
+
+func sumMs(cycles, n int64) float64 {
+	return float64(cycles) / float64(n) / 1e6 // 1 GHz
+}
+
+// Fig3 reproduces Figure 3: the number of edge additions processed by
+// Direct-Hop and Work-Sharing versus the additions+deletions processed by
+// conventional streaming, for SSSP on every graph.
+func Fig3(c *Context) ([]Table, error) {
+	t := Table{
+		ID:     "fig3",
+		Title:  "Additions processed (millions), SSSP, 16 snapshots, 0.5% batches",
+		Header: []string{"Graph", "Direct-Hop", "Work-Sharing", "Streaming", "DH/Str", "WS/Str"},
+	}
+	for _, spec := range c.Graphs {
+		wl, err := c.workloadFor(spec, gen.MotivationEvolution)
+		if err != nil {
+			return nil, err
+		}
+		dh := sched.NewDirectHop(wl.win).AdditionsProcessed()
+		ws := sched.NewWorkSharing(wl.win).AdditionsProcessed()
+		adds, dels := sched.StreamingChangesProcessed(wl.win)
+		str := adds + dels
+		t.Rows = append(t.Rows, []string{
+			spec.Name,
+			fmt.Sprintf("%.3f", float64(dh)/1e6),
+			fmt.Sprintf("%.3f", float64(ws)/1e6),
+			fmt.Sprintf("%.3f", float64(str)/1e6),
+			fmt.Sprintf("%.2fx", float64(dh)/float64(str)),
+			fmt.Sprintf("%.2fx", float64(ws)/float64(str)),
+		})
+	}
+	return []Table{t}, nil
+}
+
+// fetchSetProbe records, per operation, the set of vertices whose
+// adjacency was fetched, weighted by adjacency size — the "fetched edges"
+// of the reuse analyses (Figures 4 and 5).
+type fetchSetProbe struct {
+	engine.NopProbe
+	cur  map[graph.VertexID]int
+	sets []map[graph.VertexID]int
+}
+
+func (p *fetchSetProbe) OpStart(string, int, int) {
+	p.cur = make(map[graph.VertexID]int)
+}
+
+func (p *fetchSetProbe) EdgeFetch(v graph.VertexID, edges, _ int) {
+	p.cur[v] = edges
+}
+
+func (p *fetchSetProbe) OpEnd() {
+	p.sets = append(p.sets, p.cur)
+	p.cur = nil
+}
+
+// reuseFraction returns the fraction of edges fetched in b that were also
+// fetched in a.
+func reuseFraction(a, b map[graph.VertexID]int) float64 {
+	total, shared := 0, 0
+	for v, deg := range b {
+		total += deg
+		if _, ok := a[v]; ok {
+			shared += deg
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(shared) / float64(total)
+}
+
+// reuseSchedule builds a schedule that applies each (batch, target) pair
+// of `apps` as its own sequential op after initializing the targets.
+func reuseSchedule(targets []int, apps []struct {
+	batch  *evolve.Batch
+	target int
+}) *sched.Schedule {
+	n := 0
+	for _, t := range targets {
+		if t+1 > n {
+			n = t + 1
+		}
+	}
+	s := &sched.Schedule{Mode: sched.DirectHop, NumContexts: n, SnapshotCtx: make([]int, n)}
+	for i := range s.SnapshotCtx {
+		s.SnapshotCtx[i] = i
+	}
+	for _, t := range targets {
+		s.Ops = append(s.Ops, sched.Op{Kind: sched.OpInit, Ctx: t, Stage: 0})
+	}
+	for i, a := range apps {
+		s.Ops = append(s.Ops, sched.Op{
+			Kind: sched.OpApply, Batch: a.batch,
+			Targets: []int{a.target}, Stage: 1 + i,
+		})
+	}
+	return s
+}
+
+// Fig4 reproduces Figure 4: the (low) fraction of fetched edges reused
+// between consecutive *different* batches applied to the same snapshot.
+func Fig4(c *Context) ([]Table, error) {
+	t := Table{
+		ID:     "fig4",
+		Title:  "Reused edge fraction: different batches, same snapshot",
+		Header: []string{"Algo", "Graph", "ReusedFraction"},
+	}
+	for _, k := range c.Algos {
+		for _, spec := range c.Graphs {
+			wl, err := c.workloadFor(spec, gen.MotivationEvolution)
+			if err != nil {
+				return nil, err
+			}
+			// The last snapshot uses every Δ+ batch; apply them in
+			// sequence and measure consecutive-fetch-set overlap.
+			last := wl.win.NumSnapshots() - 1
+			var apps []struct {
+				batch  *evolve.Batch
+				target int
+			}
+			for bi := range wl.win.Batches() {
+				b := &wl.win.Batches()[bi]
+				if b.Users.Has(last) {
+					apps = append(apps, struct {
+						batch  *evolve.Batch
+						target int
+					}{b, 0})
+				}
+			}
+			probe := &fetchSetProbe{}
+			eng, err := engine.NewMulti(wl.win, algo.New(k), wl.src, probe)
+			if err != nil {
+				return nil, err
+			}
+			if err := eng.Run(reuseSchedule([]int{0}, apps)); err != nil {
+				return nil, err
+			}
+			// sets[0] is the init op (no fetches); apply sets follow.
+			sets := probe.sets[1:]
+			var fractions []float64
+			for i := 1; i < len(sets); i++ {
+				fractions = append(fractions, reuseFraction(sets[i-1], sets[i]))
+			}
+			t.Rows = append(t.Rows, []string{
+				k.String(), spec.Name, fmt.Sprintf("%.4f", mean(fractions)),
+			})
+		}
+	}
+	return []Table{t}, nil
+}
+
+// Fig5 reproduces Figure 5: the (very high) fraction of fetched edges
+// reused when the *same* batch is applied to different snapshots.
+func Fig5(c *Context) ([]Table, error) {
+	t := Table{
+		ID:     "fig5",
+		Title:  "Reused edge fraction: same batch, different snapshots",
+		Header: []string{"Algo", "Graph", "ReusedFraction"},
+	}
+	for _, k := range c.Algos {
+		for _, spec := range c.Graphs {
+			wl, err := c.workloadFor(spec, gen.MotivationEvolution)
+			if err != nil {
+				return nil, err
+			}
+			// Pick a mid-window Δ+ batch and apply it to each of its user
+			// snapshots independently. To measure at the state BOE would
+			// see, each target first receives the later-hop batches it
+			// uses (the batches BOE's descending stages apply earlier).
+			var batch *evolve.Batch
+			midHop := (wl.win.NumSnapshots() - 2) / 2
+			for bi := range wl.win.Batches() {
+				b := &wl.win.Batches()[bi]
+				if !b.FromDeletion && b.Hop >= midHop && (batch == nil || b.Hop < batch.Hop) {
+					batch = b
+				}
+			}
+			if batch == nil {
+				return nil, fmt.Errorf("fig5: %s has no addition batches", spec.Name)
+			}
+			var targets []int
+			var apps, preApps []struct {
+				batch  *evolve.Batch
+				target int
+			}
+			for s := 0; s < wl.win.NumSnapshots(); s++ {
+				if !batch.Users.Has(s) {
+					continue
+				}
+				targets = append(targets, s)
+				for bi := range wl.win.Batches() {
+					b := &wl.win.Batches()[bi]
+					if b.Hop > batch.Hop && b.Users.Has(s) {
+						preApps = append(preApps, struct {
+							batch  *evolve.Batch
+							target int
+						}{b, s})
+					}
+				}
+				apps = append(apps, struct {
+					batch  *evolve.Batch
+					target int
+				}{batch, s})
+			}
+			probe := &fetchSetProbe{}
+			eng, err := engine.NewMulti(wl.win, algo.New(k), wl.src, probe)
+			if err != nil {
+				return nil, err
+			}
+			if err := eng.Run(reuseSchedule(targets, append(preApps, apps...))); err != nil {
+				return nil, err
+			}
+			sets := probe.sets[len(probe.sets)-len(apps):]
+			var fractions []float64
+			for i := 1; i < len(sets); i++ {
+				fractions = append(fractions, reuseFraction(sets[i-1], sets[i]))
+			}
+			t.Rows = append(t.Rows, []string{
+				k.String(), spec.Name, fmt.Sprintf("%.4f", mean(fractions)),
+			})
+		}
+	}
+	return []Table{t}, nil
+}
+
+// Fig10 reproduces Figure 10: the per-round event counts of a
+// representative batch execution on the Wen graph under JetStream, for
+// BFS, SSSP, SSWP and SSNP — showing the rapid decay into a long tail.
+func Fig10(c *Context) ([]Table, error) {
+	spec, err := c.graphSpec("Wen")
+	if err != nil {
+		return nil, err
+	}
+	var tables []Table
+	for _, k := range []algo.Kind{algo.SSSP, algo.SSWP, algo.SSNP, algo.BFS} {
+		wl, err := c.workloadFor(spec, gen.DefaultEvolution)
+		if err != nil {
+			return nil, err
+		}
+		js, err := simRunSeries(wl, k)
+		if err != nil {
+			return nil, err
+		}
+		// Pick the op with the most rounds (the richest execution).
+		var best []int64
+		for _, p := range js.OpProfiles {
+			if len(p.EventSeries) > len(best) {
+				best = p.EventSeries
+			}
+		}
+		t := Table{
+			ID:     "fig10",
+			Title:  fmt.Sprintf("Events per round, %v (Wen, JetStream)", k),
+			Header: []string{"Round", "Events"},
+		}
+		for i, e := range best {
+			t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", i), fmt.Sprintf("%d", e)})
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,240 @@
+package bench
+
+import (
+	"fmt"
+
+	"mega/internal/gen"
+	"mega/internal/power"
+	"mega/internal/sim"
+	"mega/internal/swcost"
+)
+
+// Table4 reproduces Table 4: per graph and algorithm, the JetStream
+// baseline time and the speedups of Direct-Hop, Work-Sharing, BOE and
+// BOE with batch pipelining over it (16 snapshots, 1% batches).
+func Table4(c *Context) ([]Table, error) {
+	t := Table{
+		ID:     "table4",
+		Title:  "JetStream time and workflow speedups, 16 snapshots, 1% batches",
+		Header: []string{"Graph", "Algo", "JetStream", "DH", "WS", "BOE", "BOE+BP"},
+	}
+	es := gen.DefaultEvolution
+	for _, spec := range c.Graphs {
+		for _, k := range c.Algos {
+			wl, err := c.workloadFor(spec, es)
+			if err != nil {
+				return nil, err
+			}
+			js, err := c.jetStream(wl, k, es)
+			if err != nil {
+				return nil, err
+			}
+			dh, err := c.mega(wl, k, "Direct-Hop", es)
+			if err != nil {
+				return nil, err
+			}
+			ws, err := c.mega(wl, k, "Work-Sharing", es)
+			if err != nil {
+				return nil, err
+			}
+			boe, err := c.mega(wl, k, "BOE", es)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				spec.Name, k.String(),
+				fmt.Sprintf("%.3fms", js.TimeMs),
+				fmt.Sprintf("%.2fx", dh.SpeedupNoBP(js)),
+				fmt.Sprintf("%.2fx", ws.SpeedupNoBP(js)),
+				fmt.Sprintf("%.2fx", boe.SpeedupNoBP(js)),
+				fmt.Sprintf("%.2fx", boe.Speedup(js)),
+			})
+		}
+	}
+	return []Table{t}, nil
+}
+
+// Fig14 reproduces Figure 14: MEGA (BOE+BP) speedup over software
+// CommonGraph baselines — Work-Sharing on KickStarter, RisGraph and
+// Subway (GPU), plus software BOE on RisGraph.
+func Fig14(c *Context) ([]Table, error) {
+	t := Table{
+		ID:    "fig14",
+		Title: "MEGA (BOE+BP) speedup over software CommonGraph",
+		Header: []string{"Graph", "Algo",
+			"KickStarter(WS)", "RisGraph(WS)", "RisGraph(BOE)", "Subway(WS)"},
+	}
+	es := gen.DefaultEvolution
+	gms := make(map[string][]float64)
+	for _, spec := range c.Graphs {
+		for _, k := range c.Algos {
+			wl, err := c.workloadFor(spec, es)
+			if err != nil {
+				return nil, err
+			}
+			ws, err := c.mega(wl, k, "Work-Sharing", es)
+			if err != nil {
+				return nil, err
+			}
+			boe, err := c.mega(wl, k, "BOE", es)
+			if err != nil {
+				return nil, err
+			}
+			adds, dels := wl.ev.TotalChanges()
+			wsCounts := swcost.FromStats(ws.Counts, adds+dels)
+			boeCounts := swcost.FromStats(boe.Counts, adds+dels)
+			megaMs := boe.TimeMsBP
+
+			row := []string{spec.Name, k.String()}
+			for _, sys := range []struct {
+				name   string
+				model  swcost.Model
+				counts swcost.Counts
+			}{
+				{"KickStarter(WS)", swcost.KickStarter, wsCounts},
+				{"RisGraph(WS)", swcost.RisGraph, wsCounts},
+				{"RisGraph(BOE)", swcost.RisGraphBOE, boeCounts},
+				{"Subway(WS)", swcost.Subway, wsCounts},
+			} {
+				sp := sys.model.RuntimeMs(sys.counts) / megaMs
+				row = append(row, fmt.Sprintf("%.1fx", sp))
+				gms[sys.name] = append(gms[sys.name], sp)
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	t.Rows = append(t.Rows, []string{
+		"GMean", "",
+		fmt.Sprintf("%.1fx", geomean(gms["KickStarter(WS)"])),
+		fmt.Sprintf("%.1fx", geomean(gms["RisGraph(WS)"])),
+		fmt.Sprintf("%.1fx", geomean(gms["RisGraph(BOE)"])),
+		fmt.Sprintf("%.1fx", geomean(gms["Subway(WS)"])),
+	})
+	return []Table{t}, nil
+}
+
+// Fig15 reproduces Figure 15: BOE+BP speedup over JetStream on the Wen
+// graph as on-chip memory grows. The paper sweeps 16-256 MB; the scaled
+// equivalents keep the same ratios around the 64 MB (512 KB scaled)
+// default.
+func Fig15(c *Context) ([]Table, error) {
+	spec, err := c.graphSpec("Wen")
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		ID:     "fig15",
+		Title:  "Effect of on-chip memory size (Wen), BOE+BP speedup vs JetStream",
+		Header: []string{"Algo", "16MB~", "32MB~", "64MB~", "128MB~", "256MB~"},
+	}
+	es := gen.DefaultEvolution
+	wl, err := c.workloadFor(spec, es)
+	if err != nil {
+		return nil, err
+	}
+	sizes := []int64{128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20}
+	for _, k := range c.Algos {
+		js, err := c.jetStream(wl, k, es)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{k.String()}
+		for _, size := range sizes {
+			cfg := sim.DefaultConfig()
+			cfg.OnChipBytes = size
+			key := fmt.Sprintf("fig15/%s/%v/%d", spec.Name, k, size)
+			r, err := c.run(wl, k, "BOE", cfg, key)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.2fx", r.Speedup(js)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []Table{t}, nil
+}
+
+// normalizedCounts renders one of Figures 16-18: a per-algorithm count for
+// DH/WS/BOE on Wen, normalized to Direct-Hop.
+func normalizedCounts(c *Context, id, title string, count func(*sim.Result) int64) ([]Table, error) {
+	spec, err := c.graphSpec("Wen")
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"Algo", "Direct-Hop", "Work-Sharing", "BOE"},
+	}
+	es := gen.DefaultEvolution
+	wl, err := c.workloadFor(spec, es)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range c.Algos {
+		var vals []float64
+		for _, mode := range []string{"Direct-Hop", "Work-Sharing", "BOE"} {
+			r, err := c.mega(wl, k, mode, es)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, float64(count(r)))
+		}
+		t.Rows = append(t.Rows, []string{
+			k.String(),
+			"1.00",
+			fmt.Sprintf("%.2f", vals[1]/vals[0]),
+			fmt.Sprintf("%.2f", vals[2]/vals[0]),
+		})
+	}
+	return []Table{t}, nil
+}
+
+// Fig16 reproduces Figure 16: normalized edge reads on Wen.
+func Fig16(c *Context) ([]Table, error) {
+	return normalizedCounts(c, "fig16", "Normalized edge reads (Wen)",
+		func(r *sim.Result) int64 { return r.Counts.EdgesRead })
+}
+
+// Fig17 reproduces Figure 17: normalized vertex reads on Wen. Every
+// processed event reads its target vertex's value.
+func Fig17(c *Context) ([]Table, error) {
+	return normalizedCounts(c, "fig17", "Normalized vertex reads (Wen)",
+		func(r *sim.Result) int64 { return r.Counts.Events })
+}
+
+// Fig18 reproduces Figure 18: normalized vertex writes on Wen — datapath
+// value updates (an event improving its target). Bulk context clones and
+// broadcasts move as block transfers, not per-vertex datapath writes.
+func Fig18(c *Context) ([]Table, error) {
+	return normalizedCounts(c, "fig18", "Normalized vertex writes (Wen)",
+		func(r *sim.Result) int64 { return r.Counts.Applied })
+}
+
+// Table5 reproduces Table 5: the power and area breakdown of the MEGA
+// components and the relative overheads versus JetStream.
+func Table5(c *Context) ([]Table, error) {
+	est := power.Model(power.MEGA())
+	t := Table{
+		ID:     "table5",
+		Title:  "Power and area of MEGA components",
+		Header: []string{"Component", "Static(mW)", "Dynamic(mW)", "Total(mW)", "Area(mm2)"},
+	}
+	for _, comp := range est.Components {
+		t.Rows = append(t.Rows, []string{
+			comp.Name,
+			fmt.Sprintf("%.1f", comp.StaticMW),
+			fmt.Sprintf("%.1f", comp.DynamicMW),
+			fmt.Sprintf("%.1f", comp.TotalMW),
+			fmt.Sprintf("%.2f", comp.AreaMM2),
+		})
+	}
+	p, a := power.Overheads()
+	t.Rows = append(t.Rows, []string{
+		"Total",
+		"", "",
+		fmt.Sprintf("%.0f (+%.1f%% vs JetStream)", est.TotalMW, p*100),
+		fmt.Sprintf("%.0f (+%.1f%%)", est.TotalMM2, a*100),
+	})
+	return []Table{t}, nil
+}

@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"fmt"
+
+	"mega/internal/algo"
+	"mega/internal/gen"
+	"mega/internal/swcost"
+)
+
+// Fig19 reproduces Figure 19: DH/WS/BOE speedup over JetStream on
+// Wen/SSWP as the per-hop batch size sweeps from 0.1% to 1% of the edges.
+func Fig19(c *Context) ([]Table, error) {
+	spec, err := c.graphSpec("Wen")
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		ID:     "fig19",
+		Title:  "Effect of batch size (Wen/SSWP), speedup vs JetStream",
+		Header: []string{"Batch%", "DH", "WS", "BOE", "BOE+BP"},
+	}
+	for _, frac := range []float64{0.001, 0.002, 0.005, 0.008, 0.01} {
+		es := gen.EvolutionSpec{Snapshots: 16, BatchFraction: frac, Imbalance: 1, Seed: 42}
+		wl, err := c.workloadFor(spec, es)
+		if err != nil {
+			return nil, err
+		}
+		js, err := c.jetStream(wl, algo.SSWP, es)
+		if err != nil {
+			return nil, err
+		}
+		dh, err := c.mega(wl, algo.SSWP, "Direct-Hop", es)
+		if err != nil {
+			return nil, err
+		}
+		ws, err := c.mega(wl, algo.SSWP, "Work-Sharing", es)
+		if err != nil {
+			return nil, err
+		}
+		boe, err := c.mega(wl, algo.SSWP, "BOE", es)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.1f", frac*100),
+			fmt.Sprintf("%.2fx", dh.SpeedupNoBP(js)),
+			fmt.Sprintf("%.2fx", ws.SpeedupNoBP(js)),
+			fmt.Sprintf("%.2fx", boe.SpeedupNoBP(js)),
+			fmt.Sprintf("%.2fx", boe.Speedup(js)),
+		})
+	}
+	return []Table{t}, nil
+}
+
+// Fig20 reproduces Figure 20: DH/WS/BOE speedup over JetStream on
+// Wen/SSWP as the snapshot count grows within a fixed change budget —
+// more snapshots mean smaller per-hop batches but more graph versions to
+// keep resident, so BOE's advantage shrinks once partitioning overheads
+// bite (the paper's 24-snapshot point).
+func Fig20(c *Context) ([]Table, error) {
+	spec, err := c.graphSpec("Wen")
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		ID:     "fig20",
+		Title:  "Effect of snapshot count (Wen/SSWP), speedup vs JetStream",
+		Header: []string{"Snapshots-Batch%", "DH", "WS", "BOE", "BOE+BP"},
+	}
+	points := []struct {
+		snapshots int
+		frac      float64
+	}{
+		{8, 0.009}, {12, 0.007}, {16, 0.005}, {20, 0.003}, {24, 0.001},
+	}
+	for _, pt := range points {
+		es := gen.EvolutionSpec{Snapshots: pt.snapshots, BatchFraction: pt.frac, Imbalance: 1, Seed: 42}
+		wl, err := c.workloadFor(spec, es)
+		if err != nil {
+			return nil, err
+		}
+		js, err := c.jetStream(wl, algo.SSWP, es)
+		if err != nil {
+			return nil, err
+		}
+		dh, err := c.mega(wl, algo.SSWP, "Direct-Hop", es)
+		if err != nil {
+			return nil, err
+		}
+		ws, err := c.mega(wl, algo.SSWP, "Work-Sharing", es)
+		if err != nil {
+			return nil, err
+		}
+		boe, err := c.mega(wl, algo.SSWP, "BOE", es)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d - %.1f", pt.snapshots, pt.frac*100),
+			fmt.Sprintf("%.2fx", dh.SpeedupNoBP(js)),
+			fmt.Sprintf("%.2fx", ws.SpeedupNoBP(js)),
+			fmt.Sprintf("%.2fx", boe.SpeedupNoBP(js)),
+			fmt.Sprintf("%.2fx", boe.Speedup(js)),
+		})
+	}
+	return []Table{t}, nil
+}
+
+// Fig21 reproduces Figure 21: MEGA (BOE+BP) speedup over software
+// RisGraph Work-Sharing on Wen/SSWP as batch sizes become imbalanced.
+// BOE's stages are as long as their largest batch, so imbalance costs a
+// modest slowdown (~10% at 4x in the paper).
+func Fig21(c *Context) ([]Table, error) {
+	spec, err := c.graphSpec("Wen")
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		ID:     "fig21",
+		Title:  "Effect of batch imbalance (Wen/SSWP), speedup vs RisGraph (WS)",
+		Header: []string{"Imbalance", "Speedup", "RelativeTo1x"},
+	}
+	var base float64
+	for _, imb := range []float64{1, 1.5, 4} {
+		es := gen.EvolutionSpec{Snapshots: 16, BatchFraction: 0.01, Imbalance: imb, Seed: 42}
+		wl, err := c.workloadFor(spec, es)
+		if err != nil {
+			return nil, err
+		}
+		ws, err := c.mega(wl, algo.SSWP, "Work-Sharing", es)
+		if err != nil {
+			return nil, err
+		}
+		boe, err := c.mega(wl, algo.SSWP, "BOE", es)
+		if err != nil {
+			return nil, err
+		}
+		adds, dels := wl.ev.TotalChanges()
+		swMs := swcost.RisGraph.RuntimeMs(swcost.FromStats(ws.Counts, adds+dels))
+		sp := swMs / boe.TimeMsBP
+		if imb == 1 {
+			base = sp
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.1fx", imb),
+			fmt.Sprintf("%.1fx", sp),
+			fmt.Sprintf("%.2f", sp/base),
+		})
+	}
+	return []Table{t}, nil
+}

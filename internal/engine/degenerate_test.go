@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"testing"
+
+	"mega/internal/algo"
+	"mega/internal/evolve"
+	"mega/internal/graph"
+	"mega/internal/sched"
+	"mega/internal/testutil"
+)
+
+// Failure-injection tests: degenerate windows the schedule generators and
+// engines must survive (DESIGN.md §6).
+
+func runAllModes(t *testing.T, w *evolve.Window, k algo.Kind, src graph.VertexID) {
+	t.Helper()
+	a := algo.New(k)
+	for _, mode := range []sched.Mode{sched.DirectHop, sched.WorkSharing, sched.BOE} {
+		s, err := sched.New(mode, w)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		m, err := NewMulti(w, a, src, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(s); err != nil {
+			t.Fatalf("%v: Run: %v", mode, err)
+		}
+		for snap := 0; snap < w.NumSnapshots(); snap++ {
+			want := testutil.ReferenceEdges(w.NumVertices(), w.SnapshotEdges(snap), a, src)
+			if !testutil.EqualValues(m.SnapshotValues(s, snap), want) {
+				t.Errorf("%v: snapshot %d wrong", mode, snap)
+			}
+		}
+	}
+}
+
+func TestAllDeletionWindow(t *testing.T) {
+	// Every hop only deletes; the CommonGraph shrinks to a chain stub.
+	initial := graph.EdgeList{
+		{Src: 0, Dst: 1, Weight: 1}, {Src: 1, Dst: 2, Weight: 1},
+		{Src: 2, Dst: 3, Weight: 1}, {Src: 3, Dst: 4, Weight: 1},
+	}.Normalize()
+	adds := []graph.EdgeList{nil, nil}
+	dels := []graph.EdgeList{
+		{{Src: 3, Dst: 4, Weight: 1}},
+		{{Src: 2, Dst: 3, Weight: 1}},
+	}
+	w, err := evolve.NewWindowFromParts(5, 3, initial, adds, dels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAllModes(t, w, algo.BFS, 0)
+}
+
+func TestAllAdditionWindow(t *testing.T) {
+	initial := graph.EdgeList{{Src: 0, Dst: 1, Weight: 2}}.Normalize()
+	adds := []graph.EdgeList{
+		{{Src: 1, Dst: 2, Weight: 2}},
+		{{Src: 2, Dst: 3, Weight: 2}},
+	}
+	dels := []graph.EdgeList{nil, nil}
+	w, err := evolve.NewWindowFromParts(4, 3, initial, adds, dels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAllModes(t, w, algo.SSSP, 0)
+}
+
+func TestEmptyHopWindow(t *testing.T) {
+	// Hop 1 changes nothing: snapshots 1 and 2 are identical.
+	initial := graph.EdgeList{{Src: 0, Dst: 1, Weight: 1}, {Src: 1, Dst: 2, Weight: 1}}.Normalize()
+	adds := []graph.EdgeList{{{Src: 0, Dst: 2, Weight: 5}}, nil}
+	dels := []graph.EdgeList{nil, nil}
+	w, err := evolve.NewWindowFromParts(3, 3, initial, adds, dels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAllModes(t, w, algo.SSSP, 0)
+}
+
+func TestEdgelessWindow(t *testing.T) {
+	w, err := evolve.NewWindowFromParts(4, 2, nil,
+		[]graph.EdgeList{{{Src: 0, Dst: 1, Weight: 1}}}, []graph.EdgeList{nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAllModes(t, w, algo.BFS, 0)
+}
+
+func TestSourceReachableOnlyAfterAdditions(t *testing.T) {
+	// In the CommonGraph the source is isolated; only the addition batch
+	// connects it. Earlier snapshots must stay at identity while later
+	// ones converge.
+	initial := graph.EdgeList{{Src: 1, Dst: 2, Weight: 1}}.Normalize()
+	adds := []graph.EdgeList{{{Src: 0, Dst: 1, Weight: 1}}}
+	dels := []graph.EdgeList{nil}
+	w, err := evolve.NewWindowFromParts(3, 2, initial, adds, dels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAllModes(t, w, algo.BFS, 0)
+
+	s, _ := sched.New(sched.BOE, w)
+	m, _ := NewMulti(w, algo.New(algo.BFS), 0, nil)
+	if err := m.Run(s); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.SnapshotValues(s, 0)[2]; got == 2 {
+		t.Error("snapshot 0 reached vertex 2 through a not-yet-added edge")
+	}
+	if got := m.SnapshotValues(s, 1)[2]; got != 2 {
+		t.Errorf("snapshot 1 hops(2) = %v, want 2", got)
+	}
+}
+
+func TestSelfLoopEdges(t *testing.T) {
+	// Self-loops must neither wedge the engines nor corrupt values.
+	initial := graph.EdgeList{
+		{Src: 0, Dst: 0, Weight: 1}, {Src: 0, Dst: 1, Weight: 1}, {Src: 1, Dst: 1, Weight: 1},
+	}.Normalize()
+	adds := []graph.EdgeList{{{Src: 1, Dst: 2, Weight: 1}}}
+	dels := []graph.EdgeList{nil}
+	w, err := evolve.NewWindowFromParts(3, 2, initial, adds, dels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAllModes(t, w, algo.SSSP, 0)
+}
+
+func TestStreamEmptyBatches(t *testing.T) {
+	g := graph.MustCSR(3, graph.EdgeList{{Src: 0, Dst: 1, Weight: 1}}.Normalize())
+	st, err := NewStream(g, algo.New(algo.BFS), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.ApplyDeletions(g, nil)
+	st.ApplyAdditions(g, nil)
+	want := testutil.Reference(g, algo.New(algo.BFS), 0)
+	if !testutil.EqualValues(st.Values(), want) {
+		t.Error("empty batches corrupted the stream solution")
+	}
+}
+
+func TestStreamDeleteEverything(t *testing.T) {
+	edges := graph.EdgeList{{Src: 0, Dst: 1, Weight: 1}, {Src: 1, Dst: 2, Weight: 1}}.Normalize()
+	g := graph.MustCSR(3, edges)
+	a := algo.New(algo.SSSP)
+	st, err := NewStream(g, a, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := graph.MustCSR(3, nil)
+	st.ApplyDeletions(empty, edges)
+	want := testutil.Reference(empty, a, 0)
+	if !testutil.EqualValues(st.Values(), want) {
+		t.Errorf("after deleting everything: %v, want %v", st.Values(), want)
+	}
+	if st.Values()[0] != 0 {
+		t.Error("source value lost")
+	}
+}

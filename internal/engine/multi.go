@@ -1,0 +1,447 @@
+package engine
+
+import (
+	"fmt"
+
+	"mega/internal/algo"
+	"mega/internal/evolve"
+	"mega/internal/graph"
+	"mega/internal/sched"
+)
+
+// Multi is the MEGA-side engine: it evaluates a query over an evolving
+// window by executing a schedule (Direct-Hop, Work-Sharing, or BOE) on the
+// unified evolving-graph CSR. It maintains one value-array *context* per
+// schedule context and can run many contexts concurrently within a single
+// round loop — concurrently updating contexts share each vertex's adjacency
+// fetch, which is the datapath behaviour that gives BOE its locality (§4.2:
+// "edge prefetching is done by the first event destined to the vertex, but
+// is reused by subsequent snapshots").
+//
+// Deletions never occur on this path: the CommonGraph formulation has
+// converted them to additions.
+type Multi struct {
+	w     *evolve.Window
+	u     *graph.UnifiedCSR
+	a     algo.Algorithm
+	src   graph.VertexID
+	probe Probe
+
+	// batchOf maps each union edge index to the addition batch carrying
+	// it, or -1 for CommonGraph edges.
+	batchOf []int32
+
+	baseVals []float64 // query solved on the CommonGraph (lazily built)
+
+	vals    [][]float64
+	applied []batchSet
+
+	cur, next *roundQueue
+
+	// noFetchShare disables cross-context adjacency-fetch sharing (for
+	// ablation studies): every updating context fetches separately, as if
+	// the datapath had no prefetch reuse between snapshots.
+	noFetchShare bool
+
+	// scratch state reused across ops.
+	updating  []int
+	updBatch  []int32
+	dirty     []graph.VertexID
+	dirtyMark []bool
+}
+
+// SetFetchSharing toggles cross-snapshot adjacency-fetch reuse (default
+// on). Must be called before Run.
+func (m *Multi) SetFetchSharing(enabled bool) { m.noFetchShare = !enabled }
+
+// NewMulti builds an engine for the window. src is the query source
+// vertex. probe may be nil. It fails if any non-common edge belongs to
+// more than one batch (CommonGraph histories never produce such edges).
+func NewMulti(w *evolve.Window, a algo.Algorithm, src graph.VertexID, probe Probe) (*Multi, error) {
+	if probe == nil {
+		probe = NopProbe{}
+	}
+	if int(src) >= w.NumVertices() {
+		return nil, fmt.Errorf("engine: source vertex %d outside [0,%d)", src, w.NumVertices())
+	}
+	u := w.Unified()
+	batchOf := make([]int32, u.NumUnionEdges())
+	for i := range batchOf {
+		batchOf[i] = -1
+	}
+	// Resolve each batch edge to its union edge index.
+	union := u.Union()
+	for bi := range w.Batches() {
+		b := &w.Batches()[bi]
+		for _, e := range b.Edges {
+			lo, hi := union.EdgeRange(e.Src)
+			dsts, _ := union.OutEdges(e.Src)
+			idx := -1
+			for i := lo; i < hi; i++ {
+				if dsts[i-lo] == e.Dst {
+					idx = int(i)
+					break
+				}
+			}
+			if idx < 0 {
+				return nil, fmt.Errorf("engine: batch %d edge %d->%d missing from union graph", b.ID, e.Src, e.Dst)
+			}
+			if batchOf[idx] != -1 {
+				return nil, fmt.Errorf("engine: edge %d->%d belongs to batches %d and %d", e.Src, e.Dst, batchOf[idx], b.ID)
+			}
+			batchOf[idx] = int32(b.ID)
+		}
+	}
+	return &Multi{
+		w:         w,
+		u:         u,
+		a:         a,
+		src:       src,
+		probe:     probe,
+		batchOf:   batchOf,
+		updating:  make([]int, 0, 8),
+		dirtyMark: make([]bool, w.NumVertices()),
+	}, nil
+}
+
+// BatchOf exposes the union-edge-index → batch-ID map (-1 for CommonGraph
+// edges), shared with the microarchitectural simulator. Do not modify.
+func (m *Multi) BatchOf() []int32 { return m.batchOf }
+
+// BaseValues returns the query solution on the CommonGraph, computing it
+// on first use. The returned slice must not be modified.
+func (m *Multi) BaseValues() []float64 {
+	if m.baseVals == nil {
+		m.baseVals = Solve(m.w.CommonCSR(), m.a, m.src, NopProbe{})
+	}
+	return m.baseVals
+}
+
+// Run executes the schedule. Afterwards Values/SnapshotValues expose the
+// per-context and per-snapshot results. Run may be called once per engine.
+func (m *Multi) Run(s *sched.Schedule) error {
+	if m.vals != nil {
+		return fmt.Errorf("engine: Run called twice")
+	}
+	n := m.w.NumVertices()
+	m.vals = make([][]float64, s.NumContexts)
+	m.applied = make([]batchSet, s.NumContexts)
+	m.cur = newRoundQueue(s.NumContexts, n)
+	m.next = newRoundQueue(s.NumContexts, n)
+	// Ops of one stage run concurrently on the accelerator: the stage's
+	// bookkeeping ops (init/copy) execute first, then all of its batch
+	// applications merge into one multi-context round loop — MEGA's
+	// multiple-active-snapshots execution (§4.2). Stages with one apply
+	// degenerate to sequential execution.
+	for i := 0; i < len(s.Ops); {
+		stage := s.Ops[i].Stage
+		var applies []sched.Op
+		for ; i < len(s.Ops) && s.Ops[i].Stage == stage; i++ {
+			op := s.Ops[i]
+			if op.Kind == sched.OpApply {
+				applies = append(applies, op)
+				continue
+			}
+			if err := m.runOp(op); err != nil {
+				return err
+			}
+		}
+		if len(applies) > 0 {
+			if err := m.runApplies(applies); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Values returns context ctx's value array (nil if never initialized).
+func (m *Multi) Values(ctx int) []float64 { return m.vals[ctx] }
+
+// SnapshotValues returns snapshot snap's final values under schedule s.
+func (m *Multi) SnapshotValues(s *sched.Schedule, snap int) []float64 {
+	return m.vals[s.SnapshotCtx[snap]]
+}
+
+func (m *Multi) runOp(op sched.Op) error {
+	switch op.Kind {
+	case sched.OpInit:
+		if op.Ctx >= len(m.vals) {
+			return fmt.Errorf("engine: OpInit context %d out of range", op.Ctx)
+		}
+		base := m.BaseValues()
+		if m.vals[op.Ctx] == nil {
+			m.vals[op.Ctx] = make([]float64, len(base))
+			m.applied[op.Ctx] = newBatchSet(len(m.w.Batches()))
+		}
+		copy(m.vals[op.Ctx], base)
+		m.applied[op.Ctx].clear()
+		m.probe.OpStart("init", 0, 1)
+		m.probe.ValueCopy(len(base), 1)
+		m.probe.OpEnd()
+		return nil
+
+	case sched.OpCopy:
+		if m.vals[op.From] == nil {
+			return fmt.Errorf("engine: OpCopy from uninitialized context %d", op.From)
+		}
+		if m.vals[op.Ctx] == nil {
+			m.vals[op.Ctx] = make([]float64, len(m.vals[op.From]))
+			m.applied[op.Ctx] = newBatchSet(len(m.w.Batches()))
+		}
+		copy(m.vals[op.Ctx], m.vals[op.From])
+		m.applied[op.Ctx].copyFrom(m.applied[op.From])
+		m.probe.OpStart("copy", 0, 1)
+		m.probe.ValueCopy(len(m.vals[op.Ctx]), 1)
+		m.probe.OpEnd()
+		return nil
+
+	case sched.OpApply:
+		return m.runApplies([]sched.Op{op})
+
+	default:
+		return fmt.Errorf("engine: unknown op kind %d", int(op.Kind))
+	}
+}
+
+// runApplies executes one stage's batch applications concurrently: all
+// computing contexts share one round loop, so events of different contexts
+// for the same vertex land in the same round and share that vertex's
+// adjacency fetch. The ops' computing-context sets must be disjoint (true
+// for every schedule this package executes: Direct-Hop and Work-Sharing
+// stages target distinct contexts, and a BOE stage's Δ− computes on
+// context j while Δ+ computes on j+1..N−1).
+func (m *Multi) runApplies(ops []sched.Op) error {
+	var compute []int
+	seen := make(map[int]int) // context -> number of ops computing on it
+	totalEdges := 0
+	for _, op := range ops {
+		if len(op.Targets) == 0 {
+			return fmt.Errorf("engine: OpApply with no targets")
+		}
+		opCompute := op.Targets
+		if op.SharedCompute {
+			opCompute = op.Targets[:1]
+		}
+		for _, c := range opCompute {
+			if m.vals[c] == nil {
+				return fmt.Errorf("engine: OpApply to uninitialized context %d", c)
+			}
+			if seen[c] == 0 {
+				compute = append(compute, c)
+			}
+			seen[c]++
+		}
+		// The batch reader streams each batch once; events for all
+		// computing contexts are generated from the single read.
+		totalEdges += len(op.Batch.Edges)
+	}
+	// A shared-compute op's broadcast replays exactly its own batch's
+	// effect, so its computing context must not also receive another
+	// op's seeds within this stage.
+	for _, op := range ops {
+		if op.SharedCompute && seen[op.Targets[0]] > 1 {
+			return fmt.Errorf("engine: shared-compute context %d also computed by another op of the stage", op.Targets[0])
+		}
+	}
+	m.probe.OpStart("add", totalEdges, len(compute))
+
+	// Mark batches applied first so propagation traverses their edges,
+	// then seed: the batch reader streams each batch and generates one
+	// event per (edge, computing context) whose source side is reachable.
+	// As in the hardware, events that do not improve their target are
+	// processed and discarded at the PEs, not filtered at generation.
+	for _, op := range ops {
+		opCompute := op.Targets
+		if op.SharedCompute {
+			opCompute = op.Targets[:1]
+		}
+		for _, c := range opCompute {
+			m.applied[c].add(op.Batch.ID)
+		}
+		for _, e := range op.Batch.Edges {
+			for _, c := range opCompute {
+				srcVal := m.vals[c][e.Src]
+				if srcVal == m.a.Identity() {
+					continue
+				}
+				if m.cur.push(m.a, c, e.Dst, m.a.EdgeFunc(srcVal, e.Weight), int32(op.Batch.ID)) {
+					m.probe.Generated(e.Dst, c)
+				}
+			}
+		}
+	}
+
+	m.dirty = m.dirty[:0]
+	m.runRounds(compute)
+
+	// Broadcasts: a shared-compute op's targets were state-identical
+	// before the stage and only Targets[0] computed, so copying the
+	// changed values (and the batch bit) reproduces the computation for
+	// every remaining target.
+	for _, op := range ops {
+		if !op.SharedCompute || len(op.Targets) < 2 {
+			continue
+		}
+		src := op.Targets[0]
+		changed := 0
+		for _, c := range op.Targets[1:] {
+			if m.vals[c] == nil {
+				m.probe.OpEnd()
+				return fmt.Errorf("engine: broadcast to uninitialized context %d", c)
+			}
+			for _, v := range m.dirty {
+				if m.vals[c][v] != m.vals[src][v] {
+					m.vals[c][v] = m.vals[src][v]
+					changed++
+				}
+			}
+			m.applied[c].add(op.Batch.ID)
+		}
+		m.probe.ValueCopy(changed, 1)
+	}
+	m.probe.OpEnd()
+	return nil
+}
+
+// runRounds drains the current queue to quiescence for the given computing
+// contexts, recording vertices whose values changed in m.dirty.
+func (m *Multi) runRounds(compute []int) {
+	round := 0
+	for m.cur.count > 0 {
+		m.probe.RoundStart(round)
+		for _, v := range m.cur.touched {
+			m.updating = m.updating[:0]
+			m.updBatch = m.updBatch[:0]
+			for _, c := range compute {
+				cand, tag, ok := m.cur.take(c, v)
+				if !ok {
+					continue
+				}
+				applied := m.a.Better(cand, m.vals[c][v])
+				m.probe.Event(v, c, applied)
+				if applied {
+					m.vals[c][v] = cand
+					m.updating = append(m.updating, c)
+					m.updBatch = append(m.updBatch, tag)
+					if !m.dirtyMark[v] {
+						m.dirtyMark[v] = true
+						m.dirty = append(m.dirty, v)
+					}
+				}
+			}
+			if len(m.updating) == 0 {
+				continue
+			}
+			lo, _ := m.u.Union().EdgeRange(v)
+			dsts, ws, _ := m.u.OutEdges(v)
+			// One adjacency fetch serves every updating context working
+			// on the *same batch* (§4.2: the first event's prefetch is
+			// reused by subsequent snapshots); contexts on different
+			// batches reach v at different times and fetch separately.
+			if m.noFetchShare {
+				for range m.updating {
+					m.probe.EdgeFetch(v, len(dsts), 1)
+				}
+			} else {
+				for i, tag := range m.updBatch {
+					shared := 0
+					for j := 0; j < i; j++ {
+						if m.updBatch[j] == tag {
+							shared = -1
+							break
+						}
+					}
+					if shared < 0 {
+						continue // fetched by an earlier context of this batch
+					}
+					for j := i; j < len(m.updBatch); j++ {
+						if m.updBatch[j] == tag {
+							shared++
+						}
+					}
+					m.probe.EdgeFetch(v, len(dsts), shared)
+				}
+			}
+			for i, d := range dsts {
+				edgeIdx := lo + uint32(i)
+				b := m.batchOf[edgeIdx]
+				for ui, c := range m.updating {
+					if b >= 0 && !m.applied[c].has(int(b)) {
+						continue
+					}
+					cand := m.a.EdgeFunc(m.vals[c][v], ws[i])
+					if m.a.Better(cand, m.vals[c][d]) {
+						if m.next.push(m.a, c, d, cand, m.updBatch[ui]) {
+							m.probe.Generated(d, c)
+						}
+					}
+				}
+			}
+		}
+		m.cur.resetTouched()
+		m.probe.RoundEnd(m.next.count)
+		m.cur, m.next = m.next, m.cur
+		round++
+	}
+	for _, v := range m.dirty {
+		m.dirtyMark[v] = false
+	}
+}
+
+// Solve computes the query fixpoint on a static CSR graph with a
+// single-context event loop (used for the CommonGraph base solution and by
+// tests). probe must not be nil.
+func Solve(g *graph.CSR, a algo.Algorithm, src graph.VertexID, probe Probe) []float64 {
+	vals := make([]float64, g.NumVertices())
+	for i := range vals {
+		vals[i] = a.Identity()
+	}
+	if g.NumVertices() == 0 {
+		return vals
+	}
+	probe.OpStart("solve", 0, 1)
+	cur := newRoundQueue(1, g.NumVertices())
+	next := newRoundQueue(1, g.NumVertices())
+	if ss, ok := a.(algo.SelfSeeding); ok {
+		for v := 0; v < g.NumVertices(); v++ {
+			cur.push(a, 0, graph.VertexID(v), ss.VertexInit(uint32(v)), -1)
+			probe.Generated(graph.VertexID(v), 0)
+		}
+	} else {
+		cur.push(a, 0, src, a.SourceValue(), -1)
+		probe.Generated(src, 0)
+	}
+	round := 0
+	for cur.count > 0 {
+		probe.RoundStart(round)
+		for _, v := range cur.touched {
+			cand, _, ok := cur.take(0, v)
+			if !ok {
+				continue
+			}
+			applied := a.Better(cand, vals[v])
+			probe.Event(v, 0, applied)
+			if !applied {
+				continue
+			}
+			vals[v] = cand
+			dsts, ws := g.OutEdges(v)
+			probe.EdgeFetch(v, len(dsts), 1)
+			for i, d := range dsts {
+				c := a.EdgeFunc(cand, ws[i])
+				if a.Better(c, vals[d]) {
+					if next.push(a, 0, d, c, -1) {
+						probe.Generated(d, 0)
+					}
+				}
+			}
+		}
+		cur.resetTouched()
+		probe.RoundEnd(next.count)
+		cur, next = next, cur
+		round++
+	}
+	probe.OpEnd()
+	return vals
+}

@@ -1,0 +1,317 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"mega/internal/algo"
+	"mega/internal/evolve"
+	"mega/internal/graph"
+	"mega/internal/sched"
+)
+
+// Parallel is the shared-memory software implementation of schedule
+// execution — the "software BOE" the paper evaluates on RisGraph (§5.2,
+// Figure 14). Vertices are sharded across workers by ID range; each round,
+// every worker processes the pending events of its own shard and posts the
+// events it generates into per-destination-shard mailboxes, which the
+// owning worker coalesces at the next round boundary. Workers only ever
+// write their own shard's values and queue slots, so the execution is
+// race-free without atomics; the coalescing queue's monotone semantics
+// make the result identical to the sequential engine's fixpoint.
+//
+// Like the paper's software BOE, Parallel gains parallelism from
+// concurrent snapshots but no hardware fetch sharing.
+type Parallel struct {
+	w       *evolve.Window
+	u       *graph.UnifiedCSR
+	a       algo.Algorithm
+	src     graph.VertexID
+	workers int
+
+	batchOf []int32
+	part    *graph.Partitioning
+
+	vals    [][]float64
+	applied []batchSet
+	evTotal int64
+}
+
+// NewParallel builds a parallel engine with the given worker count
+// (0 means GOMAXPROCS).
+func NewParallel(w *evolve.Window, a algo.Algorithm, src graph.VertexID, workers int) (*Parallel, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > w.NumVertices() && w.NumVertices() > 0 {
+		workers = w.NumVertices()
+	}
+	// Reuse the sequential engine's construction for batch resolution.
+	seq, err := NewMulti(w, a, src, nil)
+	if err != nil {
+		return nil, err
+	}
+	part, err := graph.NewPartitioning(w.NumVertices(), workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Parallel{
+		w: w, u: w.Unified(), a: a, src: src, workers: workers,
+		batchOf: seq.batchOf, part: part,
+	}, nil
+}
+
+// mailbox carries candidate values from one producing worker to one
+// owning shard; entries are coalesced by the owner.
+type pEvent struct {
+	ctx int32
+	dst graph.VertexID
+	val float64
+}
+
+// shard is one worker's private state: the pending-candidate matrix for
+// its vertex range plus incoming mailboxes.
+type shard struct {
+	lo, hi  graph.VertexID
+	pending [][]float64 // [ctx][vertex-lo]
+	has     [][]bool
+	touched []graph.VertexID
+	mark    []bool     // vertex-lo on touched list
+	inbox   [][]pEvent // one slice per producing worker
+	outbox  [][]pEvent // one slice per destination shard
+	events  int64
+}
+
+// Run executes the schedule and returns nothing; use Values afterwards.
+func (p *Parallel) Run(s *sched.Schedule) error {
+	if p.vals != nil {
+		return fmt.Errorf("engine: Run called twice")
+	}
+	n := p.w.NumVertices()
+	p.vals = make([][]float64, s.NumContexts)
+	p.applied = make([]batchSet, s.NumContexts)
+
+	base := Solve(p.w.CommonCSR(), p.a, p.src, NopProbe{})
+
+	shards := make([]*shard, p.workers)
+	for i := range shards {
+		lo, hi := p.part.Range(i)
+		sh := &shard{
+			lo: lo, hi: hi,
+			pending: make([][]float64, s.NumContexts),
+			has:     make([][]bool, s.NumContexts),
+			mark:    make([]bool, int(hi-lo)),
+			inbox:   make([][]pEvent, p.workers),
+			outbox:  make([][]pEvent, p.workers),
+		}
+		for c := 0; c < s.NumContexts; c++ {
+			sh.pending[c] = make([]float64, int(hi-lo))
+			sh.has[c] = make([]bool, int(hi-lo))
+		}
+		shards[i] = sh
+	}
+
+	for i := 0; i < len(s.Ops); {
+		stage := s.Ops[i].Stage
+		var applies []sched.Op
+		for ; i < len(s.Ops) && s.Ops[i].Stage == stage; i++ {
+			op := s.Ops[i]
+			switch op.Kind {
+			case sched.OpInit:
+				if p.vals[op.Ctx] == nil {
+					p.vals[op.Ctx] = make([]float64, n)
+					p.applied[op.Ctx] = newBatchSet(len(p.w.Batches()))
+				}
+				copy(p.vals[op.Ctx], base)
+				p.applied[op.Ctx].clear()
+			case sched.OpCopy:
+				if p.vals[op.From] == nil {
+					return fmt.Errorf("engine: OpCopy from uninitialized context %d", op.From)
+				}
+				if p.vals[op.Ctx] == nil {
+					p.vals[op.Ctx] = make([]float64, n)
+					p.applied[op.Ctx] = newBatchSet(len(p.w.Batches()))
+				}
+				copy(p.vals[op.Ctx], p.vals[op.From])
+				p.applied[op.Ctx].copyFrom(p.applied[op.From])
+			case sched.OpApply:
+				applies = append(applies, op)
+			}
+		}
+		if len(applies) > 0 {
+			if err := p.runApplies(shards, applies); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Values returns context ctx's value array.
+func (p *Parallel) Values(ctx int) []float64 { return p.vals[ctx] }
+
+// SnapshotValues returns snapshot snap's final values under schedule s.
+func (p *Parallel) SnapshotValues(s *sched.Schedule, snap int) []float64 {
+	return p.vals[s.SnapshotCtx[snap]]
+}
+
+// Events returns the total number of processed events.
+func (p *Parallel) Events() int64 {
+	// Events are only tallied inside shards during Run; recompute is not
+	// possible afterwards, so Run accumulates into evTotal.
+	return p.evTotal
+}
+
+func (p *Parallel) runApplies(shards []*shard, ops []sched.Op) error {
+	// Seed: route each batch edge's candidates to the owning shard.
+	for _, op := range ops {
+		compute := op.Targets
+		if op.SharedCompute {
+			compute = op.Targets[:1]
+		}
+		for _, c := range compute {
+			if p.vals[c] == nil {
+				return fmt.Errorf("engine: OpApply to uninitialized context %d", c)
+			}
+			p.applied[c].add(op.Batch.ID)
+		}
+		for _, e := range op.Batch.Edges {
+			for _, c := range compute {
+				srcVal := p.vals[c][e.Src]
+				if srcVal == p.a.Identity() {
+					continue
+				}
+				owner := p.part.PartOf(e.Dst)
+				shards[owner].inbox[0] = append(shards[owner].inbox[0], pEvent{
+					ctx: int32(c), dst: e.Dst, val: p.a.EdgeFunc(srcVal, e.Weight),
+				})
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for {
+		// Deliver inboxes into pending matrices and check quiescence.
+		live := false
+		wg.Add(len(shards))
+		for _, sh := range shards {
+			go func(sh *shard) {
+				defer wg.Done()
+				for w := range sh.inbox {
+					for _, ev := range sh.inbox[w] {
+						sh.push(p.a, ev)
+					}
+					sh.inbox[w] = sh.inbox[w][:0]
+				}
+			}(sh)
+		}
+		wg.Wait()
+		for _, sh := range shards {
+			if len(sh.touched) > 0 {
+				live = true
+				break
+			}
+		}
+		if !live {
+			break
+		}
+
+		// Process each shard's touched vertices in parallel.
+		wg.Add(len(shards))
+		for si, sh := range shards {
+			go func(si int, sh *shard) {
+				defer wg.Done()
+				p.processShard(sh)
+			}(si, sh)
+		}
+		wg.Wait()
+
+		// Exchange outboxes (single-threaded pointer swaps).
+		for si, sh := range shards {
+			for di := range sh.outbox {
+				shards[di].inbox[si] = append(shards[di].inbox[si], sh.outbox[di]...)
+				sh.outbox[di] = sh.outbox[di][:0]
+			}
+			_ = si
+		}
+	}
+
+	for _, sh := range shards {
+		p.evTotal += sh.events
+		sh.events = 0
+	}
+
+	// Shared-compute broadcasts (sequential; values are settled).
+	for _, op := range ops {
+		if !op.SharedCompute || len(op.Targets) < 2 {
+			continue
+		}
+		src := op.Targets[0]
+		for _, c := range op.Targets[1:] {
+			if p.vals[c] == nil {
+				return fmt.Errorf("engine: broadcast to uninitialized context %d", c)
+			}
+			for v := range p.vals[c] {
+				if p.vals[c][v] != p.vals[src][v] {
+					p.vals[c][v] = p.vals[src][v]
+				}
+			}
+			p.applied[c].add(op.Batch.ID)
+		}
+	}
+	return nil
+}
+
+// push coalesces an event into the shard's pending matrix.
+func (sh *shard) push(a algo.Algorithm, ev pEvent) {
+	idx := ev.dst - sh.lo
+	if sh.has[ev.ctx][idx] {
+		if a.Better(ev.val, sh.pending[ev.ctx][idx]) {
+			sh.pending[ev.ctx][idx] = ev.val
+		}
+		return
+	}
+	sh.has[ev.ctx][idx] = true
+	sh.pending[ev.ctx][idx] = ev.val
+	if !sh.mark[idx] {
+		sh.mark[idx] = true
+		sh.touched = append(sh.touched, ev.dst)
+	}
+}
+
+// processShard drains the shard's touched vertices, updating owned values
+// and emitting generated events into outboxes.
+func (p *Parallel) processShard(sh *shard) {
+	touched := sh.touched
+	sh.touched = sh.touched[:0]
+	for _, v := range touched {
+		idx := v - sh.lo
+		sh.mark[idx] = false
+		for c := range sh.pending {
+			if p.vals[c] == nil || !sh.has[c][idx] {
+				continue
+			}
+			sh.has[c][idx] = false
+			cand := sh.pending[c][idx]
+			sh.events++
+			if !p.a.Better(cand, p.vals[c][v]) {
+				continue
+			}
+			p.vals[c][v] = cand
+			lo, _ := p.u.Union().EdgeRange(v)
+			dsts, ws, _ := p.u.OutEdges(v)
+			for i, d := range dsts {
+				b := p.batchOf[lo+uint32(i)]
+				if b >= 0 && !p.applied[c].has(int(b)) {
+					continue
+				}
+				out := p.a.EdgeFunc(cand, ws[i])
+				owner := p.part.PartOf(d)
+				sh.outbox[owner] = append(sh.outbox[owner], pEvent{
+					ctx: int32(c), dst: d, val: out,
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mega/internal/algo"
+	"mega/internal/gen"
+	"mega/internal/sched"
+	"mega/internal/testutil"
+)
+
+func TestParallelMatchesSequential(t *testing.T) {
+	w := testMultiWindow(t, 6, 31)
+	for _, k := range algo.All {
+		for _, workers := range []int{1, 3, 8} {
+			a := algo.New(k)
+			s, err := sched.New(sched.BOE, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := NewParallel(w, a, 0, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := par.Run(s); err != nil {
+				t.Fatal(err)
+			}
+			for snap := 0; snap < w.NumSnapshots(); snap++ {
+				want := testutil.ReferenceEdges(w.NumVertices(), w.SnapshotEdges(snap), a, 0)
+				if !testutil.EqualValues(par.SnapshotValues(s, snap), want) {
+					t.Errorf("%v/%d workers: snapshot %d diverges from reference", k, workers, snap)
+				}
+			}
+			if par.Events() == 0 {
+				t.Errorf("%v/%d workers: no events recorded", k, workers)
+			}
+		}
+	}
+}
+
+func TestParallelAllModes(t *testing.T) {
+	w := testMultiWindow(t, 5, 32)
+	a := algo.New(algo.SSWP)
+	for _, mode := range []sched.Mode{sched.DirectHop, sched.WorkSharing, sched.BOE} {
+		s, err := sched.New(mode, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := NewParallel(w, a, 0, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := par.Run(s); err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		for snap := 0; snap < w.NumSnapshots(); snap++ {
+			want := testutil.ReferenceEdges(w.NumVertices(), w.SnapshotEdges(snap), a, 0)
+			if !testutil.EqualValues(par.SnapshotValues(s, snap), want) {
+				t.Errorf("%v: snapshot %d diverges", mode, snap)
+			}
+		}
+	}
+}
+
+func TestParallelRunTwiceFails(t *testing.T) {
+	w := testMultiWindow(t, 3, 33)
+	s, _ := sched.New(sched.BOE, w)
+	par, err := NewParallel(w, algo.New(algo.BFS), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := par.Run(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.Run(s); err == nil {
+		t.Fatal("second Run accepted")
+	}
+}
+
+func TestParallelWorkerDefault(t *testing.T) {
+	w := testMultiWindow(t, 2, 34)
+	if _, err := NewParallel(w, algo.New(algo.BFS), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: parallel and sequential engines agree for random shapes and
+// worker counts (run with -race to exercise the sharding discipline).
+func TestParallelEquivalenceQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		spec := gen.GraphSpec{
+			Name: "q", Vertices: 96, Edges: 600,
+			A: 0.5, B: 0.2, C: 0.2, MaxWeight: 8, Seed: seed,
+		}
+		ev, err := gen.Evolve(spec, gen.EvolutionSpec{
+			Snapshots: 1 + r.Intn(6), BatchFraction: 0.02, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		w, err := newWindowHelper(ev)
+		if err != nil {
+			return false
+		}
+		k := algo.All[r.Intn(len(algo.All))]
+		mode := []sched.Mode{sched.DirectHop, sched.WorkSharing, sched.BOE}[r.Intn(3)]
+		s, err := sched.New(mode, w)
+		if err != nil {
+			return false
+		}
+
+		seqEng, err := NewMulti(w, algo.New(k), 0, nil)
+		if err != nil {
+			return false
+		}
+		if err := seqEng.Run(s); err != nil {
+			return false
+		}
+		par, err := NewParallel(w, algo.New(k), 0, 1+r.Intn(7))
+		if err != nil {
+			return false
+		}
+		if err := par.Run(s); err != nil {
+			return false
+		}
+		for snap := 0; snap < w.NumSnapshots(); snap++ {
+			if !testutil.EqualValues(seqEng.SnapshotValues(s, snap), par.SnapshotValues(s, snap)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

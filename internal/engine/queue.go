@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"mega/internal/algo"
+	"mega/internal/graph"
+)
+
+// batchSet is a bitset over batch IDs, tracking which addition batches a
+// context has applied.
+type batchSet []uint64
+
+func newBatchSet(n int) batchSet { return make(batchSet, (n+63)/64) }
+
+func (b batchSet) add(i int)      { b[i/64] |= 1 << uint(i%64) }
+func (b batchSet) has(i int) bool { return b[i/64]&(1<<uint(i%64)) != 0 }
+func (b batchSet) copyFrom(src batchSet) {
+	copy(b, src)
+}
+func (b batchSet) clear() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// roundQueue is the coalescing event queue of the multi-context engine.
+// For each (context, vertex) it keeps at most one pending candidate — the
+// best seen — mirroring the accelerator's coalescing event bins. A global
+// touched-vertex list lets the processing loop group the events of all
+// contexts for one vertex together, which is how MEGA shares edge fetches
+// across concurrently executing snapshots.
+type roundQueue struct {
+	pending [][]float64 // [ctx][vertex] candidate value
+	batch   [][]int32   // [ctx][vertex] batch tag of the candidate
+	has     [][]bool    // [ctx][vertex] candidate present
+	touched []graph.VertexID
+	mark    []bool // vertex on the touched list (any context)
+	count   int    // live coalesced events
+}
+
+func newRoundQueue(numCtx, numVertices int) *roundQueue {
+	q := &roundQueue{
+		pending: make([][]float64, numCtx),
+		batch:   make([][]int32, numCtx),
+		has:     make([][]bool, numCtx),
+		mark:    make([]bool, numVertices),
+	}
+	for c := range q.pending {
+		q.pending[c] = make([]float64, numVertices)
+		q.batch[c] = make([]int32, numVertices)
+		q.has[c] = make([]bool, numVertices)
+	}
+	return q
+}
+
+// push coalesces a candidate for (ctx, v), keeping the better value and
+// its batch tag (events from different batches targeting one vertex may
+// safely coalesce, §4.2). It returns true when the event occupies a new
+// queue slot (false when it merged into an existing one).
+func (q *roundQueue) push(a algo.Algorithm, ctx int, v graph.VertexID, val float64, batch int32) bool {
+	if q.has[ctx][v] {
+		if a.Better(val, q.pending[ctx][v]) {
+			q.pending[ctx][v] = val
+			q.batch[ctx][v] = batch
+		}
+		return false
+	}
+	q.has[ctx][v] = true
+	q.pending[ctx][v] = val
+	q.batch[ctx][v] = batch
+	q.count++
+	if !q.mark[v] {
+		q.mark[v] = true
+		q.touched = append(q.touched, v)
+	}
+	return true
+}
+
+// take removes and returns the pending candidate and batch tag for (ctx, v).
+func (q *roundQueue) take(ctx int, v graph.VertexID) (float64, int32, bool) {
+	if !q.has[ctx][v] {
+		return 0, 0, false
+	}
+	q.has[ctx][v] = false
+	q.count--
+	return q.pending[ctx][v], q.batch[ctx][v], true
+}
+
+// resetTouched clears the touched list; callers must have drained all
+// pending entries for the listed vertices first.
+func (q *roundQueue) resetTouched() {
+	for _, v := range q.touched {
+		q.mark[v] = false
+	}
+	q.touched = q.touched[:0]
+}

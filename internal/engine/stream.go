@@ -1,0 +1,262 @@
+package engine
+
+import (
+	"fmt"
+
+	"mega/internal/algo"
+	"mega/internal/graph"
+)
+
+// Stream is the functional model of the JetStream baseline: a streaming
+// graph engine that maintains one graph instance and one solution, applying
+// hops sequentially. Additions are pure incremental improvements. Deletions
+// follow the KickStarter approach that JetStream implements in hardware:
+// each vertex carries approximation metadata — the in-neighbor whose edge
+// produced its current value — and deleting a *selected* edge tags its
+// target. Tags then close over the dependence tree: because the hardware
+// stores no child lists, a tagged vertex broadcasts invalidation events
+// along its out-edges and every out-neighbor checks its own metadata, so
+// each tagged vertex pays one adjacency fetch plus one event per neighbor.
+// Tagged vertices reset to the identity, recompute from their surviving
+// in-edges, and propagate to a new fixpoint. The tag/reset/recompute
+// cascade is what makes deletions far more expensive than additions
+// (Figure 2).
+type Stream struct {
+	a     algo.Algorithm
+	src   graph.VertexID
+	probe Probe
+
+	g      *graph.CSR
+	vals   []float64
+	parent []int32 // selected in-edge source per vertex; -1 = none
+
+	cur, next *streamQueue
+}
+
+// streamQueue is a single-context coalescing queue that also carries each
+// candidate's originating vertex so the engine can maintain approximation
+// parents.
+type streamQueue struct {
+	pending []float64
+	from    []int32
+	has     []bool
+	touched []graph.VertexID
+	count   int
+}
+
+func newStreamQueue(n int) *streamQueue {
+	return &streamQueue{
+		pending: make([]float64, n),
+		from:    make([]int32, n),
+		has:     make([]bool, n),
+	}
+}
+
+func (q *streamQueue) push(a algo.Algorithm, v graph.VertexID, val float64, from int32) bool {
+	if q.has[v] {
+		if a.Better(val, q.pending[v]) {
+			q.pending[v] = val
+			q.from[v] = from
+		}
+		return false
+	}
+	q.has[v] = true
+	q.pending[v] = val
+	q.from[v] = from
+	q.count++
+	q.touched = append(q.touched, v)
+	return true
+}
+
+// NewStream solves the query on the initial graph g0 and returns the
+// engine positioned at that solution. probe may be nil; the initial solve
+// is not reported to it (both MEGA and the baseline exclude their initial
+// full computation from the evolving-window measurements).
+func NewStream(g0 *graph.CSR, a algo.Algorithm, src graph.VertexID, probe Probe) (*Stream, error) {
+	if int(src) >= g0.NumVertices() {
+		return nil, fmt.Errorf("engine: source vertex %d outside [0,%d)", src, g0.NumVertices())
+	}
+	if probe == nil {
+		probe = NopProbe{}
+	}
+	s := &Stream{
+		a:      a,
+		src:    src,
+		probe:  NopProbe{}, // silence the initial solve
+		g:      g0,
+		vals:   make([]float64, g0.NumVertices()),
+		parent: make([]int32, g0.NumVertices()),
+		cur:    newStreamQueue(g0.NumVertices()),
+		next:   newStreamQueue(g0.NumVertices()),
+	}
+	for i := range s.vals {
+		s.vals[i] = a.Identity()
+		s.parent[i] = -1
+	}
+	if ss, ok := a.(algo.SelfSeeding); ok {
+		for v := 0; v < g0.NumVertices(); v++ {
+			s.cur.push(a, graph.VertexID(v), ss.VertexInit(uint32(v)), -1)
+		}
+	} else {
+		s.cur.push(a, src, a.SourceValue(), -1)
+	}
+	s.runRounds()
+	s.probe = probe
+	return s, nil
+}
+
+// Values returns the current solution (do not modify).
+func (s *Stream) Values() []float64 { return s.vals }
+
+// Graph returns the engine's current graph instance.
+func (s *Stream) Graph() *graph.CSR { return s.g }
+
+// ApplyAdditions advances the engine to newG, which must equal the current
+// graph plus adds, and incrementally repairs the solution. As in the
+// hardware, the batch reader generates one event per inserted edge with a
+// reachable source — events that do not improve their target are processed
+// and discarded at the PEs, not filtered at generation.
+func (s *Stream) ApplyAdditions(newG *graph.CSR, adds graph.EdgeList) {
+	s.probe.OpStart("add", len(adds), 1)
+	s.g = newG
+	for _, e := range adds {
+		if s.vals[e.Src] == s.a.Identity() {
+			continue
+		}
+		s.cur.push(s.a, e.Dst, s.a.EdgeFunc(s.vals[e.Src], e.Weight), int32(e.Src))
+		s.probe.Generated(e.Dst, 0)
+	}
+	s.runRounds()
+	s.probe.OpEnd()
+}
+
+// ApplyDeletions advances the engine to newG, which must equal the current
+// graph minus dels, repairing the solution with the invalidate/recompute
+// cascade. newG needs in-edges; they are built if absent.
+func (s *Stream) ApplyDeletions(newG *graph.CSR, dels graph.EdgeList) {
+	s.probe.OpStart("del", len(dels), 1)
+	oldG := s.g
+	s.g = newG
+	newG.EnsureInEdges()
+
+	n := newG.NumVertices()
+	tagged := make([]bool, n)
+	frontier := make([]graph.VertexID, 0, len(dels))
+
+	// Phase 1: one deletion event per deleted edge; the target checks its
+	// approximation metadata and tags itself if the deleted edge was its
+	// selected edge.
+	s.probe.RoundStart(0)
+	for _, e := range dels {
+		s.probe.Generated(e.Dst, 0)
+		s.probe.Event(e.Dst, 0, false)
+		if s.parent[e.Dst] == int32(e.Src) && !tagged[e.Dst] {
+			tagged[e.Dst] = true
+			frontier = append(frontier, e.Dst)
+		}
+	}
+	s.probe.RoundEnd(len(frontier))
+
+	// Phase 2: invalidation waves over the dependence tree, processed
+	// level by level as hardware rounds. A tagged vertex broadcasts
+	// invalidation events along its (pre-deletion) out-edges; each
+	// out-neighbor checks its own metadata and tags itself if its
+	// selected edge came from the sender. (A child whose connecting edge
+	// was itself deleted in this batch was tagged directly in phase 1, so
+	// the out-edge walk covers the whole closure.)
+	for level, head := 1, 0; head < len(frontier); level++ {
+		s.probe.RoundStart(level)
+		levelEnd := len(frontier)
+		for ; head < levelEnd; head++ {
+			v := frontier[head]
+			dsts, _ := oldG.OutEdges(v)
+			s.probe.EdgeFetch(v, len(dsts), 1)
+			for _, d := range dsts {
+				s.probe.Generated(d, 0)
+				s.probe.Event(d, 0, false)
+				if !tagged[d] && s.parent[d] == int32(v) {
+					tagged[d] = true
+					frontier = append(frontier, d)
+				}
+			}
+		}
+		s.probe.RoundEnd(len(frontier) - levelEnd)
+	}
+
+	// Phase 3: reset the tagged set to the trimmed approximation and
+	// recompute each member from its surviving in-edges. Untagged values
+	// remain derivable from non-deleted edges (their parent chains avoid
+	// tagged vertices), so recovery is monotone and converges to the
+	// exact fixpoint of the new graph.
+	for _, v := range frontier {
+		s.vals[v] = s.a.Identity()
+		s.parent[v] = -1
+		s.probe.Event(v, 0, true)
+	}
+	for _, v := range frontier {
+		srcs, ws := newG.InEdges(v)
+		s.probe.EdgeFetch(v, len(srcs), 1)
+		best := s.a.Identity()
+		if ss, ok := s.a.(algo.SelfSeeding); ok {
+			best = ss.VertexInit(uint32(v)) // self-seeded floor survives resets
+		}
+		bestFrom := int32(-1)
+		for i, u := range srcs {
+			// Each surviving in-neighbor's value is a scattered read
+			// through the datapath (pull-based recomputation is what
+			// makes the deletion path expensive).
+			s.probe.Event(u, 0, false)
+			if s.vals[u] == s.a.Identity() {
+				continue
+			}
+			if cand := s.a.EdgeFunc(s.vals[u], ws[i]); s.a.Better(cand, best) {
+				best = cand
+				bestFrom = int32(u)
+			}
+		}
+		if best != s.a.Identity() {
+			s.cur.push(s.a, v, best, bestFrom)
+			s.probe.Generated(v, 0)
+		}
+	}
+
+	// Phase 4: propagate to the new fixpoint.
+	s.runRounds()
+	s.probe.OpEnd()
+}
+
+func (s *Stream) runRounds() {
+	round := 0
+	for s.cur.count > 0 {
+		s.probe.RoundStart(round)
+		for _, v := range s.cur.touched {
+			if !s.cur.has[v] {
+				continue
+			}
+			s.cur.has[v] = false
+			s.cur.count--
+			cand, from := s.cur.pending[v], s.cur.from[v]
+			applied := s.a.Better(cand, s.vals[v])
+			s.probe.Event(v, 0, applied)
+			if !applied {
+				continue
+			}
+			s.vals[v] = cand
+			s.parent[v] = from
+			dsts, ws := s.g.OutEdges(v)
+			s.probe.EdgeFetch(v, len(dsts), 1)
+			for i, d := range dsts {
+				c := s.a.EdgeFunc(cand, ws[i])
+				if s.a.Better(c, s.vals[d]) {
+					if s.next.push(s.a, d, c, int32(v)) {
+						s.probe.Generated(d, 0)
+					}
+				}
+			}
+		}
+		s.cur.touched = s.cur.touched[:0]
+		s.probe.RoundEnd(s.next.count)
+		s.cur, s.next = s.next, s.cur
+		round++
+	}
+}

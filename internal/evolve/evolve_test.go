@@ -1,0 +1,249 @@
+package evolve
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mega/internal/gen"
+	"mega/internal/graph"
+)
+
+// tinyHistory builds a hand-checkable 3-snapshot history over 6 vertices.
+//
+//	G_0: 0→1, 1→2, 2→3, 3→4
+//	hop 0: del 2→3, add 0→2
+//	hop 1: del 3→4, add 2→4
+func tinyHistory() (int, int, graph.EdgeList, []graph.EdgeList, []graph.EdgeList) {
+	initial := graph.EdgeList{
+		{Src: 0, Dst: 1, Weight: 1}, {Src: 1, Dst: 2, Weight: 1},
+		{Src: 2, Dst: 3, Weight: 1}, {Src: 3, Dst: 4, Weight: 1},
+	}.Normalize()
+	adds := []graph.EdgeList{
+		{{Src: 0, Dst: 2, Weight: 1}},
+		{{Src: 2, Dst: 4, Weight: 1}},
+	}
+	dels := []graph.EdgeList{
+		{{Src: 2, Dst: 3, Weight: 1}},
+		{{Src: 3, Dst: 4, Weight: 1}},
+	}
+	return 6, 3, initial, adds, dels
+}
+
+func tinyWindow(t *testing.T) *Window {
+	t.Helper()
+	v, n, initial, adds, dels := tinyHistory()
+	w, err := NewWindowFromParts(v, n, initial, adds, dels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestWindowCommon(t *testing.T) {
+	w := tinyWindow(t)
+	want := graph.EdgeList{{Src: 0, Dst: 1, Weight: 1}, {Src: 1, Dst: 2, Weight: 1}}.Normalize()
+	if !w.Common().Equal(want) {
+		t.Errorf("Common = %v, want %v", w.Common(), want)
+	}
+}
+
+func TestWindowBatchUsers(t *testing.T) {
+	w := tinyWindow(t)
+	if len(w.Batches()) != 4 {
+		t.Fatalf("batches = %d, want 4", len(w.Batches()))
+	}
+	// Δ−_0 (del 2→3) used by snapshot 0 only.
+	b, ok := w.Batch(0, true)
+	if !ok || b.Users != 0b001 {
+		t.Errorf("Δ−_0 users = %b, want 001", b.Users)
+	}
+	// Δ−_1 (del 3→4) used by snapshots 0,1.
+	b, ok = w.Batch(1, true)
+	if !ok || b.Users != 0b011 {
+		t.Errorf("Δ−_1 users = %b, want 011", b.Users)
+	}
+	// Δ+_0 (add 0→2) used by snapshots 1,2.
+	b, ok = w.Batch(0, false)
+	if !ok || b.Users != 0b110 {
+		t.Errorf("Δ+_0 users = %b, want 110", b.Users)
+	}
+	// Δ+_1 (add 2→4) used by snapshot 2 only.
+	b, ok = w.Batch(1, false)
+	if !ok || b.Users != 0b100 {
+		t.Errorf("Δ+_1 users = %b, want 100", b.Users)
+	}
+}
+
+func TestWindowSnapshots(t *testing.T) {
+	w := tinyWindow(t)
+	_, _, initial, adds, dels := tinyHistory()
+	want0 := initial
+	want1 := initial.Minus(dels[0]).Union(adds[0])
+	want2 := want1.Minus(dels[1]).Union(adds[1])
+	for s, want := range []graph.EdgeList{want0, want1, want2} {
+		if got := w.SnapshotEdges(s).Normalize(); !got.Equal(want.Normalize()) {
+			t.Errorf("snapshot %d = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestWindowICG(t *testing.T) {
+	w := tinyWindow(t)
+	// ICG(0, N-1) == CommonGraph.
+	if !w.ICGEdges(0, 2).Normalize().Equal(w.Common()) {
+		t.Error("ICG(0,2) != Common")
+	}
+	// ICG(s, s) == snapshot s.
+	for s := 0; s < 3; s++ {
+		if !w.ICGEdges(s, s).Normalize().Equal(w.SnapshotEdges(s).Normalize()) {
+			t.Errorf("ICG(%d,%d) != snapshot %d", s, s, s)
+		}
+	}
+}
+
+func TestICGDeltaComposes(t *testing.T) {
+	w := tinyWindow(t)
+	// ICG(0,2) + ICGDelta(0,2 → 0,1) must equal ICG(0,1).
+	got := w.ICGEdges(0, 2)
+	for _, b := range w.ICGDelta(0, 2, 0, 1) {
+		got = got.Union(b.Edges)
+	}
+	if !got.Normalize().Equal(w.ICGEdges(0, 1).Normalize()) {
+		t.Error("ICG(0,2) + delta != ICG(0,1)")
+	}
+	// And down to a single snapshot.
+	got = w.ICGEdges(0, 1)
+	for _, b := range w.ICGDelta(0, 1, 1, 1) {
+		got = got.Union(b.Edges)
+	}
+	if !got.Normalize().Equal(w.SnapshotEdges(1).Normalize()) {
+		t.Error("ICG(0,1) + delta != snapshot 1")
+	}
+}
+
+func TestWindowErrors(t *testing.T) {
+	if _, err := NewWindowFromParts(2, 0, nil, nil, nil); err == nil {
+		t.Error("0 snapshots accepted")
+	}
+	if _, err := NewWindowFromParts(2, 65, nil, make([]graph.EdgeList, 64), make([]graph.EdgeList, 64)); err == nil {
+		t.Error("65 snapshots accepted")
+	}
+	if _, err := NewWindowFromParts(2, 3, nil, make([]graph.EdgeList, 1), make([]graph.EdgeList, 2)); err == nil {
+		t.Error("mismatched batch counts accepted")
+	}
+}
+
+func TestSingleSnapshotWindow(t *testing.T) {
+	initial := graph.EdgeList{{Src: 0, Dst: 1, Weight: 1}}.Normalize()
+	w, err := NewWindowFromParts(2, 1, initial, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Common().Equal(initial) {
+		t.Error("N=1 window common != initial")
+	}
+	if len(w.Batches()) != 0 {
+		t.Errorf("N=1 window has %d batches", len(w.Batches()))
+	}
+	if !w.SnapshotEdges(0).Normalize().Equal(initial) {
+		t.Error("N=1 snapshot 0 != initial")
+	}
+}
+
+func TestEmptyBatchesSkipped(t *testing.T) {
+	initial := graph.EdgeList{{Src: 0, Dst: 1, Weight: 1}}.Normalize()
+	adds := []graph.EdgeList{nil, {{Src: 1, Dst: 2, Weight: 1}}}
+	dels := []graph.EdgeList{nil, nil}
+	w, err := NewWindowFromParts(3, 3, initial, adds, dels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Batches()) != 1 {
+		t.Fatalf("batches = %d, want 1 (empty batches skipped)", len(w.Batches()))
+	}
+	if _, ok := w.Batch(0, false); ok {
+		t.Error("empty hop-0 add batch reported present")
+	}
+}
+
+// Property: on generated evolutions, the window's unified representation
+// reproduces every snapshot exactly, and every batch's user set follows the
+// Δ+/Δ− rule.
+func TestWindowMatchesEvolutionQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		spec := gen.TestGraph
+		spec.Seed = seed
+		es := gen.EvolutionSpec{
+			Snapshots:     2 + r.Intn(5),
+			BatchFraction: 0.01 + r.Float64()*0.01,
+			Seed:          seed,
+		}
+		ev, err := gen.Evolve(spec, es)
+		if err != nil {
+			return false
+		}
+		w, err := NewWindow(ev)
+		if err != nil {
+			return false
+		}
+		for s := 0; s < es.Snapshots; s++ {
+			if !w.SnapshotEdges(s).Normalize().Equal(ev.SnapshotEdges(s).Normalize()) {
+				return false
+			}
+		}
+		n := es.Snapshots
+		for _, b := range w.Batches() {
+			var want graph.SnapshotMask
+			if b.FromDeletion {
+				want = graph.MaskAll(b.Hop + 1)
+			} else {
+				want = graph.MaskAll(n) &^ graph.MaskAll(b.Hop+1)
+			}
+			if b.Users != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVersionTable(t *testing.T) {
+	w := tinyWindow(t)
+	table := w.VersionTable()
+	if len(table) != 3 {
+		t.Fatalf("table covers %d snapshots, want 3", len(table))
+	}
+	// Snapshot composition must match each batch's user mask exactly.
+	for s, ids := range table {
+		for _, id := range ids {
+			if !w.Batches()[id].Users.Has(s) {
+				t.Errorf("snapshot %d lists batch %d but is not a user", s, id)
+			}
+		}
+		count := 0
+		for _, b := range w.Batches() {
+			if b.Users.Has(s) {
+				count++
+			}
+		}
+		if count != len(ids) {
+			t.Errorf("snapshot %d lists %d batches, want %d", s, len(ids), count)
+		}
+	}
+	// Replaying the table reconstructs every snapshot (the hardware uses
+	// it to decide which edges are live per version).
+	for s, ids := range table {
+		got := w.Common().Clone()
+		for _, id := range ids {
+			got = got.Union(w.Batches()[id].Edges)
+		}
+		if !got.Normalize().Equal(w.SnapshotEdges(s).Normalize()) {
+			t.Errorf("snapshot %d not reconstructible from its version-table row", s)
+		}
+	}
+}

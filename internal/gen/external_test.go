@@ -1,0 +1,117 @@
+package gen
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadEdgeList(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.txt")
+	content := `# comment line
+10 20
+20 30 2.5
+
+30 10 4
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, edges, err := LoadEdgeList(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("vertices = %d, want 3 (dense remap)", n)
+	}
+	if len(edges) != 3 {
+		t.Fatalf("edges = %d, want 3", len(edges))
+	}
+	// 10→0, 20→1, 30→2 in first-appearance order.
+	if !edges.Contains(0, 1) || !edges.Contains(1, 2) || !edges.Contains(2, 0) {
+		t.Errorf("remapped edges wrong: %v", edges)
+	}
+	if w, _ := func() (float64, bool) {
+		for _, e := range edges {
+			if e.Src == 1 && e.Dst == 2 {
+				return e.Weight, true
+			}
+		}
+		return 0, false
+	}(); w != 2.5 {
+		t.Errorf("explicit weight = %v, want 2.5", w)
+	}
+}
+
+func TestLoadEdgeListErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := LoadEdgeList(filepath.Join(dir, "missing"), 1); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.txt")
+	os.WriteFile(bad, []byte("just-one-field\n"), 0o644)
+	if _, _, err := LoadEdgeList(bad, 1); err == nil {
+		t.Error("malformed line accepted")
+	}
+}
+
+func TestEvolveFromEdgeList(t *testing.T) {
+	base, _, err := RMAT(TestGraph, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := EvolutionSpec{Snapshots: 5, BatchFraction: 0.02, Seed: 3}
+	ev, err := EvolveFromEdgeList(TestGraph.Vertices, base, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.NumSnapshots() != 5 {
+		t.Fatalf("snapshots = %d", ev.NumSnapshots())
+	}
+	// Disjointness invariant: additions absent from G_0, deletions present,
+	// no edge touched twice.
+	seen := map[uint64]bool{}
+	for j := range ev.Adds {
+		for _, e := range ev.Adds[j] {
+			if ev.Initial.Contains(e.Src, e.Dst) {
+				t.Fatalf("addition %d->%d already in G_0", e.Src, e.Dst)
+			}
+			if seen[e.Key()] {
+				t.Fatalf("edge %d->%d touched twice", e.Src, e.Dst)
+			}
+			seen[e.Key()] = true
+		}
+		for _, e := range ev.Dels[j] {
+			if !ev.Initial.Contains(e.Src, e.Dst) {
+				t.Fatalf("deletion %d->%d not in G_0", e.Src, e.Dst)
+			}
+			if seen[e.Key()] {
+				t.Fatalf("edge %d->%d touched twice", e.Src, e.Dst)
+			}
+			seen[e.Key()] = true
+		}
+	}
+	// The final snapshot's edges are exactly the original set minus the
+	// deletions (every pooled addition has arrived by the end).
+	final := ev.SnapshotEdges(4).Normalize()
+	want := base.Clone().Normalize()
+	for j := range ev.Dels {
+		want = want.Minus(ev.Dels[j])
+	}
+	for j := range ev.Adds {
+		want = want.Union(ev.Adds[j])
+	}
+	if !final.Equal(want) {
+		t.Error("final snapshot != base minus deletions plus pooled additions")
+	}
+}
+
+func TestEvolveFromEdgeListErrors(t *testing.T) {
+	base, _, _ := RMAT(TestGraph, 0)
+	if _, err := EvolveFromEdgeList(TestGraph.Vertices, base, EvolutionSpec{Snapshots: 0}); err == nil {
+		t.Error("0 snapshots accepted")
+	}
+	if _, err := EvolveFromEdgeList(TestGraph.Vertices, base, EvolutionSpec{Snapshots: 64, BatchFraction: 0.5}); err == nil {
+		t.Error("over-destructive window accepted")
+	}
+}

@@ -1,0 +1,228 @@
+// Package gen synthesizes the workloads of the MEGA evaluation: R-MAT
+// power-law graphs standing in for the paper's six real-world inputs
+// (Table 2), and evolving-graph histories built from them — N snapshots
+// produced by batches of edge additions and deletions (§5.1: 16 snapshots,
+// 1% of edges changed per hop, half additions and half deletions).
+//
+// All generation is deterministic given the spec seeds.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mega/internal/graph"
+)
+
+// GraphSpec describes one synthetic R-MAT graph.
+type GraphSpec struct {
+	Name     string
+	Vertices int
+	Edges    int
+	// R-MAT quadrant probabilities; D = 1-A-B-C. Larger A means a more
+	// skewed (power-law) degree distribution.
+	A, B, C float64
+	// MaxWeight bounds edge weights; weights are uniform integers in
+	// [1, MaxWeight], as is conventional for weighted graph benchmarks.
+	// Integer weights make path-value collisions (ties) possible, which
+	// real deletion-invalidation hardware must handle conservatively.
+	MaxWeight float64
+	Seed      int64
+}
+
+// EvolutionSpec describes how a base graph evolves across a snapshot window.
+type EvolutionSpec struct {
+	// Snapshots is the window size N (the paper's default is 16).
+	Snapshots int
+	// BatchFraction is the fraction of the base edge count changed per
+	// hop, split half additions / half deletions (paper default 0.01).
+	BatchFraction float64
+	// Imbalance is the ratio of the largest to the smallest hop batch
+	// (Fig. 21). 1 (or 0) means uniform batches. Sizes grow linearly from
+	// the smallest to the largest across hops, preserving the total.
+	Imbalance float64
+	Seed      int64
+}
+
+// Evolution is a generated evolving-graph history: the initial snapshot G_0
+// and per-hop addition/deletion batches. The generator guarantees the
+// CommonGraph disjointness invariant: every edge changes at most once
+// inside the window (deleted edges never return, added edges are never
+// deleted), so the snapshot algebra
+//
+//	G_s = Common ∪ {Δ−_j : j ≥ s} ∪ {Δ+_j : j < s}
+//
+// holds exactly (§2.1). Hop j transforms G_j into G_{j+1} by removing
+// Dels[j] and inserting Adds[j].
+type Evolution struct {
+	NumVertices int
+	Initial     graph.EdgeList   // edges of G_0
+	Adds        []graph.EdgeList // Δ+_j for j = 0..N-2
+	Dels        []graph.EdgeList // Δ−_j for j = 0..N-2
+}
+
+// RMAT generates spec.Edges unique directed edges over spec.Vertices
+// vertices using the recursive-matrix method, plus `extra` additional
+// unique edges returned separately (used as the addition pool for
+// evolution). Self-loops are permitted, parallel edges are not.
+func RMAT(spec GraphSpec, extra int) (base, pool graph.EdgeList, err error) {
+	if spec.Vertices < 2 {
+		return nil, nil, fmt.Errorf("gen: %q needs at least 2 vertices, got %d", spec.Name, spec.Vertices)
+	}
+	if spec.A <= 0 || spec.B < 0 || spec.C < 0 || spec.A+spec.B+spec.C >= 1 {
+		return nil, nil, fmt.Errorf("gen: %q has invalid R-MAT parameters a=%v b=%v c=%v", spec.Name, spec.A, spec.B, spec.C)
+	}
+	total := spec.Edges + extra
+	maxPossible := spec.Vertices * spec.Vertices
+	if total > maxPossible/2 {
+		return nil, nil, fmt.Errorf("gen: %q wants %d unique edges from %d possible; too dense", spec.Name, total, maxPossible)
+	}
+	levels := 0
+	for 1<<levels < spec.Vertices {
+		levels++
+	}
+	r := rand.New(rand.NewSource(spec.Seed))
+	maxW := spec.MaxWeight
+	if maxW <= 1 {
+		maxW = 64
+	}
+	seen := make(map[uint64]struct{}, total)
+	edges := make(graph.EdgeList, 0, total)
+	for len(edges) < total {
+		src, dst := 0, 0
+		for l := 0; l < levels; l++ {
+			p := r.Float64()
+			switch {
+			case p < spec.A:
+				// top-left quadrant: both bits 0
+			case p < spec.A+spec.B:
+				dst |= 1 << l
+			case p < spec.A+spec.B+spec.C:
+				src |= 1 << l
+			default:
+				src |= 1 << l
+				dst |= 1 << l
+			}
+		}
+		if src >= spec.Vertices || dst >= spec.Vertices {
+			continue
+		}
+		key := graph.KeyOf(graph.VertexID(src), graph.VertexID(dst))
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		edges = append(edges, graph.Edge{
+			Src:    graph.VertexID(src),
+			Dst:    graph.VertexID(dst),
+			Weight: float64(1 + r.Intn(int(maxW))),
+		})
+	}
+	return edges[:spec.Edges].Clone().Normalize(), edges[spec.Edges:].Clone().Normalize(), nil
+}
+
+// hopSizes splits `total` change-events across `hops` batches whose sizes
+// grow linearly with ratio `imbalance` between the largest and smallest.
+func hopSizes(total, hops int, imbalance float64) []int {
+	if imbalance < 1 {
+		imbalance = 1
+	}
+	weights := make([]float64, hops)
+	var sum float64
+	for i := range weights {
+		// Linear ramp from 1 to imbalance.
+		f := 0.0
+		if hops > 1 {
+			f = float64(i) / float64(hops-1)
+		}
+		weights[i] = 1 + f*(imbalance-1)
+		sum += weights[i]
+	}
+	sizes := make([]int, hops)
+	assigned := 0
+	for i := range sizes {
+		sizes[i] = int(float64(total) * weights[i] / sum)
+		assigned += sizes[i]
+	}
+	// Distribute rounding remainder onto the later (larger) hops.
+	for i := hops - 1; assigned < total; i = (i - 1 + hops) % hops {
+		sizes[i]++
+		assigned++
+	}
+	return sizes
+}
+
+// Evolve builds an Evolution for the given graph and evolution specs.
+// Deletions are sampled uniformly from the original edges that have not
+// been deleted yet; additions are drawn from an R-MAT pool disjoint from
+// the base graph (so added edges follow the same degree distribution).
+func Evolve(gspec GraphSpec, espec EvolutionSpec) (*Evolution, error) {
+	if espec.Snapshots < 1 {
+		return nil, fmt.Errorf("gen: snapshot count %d < 1", espec.Snapshots)
+	}
+	if espec.BatchFraction < 0 || espec.BatchFraction > 0.5 {
+		return nil, fmt.Errorf("gen: batch fraction %v outside [0, 0.5]", espec.BatchFraction)
+	}
+	hops := espec.Snapshots - 1
+	perHop := int(float64(gspec.Edges) * espec.BatchFraction)
+	half := perHop / 2
+	totalAdds := half * hops
+	totalDels := half * hops
+	if totalDels > gspec.Edges/2 {
+		return nil, fmt.Errorf("gen: window deletes %d of %d edges; too destructive", totalDels, gspec.Edges)
+	}
+
+	base, pool, err := RMAT(gspec, totalAdds)
+	if err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(espec.Seed ^ 0x5eed))
+	addSizes := hopSizes(totalAdds, max(hops, 1), espec.Imbalance)
+	delSizes := hopSizes(totalDels, max(hops, 1), espec.Imbalance)
+
+	// Sample all deletions up front via partial Fisher-Yates over the base
+	// edge list; slice the shuffled prefix into per-hop batches.
+	shuffled := base.Clone()
+	for i := 0; i < totalDels; i++ {
+		j := i + r.Intn(len(shuffled)-i)
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	}
+
+	ev := &Evolution{
+		NumVertices: gspec.Vertices,
+		Initial:     base,
+		Adds:        make([]graph.EdgeList, hops),
+		Dels:        make([]graph.EdgeList, hops),
+	}
+	ai, di := 0, 0
+	for j := 0; j < hops; j++ {
+		ev.Adds[j] = pool[ai : ai+addSizes[j]].Clone().Normalize()
+		ai += addSizes[j]
+		ev.Dels[j] = shuffled[di : di+delSizes[j]].Clone().Normalize()
+		di += delSizes[j]
+	}
+	return ev, nil
+}
+
+// NumSnapshots returns the window size N.
+func (ev *Evolution) NumSnapshots() int { return len(ev.Adds) + 1 }
+
+// SnapshotEdges materializes snapshot s by replaying hops 0..s-1 on G_0.
+// Intended for validation; the engines use the CommonGraph algebra instead.
+func (ev *Evolution) SnapshotEdges(s int) graph.EdgeList {
+	cur := ev.Initial.Clone()
+	for j := 0; j < s; j++ {
+		cur = cur.Minus(ev.Dels[j]).Union(ev.Adds[j])
+	}
+	return cur
+}
+
+// TotalChanges returns the summed sizes of all addition and deletion
+// batches in the window.
+func (ev *Evolution) TotalChanges() (adds, dels int) {
+	for j := range ev.Adds {
+		adds += len(ev.Adds[j])
+		dels += len(ev.Dels[j])
+	}
+	return adds, dels
+}

@@ -1,0 +1,253 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mega/internal/graph"
+)
+
+func TestRMATBasic(t *testing.T) {
+	base, pool, err := RMAT(TestGraph, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != TestGraph.Edges {
+		t.Fatalf("base edges = %d, want %d", len(base), TestGraph.Edges)
+	}
+	if len(pool) != 500 {
+		t.Fatalf("pool edges = %d, want 500", len(pool))
+	}
+	// Base and pool must be disjoint and within range.
+	for _, e := range pool {
+		if base.Contains(e.Src, e.Dst) {
+			t.Fatalf("pool edge %d->%d also in base", e.Src, e.Dst)
+		}
+	}
+	for _, e := range append(base.Clone(), pool...) {
+		if int(e.Src) >= TestGraph.Vertices || int(e.Dst) >= TestGraph.Vertices {
+			t.Fatalf("edge %d->%d out of range", e.Src, e.Dst)
+		}
+		if e.Weight < 1 || e.Weight > TestGraph.MaxWeight || e.Weight != float64(int(e.Weight)) {
+			t.Fatalf("weight %v not an integer in [1, %v]", e.Weight, TestGraph.MaxWeight)
+		}
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	a, _, err := RMAT(TestGraph, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := RMAT(TestGraph, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("same seed produced different graphs")
+	}
+	other := TestGraph
+	other.Seed++
+	c, _, err := RMAT(other, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Equal(c) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestRMATSkew(t *testing.T) {
+	// With a=0.57 the degree distribution must be heavily skewed: the top
+	// 1% of vertices should own a disproportionate share of edges.
+	base, _, err := RMAT(TestGraph, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := make([]int, TestGraph.Vertices)
+	for _, e := range base {
+		deg[e.Src]++
+	}
+	maxDeg := 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	mean := float64(len(base)) / float64(TestGraph.Vertices)
+	if float64(maxDeg) < 5*mean {
+		t.Errorf("max degree %d < 5x mean %.1f; distribution not skewed", maxDeg, mean)
+	}
+}
+
+func TestRMATErrors(t *testing.T) {
+	bad := TestGraph
+	bad.Vertices = 1
+	if _, _, err := RMAT(bad, 0); err == nil {
+		t.Error("1-vertex graph accepted")
+	}
+	bad = TestGraph
+	bad.A = 0
+	if _, _, err := RMAT(bad, 0); err == nil {
+		t.Error("a=0 accepted")
+	}
+	bad = TestGraph
+	bad.Vertices = 8
+	bad.Edges = 1000
+	if _, _, err := RMAT(bad, 0); err == nil {
+		t.Error("over-dense request accepted")
+	}
+}
+
+func TestHopSizes(t *testing.T) {
+	sizes := hopSizes(100, 4, 1)
+	total := 0
+	for _, s := range sizes {
+		total += s
+		if s != 25 {
+			t.Errorf("uniform hop size = %d, want 25", s)
+		}
+	}
+	if total != 100 {
+		t.Errorf("total = %d, want 100", total)
+	}
+
+	sizes = hopSizes(100, 4, 4)
+	total = 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != 100 {
+		t.Errorf("imbalanced total = %d, want 100", total)
+	}
+	if sizes[3] <= sizes[0] {
+		t.Errorf("sizes not increasing: %v", sizes)
+	}
+	ratio := float64(sizes[3]) / float64(sizes[0])
+	if ratio < 3 || ratio > 5 {
+		t.Errorf("imbalance ratio = %.2f, want ~4: %v", ratio, sizes)
+	}
+}
+
+func TestEvolveBasic(t *testing.T) {
+	ev, err := Evolve(TestGraph, EvolutionSpec{Snapshots: 4, BatchFraction: 0.02, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.NumSnapshots() != 4 {
+		t.Fatalf("NumSnapshots = %d, want 4", ev.NumSnapshots())
+	}
+	if len(ev.Adds) != 3 || len(ev.Dels) != 3 {
+		t.Fatalf("hops = %d adds, %d dels; want 3,3", len(ev.Adds), len(ev.Dels))
+	}
+	adds, dels := ev.TotalChanges()
+	wantHalf := int(float64(TestGraph.Edges)*0.02) / 2 * 3
+	if adds != wantHalf || dels != wantHalf {
+		t.Errorf("TotalChanges = %d,%d want %d,%d", adds, dels, wantHalf, wantHalf)
+	}
+}
+
+func TestEvolveErrors(t *testing.T) {
+	if _, err := Evolve(TestGraph, EvolutionSpec{Snapshots: 0}); err == nil {
+		t.Error("0 snapshots accepted")
+	}
+	if _, err := Evolve(TestGraph, EvolutionSpec{Snapshots: 4, BatchFraction: 0.9}); err == nil {
+		t.Error("batch fraction 0.9 accepted")
+	}
+}
+
+// Property: the CommonGraph disjointness invariant holds on generated
+// evolutions — deltas are pairwise disjoint, deletions come from G_0,
+// additions are absent from G_0, and replay matches the snapshot algebra.
+func TestEvolveInvariantsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		spec := TestGraph
+		spec.Seed = seed
+		es := EvolutionSpec{
+			Snapshots:     2 + r.Intn(6),
+			BatchFraction: 0.005 + r.Float64()*0.02,
+			Imbalance:     1 + r.Float64()*3,
+			Seed:          seed,
+		}
+		ev, err := Evolve(spec, es)
+		if err != nil {
+			return false
+		}
+		// Collect all delta edges and check pairwise disjointness.
+		seen := map[uint64]struct{}{}
+		for j := range ev.Adds {
+			for _, e := range ev.Adds[j] {
+				if _, dup := seen[e.Key()]; dup {
+					return false
+				}
+				seen[e.Key()] = struct{}{}
+				if ev.Initial.Contains(e.Src, e.Dst) {
+					return false // addition already present in G_0
+				}
+			}
+			for _, e := range ev.Dels[j] {
+				if _, dup := seen[e.Key()]; dup {
+					return false
+				}
+				seen[e.Key()] = struct{}{}
+				if !ev.Initial.Contains(e.Src, e.Dst) {
+					return false // deletion not present in G_0
+				}
+			}
+		}
+		// Snapshot algebra == replay for every snapshot.
+		common := ev.Initial.Clone()
+		for j := range ev.Dels {
+			common = common.Minus(ev.Dels[j])
+		}
+		n := ev.NumSnapshots()
+		for s := 0; s < n; s++ {
+			want := ev.SnapshotEdges(s)
+			got := common.Clone()
+			for j := range ev.Adds {
+				if j >= s {
+					got = got.Union(ev.Dels[j])
+				} else {
+					got = got.Union(ev.Adds[j])
+				}
+			}
+			if !got.Normalize().Equal(want.Normalize()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperGraphLookup(t *testing.T) {
+	for _, want := range []string{"PK", "LJ", "OR", "DL", "UK", "Wen"} {
+		if _, ok := PaperGraph(want); !ok {
+			t.Errorf("PaperGraph(%q) missing", want)
+		}
+	}
+	if _, ok := PaperGraph("nope"); ok {
+		t.Error("PaperGraph accepted unknown name")
+	}
+}
+
+func TestPaperGraphsGenerate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale generation in -short mode")
+	}
+	// The smallest paper stand-in must generate cleanly with the default
+	// evolution's addition headroom.
+	spec := PaperGraphs[0]
+	ev, err := Evolve(spec, DefaultEvolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Initial) != spec.Edges {
+		t.Fatalf("initial edges = %d, want %d", len(ev.Initial), spec.Edges)
+	}
+	_ = graph.MustCSR(spec.Vertices, ev.Initial)
+}

@@ -1,0 +1,123 @@
+package gen
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mega/internal/graph"
+)
+
+// Evolution datasets are stored as a directory of plain-text edge lists:
+//
+//	meta.txt     "vertices snapshots"
+//	initial.txt  one "src dst weight" line per edge of G_0
+//	add_03.txt   the Δ+ batch of hop 3
+//	del_03.txt   the Δ− batch of hop 3
+//
+// The format is deliberately trivial so datasets can be produced or
+// consumed by other tools.
+
+// Save writes the evolution into dir, creating it if needed.
+func (ev *Evolution) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	meta := fmt.Sprintf("%d %d\n", ev.NumVertices, ev.NumSnapshots())
+	if err := os.WriteFile(filepath.Join(dir, "meta.txt"), []byte(meta), 0o644); err != nil {
+		return err
+	}
+	if err := writeEdges(filepath.Join(dir, "initial.txt"), ev.Initial); err != nil {
+		return err
+	}
+	for j := range ev.Adds {
+		if err := writeEdges(filepath.Join(dir, fmt.Sprintf("add_%02d.txt", j)), ev.Adds[j]); err != nil {
+			return err
+		}
+		if err := writeEdges(filepath.Join(dir, fmt.Sprintf("del_%02d.txt", j)), ev.Dels[j]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load reads an evolution previously written by Save.
+func Load(dir string) (*Evolution, error) {
+	metaBytes, err := os.ReadFile(filepath.Join(dir, "meta.txt"))
+	if err != nil {
+		return nil, fmt.Errorf("gen: reading meta: %w", err)
+	}
+	var vertices, snapshots int
+	if _, err := fmt.Sscanf(string(metaBytes), "%d %d", &vertices, &snapshots); err != nil {
+		return nil, fmt.Errorf("gen: parsing meta: %w", err)
+	}
+	if snapshots < 1 {
+		return nil, fmt.Errorf("gen: meta declares %d snapshots", snapshots)
+	}
+	ev := &Evolution{NumVertices: vertices}
+	if ev.Initial, err = readEdges(filepath.Join(dir, "initial.txt"), vertices); err != nil {
+		return nil, err
+	}
+	for j := 0; j < snapshots-1; j++ {
+		adds, err := readEdges(filepath.Join(dir, fmt.Sprintf("add_%02d.txt", j)), vertices)
+		if err != nil {
+			return nil, err
+		}
+		dels, err := readEdges(filepath.Join(dir, fmt.Sprintf("del_%02d.txt", j)), vertices)
+		if err != nil {
+			return nil, err
+		}
+		ev.Adds = append(ev.Adds, adds)
+		ev.Dels = append(ev.Dels, dels)
+	}
+	return ev, nil
+}
+
+func writeEdges(path string, edges graph.EdgeList) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for _, e := range edges {
+		fmt.Fprintf(w, "%d %d %g\n", e.Src, e.Dst, e.Weight)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func readEdges(path string, numVertices int) (graph.EdgeList, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var edges graph.EdgeList
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		var src, dst uint32
+		var w float64
+		if _, err := fmt.Sscanf(text, "%d %d %g", &src, &dst, &w); err != nil {
+			return nil, fmt.Errorf("gen: %s:%d: %w", path, line, err)
+		}
+		if int(src) >= numVertices || int(dst) >= numVertices {
+			return nil, fmt.Errorf("gen: %s:%d: edge %d->%d outside %d vertices", path, line, src, dst, numVertices)
+		}
+		edges = append(edges, graph.Edge{Src: graph.VertexID(src), Dst: graph.VertexID(dst), Weight: w})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return edges.Normalize(), nil
+}

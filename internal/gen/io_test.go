@@ -1,0 +1,58 @@
+package gen
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ev, err := Evolve(TestGraph, EvolutionSpec{Snapshots: 4, BatchFraction: 0.02, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices != ev.NumVertices || got.NumSnapshots() != ev.NumSnapshots() {
+		t.Fatalf("meta mismatch: V=%d N=%d", got.NumVertices, got.NumSnapshots())
+	}
+	if !got.Initial.Equal(ev.Initial) {
+		t.Error("initial edges mismatch")
+	}
+	for j := range ev.Adds {
+		if !got.Adds[j].Equal(ev.Adds[j]) || !got.Dels[j].Equal(ev.Dels[j]) {
+			t.Errorf("hop %d batches mismatch", j)
+		}
+	}
+}
+
+func TestLoadMissingDir(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+}
+
+func TestLoadCorruptMeta(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "meta.txt"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Fatal("corrupt meta accepted")
+	}
+}
+
+func TestLoadRejectsOutOfRangeEdge(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "meta.txt"), []byte("4 1\n"), 0o644)
+	os.WriteFile(filepath.Join(dir, "initial.txt"), []byte("0 9 1\n"), 0o644)
+	if _, err := Load(dir); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+}

@@ -1,0 +1,55 @@
+package gen
+
+// Scaled stand-ins for the paper's six input graphs (Table 2). The paper's
+// graphs have 30M–400M edges; these keep the same relative ordering,
+// density character, and degree skew at roughly 1/500 scale so that whole
+// evaluation sweeps run on one machine. The simulator's on-chip memory is
+// scaled by the same factor (see sim.DefaultConfig), which keeps the
+// partitioning regime — the key performance driver — aligned with the
+// paper.
+// Densities (E/V) match the real graphs: PK 18.8, LJ 17.5, OR 39, DL 9.4,
+// UK 14.4, Wen 30.8 — density drives cascade depth and therefore both
+// deletion costs and reuse, so it is the property most worth preserving.
+var PaperGraphs = []GraphSpec{
+	{Name: "PK", Vertices: 3_200, Edges: 60_000, A: 0.45, B: 0.15, C: 0.15, MaxWeight: 16, Seed: 101},
+	{Name: "LJ", Vertices: 8_192, Edges: 140_000, A: 0.45, B: 0.15, C: 0.15, MaxWeight: 16, Seed: 102},
+	{Name: "OR", Vertices: 6_144, Edges: 234_000, A: 0.45, B: 0.15, C: 0.15, MaxWeight: 16, Seed: 103},
+	{Name: "DL", Vertices: 36_864, Edges: 340_000, A: 0.48, B: 0.14, C: 0.14, MaxWeight: 16, Seed: 104},
+	{Name: "UK", Vertices: 36_864, Edges: 520_000, A: 0.48, B: 0.14, C: 0.14, MaxWeight: 16, Seed: 105},
+	{Name: "Wen", Vertices: 26_624, Edges: 800_000, A: 0.45, B: 0.15, C: 0.15, MaxWeight: 16, Seed: 106},
+}
+
+// PaperGraph returns the stand-in spec with the given short name.
+func PaperGraph(name string) (GraphSpec, bool) {
+	for _, s := range PaperGraphs {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return GraphSpec{}, false
+}
+
+// TestGraph is a small spec for unit and integration tests.
+var TestGraph = GraphSpec{
+	Name: "test", Vertices: 512, Edges: 3_000,
+	A: 0.57, B: 0.19, C: 0.19, MaxWeight: 16, Seed: 7,
+}
+
+// DefaultEvolution mirrors the paper's headline scenario (§5.1): 16
+// snapshots, 1% of edges changed per hop, half additions and half
+// deletions, uniform batch sizes.
+var DefaultEvolution = EvolutionSpec{
+	Snapshots:     16,
+	BatchFraction: 0.01,
+	Imbalance:     1,
+	Seed:          42,
+}
+
+// MotivationEvolution mirrors §2.2's motivation experiments: 16 snapshots
+// with 0.5% batches.
+var MotivationEvolution = EvolutionSpec{
+	Snapshots:     16,
+	BatchFraction: 0.005,
+	Imbalance:     1,
+	Seed:          42,
+}

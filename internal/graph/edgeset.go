@@ -1,0 +1,119 @@
+package graph
+
+import "sort"
+
+// EdgeList is a set of edges with set-algebra helpers. The evolving-graph
+// machinery (snapshot composition, CommonGraph construction) works in terms
+// of edge sets; an EdgeList is kept sorted by (src, dst) and free of
+// duplicates once Normalize has been called.
+type EdgeList []Edge
+
+// Normalize sorts the list by (src, dst) and removes duplicate (src, dst)
+// pairs, keeping the last weight seen for a pair. It returns the normalized
+// list (which may alias the receiver's storage).
+func (l EdgeList) Normalize() EdgeList {
+	sort.Slice(l, func(i, j int) bool {
+		if l[i].Src != l[j].Src {
+			return l[i].Src < l[j].Src
+		}
+		return l[i].Dst < l[j].Dst
+	})
+	out := l[:0]
+	for _, e := range l {
+		if n := len(out); n > 0 && out[n-1].Key() == e.Key() {
+			out[n-1].Weight = e.Weight
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (l EdgeList) Clone() EdgeList {
+	out := make(EdgeList, len(l))
+	copy(out, l)
+	return out
+}
+
+// Contains reports whether the normalized list contains (src, dst).
+func (l EdgeList) Contains(src, dst VertexID) bool {
+	key := KeyOf(src, dst)
+	i := sort.Search(len(l), func(i int) bool { return l[i].Key() >= key })
+	return i < len(l) && l[i].Key() == key
+}
+
+// Minus returns l \ m for normalized lists (weights come from l).
+func (l EdgeList) Minus(m EdgeList) EdgeList {
+	out := make(EdgeList, 0, len(l))
+	i, j := 0, 0
+	for i < len(l) {
+		switch {
+		case j >= len(m) || l[i].Key() < m[j].Key():
+			out = append(out, l[i])
+			i++
+		case l[i].Key() == m[j].Key():
+			i++
+			j++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// Intersect returns l ∩ m for normalized lists (weights come from l).
+func (l EdgeList) Intersect(m EdgeList) EdgeList {
+	out := make(EdgeList, 0)
+	i, j := 0, 0
+	for i < len(l) && j < len(m) {
+		switch {
+		case l[i].Key() < m[j].Key():
+			i++
+		case l[i].Key() > m[j].Key():
+			j++
+		default:
+			out = append(out, l[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Union returns l ∪ m for normalized lists. On key collisions the weight
+// from l wins (snapshot algebra never unions two lists with conflicting
+// weights for the same edge, so the choice is immaterial in practice).
+func (l EdgeList) Union(m EdgeList) EdgeList {
+	out := make(EdgeList, 0, len(l)+len(m))
+	i, j := 0, 0
+	for i < len(l) || j < len(m) {
+		switch {
+		case j >= len(m) || (i < len(l) && l[i].Key() < m[j].Key()):
+			out = append(out, l[i])
+			i++
+		case i >= len(l) || l[i].Key() > m[j].Key():
+			out = append(out, m[j])
+			j++
+		default:
+			out = append(out, l[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Equal reports whether two normalized lists contain the same (src, dst)
+// pairs with the same weights.
+func (l EdgeList) Equal(m EdgeList) bool {
+	if len(l) != len(m) {
+		return false
+	}
+	for i := range l {
+		if l[i] != m[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func el(pairs ...[2]int) EdgeList {
+	out := make(EdgeList, 0, len(pairs))
+	for _, p := range pairs {
+		out = append(out, Edge{Src: VertexID(p[0]), Dst: VertexID(p[1]), Weight: 1})
+	}
+	return out.Normalize()
+}
+
+func TestNormalizeSortsAndDedups(t *testing.T) {
+	l := EdgeList{{2, 1, 5}, {0, 1, 1}, {2, 1, 9}, {0, 0, 3}}.Normalize()
+	if len(l) != 3 {
+		t.Fatalf("len = %d, want 3", len(l))
+	}
+	if l[0] != (Edge{0, 0, 3}) || l[1] != (Edge{0, 1, 1}) {
+		t.Errorf("order wrong: %v", l)
+	}
+	if l[2].Weight != 9 {
+		t.Errorf("dedup kept weight %v, want last (9)", l[2].Weight)
+	}
+}
+
+func TestMinusIntersectUnion(t *testing.T) {
+	a := el([2]int{0, 1}, [2]int{1, 2}, [2]int{2, 3})
+	b := el([2]int{1, 2}, [2]int{3, 4})
+
+	if got := a.Minus(b); !got.Equal(el([2]int{0, 1}, [2]int{2, 3})) {
+		t.Errorf("Minus = %v", got)
+	}
+	if got := a.Intersect(b); !got.Equal(el([2]int{1, 2})) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Union(b); !got.Equal(el([2]int{0, 1}, [2]int{1, 2}, [2]int{2, 3}, [2]int{3, 4})) {
+		t.Errorf("Union = %v", got)
+	}
+}
+
+func TestMinusEmpty(t *testing.T) {
+	a := el([2]int{0, 1})
+	if got := a.Minus(nil); !got.Equal(a) {
+		t.Errorf("a \\ {} = %v, want %v", got, a)
+	}
+	if got := EdgeList(nil).Minus(a); len(got) != 0 {
+		t.Errorf("{} \\ a = %v, want empty", got)
+	}
+}
+
+func TestContains(t *testing.T) {
+	a := el([2]int{0, 1}, [2]int{5, 7})
+	if !a.Contains(5, 7) {
+		t.Error("Contains(5,7) = false")
+	}
+	if a.Contains(7, 5) {
+		t.Error("Contains(7,5) = true")
+	}
+}
+
+// Property: classic set identities over random edge lists.
+func TestSetAlgebraQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := 1 + r.Intn(30)
+		a := randomEdges(r, v, r.Intn(120))
+		b := randomEdges(r, v, r.Intn(120))
+
+		// (a \ b) ∪ (a ∩ b) == a
+		if !a.Minus(b).Union(a.Intersect(b)).Normalize().Equal(a) {
+			return false
+		}
+		// (a \ b) ∩ b == ∅
+		if len(a.Minus(b).Intersect(b)) != 0 {
+			return false
+		}
+		// |a ∪ b| == |a| + |b| - |a ∩ b|
+		if len(a.Union(b)) != len(a)+len(b)-len(a.Intersect(b)) {
+			return false
+		}
+		// Union is commutative on keys.
+		ab, ba := a.Union(b), b.Union(a)
+		if len(ab) != len(ba) {
+			return false
+		}
+		for i := range ab {
+			if ab[i].Key() != ba[i].Key() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,225 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCSREmpty(t *testing.T) {
+	g, err := NewCSR(0, nil)
+	if err != nil {
+		t.Fatalf("NewCSR(0, nil): %v", err)
+	}
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty graph has V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestNewCSRNegativeVertices(t *testing.T) {
+	if _, err := NewCSR(-1, nil); err == nil {
+		t.Fatal("NewCSR(-1) succeeded, want error")
+	}
+}
+
+func TestNewCSROutOfRange(t *testing.T) {
+	if _, err := NewCSR(2, []Edge{{Src: 0, Dst: 5}}); err == nil {
+		t.Fatal("edge to out-of-range vertex accepted")
+	}
+	if _, err := NewCSR(2, []Edge{{Src: 7, Dst: 1}}); err == nil {
+		t.Fatal("edge from out-of-range vertex accepted")
+	}
+}
+
+func TestCSRBasic(t *testing.T) {
+	g := MustCSR(4, []Edge{
+		{0, 1, 1.0}, {0, 2, 2.0}, {1, 2, 3.0}, {2, 3, 4.0}, {3, 0, 5.0},
+	})
+	if g.NumVertices() != 4 {
+		t.Errorf("NumVertices = %d, want 4", g.NumVertices())
+	}
+	if g.NumEdges() != 5 {
+		t.Errorf("NumEdges = %d, want 5", g.NumEdges())
+	}
+	if d := g.OutDegree(0); d != 2 {
+		t.Errorf("OutDegree(0) = %d, want 2", d)
+	}
+	dsts, ws := g.OutEdges(0)
+	if len(dsts) != 2 || dsts[0] != 1 || dsts[1] != 2 {
+		t.Errorf("OutEdges(0) dsts = %v", dsts)
+	}
+	if ws[0] != 1.0 || ws[1] != 2.0 {
+		t.Errorf("OutEdges(0) weights = %v", ws)
+	}
+	if !g.HasEdge(2, 3) {
+		t.Error("HasEdge(2,3) = false")
+	}
+	if g.HasEdge(3, 2) {
+		t.Error("HasEdge(3,2) = true")
+	}
+	if w, ok := g.Weight(3, 0); !ok || w != 5.0 {
+		t.Errorf("Weight(3,0) = %v,%v", w, ok)
+	}
+	if _, ok := g.Weight(0, 3); ok {
+		t.Error("Weight(0,3) reported existing")
+	}
+}
+
+func TestCSRDedupKeepsLastWeight(t *testing.T) {
+	g := MustCSR(2, []Edge{{0, 1, 1.0}, {0, 1, 9.0}})
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if w, _ := g.Weight(0, 1); w != 9.0 {
+		t.Errorf("Weight(0,1) = %v, want 9 (last weight wins)", w)
+	}
+}
+
+func TestCSRIsolatedVertices(t *testing.T) {
+	g := MustCSR(10, []Edge{{0, 9, 1}})
+	for v := VertexID(1); v < 9; v++ {
+		if g.OutDegree(v) != 0 {
+			t.Errorf("OutDegree(%d) = %d, want 0", v, g.OutDegree(v))
+		}
+	}
+}
+
+func TestInEdges(t *testing.T) {
+	g := MustCSR(4, []Edge{{0, 2, 1}, {1, 2, 2}, {3, 2, 3}, {2, 0, 4}})
+	g.EnsureInEdges()
+	srcs, ws := g.InEdges(2)
+	if len(srcs) != 3 {
+		t.Fatalf("InEdges(2) len = %d, want 3", len(srcs))
+	}
+	seen := map[VertexID]float64{}
+	for i, s := range srcs {
+		seen[s] = ws[i]
+	}
+	want := map[VertexID]float64{0: 1, 1: 2, 3: 3}
+	for s, w := range want {
+		if seen[s] != w {
+			t.Errorf("in-edge from %d weight = %v, want %v", s, seen[s], w)
+		}
+	}
+	if g.InDegree(0) != 1 || g.InDegree(1) != 0 {
+		t.Errorf("InDegree(0,1) = %d,%d want 1,0", g.InDegree(0), g.InDegree(1))
+	}
+}
+
+func TestInEdgesPanicsWithoutEnsure(t *testing.T) {
+	g := MustCSR(2, []Edge{{0, 1, 1}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("InEdges before EnsureInEdges did not panic")
+		}
+	}()
+	g.InEdges(1)
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	in := EdgeList{{0, 1, 1}, {0, 2, 2}, {2, 1, 3}}.Normalize()
+	g := MustCSR(3, in)
+	out := EdgeList(g.Edges()).Normalize()
+	if !in.Equal(out) {
+		t.Fatalf("round trip mismatch: in %v out %v", in, out)
+	}
+}
+
+func randomEdges(r *rand.Rand, numVertices, n int) EdgeList {
+	edges := make(EdgeList, 0, n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, Edge{
+			Src:    VertexID(r.Intn(numVertices)),
+			Dst:    VertexID(r.Intn(numVertices)),
+			Weight: float64(1 + r.Intn(100)),
+		})
+	}
+	return edges.Normalize()
+}
+
+// Property: for any edge list, CSR construction preserves exactly the edge
+// set (Edges() round-trips), and degree sums equal the edge count for both
+// in- and out-indexes.
+func TestCSRPropertiesQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := 1 + r.Intn(50)
+		edges := randomEdges(r, v, r.Intn(200))
+		g := MustCSR(v, edges)
+		if !EdgeList(g.Edges()).Normalize().Equal(edges) {
+			return false
+		}
+		g.EnsureInEdges()
+		outSum, inSum := 0, 0
+		for u := 0; u < v; u++ {
+			outSum += g.OutDegree(VertexID(u))
+			inSum += g.InDegree(VertexID(u))
+		}
+		return outSum == len(edges) && inSum == len(edges)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every edge reported by OutEdges appears in InEdges of its
+// destination with the same weight.
+func TestInOutConsistencyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := 2 + r.Intn(40)
+		g := MustCSR(v, randomEdges(r, v, 150))
+		g.EnsureInEdges()
+		for u := 0; u < v; u++ {
+			dsts, ws := g.OutEdges(VertexID(u))
+			for i, d := range dsts {
+				srcs, iws := g.InEdges(d)
+				found := false
+				for j, s := range srcs {
+					if s == VertexID(u) && iws[j] == ws[i] {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeRange(t *testing.T) {
+	g := MustCSR(3, []Edge{{0, 1, 1}, {0, 2, 1}, {2, 0, 1}})
+	lo, hi := g.EdgeRange(0)
+	if hi-lo != 2 {
+		t.Errorf("EdgeRange(0) = [%d,%d)", lo, hi)
+	}
+	lo, hi = g.EdgeRange(1)
+	if hi != lo {
+		t.Errorf("EdgeRange(1) = [%d,%d), want empty", lo, hi)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := EdgeList{{Src: 0, Dst: 1, Weight: 1}}
+	b := a.Clone()
+	b[0].Weight = 9
+	if a[0].Weight != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestKeyOfMatchesEdgeKey(t *testing.T) {
+	e := Edge{Src: 123, Dst: 456, Weight: 7}
+	if e.Key() != KeyOf(123, 456) {
+		t.Error("Key/KeyOf mismatch")
+	}
+	if KeyOf(1, 2) == KeyOf(2, 1) {
+		t.Error("KeyOf symmetric; direction lost")
+	}
+}

@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// SnapshotMask is a bitmask of snapshot indexes; bit s set means the edge is
+// present in snapshot s. The unified representation therefore supports up to
+// 64 concurrently represented snapshots, far beyond the paper's 8–24 range.
+type SnapshotMask uint64
+
+// MaskAll returns the mask with bits 0..n-1 set.
+func MaskAll(n int) SnapshotMask {
+	if n >= 64 {
+		return ^SnapshotMask(0)
+	}
+	return SnapshotMask(1)<<uint(n) - 1
+}
+
+// Has reports whether snapshot s is in the mask.
+func (m SnapshotMask) Has(s int) bool { return m&(1<<uint(s)) != 0 }
+
+// Count returns the number of snapshots in the mask.
+func (m SnapshotMask) Count() int { return bits.OnesCount64(uint64(m)) }
+
+// UnifiedCSR is the paper's unified evolving-graph CSR (Figure 6): a single
+// CSR over the union of all snapshots' edges, with a parallel per-edge
+// membership array. An edge tagged with the full mask belongs to the
+// CommonGraph; otherwise its mask records exactly the snapshots whose
+// addition batches carry it. This is the default on-disk/in-memory storage
+// format for MEGA, so its construction is an offline cost (§3).
+type UnifiedCSR struct {
+	union     *CSR
+	member    []SnapshotMask // per edge index of union
+	snapshots int
+}
+
+// BuildUnified constructs the unified representation from the CommonGraph
+// edges and the per-batch delta edge lists with their user masks. Batch i
+// is tagged onto every snapshot in users[i]. All lists must be normalized.
+// Edges may appear in multiple batches; their masks are OR-ed. An edge
+// appearing both in common and in a batch is an error (the deltas are by
+// construction disjoint from the CommonGraph).
+func BuildUnified(numVertices, numSnapshots int, common EdgeList, batches []EdgeList, users []SnapshotMask) (*UnifiedCSR, error) {
+	if len(batches) != len(users) {
+		return nil, fmt.Errorf("graph: %d batches but %d user masks", len(batches), len(users))
+	}
+	if numSnapshots < 1 || numSnapshots > 64 {
+		return nil, fmt.Errorf("graph: snapshot count %d outside [1,64]", numSnapshots)
+	}
+	full := MaskAll(numSnapshots)
+	masks := make(map[uint64]SnapshotMask, len(common))
+	all := make(EdgeList, 0, len(common))
+	for _, e := range common {
+		masks[e.Key()] = full
+		all = append(all, e)
+	}
+	for bi, b := range batches {
+		for _, e := range b {
+			prev, seen := masks[e.Key()]
+			if seen && prev == full {
+				return nil, fmt.Errorf("graph: edge %d->%d in both CommonGraph and batch %d", e.Src, e.Dst, bi)
+			}
+			if !seen {
+				all = append(all, e)
+			}
+			masks[e.Key()] = prev | users[bi]
+		}
+	}
+	union, err := NewCSR(numVertices, all.Normalize())
+	if err != nil {
+		return nil, err
+	}
+	u := &UnifiedCSR{
+		union:     union,
+		member:    make([]SnapshotMask, union.NumEdges()),
+		snapshots: numSnapshots,
+	}
+	for v := 0; v < numVertices; v++ {
+		lo, hi := union.EdgeRange(VertexID(v))
+		dsts, _ := union.OutEdges(VertexID(v))
+		for i := lo; i < hi; i++ {
+			u.member[i] = masks[KeyOf(VertexID(v), dsts[i-lo])]
+		}
+	}
+	return u, nil
+}
+
+// Union returns the underlying union CSR. Edge indexes of the union CSR
+// index the membership array.
+func (u *UnifiedCSR) Union() *CSR { return u.union }
+
+// NumSnapshots returns the number of snapshots represented.
+func (u *UnifiedCSR) NumSnapshots() int { return u.snapshots }
+
+// NumVertices returns the vertex count.
+func (u *UnifiedCSR) NumVertices() int { return u.union.NumVertices() }
+
+// NumUnionEdges returns the number of edges in the union graph.
+func (u *UnifiedCSR) NumUnionEdges() int { return u.union.NumEdges() }
+
+// Member returns the snapshot-membership mask of union edge index i.
+func (u *UnifiedCSR) Member(i uint32) SnapshotMask { return u.member[i] }
+
+// OutEdges returns v's union out-edges together with their membership
+// masks. The slices alias internal storage and must not be modified.
+func (u *UnifiedCSR) OutEdges(v VertexID) (dsts []VertexID, weights []float64, member []SnapshotMask) {
+	lo, hi := u.union.EdgeRange(v)
+	dsts, weights = u.union.OutEdges(v)
+	return dsts, weights, u.member[lo:hi]
+}
+
+// SnapshotEdges materializes snapshot s as a normalized edge list.
+// Intended for validation and export; the engines never materialize
+// individual snapshots.
+func (u *UnifiedCSR) SnapshotEdges(s int) EdgeList {
+	var out EdgeList
+	for v := 0; v < u.union.NumVertices(); v++ {
+		dsts, ws, member := u.OutEdges(VertexID(v))
+		for i, d := range dsts {
+			if member[i].Has(s) {
+				out = append(out, Edge{Src: VertexID(v), Dst: d, Weight: ws[i]})
+			}
+		}
+	}
+	return out
+}
+
+// MemoryFootprintBytes estimates the storage of the unified representation:
+// CSR offsets + destinations + weights + membership masks. Used by the
+// simulator's capacity planning.
+func (u *UnifiedCSR) MemoryFootprintBytes() int64 {
+	v := int64(u.union.NumVertices())
+	e := int64(u.union.NumEdges())
+	return (v+1)*4 + e*4 + e*8 + e*8
+}

@@ -1,0 +1,162 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// fig6Fixture builds the example of the paper's Figure 6: two snapshots over
+// vertices {A..E}=0..4 sharing a CommonGraph, one addition batch per
+// snapshot.
+func fig6Fixture(t *testing.T) *UnifiedCSR {
+	t.Helper()
+	common := el([2]int{0, 1}, [2]int{2, 0}, [2]int{3, 0}, [2]int{4, 2}) // shared edges
+	bi := el([2]int{1, 2}, [2]int{2, 3})                                 // only in G_i
+	bi1 := el([2]int{1, 4}, [2]int{3, 4})                                // only in G_{i+1}
+	u, err := BuildUnified(5, 2, common, []EdgeList{bi, bi1}, []SnapshotMask{1 << 0, 1 << 1})
+	if err != nil {
+		t.Fatalf("BuildUnified: %v", err)
+	}
+	return u
+}
+
+func TestUnifiedFig6(t *testing.T) {
+	u := fig6Fixture(t)
+	if u.NumUnionEdges() != 8 {
+		t.Fatalf("union edges = %d, want 8", u.NumUnionEdges())
+	}
+	g0 := u.SnapshotEdges(0)
+	g1 := u.SnapshotEdges(1)
+	if len(g0) != 6 || len(g1) != 6 {
+		t.Fatalf("snapshot sizes %d,%d want 6,6", len(g0), len(g1))
+	}
+	if !g0.Contains(1, 2) || g0.Contains(1, 4) {
+		t.Error("snapshot 0 membership wrong")
+	}
+	if !g1.Contains(3, 4) || g1.Contains(2, 3) {
+		t.Error("snapshot 1 membership wrong")
+	}
+	// Common edges are in both.
+	for _, e := range []Edge{{0, 1, 1}, {4, 2, 1}} {
+		if !g0.Contains(e.Src, e.Dst) || !g1.Contains(e.Src, e.Dst) {
+			t.Errorf("common edge %d->%d missing from a snapshot", e.Src, e.Dst)
+		}
+	}
+}
+
+func TestUnifiedRejectsMismatchedUsers(t *testing.T) {
+	if _, err := BuildUnified(2, 2, nil, []EdgeList{el([2]int{0, 1})}, nil); err == nil {
+		t.Fatal("mismatched batches/users accepted")
+	}
+}
+
+func TestUnifiedRejectsBadSnapshotCount(t *testing.T) {
+	for _, n := range []int{0, 65, -1} {
+		if _, err := BuildUnified(2, n, nil, nil, nil); err == nil {
+			t.Fatalf("snapshot count %d accepted", n)
+		}
+	}
+}
+
+func TestUnifiedRejectsCommonInBatch(t *testing.T) {
+	c := el([2]int{0, 1})
+	_, err := BuildUnified(2, 2, c, []EdgeList{el([2]int{0, 1})}, []SnapshotMask{1})
+	if err == nil {
+		t.Fatal("edge in both common and batch accepted")
+	}
+}
+
+func TestUnifiedEdgeInMultipleBatches(t *testing.T) {
+	b := el([2]int{0, 1})
+	u, err := BuildUnified(2, 3, nil, []EdgeList{b, b}, []SnapshotMask{1 << 0, 1 << 2})
+	if err != nil {
+		t.Fatalf("BuildUnified: %v", err)
+	}
+	if u.NumUnionEdges() != 1 {
+		t.Fatalf("union edges = %d, want 1 (same edge in two batches)", u.NumUnionEdges())
+	}
+	if m := u.Member(0); !m.Has(0) || m.Has(1) || !m.Has(2) {
+		t.Errorf("mask = %b, want snapshots {0,2}", m)
+	}
+}
+
+func TestMaskAll(t *testing.T) {
+	if MaskAll(1) != 1 {
+		t.Errorf("MaskAll(1) = %b", MaskAll(1))
+	}
+	if MaskAll(3) != 0b111 {
+		t.Errorf("MaskAll(3) = %b", MaskAll(3))
+	}
+	if MaskAll(64) != ^SnapshotMask(0) {
+		t.Errorf("MaskAll(64) = %b", MaskAll(64))
+	}
+	if MaskAll(5).Count() != 5 {
+		t.Errorf("MaskAll(5).Count() = %d", MaskAll(5).Count())
+	}
+}
+
+// Property: for random common/batch decompositions, SnapshotEdges(s) equals
+// common ∪ {batches whose mask has s}.
+func TestUnifiedMembershipQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := 2 + r.Intn(20)
+		snaps := 1 + r.Intn(6)
+		all := randomEdges(r, v, 80)
+		// Split into common + up to 4 disjoint batches.
+		nb := 1 + r.Intn(4)
+		batches := make([]EdgeList, nb)
+		users := make([]SnapshotMask, nb)
+		var common EdgeList
+		for _, e := range all {
+			k := r.Intn(nb + 1)
+			if k == nb {
+				common = append(common, e)
+			} else {
+				batches[k] = append(batches[k], e)
+			}
+		}
+		for i := range users {
+			users[i] = SnapshotMask(r.Int63()) & MaskAll(snaps)
+		}
+		u, err := BuildUnified(v, snaps, common.Normalize(), batches, users)
+		if err != nil {
+			return false
+		}
+		for s := 0; s < snaps; s++ {
+			want := common.Clone().Normalize()
+			for i, b := range batches {
+				if users[i].Has(s) {
+					want = want.Union(b.Clone().Normalize())
+				}
+			}
+			if !u.SnapshotEdges(s).Normalize().Equal(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnifiedMemoryFootprint(t *testing.T) {
+	u := fig6Fixture(t)
+	v, e := int64(u.NumVertices()), int64(u.NumUnionEdges())
+	want := (v+1)*4 + e*4 + e*8 + e*8
+	if got := u.MemoryFootprintBytes(); got != want {
+		t.Errorf("footprint = %d, want %d", got, want)
+	}
+}
+
+func TestUnifiedAccessors(t *testing.T) {
+	u := fig6Fixture(t)
+	if u.NumSnapshots() != 2 || u.NumVertices() != 5 {
+		t.Errorf("accessors: snapshots=%d vertices=%d", u.NumSnapshots(), u.NumVertices())
+	}
+	if u.Union().NumEdges() != u.NumUnionEdges() {
+		t.Error("union edge count mismatch")
+	}
+}

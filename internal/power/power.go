@@ -1,0 +1,173 @@
+// Package power is an analytic power and area model for the MEGA
+// datapath, reproducing the structure of the paper's Table 5. The paper
+// used CACTI 7 for the memory arrays (22nm ITRS-HP SRAM) and structural
+// models for the crossbar and logic; this package implements closed-form
+// per-component estimates with coefficients fitted to Table 5's totals
+// (~9.5 W, ~203 mm², with MEGA costing ~6.8% more power and ~2% more area
+// than JetStream due to wider events, version registers, the batch
+// scheduler, and queue decoders).
+package power
+
+import "fmt"
+
+// Chip describes the modeled configuration.
+type Chip struct {
+	Name string
+	// QueueMB is the event-queue eDRAM/SRAM capacity in MB.
+	QueueMB float64
+	// ScratchpadKB is the total PE scratchpad capacity in KB.
+	ScratchpadKB float64
+	// EdgeCacheKB is the total edge-cache capacity in KB.
+	EdgeCacheKB float64
+	// NoCPorts is the crossbar radix.
+	NoCPorts int
+	// FlitBits is the crossbar flit width; MEGA events carry version and
+	// batch tags, widening the flit.
+	FlitBits int
+	// PEs is the processing-element count.
+	PEs int
+	// VersionControl adds MEGA's version table, version registers, batch
+	// scheduler, and queue decoders.
+	VersionControl bool
+}
+
+// MEGA returns the paper's MEGA configuration (Table 3/Table 5).
+func MEGA() Chip {
+	return Chip{
+		Name: "MEGA", QueueMB: 64, ScratchpadKB: 16, EdgeCacheKB: 8,
+		NoCPorts: 16, FlitBits: 92, PEs: 8, VersionControl: true,
+	}
+}
+
+// JetStream returns the baseline configuration with narrower events and
+// no version control.
+func JetStream() Chip {
+	return Chip{
+		Name: "JetStream", QueueMB: 64, ScratchpadKB: 16, EdgeCacheKB: 8,
+		NoCPorts: 16, FlitBits: 64, PEs: 8, VersionControl: false,
+	}
+}
+
+// Component is one row of the Table 5 breakdown.
+type Component struct {
+	Name      string
+	StaticMW  float64
+	DynamicMW float64
+	TotalMW   float64
+	AreaMM2   float64
+}
+
+// Estimate is a full chip estimate.
+type Estimate struct {
+	Chip       Chip
+	Components []Component
+	TotalMW    float64
+	TotalMM2   float64
+}
+
+// Coefficients, fitted to Table 5 (22nm ITRS-HP class). The eDRAM queue's
+// refresh and access energy dominates the ~9.5 W budget; leakage (static)
+// and port switching (dynamic) are comparatively small.
+const (
+	queueStaticMWPerMB  = 1.831 // leakage
+	queueDynamicMWPerMB = 0.325 // port/decoder switching
+	queueRefreshMWPerMB = 144.5 // eDRAM refresh + access energy
+	queueMM2PerMB       = 3.0
+
+	sramStaticMWPerKB  = 0.015
+	sramDynamicMWPerKB = 0.050
+	sramAccessMWPerKB  = 0.480
+	sramMM2PerKB       = 0.0104
+
+	xbarMWPerPortFlitBit = 0.0674 // wiring/driver power per port x flit bit
+	xbarMWPerPortSq      = 0.1105 // arbitration per port pair
+	xbarMM2PerPortBit    = 0.0068
+
+	peLogicMWEach  = 0.224
+	peLogicMM2Each = 0.112
+
+	// MEGA's version-control additions: decoders in every queue bank,
+	// version registers in PEs, the version table and batch scheduler.
+	versionCtlQueueDynFactor = 0.13  // +13% queue dynamic (Table 5)
+	versionCtlQueueStaFactor = 0.05  // +5% queue static
+	versionCtlQueueAreaFac   = 0.015 // +1.5% queue area
+	versionCtlSramDynFactor  = 0.08  // +8% scratchpad dynamic
+	versionCtlSramAreaFac    = 0.04  // +4% scratchpad area
+	versionCtlLogicMW        = 0.11
+	versionCtlLogicMM2       = 0.305
+)
+
+// Model computes the component breakdown for the chip.
+func Model(c Chip) Estimate {
+	queueSta := queueStaticMWPerMB * c.QueueMB
+	queueDyn := queueDynamicMWPerMB * c.QueueMB
+	// Access energy scales partly with the stored event width (MEGA's
+	// version/batch tags widen every queue entry).
+	queueRef := queueRefreshMWPerMB * c.QueueMB * (0.788 + 0.212*float64(c.FlitBits)/92.0)
+	queueArea := queueMM2PerMB * c.QueueMB
+	if c.VersionControl {
+		queueSta *= 1 + versionCtlQueueStaFactor
+		queueDyn *= 1 + versionCtlQueueDynFactor
+		queueArea *= 1 + versionCtlQueueAreaFac
+	}
+	queue := Component{
+		Name:     fmt.Sprintf("Queue %.0fMB", c.QueueMB),
+		StaticMW: round1(queueSta), DynamicMW: round1(queueDyn),
+		TotalMW: round1(queueSta + queueDyn + queueRef), AreaMM2: round1(queueArea),
+	}
+
+	spKB := c.ScratchpadKB + c.EdgeCacheKB
+	spSta := sramStaticMWPerKB * spKB
+	spDyn := sramDynamicMWPerKB * spKB
+	spAcc := sramAccessMWPerKB * spKB
+	spArea := sramMM2PerKB * spKB
+	if c.VersionControl {
+		spDyn *= 1 + versionCtlSramDynFactor
+		spArea *= 1 + versionCtlSramAreaFac
+	}
+	scratch := Component{
+		Name:     fmt.Sprintf("Scratchpad %.0fKB", spKB),
+		StaticMW: round2(spSta), DynamicMW: round2(spDyn),
+		TotalMW: round2(spSta + spDyn + spAcc), AreaMM2: round2(spArea),
+	}
+
+	xbarMW := xbarMWPerPortFlitBit*float64(c.NoCPorts)*float64(c.FlitBits) +
+		xbarMWPerPortSq*float64(c.NoCPorts*c.NoCPorts)
+	xbarArea := xbarMM2PerPortBit * float64(c.NoCPorts) * float64(c.FlitBits)
+	network := Component{
+		Name:    fmt.Sprintf("Network %dx%d", c.NoCPorts, c.NoCPorts),
+		TotalMW: round1(xbarMW), AreaMM2: round1(xbarArea),
+	}
+
+	logicMW := peLogicMWEach * float64(c.PEs)
+	logicArea := peLogicMM2Each * float64(c.PEs)
+	if c.VersionControl {
+		logicMW += versionCtlLogicMW
+		logicArea += versionCtlLogicMM2
+	}
+	logic := Component{
+		Name:    "Proc. Logic",
+		TotalMW: round2(logicMW), AreaMM2: round2(logicArea),
+	}
+
+	e := Estimate{
+		Chip:       c,
+		Components: []Component{queue, scratch, network, logic},
+	}
+	for _, comp := range e.Components {
+		e.TotalMW += comp.TotalMW
+		e.TotalMM2 += comp.AreaMM2
+	}
+	return e
+}
+
+// Overheads returns MEGA's relative power and area increase over the
+// JetStream baseline (the Table 5 percentages).
+func Overheads() (powerFrac, areaFrac float64) {
+	m := Model(MEGA())
+	j := Model(JetStream())
+	return m.TotalMW/j.TotalMW - 1, m.TotalMM2/j.TotalMM2 - 1
+}
+
+func round1(x float64) float64 { return float64(int(x*10+0.5)) / 10 }
+func round2(x float64) float64 { return float64(int(x*100+0.5)) / 100 }

@@ -1,0 +1,80 @@
+package power
+
+import "testing"
+
+func TestMEGATotalsMatchTable5(t *testing.T) {
+	e := Model(MEGA())
+	// Table 5: total ~9532 mW, ~203 mm^2.
+	if e.TotalMW < 9000 || e.TotalMW > 10100 {
+		t.Errorf("total power = %.0f mW, want ~9532", e.TotalMW)
+	}
+	if e.TotalMM2 < 190 || e.TotalMM2 > 215 {
+		t.Errorf("total area = %.0f mm2, want ~203", e.TotalMM2)
+	}
+	if len(e.Components) != 4 {
+		t.Fatalf("components = %d, want 4", len(e.Components))
+	}
+	// The queue dominates both budgets, as in the paper.
+	q := e.Components[0]
+	if q.TotalMW < 0.9*e.TotalMW {
+		t.Errorf("queue power %.0f not dominant of %.0f", q.TotalMW, e.TotalMW)
+	}
+	if q.AreaMM2 < 0.9*e.TotalMM2 {
+		t.Errorf("queue area %.0f not dominant of %.0f", q.AreaMM2, e.TotalMM2)
+	}
+}
+
+func TestQueueRowMatchesTable5(t *testing.T) {
+	e := Model(MEGA())
+	q := e.Components[0]
+	if q.StaticMW < 115 || q.StaticMW > 130 {
+		t.Errorf("queue static = %.1f mW, want ~123", q.StaticMW)
+	}
+	if q.DynamicMW < 21 || q.DynamicMW > 26 {
+		t.Errorf("queue dynamic = %.1f mW, want ~23.5", q.DynamicMW)
+	}
+	if q.TotalMW < 9200 || q.TotalMW > 9600 {
+		t.Errorf("queue total = %.0f mW, want ~9389", q.TotalMW)
+	}
+}
+
+func TestOverheadsVsJetStream(t *testing.T) {
+	p, a := Overheads()
+	// Table 5: +6.8% power, +2% area. Accept a small modeling tolerance,
+	// but the sign and rough magnitude must hold.
+	if p < 0.03 || p > 0.12 {
+		t.Errorf("power overhead = %.1f%%, want ~6.8%%", p*100)
+	}
+	if a < 0.005 || a > 0.06 {
+		t.Errorf("area overhead = %.1f%%, want ~2%%", a*100)
+	}
+}
+
+func TestVersionControlCostsSomething(t *testing.T) {
+	with := Model(MEGA())
+	without := MEGA()
+	without.VersionControl = false
+	wo := Model(without)
+	if with.TotalMW <= wo.TotalMW {
+		t.Error("version control adds no power")
+	}
+	if with.TotalMM2 <= wo.TotalMM2 {
+		t.Error("version control adds no area")
+	}
+}
+
+func TestAreaScalesWithQueue(t *testing.T) {
+	small := MEGA()
+	small.QueueMB = 16
+	if Model(small).TotalMM2 >= Model(MEGA()).TotalMM2 {
+		t.Error("smaller queue not smaller in area")
+	}
+}
+
+func TestWiderFlitCostsMore(t *testing.T) {
+	wide := JetStream()
+	wide.FlitBits = 128
+	if Model(wide).TotalMW <= Model(JetStream()).TotalMW {
+		t.Error("wider flit not more power")
+	}
+}

@@ -1,0 +1,350 @@
+// Package sched generates the execution schedules that the MEGA paper
+// compares (§3, Figure 7):
+//
+//   - Direct-Hop: every snapshot is computed independently from the
+//     CommonGraph by applying all of its batches (maximal parallelism,
+//     maximal redundant work).
+//   - Work-Sharing: the triangular grid is walked recursively; intermediate
+//     CommonGraphs are materialized so each batch is applied O(log N) times
+//     instead of O(N) times.
+//   - Batch-Oriented Execution (BOE, Algorithm 1): stages run from hop N−2
+//     down to 0; the converted deletion batch Δ−_j is applied once to the
+//     still-identical snapshots 0..j and broadcast, while the addition
+//     batch Δ+_j is applied to the diverged snapshots j+1..N−1 concurrently
+//     — sharing edge fetches and maximizing temporal locality.
+//
+// A schedule is a flat list of operations over *contexts* (value-array
+// instances). Contexts 0..N−1 hold the final per-snapshot results; schedules
+// may allocate additional intermediate contexts (Work-Sharing's ICGs).
+package sched
+
+import (
+	"fmt"
+
+	"mega/internal/evolve"
+)
+
+// Mode identifies a scheduling workflow.
+type Mode int
+
+const (
+	// DirectHop is CommonGraph's direct-hop workflow (Figure 1b).
+	DirectHop Mode = iota
+	// WorkSharing is CommonGraph's work-sharing workflow (Figure 1c).
+	WorkSharing
+	// BOE is MEGA's batch-oriented execution (Algorithm 1).
+	BOE
+)
+
+// String returns the workflow's name as used in the paper's tables.
+func (m Mode) String() string {
+	switch m {
+	case DirectHop:
+		return "Direct-Hop"
+	case WorkSharing:
+		return "Work-Sharing"
+	case BOE:
+		return "BOE"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// OpKind discriminates schedule operations.
+type OpKind int
+
+const (
+	// OpInit sets context Ctx to the CommonGraph solution.
+	OpInit OpKind = iota
+	// OpCopy sets context Ctx to a copy of context From's current values.
+	OpCopy
+	// OpApply incrementally applies Batch to every context in Targets.
+	// If SharedCompute is set, the incremental query runs once on
+	// Targets[0] (all targets are guaranteed state-identical) and the
+	// resulting values are broadcast to the remaining targets. Otherwise
+	// each target runs its own incremental update, but all targets run
+	// *concurrently* within the op so the engine can merge their rounds
+	// and share batch/edge fetches (the essence of BOE).
+	OpApply
+)
+
+// Op is one schedule operation.
+type Op struct {
+	Kind OpKind
+	// Ctx is the destination context for OpInit/OpCopy.
+	Ctx int
+	// From is the source context for OpCopy.
+	From int
+	// Batch is the batch applied by OpApply.
+	Batch *evolve.Batch
+	// Targets are the contexts updated by OpApply.
+	Targets []int
+	// SharedCompute marks broadcastable OpApply ops (see OpKind docs).
+	SharedCompute bool
+	// Stage groups ops that the batch scheduler may issue together; BOE
+	// stages correspond to Algorithm 1's loop iterations.
+	Stage int
+}
+
+// Schedule is an ordered operation list over NumContexts contexts.
+type Schedule struct {
+	Mode        Mode
+	NumContexts int
+	// SnapshotCtx[s] is the context holding snapshot s's final values
+	// after all ops have run.
+	SnapshotCtx []int
+	Ops         []Op
+}
+
+// NumStages returns one past the largest stage index used.
+func (s *Schedule) NumStages() int {
+	n := 0
+	for _, op := range s.Ops {
+		if op.Stage+1 > n {
+			n = op.Stage + 1
+		}
+	}
+	return n
+}
+
+// AdditionsProcessed counts edge additions executed by the schedule: each
+// OpApply contributes |batch| per computed target (broadcast targets of a
+// shared op receive values, not edge processing). This is the metric of
+// the paper's Figure 3.
+func (s *Schedule) AdditionsProcessed() int {
+	total := 0
+	for _, op := range s.Ops {
+		if op.Kind != OpApply {
+			continue
+		}
+		if op.SharedCompute {
+			total += len(op.Batch.Edges)
+		} else {
+			total += len(op.Batch.Edges) * len(op.Targets)
+		}
+	}
+	return total
+}
+
+// StreamingChangesProcessed counts the edge changes (additions plus
+// deletions) a conventional streaming system processes for the same
+// window: each hop's batches exactly once.
+func StreamingChangesProcessed(w *evolve.Window) (adds, dels int) {
+	for _, b := range w.Batches() {
+		if b.FromDeletion {
+			dels += len(b.Edges)
+		} else {
+			adds += len(b.Edges)
+		}
+	}
+	return adds, dels
+}
+
+// NewDirectHop builds the Direct-Hop schedule: every snapshot is computed
+// independently from the CommonGraph by applying every batch the snapshot
+// uses. Snapshots run *concurrently* (Figure 1b: "potentially in
+// parallel") but unsynchronized: stage k applies each snapshot's k-th
+// batch, so at any time different snapshots are processing different
+// batches and fetch sharing is only incidental.
+func NewDirectHop(w *evolve.Window) *Schedule {
+	n := w.NumSnapshots()
+	s := &Schedule{Mode: DirectHop, NumContexts: n, SnapshotCtx: idents(n)}
+	perSnap := make([][]*evolve.Batch, n)
+	for snap := 0; snap < n; snap++ {
+		s.Ops = append(s.Ops, Op{Kind: OpInit, Ctx: snap, Stage: 0})
+		for i := range w.Batches() {
+			b := &w.Batches()[i]
+			if b.Users.Has(snap) {
+				perSnap[snap] = append(perSnap[snap], b)
+			}
+		}
+	}
+	// Rotate each snapshot's batch order by its index (the additions are
+	// order-independent) so that adjacent snapshots do not process the
+	// same batch in lock-step — Direct-Hop gets no systematic fetch
+	// sharing, only incidental overlap, matching its role in the paper.
+	for snap := 0; snap < n; snap++ {
+		if len(perSnap[snap]) > 1 {
+			r := snap % len(perSnap[snap])
+			rotated := append([]*evolve.Batch(nil), perSnap[snap][r:]...)
+			perSnap[snap] = append(rotated, perSnap[snap][:r]...)
+		}
+	}
+	for k := 0; ; k++ {
+		any := false
+		for snap := 0; snap < n; snap++ {
+			if k < len(perSnap[snap]) {
+				any = true
+				s.Ops = append(s.Ops, Op{
+					Kind: OpApply, Batch: perSnap[snap][k],
+					Targets: []int{snap}, Stage: 1 + k,
+				})
+			}
+		}
+		if !any {
+			break
+		}
+	}
+	return s
+}
+
+// NewWorkSharing builds the Work-Sharing schedule by recursively splitting
+// the snapshot range at its midpoint. The context for range [lo,hi] holds
+// the query solved on ICG(lo,hi); its children extend it with the Δ−
+// batches of hops [mid..hi) (left child, earlier snapshots) and the Δ+
+// batches of hops [lo..mid) (right child, later snapshots). The tree is
+// walked level by level; all subtrees of one level run concurrently.
+func NewWorkSharing(w *evolve.Window) *Schedule {
+	n := w.NumSnapshots()
+	s := &Schedule{Mode: WorkSharing, NumContexts: n, SnapshotCtx: make([]int, n)}
+
+	// newCtx allocates an intermediate context; singleton ranges use the
+	// snapshot's own context id.
+	newCtx := func(lo, hi int) int {
+		if lo == hi {
+			return lo
+		}
+		id := s.NumContexts
+		s.NumContexts++
+		return id
+	}
+
+	type node struct{ lo, hi, ctx int }
+	root := newCtx(0, n-1)
+	s.Ops = append(s.Ops, Op{Kind: OpInit, Ctx: root, Stage: 0})
+	if n == 1 {
+		s.SnapshotCtx[0] = root
+		return s
+	}
+	level := []node{{0, n - 1, root}}
+	for stage := 1; len(level) > 0; {
+		var nextLevel []node
+		// Each level's contexts are cloned at the level's first stage;
+		// every context then applies its delta batches one per stage
+		// (the batch reader streams one batch per context at a time —
+		// merging a context's whole delta set into a single concurrent
+		// execution is MEGA's multiple-concurrent-batches optimization,
+		// which the Work-Sharing flow does not get). Same-level contexts
+		// still run concurrently.
+		type work struct {
+			ctx     int
+			batches []*evolve.Batch
+		}
+		var works []work
+		for _, nd := range level {
+			if nd.lo == nd.hi {
+				s.SnapshotCtx[nd.lo] = nd.ctx
+				continue
+			}
+			mid := (nd.lo + nd.hi) / 2
+
+			left := newCtx(nd.lo, mid)
+			s.Ops = append(s.Ops, Op{Kind: OpCopy, Ctx: left, From: nd.ctx, Stage: stage})
+			lw := work{ctx: left}
+			for i := range w.Batches() {
+				b := &w.Batches()[i]
+				if b.FromDeletion && b.Hop >= mid && b.Hop < nd.hi {
+					lw.batches = append(lw.batches, b)
+				}
+			}
+
+			right := newCtx(mid+1, nd.hi)
+			s.Ops = append(s.Ops, Op{Kind: OpCopy, Ctx: right, From: nd.ctx, Stage: stage})
+			rw := work{ctx: right}
+			for i := range w.Batches() {
+				b := &w.Batches()[i]
+				if !b.FromDeletion && b.Hop >= nd.lo && b.Hop < mid+1 {
+					rw.batches = append(rw.batches, b)
+				}
+			}
+
+			works = append(works, lw, rw)
+			nextLevel = append(nextLevel, node{nd.lo, mid, left}, node{mid + 1, nd.hi, right})
+		}
+		maxBatches := 0
+		for _, wk := range works {
+			if len(wk.batches) > maxBatches {
+				maxBatches = len(wk.batches)
+			}
+		}
+		for k := 0; k < maxBatches; k++ {
+			for _, wk := range works {
+				if k < len(wk.batches) {
+					s.Ops = append(s.Ops, Op{
+						Kind: OpApply, Batch: wk.batches[k],
+						Targets: []int{wk.ctx}, Stage: stage + k,
+					})
+				}
+			}
+		}
+		if maxBatches == 0 {
+			maxBatches = 1
+		}
+		stage += maxBatches
+		level = nextLevel
+	}
+	return s
+}
+
+// NewBOE builds the Batch-Oriented Execution schedule of Algorithm 1.
+// All N snapshot contexts start from the CommonGraph solution; stages run
+// j = N−2 .. 0. At stage j the Δ−_j batch is applied once and broadcast to
+// snapshots 0..j (they are provably state-identical at that point), and
+// the Δ+_j batch is applied to snapshots j+1..N−1 concurrently.
+func NewBOE(w *evolve.Window) *Schedule {
+	n := w.NumSnapshots()
+	s := &Schedule{Mode: BOE, NumContexts: n, SnapshotCtx: idents(n)}
+	for snap := 0; snap < n; snap++ {
+		s.Ops = append(s.Ops, Op{Kind: OpInit, Ctx: snap, Stage: 0})
+	}
+	stage := 1
+	for j := n - 2; j >= 0; j-- {
+		if b, ok := w.Batch(j, true); ok {
+			// Targets[0] computes; the rest receive the values.
+			targets := make([]int, 0, j+1)
+			for c := j; c >= 0; c-- {
+				targets = append(targets, c)
+			}
+			bb := b
+			s.Ops = append(s.Ops, Op{
+				Kind: OpApply, Batch: &bb, Targets: targets,
+				SharedCompute: true, Stage: stage,
+			})
+		}
+		if b, ok := w.Batch(j, false); ok {
+			targets := make([]int, 0, n-1-j)
+			for c := j + 1; c < n; c++ {
+				targets = append(targets, c)
+			}
+			bb := b
+			s.Ops = append(s.Ops, Op{
+				Kind: OpApply, Batch: &bb, Targets: targets,
+				SharedCompute: false, Stage: stage,
+			})
+		}
+		stage++
+	}
+	return s
+}
+
+// New builds the schedule for the given mode.
+func New(mode Mode, w *evolve.Window) (*Schedule, error) {
+	switch mode {
+	case DirectHop:
+		return NewDirectHop(w), nil
+	case WorkSharing:
+		return NewWorkSharing(w), nil
+	case BOE:
+		return NewBOE(w), nil
+	default:
+		return nil, fmt.Errorf("sched: unknown mode %d", int(mode))
+	}
+}
+
+func idents(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,345 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mega/internal/evolve"
+	"mega/internal/gen"
+	"mega/internal/graph"
+)
+
+func testWindow(t testing.TB, snapshots int, frac float64, seed int64) *evolve.Window {
+	t.Helper()
+	spec := gen.TestGraph
+	spec.Seed = seed
+	ev, err := gen.Evolve(spec, gen.EvolutionSpec{Snapshots: snapshots, BatchFraction: frac, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := evolve.NewWindow(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// replayEdgeSets interprets a schedule abstractly over edge sets: OpInit
+// loads the CommonGraph, OpCopy duplicates a context, OpApply unions the
+// batch into every target. It also verifies the SharedCompute precondition
+// (all targets state-identical at op time) and returns the per-snapshot
+// final edge sets.
+func replayEdgeSets(t *testing.T, w *evolve.Window, s *Schedule) []graph.EdgeList {
+	t.Helper()
+	ctx := make([]graph.EdgeList, s.NumContexts)
+	for _, op := range s.Ops {
+		switch op.Kind {
+		case OpInit:
+			ctx[op.Ctx] = w.Common().Clone()
+		case OpCopy:
+			if ctx[op.From] == nil {
+				t.Fatalf("%v: OpCopy from uninitialized context %d", s.Mode, op.From)
+			}
+			ctx[op.Ctx] = ctx[op.From].Clone()
+		case OpApply:
+			if len(op.Targets) == 0 {
+				t.Fatalf("%v: OpApply with no targets", s.Mode)
+			}
+			if op.SharedCompute {
+				for _, c := range op.Targets[1:] {
+					if !ctx[c].Equal(ctx[op.Targets[0]]) {
+						t.Fatalf("%v: SharedCompute targets %v not state-identical", s.Mode, op.Targets)
+					}
+				}
+			}
+			for _, c := range op.Targets {
+				if ctx[c] == nil {
+					t.Fatalf("%v: OpApply to uninitialized context %d", s.Mode, c)
+				}
+				ctx[c] = ctx[c].Union(op.Batch.Edges)
+			}
+		}
+	}
+	out := make([]graph.EdgeList, w.NumSnapshots())
+	for snap, c := range s.SnapshotCtx {
+		out[snap] = ctx[c]
+	}
+	return out
+}
+
+func checkScheduleCorrect(t *testing.T, w *evolve.Window, s *Schedule) {
+	t.Helper()
+	finals := replayEdgeSets(t, w, s)
+	for snap := 0; snap < w.NumSnapshots(); snap++ {
+		want := w.SnapshotEdges(snap).Normalize()
+		if !finals[snap].Normalize().Equal(want) {
+			t.Errorf("%v: snapshot %d edge set wrong (got %d edges, want %d)",
+				s.Mode, snap, len(finals[snap]), len(want))
+		}
+	}
+}
+
+func TestSchedulesProduceSnapshots(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 16} {
+		w := testWindow(t, n, 0.02, int64(n))
+		for _, mode := range []Mode{DirectHop, WorkSharing, BOE} {
+			s, err := New(mode, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkScheduleCorrect(t, w, s)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if DirectHop.String() != "Direct-Hop" || WorkSharing.String() != "Work-Sharing" || BOE.String() != "BOE" {
+		t.Error("mode names wrong")
+	}
+	if Mode(9).String() != "Mode(9)" {
+		t.Error("invalid mode string wrong")
+	}
+}
+
+func TestNewUnknownMode(t *testing.T) {
+	w := testWindow(t, 2, 0.02, 1)
+	if _, err := New(Mode(9), w); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+// The paper's Figure 3 analysis: with uniform half-add/half-del batches,
+// Direct-Hop processes ~N/2 times the streaming change count, Work-Sharing
+// ~2x (log-tree reuse), and both strictly exceed streaming.
+func TestAdditionCountsShape(t *testing.T) {
+	const n = 16
+	w := testWindow(t, n, 0.02, 3)
+	adds, dels := StreamingChangesProcessed(w)
+	streaming := adds + dels
+
+	dh := NewDirectHop(w).AdditionsProcessed()
+	ws := NewWorkSharing(w).AdditionsProcessed()
+
+	dhRatio := float64(dh) / float64(streaming)
+	wsRatio := float64(ws) / float64(streaming)
+	if dhRatio < float64(n)/2-1 || dhRatio > float64(n)/2+1 {
+		t.Errorf("Direct-Hop ratio = %.2f, want ~%d/2", dhRatio, n)
+	}
+	if wsRatio < 1.5 || wsRatio > 3 {
+		t.Errorf("Work-Sharing ratio = %.2f, want ~2", wsRatio)
+	}
+	if ws >= dh {
+		t.Errorf("Work-Sharing (%d) should process fewer additions than Direct-Hop (%d)", ws, dh)
+	}
+}
+
+// BOE's computed additions: Δ−_j once (shared) + Δ+_j per diverged target.
+func TestBOEAdditionsProcessed(t *testing.T) {
+	const n = 8
+	w := testWindow(t, n, 0.02, 5)
+	boe := NewBOE(w)
+	want := 0
+	for _, b := range w.Batches() {
+		if b.FromDeletion {
+			want += len(b.Edges)
+		} else {
+			want += len(b.Edges) * b.Users.Count()
+		}
+	}
+	if got := boe.AdditionsProcessed(); got != want {
+		t.Errorf("BOE AdditionsProcessed = %d, want %d", got, want)
+	}
+}
+
+func TestBOEStageStructure(t *testing.T) {
+	const n = 6
+	w := testWindow(t, n, 0.02, 8)
+	s := NewBOE(w)
+	// Stage 0 is inits; stages 1..N-1 each hold exactly one Δ− and one Δ+
+	// op, with hop decreasing.
+	if s.NumStages() != n {
+		t.Fatalf("NumStages = %d, want %d", s.NumStages(), n)
+	}
+	hopAt := map[int]int{}
+	for _, op := range s.Ops {
+		if op.Kind != OpApply {
+			continue
+		}
+		if prev, ok := hopAt[op.Stage]; ok && prev != op.Batch.Hop {
+			t.Errorf("stage %d mixes hops %d and %d", op.Stage, prev, op.Batch.Hop)
+		}
+		hopAt[op.Stage] = op.Batch.Hop
+		if op.Batch.FromDeletion {
+			if !op.SharedCompute {
+				t.Errorf("Δ−_%d not shared-compute", op.Batch.Hop)
+			}
+			if len(op.Targets) != op.Batch.Hop+1 {
+				t.Errorf("Δ−_%d targets %d snapshots, want %d", op.Batch.Hop, len(op.Targets), op.Batch.Hop+1)
+			}
+		} else {
+			if op.SharedCompute {
+				t.Errorf("Δ+_%d marked shared-compute", op.Batch.Hop)
+			}
+			if len(op.Targets) != n-1-op.Batch.Hop {
+				t.Errorf("Δ+_%d targets %d snapshots, want %d", op.Batch.Hop, len(op.Targets), n-1-op.Batch.Hop)
+			}
+		}
+	}
+	// Hops must be processed in decreasing order across stages.
+	for st := 2; st < s.NumStages(); st++ {
+		if hopAt[st] >= hopAt[st-1] {
+			t.Errorf("stage %d hop %d not below stage %d hop %d", st, hopAt[st], st-1, hopAt[st-1])
+		}
+	}
+}
+
+func TestWorkSharingUsesIntermediateContexts(t *testing.T) {
+	w := testWindow(t, 8, 0.02, 9)
+	s := NewWorkSharing(w)
+	if s.NumContexts <= 8 {
+		t.Errorf("Work-Sharing allocated %d contexts; expected intermediates beyond the 8 snapshots", s.NumContexts)
+	}
+}
+
+func TestSingleSnapshotSchedules(t *testing.T) {
+	spec := gen.TestGraph
+	ev, err := gen.Evolve(spec, gen.EvolutionSpec{Snapshots: 1, BatchFraction: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := evolve.NewWindow(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Mode{DirectHop, WorkSharing, BOE} {
+		s, err := New(mode, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkScheduleCorrect(t, w, s)
+		if s.AdditionsProcessed() != 0 {
+			t.Errorf("%v: N=1 window processed %d additions", mode, s.AdditionsProcessed())
+		}
+	}
+}
+
+// Property: all three schedules reconstruct every snapshot for random
+// window shapes, and the SharedCompute preconditions always hold.
+func TestScheduleCorrectnessQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10)
+		w := testWindow(t, n, 0.005+r.Float64()*0.02, seed)
+		for _, mode := range []Mode{DirectHop, WorkSharing, BOE} {
+			s, err := New(mode, w)
+			if err != nil {
+				return false
+			}
+			finals := replayEdgeSets(t, w, s)
+			for snap := 0; snap < n; snap++ {
+				if !finals[snap].Normalize().Equal(w.SnapshotEdges(snap).Normalize()) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNumStages(t *testing.T) {
+	empty := &Schedule{}
+	if empty.NumStages() != 0 {
+		t.Errorf("empty schedule stages = %d", empty.NumStages())
+	}
+	w := testWindow(t, 4, 0.02, 11)
+	boe := NewBOE(w)
+	if boe.NumStages() != 4 {
+		t.Errorf("BOE(N=4) stages = %d, want 4", boe.NumStages())
+	}
+}
+
+func TestDirectHopRotationPreservesCoverage(t *testing.T) {
+	// The rotated diagonal must still apply every (batch, snapshot) pair
+	// exactly once.
+	w := testWindow(t, 6, 0.02, 12)
+	s := NewDirectHop(w)
+	seen := map[[2]int]int{}
+	for _, op := range s.Ops {
+		if op.Kind != OpApply {
+			continue
+		}
+		for _, c := range op.Targets {
+			seen[[2]int{op.Batch.ID, c}]++
+		}
+	}
+	for _, b := range w.Batches() {
+		for snap := 0; snap < 6; snap++ {
+			want := 0
+			if b.Users.Has(snap) {
+				want = 1
+			}
+			if got := seen[[2]int{b.ID, snap}]; got != want {
+				t.Errorf("batch %d snapshot %d applied %d times, want %d", b.ID, snap, got, want)
+			}
+		}
+	}
+}
+
+func TestDirectHopStageHasDistinctContexts(t *testing.T) {
+	w := testWindow(t, 8, 0.02, 13)
+	s := NewDirectHop(w)
+	perStage := map[int]map[int]bool{}
+	for _, op := range s.Ops {
+		if op.Kind != OpApply {
+			continue
+		}
+		if perStage[op.Stage] == nil {
+			perStage[op.Stage] = map[int]bool{}
+		}
+		for _, c := range op.Targets {
+			if perStage[op.Stage][c] {
+				t.Fatalf("stage %d targets context %d twice", op.Stage, c)
+			}
+			perStage[op.Stage][c] = true
+		}
+	}
+}
+
+func TestWorkSharingOneBatchPerContextPerStage(t *testing.T) {
+	// Work-Sharing must not merge a context's whole delta set into one
+	// stage (that is MEGA's multiple-concurrent-batches optimization).
+	w := testWindow(t, 8, 0.02, 14)
+	s := NewWorkSharing(w)
+	type key struct{ stage, ctx int }
+	seen := map[key]int{}
+	for _, op := range s.Ops {
+		if op.Kind != OpApply {
+			continue
+		}
+		k := key{op.Stage, op.Targets[0]}
+		seen[k]++
+		if seen[k] > 1 {
+			t.Fatalf("stage %d applies %d batches to context %d", op.Stage, seen[k], op.Targets[0])
+		}
+	}
+}
+
+func TestStreamingChangesProcessed(t *testing.T) {
+	w := testWindow(t, 4, 0.02, 15)
+	adds, dels := StreamingChangesProcessed(w)
+	wantAdds, wantDels := 0, 0
+	for _, b := range w.Batches() {
+		if b.FromDeletion {
+			wantDels += len(b.Edges)
+		} else {
+			wantAdds += len(b.Edges)
+		}
+	}
+	if adds != wantAdds || dels != wantDels {
+		t.Errorf("streaming changes = %d,%d want %d,%d", adds, dels, wantAdds, wantDels)
+	}
+}

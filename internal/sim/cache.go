@@ -1,0 +1,106 @@
+package sim
+
+import "mega/internal/graph"
+
+// edgeCache models the accelerator's edge cache: an LRU over per-vertex
+// adjacency blocks. A hit serves the whole adjacency on-chip; a miss
+// streams it from DRAM (and installs it, evicting least-recently-used
+// blocks until it fits). Blocks larger than the whole cache bypass it.
+type edgeCache struct {
+	capacity int64
+	used     int64
+	entries  map[graph.VertexID]*cacheNode
+	head     *cacheNode // most recently used
+	tail     *cacheNode // least recently used
+
+	Hits      int64
+	Misses    int64
+	HitBytes  int64
+	MissBytes int64
+}
+
+type cacheNode struct {
+	v          graph.VertexID
+	bytes      int64
+	prev, next *cacheNode
+}
+
+func newEdgeCache(capacity int64) *edgeCache {
+	return &edgeCache{
+		capacity: capacity,
+		entries:  make(map[graph.VertexID]*cacheNode),
+	}
+}
+
+// access touches vertex v's adjacency block of the given size and reports
+// whether it was a hit. Misses return the number of bytes that must be
+// fetched from DRAM.
+func (c *edgeCache) access(v graph.VertexID, bytes int64) (hit bool, dramBytes int64) {
+	if n, ok := c.entries[v]; ok {
+		c.Hits++
+		c.HitBytes += bytes
+		c.moveToFront(n)
+		return true, 0
+	}
+	c.Misses++
+	c.MissBytes += bytes
+	if bytes > c.capacity {
+		return false, bytes // uncacheable jumbo block: stream around
+	}
+	for c.used+bytes > c.capacity {
+		c.evict()
+	}
+	n := &cacheNode{v: v, bytes: bytes}
+	c.entries[v] = n
+	c.used += bytes
+	c.pushFront(n)
+	return false, bytes
+}
+
+func (c *edgeCache) pushFront(n *cacheNode) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *edgeCache) moveToFront(n *cacheNode) {
+	if c.head == n {
+		return
+	}
+	// unlink
+	if n.prev != nil {
+		n.prev.next = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	}
+	if c.tail == n {
+		c.tail = n.prev
+	}
+	c.pushFront(n)
+}
+
+func (c *edgeCache) evict() {
+	n := c.tail
+	if n == nil {
+		return
+	}
+	if n.prev != nil {
+		n.prev.next = nil
+	}
+	c.tail = n.prev
+	if c.head == n {
+		c.head = nil
+	}
+	delete(c.entries, n.v)
+	c.used -= n.bytes
+}
+
+// len returns the number of cached blocks (for tests).
+func (c *edgeCache) len() int { return len(c.entries) }

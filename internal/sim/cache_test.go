@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mega/internal/graph"
+)
+
+func TestCacheHitMiss(t *testing.T) {
+	c := newEdgeCache(100)
+	if hit, dram := c.access(1, 40); hit || dram != 40 {
+		t.Fatalf("first access: hit=%v dram=%d", hit, dram)
+	}
+	if hit, dram := c.access(1, 40); !hit || dram != 0 {
+		t.Fatalf("second access: hit=%v dram=%d", hit, dram)
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	c := newEdgeCache(100)
+	c.access(1, 40)
+	c.access(2, 40)
+	c.access(1, 40) // touch 1; 2 becomes LRU
+	c.access(3, 40) // evicts 2
+	if hit, _ := c.access(1, 40); !hit {
+		t.Error("vertex 1 evicted despite recent use")
+	}
+	if hit, _ := c.access(2, 40); hit {
+		t.Error("vertex 2 still cached; LRU violated")
+	}
+}
+
+func TestCacheJumboBypass(t *testing.T) {
+	c := newEdgeCache(100)
+	c.access(1, 40)
+	if hit, dram := c.access(2, 500); hit || dram != 500 {
+		t.Fatalf("jumbo access: hit=%v dram=%d", hit, dram)
+	}
+	if hit, _ := c.access(1, 40); !hit {
+		t.Error("jumbo bypass evicted resident block")
+	}
+	if c.used > c.capacity {
+		t.Errorf("used %d > capacity %d", c.used, c.capacity)
+	}
+}
+
+// Property: the cache never exceeds capacity, entry count matches the
+// linked list, and re-accessing the most recent block always hits.
+func TestCacheInvariantsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := newEdgeCache(1 + int64(r.Intn(2000)))
+		var last graph.VertexID
+		var lastBytes int64
+		lastCacheable := false
+		for i := 0; i < 500; i++ {
+			v := graph.VertexID(r.Intn(50))
+			b := int64(1 + r.Intn(300))
+			if n, ok := c.entries[v]; ok {
+				b = n.bytes // block size is a property of the vertex
+			}
+			c.access(v, b)
+			if c.used > c.capacity {
+				return false
+			}
+			last, lastBytes, lastCacheable = v, b, b <= c.capacity
+		}
+		// Linked-list length equals map size.
+		n := 0
+		for p := c.head; p != nil; p = p.next {
+			n++
+		}
+		if n != c.len() {
+			return false
+		}
+		if lastCacheable {
+			if hit, _ := c.access(last, lastBytes); !hit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,163 @@
+// Package sim is the cycle-level timing simulator of the MEGA accelerator
+// and of its JetStream-configured baseline (§4, Figure 12). It consumes the
+// functional engine's probe stream — events, adjacency fetches, generated
+// events, value copies, round boundaries — and charges cycles to the
+// datapath's resources:
+//
+//   - 8 processing engines, one event per PE per cycle, with 4 parallel
+//     event-generation streams each;
+//   - a binned, dual-ported, coalescing event queue;
+//   - a 16-port crossbar NoC between event generators and queue bins;
+//   - an edge cache backed by DRAM channels with a fixed bytes-per-cycle
+//     bandwidth;
+//   - on-chip eDRAM holding vertex state for all active graph versions,
+//     with range partitioning, partition swaps, and cross-partition event
+//     spills when the state exceeds capacity (§3.2, Figure 9);
+//   - batch pipelining, overlapping the long convergence tail of one batch
+//     with the start of the next (Figure 11).
+//
+// The functional execution is exact; timing is charged per round as the
+// maximum over the per-resource occupancies (the datapath is a pipeline, so
+// the slowest resource bounds round throughput), plus per-op costs for
+// batch reads, value broadcasts, and partition swapping. Absolute cycle
+// counts are not calibrated against the authors' RTL; all evaluation
+// results are relative (speedups and normalized counts), which this level
+// of modeling preserves.
+package sim
+
+import "fmt"
+
+// Config holds the machine parameters. The defaults mirror the paper's
+// Table 3 configuration with memory capacities scaled down by the same
+// ~500x factor as the input graphs (DESIGN.md §5), keeping the
+// partition-count regime aligned with the paper.
+type Config struct {
+	// PEs is the number of processing engines (paper: 8).
+	PEs int
+	// GenStreamsPerPE is the number of parallel event-generation streams
+	// per PE (paper: 4).
+	GenStreamsPerPE int
+	// QueueBins is the number of event-queue bins; each bin supports one
+	// insert and one dequeue per cycle (dual-ported).
+	QueueBins int
+	// NoCPorts is the crossbar port count between event generators and
+	// queue bins (paper: 16x16).
+	NoCPorts int
+	// ClockGHz converts cycles to wall time (paper: 1 GHz).
+	ClockGHz float64
+
+	// OnChipBytes is the eDRAM capacity for vertex state and event bins
+	// (paper: 64 MB; scaled default 512 KB).
+	OnChipBytes int64
+	// EdgeCacheBytes is the edge-cache capacity (paper: 1 KB per PE plus
+	// prefetch buffers; scaled default 32 KB total).
+	EdgeCacheBytes int64
+	// DRAMBytesPerCycle is the off-chip bandwidth (paper: 4 DDR4
+	// channels x 17 GB/s at 1 GHz = 68 bytes/cycle).
+	DRAMBytesPerCycle float64
+
+	// ValueBytes is the per-vertex per-version state footprint (value plus
+	// queue cell).
+	ValueBytes int64
+	// EdgeEntryBytes is the size of one adjacency entry as streamed from
+	// memory. MEGA's unified entries carry a snapshot-membership tag.
+	EdgeEntryBytes int64
+	// EventBytes is the size of one event message (target id, payload,
+	// version and batch tags).
+	EventBytes int64
+	// BatchEdgeBytes is the size of one batch edge record read by the
+	// batch reader.
+	BatchEdgeBytes int64
+	// DRAMBurstBytes is the minimum transfer granularity; scattered
+	// adjacency fetches smaller than a burst still move a full burst.
+	DRAMBurstBytes int64
+	// MutationBytesPerEdge is the adjacency-storage maintenance traffic
+	// per changed edge (read-modify-write of the containing block).
+	// MEGA's unified representation is immutable within a window, so this
+	// is zero for MEGA and nonzero for the streaming baseline, which must
+	// mutate its graph every hop.
+	MutationBytesPerEdge int64
+
+	// RoundOverheadCycles is the fixed pipeline fill/drain cost per round.
+	RoundOverheadCycles int64
+	// PartitionSwitchCycles is the fixed cost of activating a partition
+	// within a batch (streaming its event bins on/off chip).
+	PartitionSwitchCycles int64
+	// BPThresholdEvents is the live-event threshold below which the batch
+	// scheduler injects the next batch (batch pipelining). Zero disables
+	// pipelining.
+	BPThresholdEvents int
+	// DeletionEventCycles is the PE occupancy of one event processed
+	// during a deletion phase. JetStream's deletion events flow through a
+	// two-phase invalidate/recompute pipeline with dedicated deletion
+	// logic that MEGA removes entirely (§4.3), making them several times
+	// heavier than plain delta events. 1 for MEGA (which never processes
+	// deletions); >1 for the streaming baseline.
+	DeletionEventCycles int64
+}
+
+// DefaultConfig returns the MEGA configuration (Table 3, scaled).
+func DefaultConfig() Config {
+	return Config{
+		PEs:                   8,
+		GenStreamsPerPE:       4,
+		QueueBins:             16,
+		NoCPorts:              16,
+		ClockGHz:              1.0,
+		OnChipBytes:           512 << 10,
+		EdgeCacheBytes:        8 << 10, // 1 KB per PE, as in Table 5
+		DRAMBytesPerCycle:     68,
+		ValueBytes:            8,  // 4 B value + 4 B queue cell
+		EdgeEntryBytes:        12, // dst + weight + membership tag
+		EventBytes:            12, // target + payload + version/batch tags
+		BatchEdgeBytes:        12,
+		DRAMBurstBytes:        64,
+		MutationBytesPerEdge:  0, // unified representation is immutable
+		RoundOverheadCycles:   48,
+		PartitionSwitchCycles: 100,
+		BPThresholdEvents:     256,
+		DeletionEventCycles:   1,
+	}
+}
+
+// JetStreamConfig returns the baseline configuration: identical resources
+// (the paper sizes MEGA like JetStream), but single-version storage — no
+// membership tags on edges and smaller events.
+func JetStreamConfig() Config {
+	c := DefaultConfig()
+	c.EdgeEntryBytes = 8 // dst + weight, no membership tag
+	c.EventBytes = 8     // no version/batch tags
+	c.BatchEdgeBytes = 8
+	c.BPThresholdEvents = 0     // JetStream does not pipeline batches
+	c.MutationBytesPerEdge = 64 // per-hop adjacency maintenance (block RMW)
+	c.DeletionEventCycles = 6   // two-phase deletion pipeline
+	return c
+}
+
+// CyclesToMs converts a cycle count to milliseconds under this clock.
+func (c Config) CyclesToMs(cycles int64) float64 {
+	return float64(cycles) / (c.ClockGHz * 1e6)
+}
+
+// Validate rejects configurations the timing model cannot price.
+func (c Config) Validate() error {
+	switch {
+	case c.PEs < 1:
+		return fmt.Errorf("sim: PEs %d < 1", c.PEs)
+	case c.GenStreamsPerPE < 1:
+		return fmt.Errorf("sim: gen streams %d < 1", c.GenStreamsPerPE)
+	case c.QueueBins < 1:
+		return fmt.Errorf("sim: queue bins %d < 1", c.QueueBins)
+	case c.NoCPorts < 1:
+		return fmt.Errorf("sim: NoC ports %d < 1", c.NoCPorts)
+	case c.ClockGHz <= 0:
+		return fmt.Errorf("sim: clock %v GHz <= 0", c.ClockGHz)
+	case c.OnChipBytes < 1:
+		return fmt.Errorf("sim: on-chip bytes %d < 1", c.OnChipBytes)
+	case c.DRAMBytesPerCycle <= 0:
+		return fmt.Errorf("sim: DRAM bandwidth %v <= 0", c.DRAMBytesPerCycle)
+	case c.ValueBytes < 1 || c.EdgeEntryBytes < 1 || c.EventBytes < 1 || c.BatchEdgeBytes < 1:
+		return fmt.Errorf("sim: record sizes must be positive")
+	}
+	return nil
+}

@@ -1,0 +1,362 @@
+package sim
+
+import (
+	"mega/internal/graph"
+)
+
+// OpProfile is the timing record of one schedule operation (batch
+// application, context init/copy, or streaming hop phase).
+type OpProfile struct {
+	// Kind is the engine's op label: "init", "copy", "add", "add(Δ−)",
+	// "del", "solve".
+	Kind string
+	// BatchEdges is the batch size that seeded the op.
+	BatchEdges int
+	// Contexts is the number of concurrently computing contexts.
+	Contexts int
+	// Rounds is the number of event rounds the op ran.
+	Rounds int
+	// Events is the number of events processed.
+	Events int64
+	// Cycles is the op's total charged cycles.
+	Cycles int64
+	// TailCycles is the portion of Cycles spent in the op's trailing
+	// rounds whose event population was below the batch-pipelining
+	// threshold (the "long tail" of Figure 10/11).
+	TailCycles int64
+	// EventSeries is the per-round processed-event series, captured when
+	// the machine's captureSeries flag is set (Figure 10).
+	EventSeries []int64
+}
+
+// machine is the engine.Probe that performs timing simulation. It
+// accumulates per-round resource occupancies and converts each round to
+// cycles as the maximum occupancy across the datapath's resources, plus
+// fixed round overhead. Op-level costs (batch reads, value broadcasts,
+// partition swaps) are added at op boundaries.
+type machine struct {
+	cfg           Config
+	part          *graph.Partitioning
+	partitions    int
+	residentState int64 // bytes of vertex+queue state the run needs
+	cache         *edgeCache
+	captureSeries bool
+
+	// Totals.
+	cycles     int64
+	dramBytes  int64
+	spillBytes int64
+	swapBytes  int64
+
+	// Current op.
+	op          OpProfile
+	opRoundCyc  []int64
+	opRoundEvts []int64
+	opExtraCyc  int64 // batch read, copies, swaps
+	inOp        bool
+
+	// Current round accumulators.
+	rEvents   int64
+	rEventCyc int64 // PE occupancy (deletion events weigh more)
+	rGen      int64
+	rFetches  int64 // edge-cache port occupancy
+	rDram     int64
+	rBin      []int64 // per-queue-bin insert load (skew-aware)
+	rChan     []int64 // per-DRAM-channel bytes (interleaving-aware)
+	curV      graph.VertexID
+	// seeding is true between OpStart and the first round: the batch
+	// reader generates each partition's seed events while that partition
+	// is active (the batch itself is small and buffered on chip), so
+	// seeds never spill across partitions.
+	seeding bool
+
+	// opParts marks partitions touched by the current op's events.
+	opParts      []bool
+	opPartsCount int
+
+	profiles []OpProfile
+}
+
+func newMachine(cfg Config, part *graph.Partitioning, residentState int64, captureSeries bool) *machine {
+	m := &machine{
+		cfg:           cfg,
+		part:          part,
+		partitions:    part.Parts(),
+		residentState: residentState,
+		cache:         newEdgeCache(cfg.EdgeCacheBytes),
+		captureSeries: captureSeries,
+		opParts:       make([]bool, part.Parts()),
+		rBin:          make([]int64, max(cfg.QueueBins, 1)),
+		rChan:         make([]int64, max(dramChannels(cfg), 1)),
+	}
+	return m
+}
+
+// dramChannels derives the channel count from the aggregate bandwidth
+// (paper: 4 DDR4 channels of 17 B/cycle each).
+func dramChannels(cfg Config) int {
+	ch := int(cfg.DRAMBytesPerCycle / 17)
+	if ch < 1 {
+		ch = 1
+	}
+	return ch
+}
+
+// OpStart implements engine.Probe.
+func (m *machine) OpStart(kind string, batchEdges, contexts int) {
+	m.op = OpProfile{Kind: kind, BatchEdges: batchEdges, Contexts: contexts}
+	m.opRoundCyc = m.opRoundCyc[:0]
+	m.opRoundEvts = m.opRoundEvts[:0]
+	m.opExtraCyc = 0
+	m.inOp = true
+	// The batch reader streams the batch in from DRAM; a mutating system
+	// additionally pays adjacency-maintenance traffic per changed edge.
+	if batchEdges > 0 {
+		b := int64(batchEdges) * (m.cfg.BatchEdgeBytes + m.cfg.MutationBytesPerEdge)
+		m.dramBytes += b
+		m.opExtraCyc += ceilDiv(b, int64(m.cfg.DRAMBytesPerCycle))
+	}
+	m.rEvents, m.rEventCyc, m.rGen, m.rFetches, m.rDram = 0, 0, 0, 0, 0
+	clearInt64(m.rBin)
+	clearInt64(m.rChan)
+	m.seeding = true
+}
+
+// RoundStart implements engine.Probe. Work observed between rounds (batch
+// seeding, deletion invalidation and recompute) folds into the next round,
+// so accumulators reset at RoundEnd, not here.
+func (m *machine) RoundStart(int) { m.seeding = false }
+
+// Event implements engine.Probe. Events are processed while their
+// partition is resident (Figure 9's partition-major scheduling), so value
+// accesses stay on-chip; partitioning costs appear as cross-partition
+// event spills (Generated) and per-partition activation overhead (OpEnd).
+func (m *machine) Event(v graph.VertexID, _ int, _ bool) {
+	m.rEvents++
+	if m.op.Kind == "del" && m.cfg.DeletionEventCycles > 1 {
+		m.rEventCyc += m.cfg.DeletionEventCycles
+	} else {
+		m.rEventCyc++
+	}
+	m.curV = v
+	if m.partitions > 1 {
+		if p := m.part.PartOf(v); !m.opParts[p] {
+			m.opParts[p] = true
+			m.opPartsCount++
+		}
+	}
+}
+
+// EdgeFetch implements engine.Probe. Misses move whole DRAM bursts:
+// scattered small adjacencies still pay full-burst traffic, which is the
+// poor spatial locality of incremental processing the paper leans on
+// (§2.2) and the reason shared fetches matter.
+func (m *machine) EdgeFetch(v graph.VertexID, edges, _ int) {
+	if edges == 0 {
+		return
+	}
+	m.rFetches++ // even a cache hit occupies an edge-cache port
+	bytes := int64(edges) * m.cfg.EdgeEntryBytes
+	if _, dram := m.cache.access(v, bytes); dram > 0 {
+		if m.cfg.DRAMBurstBytes > 0 {
+			dram = ceilDiv(dram, m.cfg.DRAMBurstBytes) * m.cfg.DRAMBurstBytes
+		}
+		m.rDram += dram
+		m.dramBytes += dram
+		// Adjacency blocks interleave across channels by vertex block.
+		m.rChan[int(v>>3)%len(m.rChan)] += dram
+	}
+}
+
+// binSlotBytes is the size of one coalesced event-bin slot as streamed
+// to/from memory: a 4-byte value plus a 4-byte slot index.
+const binSlotBytes = 8
+
+// Generated implements engine.Probe. Cascade events crossing partitions
+// are spilled to the target partition's memory-resident bin and read back
+// when it activates. Bin entries are compact coalesced (slot, value)
+// pairs, so each spilled event moves one slot out and one back in.
+func (m *machine) Generated(dst graph.VertexID, _ int) {
+	m.rGen++
+	// Inserts are decoded to the bin owning the destination vertex
+	// (Figure 13); hot vertices concentrate load on their bin.
+	m.rBin[int(dst)%len(m.rBin)]++
+	if m.partitions > 1 && !m.seeding && m.part.PartOf(dst) != m.part.PartOf(m.curV) {
+		b := int64(2 * binSlotBytes)
+		m.rDram += b
+		m.dramBytes += b
+		m.spillBytes += b
+	}
+}
+
+// ValueCopy implements engine.Probe. Broadcast/clone traffic moves through
+// on-chip memory when everything is resident, through DRAM otherwise.
+// Context initialization ("init") reads the on-chip base solution and
+// writes one copy, so it pays the traffic once; clones and broadcasts of
+// non-resident state pay a read and a write.
+func (m *machine) ValueCopy(vertices, targets int) {
+	bytes := int64(vertices) * 4 * int64(targets) // 4-byte hardware values
+	if m.partitions > 1 {
+		if m.op.Kind != "init" {
+			bytes *= 2
+		}
+		m.dramBytes += bytes
+		m.opExtraCyc += ceilDiv(bytes, int64(m.cfg.DRAMBytesPerCycle))
+	} else {
+		// On-chip block copy: wide eDRAM row, 256 B/cycle.
+		m.opExtraCyc += ceilDiv(bytes, 256)
+	}
+}
+
+// RoundEnd implements engine.Probe: converts the round's resource
+// occupancies into cycles.
+func (m *machine) RoundEnd(int) {
+	c := m.roundCycles()
+	m.opRoundCyc = append(m.opRoundCyc, c)
+	m.opRoundEvts = append(m.opRoundEvts, m.rEvents)
+	m.rEvents, m.rEventCyc, m.rGen, m.rFetches, m.rDram = 0, 0, 0, 0, 0
+	clearInt64(m.rBin)
+	clearInt64(m.rChan)
+}
+
+func (m *machine) roundCycles() int64 {
+	cfg := &m.cfg
+	pe := ceilDiv(m.rEventCyc, int64(cfg.PEs))
+	gen := ceilDiv(m.rGen, int64(cfg.PEs*cfg.GenStreamsPerPE))
+	// Each dual-ported bin sustains one insert and one dequeue per cycle;
+	// the hottest bin bounds queue throughput (inserts are decoded by
+	// destination vertex, so skewed graphs concentrate load).
+	queue := ceilDiv(m.rEvents, int64(cfg.QueueBins))
+	for i := range m.rBin {
+		if m.rBin[i] > queue {
+			queue = m.rBin[i]
+		}
+	}
+	noc := ceilDiv(m.rGen, int64(cfg.NoCPorts))
+	fetch := ceilDiv(m.rFetches, int64(cfg.PEs)) // one edge-cache port per PE
+	// The busiest DRAM channel bounds memory throughput.
+	dram := ceilDiv(m.rDram, int64(cfg.DRAMBytesPerCycle))
+	perChan := int64(cfg.DRAMBytesPerCycle) / int64(len(m.rChan))
+	if perChan > 0 {
+		for i := range m.rChan {
+			if c := ceilDiv(m.rChan[i], perChan); c > dram {
+				dram = c
+			}
+		}
+	}
+	c := maxInt64(pe, maxInt64(gen, maxInt64(queue, maxInt64(noc, maxInt64(fetch, dram)))))
+	return c + cfg.RoundOverheadCycles
+}
+
+// OpEnd implements engine.Probe: finalizes the op profile, charging
+// partition swap traffic and computing the pipelining tail.
+func (m *machine) OpEnd() {
+	if !m.inOp {
+		return
+	}
+	m.inOp = false
+	// Flush work that never reached a round boundary (e.g. a deletion
+	// batch whose invalidation found nothing to propagate).
+	if m.rEvents > 0 || m.rGen > 0 || m.rDram > 0 {
+		m.RoundEnd(0)
+	}
+	var cyc, events int64
+	for i, c := range m.opRoundCyc {
+		cyc += c
+		events += m.opRoundEvts[i]
+	}
+	cyc += m.opExtraCyc
+
+	// Partition activations: each partition the op touched pays a fixed
+	// bin-streaming overhead (Figure 9's partition-major scheduling).
+	if m.partitions > 1 && m.opPartsCount > 0 {
+		actCyc := int64(m.opPartsCount) * m.cfg.PartitionSwitchCycles
+		cyc += actCyc
+		b := int64(float64(actCyc) * m.cfg.DRAMBytesPerCycle)
+		m.swapBytes += b
+		m.dramBytes += b
+		for p := range m.opParts {
+			m.opParts[p] = false
+		}
+		m.opPartsCount = 0
+	}
+
+	// Tail: trailing rounds whose processed-event count is below the
+	// batch-pipelining threshold.
+	var tail int64
+	if m.cfg.BPThresholdEvents > 0 {
+		for i := len(m.opRoundEvts) - 1; i >= 0; i-- {
+			if m.opRoundEvts[i] >= int64(m.cfg.BPThresholdEvents) {
+				break
+			}
+			tail += m.opRoundCyc[i]
+		}
+	}
+
+	m.op.Rounds = len(m.opRoundCyc)
+	m.op.Events = events
+	m.op.Cycles = cyc
+	m.op.TailCycles = tail
+	if m.captureSeries {
+		m.op.EventSeries = append([]int64(nil), m.opRoundEvts...)
+	}
+	m.cycles += cyc
+	m.profiles = append(m.profiles, m.op)
+}
+
+// pipelinedCycles computes total cycles with batch pipelining: the tail of
+// each batch application overlaps the head (non-tail body) of the next.
+// Non-apply ops (init/copy) neither pipeline nor break the chain of the
+// batches around them.
+func pipelinedCycles(profiles []OpProfile, threshold int) int64 {
+	var total int64
+	var prevTail int64
+	for _, p := range profiles {
+		total += p.Cycles
+		if !isApplyOp(p.Kind) {
+			continue
+		}
+		if threshold > 0 && prevTail > 0 {
+			body := p.Cycles - p.TailCycles
+			overlap := minInt64(prevTail, body)
+			total -= overlap
+		}
+		prevTail = p.TailCycles
+	}
+	return total
+}
+
+func isApplyOp(kind string) bool {
+	switch kind {
+	case "add", "add(Δ−)", "del":
+		return true
+	}
+	return false
+}
+
+func ceilDiv(a, b int64) int64 {
+	if b <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func clearInt64(xs []int64) {
+	for i := range xs {
+		xs[i] = 0
+	}
+}

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mega/internal/graph"
+)
+
+func TestPipelinedCyclesChain(t *testing.T) {
+	// Three consecutive apply ops: each tail overlaps the next body.
+	profiles := []OpProfile{
+		{Kind: "add", Cycles: 100, TailCycles: 40},
+		{Kind: "add", Cycles: 100, TailCycles: 40},
+		{Kind: "add", Cycles: 100, TailCycles: 40},
+	}
+	// Overlaps: min(40, 60) twice = 80 saved.
+	if got := pipelinedCycles(profiles, 1); got != 220 {
+		t.Errorf("chained pipelinedCycles = %d, want 220", got)
+	}
+}
+
+func TestPipelinedCyclesTailLargerThanBody(t *testing.T) {
+	profiles := []OpProfile{
+		{Kind: "add", Cycles: 100, TailCycles: 90},
+		{Kind: "add", Cycles: 50, TailCycles: 45},
+	}
+	// Overlap limited by the successor's non-tail body: min(90, 5) = 5.
+	if got := pipelinedCycles(profiles, 1); got != 145 {
+		t.Errorf("pipelinedCycles = %d, want 145", got)
+	}
+}
+
+func TestPipelinedCyclesNonApplyOpsNeutral(t *testing.T) {
+	profiles := []OpProfile{
+		{Kind: "add", Cycles: 100, TailCycles: 30},
+		{Kind: "copy", Cycles: 7},
+		{Kind: "init", Cycles: 3},
+		{Kind: "add", Cycles: 100, TailCycles: 10},
+	}
+	// The bookkeeping ops neither pipeline nor break the apply chain:
+	// total 210, minus min(tail 30, next body 90) = 180.
+	if got := pipelinedCycles(profiles, 1); got != 180 {
+		t.Errorf("pipelinedCycles = %d, want 180", got)
+	}
+}
+
+func TestDramChannels(t *testing.T) {
+	cfg := DefaultConfig()
+	if got := dramChannels(cfg); got != 4 {
+		t.Errorf("default channels = %d, want 4 (68 B/cycle / 17)", got)
+	}
+	cfg.DRAMBytesPerCycle = 5
+	if got := dramChannels(cfg); got != 1 {
+		t.Errorf("tiny bandwidth channels = %d, want 1", got)
+	}
+}
+
+func TestMachineBinSkewCosts(t *testing.T) {
+	// All generated events landing on one bin must cost at least as many
+	// queue cycles as the same count spread across bins.
+	cfg := DefaultConfig()
+	part, _ := graph.NewPartitioning(64, 1)
+	hot := newMachine(cfg, part, 0, false)
+	spread := newMachine(cfg, part, 0, false)
+	hot.OpStart("add", 0, 1)
+	spread.OpStart("add", 0, 1)
+	for i := 0; i < 64; i++ {
+		hot.Generated(graph.VertexID(0), 0)    // same bin every time
+		spread.Generated(graph.VertexID(i), 0) // round-robin bins
+		hot.Event(graph.VertexID(0), 0, false) // keep events equal
+		spread.Event(graph.VertexID(i%64), 0, false)
+	}
+	hot.RoundEnd(0)
+	spread.RoundEnd(0)
+	hot.OpEnd()
+	spread.OpEnd()
+	if hot.cycles <= spread.cycles {
+		t.Errorf("hot-bin cycles %d <= spread %d; skew not modeled", hot.cycles, spread.cycles)
+	}
+}
+
+// Property: round cycles are monotone in every occupancy input.
+func TestRoundCyclesMonotoneQuick(t *testing.T) {
+	cfg := DefaultConfig()
+	part, _ := graph.NewPartitioning(16, 1)
+	f := func(events, gens uint16) bool {
+		m := newMachine(cfg, part, 0, false)
+		m.OpStart("add", 0, 1)
+		for i := 0; i < int(events); i++ {
+			m.Event(graph.VertexID(i%16), 0, false)
+		}
+		for i := 0; i < int(gens); i++ {
+			m.Generated(graph.VertexID(i%16), 0)
+		}
+		base := m.roundCycles()
+
+		m2 := newMachine(cfg, part, 0, false)
+		m2.OpStart("add", 0, 1)
+		for i := 0; i < int(events)+10; i++ {
+			m2.Event(graph.VertexID(i%16), 0, false)
+		}
+		for i := 0; i < int(gens)+10; i++ {
+			m2.Generated(graph.VertexID(i%16), 0)
+		}
+		return m2.roundCycles() >= base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,302 @@
+package sim
+
+import (
+	"fmt"
+
+	"mega/internal/algo"
+	"mega/internal/engine"
+	"mega/internal/evolve"
+	"mega/internal/gen"
+	"mega/internal/graph"
+	"mega/internal/sched"
+)
+
+// Result is the outcome of one simulated run: exact functional counts plus
+// the timing model's cycle totals and memory-system breakdown.
+type Result struct {
+	// Workflow is the run's execution flow label ("JetStream",
+	// "Direct-Hop", "Work-Sharing", "BOE").
+	Workflow string
+	// Algo is the query algorithm.
+	Algo algo.Kind
+
+	// Cycles is the total without batch pipelining; CyclesBP overlaps
+	// each batch's convergence tail with the next batch.
+	Cycles   int64
+	CyclesBP int64
+	// TimeMs / TimeMsBP are the cycle totals under the configured clock.
+	TimeMs   float64
+	TimeMsBP float64
+
+	// Partitions is the vertex-partition count forced by on-chip
+	// capacity (1 = everything resident).
+	Partitions int
+
+	// Memory-system breakdown (bytes).
+	DRAMBytes  int64
+	SpillBytes int64
+	SwapBytes  int64
+	CacheHits  int64
+	CacheMiss  int64
+
+	// Counts are the exact functional measures (events, vertex
+	// reads/writes, edge reads, fetch sharing, rounds).
+	Counts engine.Stats
+
+	// OpProfiles records per-operation timing (ordered).
+	OpProfiles []OpProfile
+
+	// SnapshotValues holds each snapshot's final query values (MEGA runs)
+	// or the final solution history (JetStream runs: entry s is the
+	// solution after reaching snapshot s). Used for cross-validation.
+	SnapshotValues [][]float64
+}
+
+// residentContexts returns how many graph-version value arrays the
+// workflow keeps on chip concurrently. All three MEGA flows execute their
+// snapshots concurrently (the paper configures Direct-Hop and Work-Sharing
+// on the same multi-version hardware), so every flow keeps one value array
+// per snapshot resident.
+func residentContexts(_ sched.Mode, snapshots int) int {
+	return snapshots
+}
+
+// planPartitions returns the partitioning implied by keeping
+// residentCtxs × numVertices vertex states on chip.
+func planPartitions(cfg Config, numVertices, residentCtxs int) (*graph.Partitioning, int64, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, 0, err
+	}
+	state := int64(residentCtxs) * int64(numVertices) * cfg.ValueBytes
+	parts := int(ceilDiv(state, cfg.OnChipBytes))
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > numVertices {
+		parts = numVertices
+	}
+	p, err := graph.NewPartitioning(numVertices, parts)
+	if err != nil {
+		return nil, 0, err
+	}
+	return p, state, nil
+}
+
+// RunMEGA simulates the MEGA accelerator executing the given workflow on
+// an evolving window. The base CommonGraph solve is excluded from timing,
+// matching the evaluation's per-window measurements (DESIGN.md §3).
+func RunMEGA(w *evolve.Window, kind algo.Kind, src graph.VertexID, mode sched.Mode, cfg Config) (*Result, error) {
+	return runMEGA(w, kind, src, mode, cfg, false)
+}
+
+// RunMEGASeries is RunMEGA with per-op round-series capture (Figure 10).
+func RunMEGASeries(w *evolve.Window, kind algo.Kind, src graph.VertexID, mode sched.Mode, cfg Config) (*Result, error) {
+	return runMEGA(w, kind, src, mode, cfg, true)
+}
+
+func runMEGA(w *evolve.Window, kind algo.Kind, src graph.VertexID, mode sched.Mode, cfg Config, series bool) (*Result, error) {
+	s, err := sched.New(mode, w)
+	if err != nil {
+		return nil, err
+	}
+	part, state, err := planPartitions(cfg, w.NumVertices(), residentContexts(mode, w.NumSnapshots()))
+	if err != nil {
+		return nil, err
+	}
+	m := newMachine(cfg, part, state, series)
+	stats := &engine.Stats{}
+	eng, err := engine.NewMulti(w, algo.New(kind), src, engine.NewMultiProbe(stats, m))
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Run(s); err != nil {
+		return nil, err
+	}
+	res := newResult(mode.String(), kind, cfg, m, stats)
+	for snap := 0; snap < w.NumSnapshots(); snap++ {
+		res.SnapshotValues = append(res.SnapshotValues, eng.SnapshotValues(s, snap))
+	}
+	return res, nil
+}
+
+// RunMEGANoFetchShare is RunMEGA with cross-snapshot adjacency-fetch
+// sharing disabled — the ablation isolating how much of BOE's win comes
+// from prefetch reuse between concurrent snapshots.
+func RunMEGANoFetchShare(w *evolve.Window, kind algo.Kind, src graph.VertexID, mode sched.Mode, cfg Config) (*Result, error) {
+	s, err := sched.New(mode, w)
+	if err != nil {
+		return nil, err
+	}
+	part, state, err := planPartitions(cfg, w.NumVertices(), residentContexts(mode, w.NumSnapshots()))
+	if err != nil {
+		return nil, err
+	}
+	m := newMachine(cfg, part, state, false)
+	stats := &engine.Stats{}
+	eng, err := engine.NewMulti(w, algo.New(kind), src, engine.NewMultiProbe(stats, m))
+	if err != nil {
+		return nil, err
+	}
+	eng.SetFetchSharing(false)
+	if err := eng.Run(s); err != nil {
+		return nil, err
+	}
+	res := newResult(mode.String()+" (no fetch sharing)", kind, cfg, m, stats)
+	for snap := 0; snap < w.NumSnapshots(); snap++ {
+		res.SnapshotValues = append(res.SnapshotValues, eng.SnapshotValues(s, snap))
+	}
+	return res, nil
+}
+
+// RunRecompute simulates the naive evolving-graph strategy (§2.1): solve
+// the query from scratch on every snapshot independently on the same
+// accelerator. The per-snapshot CSRs are materialized offline (uncharged,
+// like the unified representation's construction); only the solves are
+// timed.
+func RunRecompute(w *evolve.Window, kind algo.Kind, src graph.VertexID, cfg Config) (*Result, error) {
+	part, state, err := planPartitions(cfg, w.NumVertices(), 1)
+	if err != nil {
+		return nil, err
+	}
+	m := newMachine(cfg, part, state, false)
+	stats := &engine.Stats{}
+	probe := engine.NewMultiProbe(stats, m)
+	res := &Result{}
+	for snap := 0; snap < w.NumSnapshots(); snap++ {
+		g, err := graph.NewCSR(w.NumVertices(), w.SnapshotEdges(snap))
+		if err != nil {
+			return nil, err
+		}
+		vals := engine.Solve(g, algo.New(kind), src, probe)
+		res.SnapshotValues = append(res.SnapshotValues, vals)
+	}
+	filled := newResult("Recompute", kind, cfg, m, stats)
+	filled.SnapshotValues = res.SnapshotValues
+	return filled, nil
+}
+
+// RunJetStream simulates the JetStream baseline: sequential hops over the
+// evolution, deletions first (KickStarter-style invalidation) then
+// additions. The initial G_0 solve is excluded from timing, matching the
+// MEGA runs.
+func RunJetStream(ev *gen.Evolution, kind algo.Kind, src graph.VertexID, cfg Config) (*Result, error) {
+	return runJetStream(ev, kind, src, cfg, false)
+}
+
+// RunJetStreamSeries is RunJetStream with round-series capture.
+func RunJetStreamSeries(ev *gen.Evolution, kind algo.Kind, src graph.VertexID, cfg Config) (*Result, error) {
+	return runJetStream(ev, kind, src, cfg, true)
+}
+
+func runJetStream(ev *gen.Evolution, kind algo.Kind, src graph.VertexID, cfg Config, series bool) (*Result, error) {
+	hg, err := BuildHopGraphs(ev)
+	if err != nil {
+		return nil, err
+	}
+	return RunJetStreamOn(ev, hg, kind, src, cfg, series)
+}
+
+// HopGraphs holds the materialized graph sequence of an evolution: the
+// initial graph and, per hop, the mid graph (after deletions) and the new
+// graph (after additions). Building it is an offline cost shared across
+// algorithm runs.
+type HopGraphs struct {
+	G0       *graph.CSR
+	Mid, New []*graph.CSR
+}
+
+// BuildHopGraphs materializes the evolution's graph sequence.
+func BuildHopGraphs(ev *gen.Evolution) (*HopGraphs, error) {
+	g0, err := graph.NewCSR(ev.NumVertices, ev.Initial)
+	if err != nil {
+		return nil, err
+	}
+	hg := &HopGraphs{G0: g0}
+	cur := ev.Initial.Clone()
+	for j := range ev.Adds {
+		mid := cur.Minus(ev.Dels[j])
+		midG, err := graph.NewCSR(ev.NumVertices, mid)
+		if err != nil {
+			return nil, err
+		}
+		cur = mid.Union(ev.Adds[j])
+		newG, err := graph.NewCSR(ev.NumVertices, cur)
+		if err != nil {
+			return nil, err
+		}
+		hg.Mid = append(hg.Mid, midG)
+		hg.New = append(hg.New, newG)
+	}
+	return hg, nil
+}
+
+// RunJetStreamOn is RunJetStream over prebuilt hop graphs, letting callers
+// amortize graph materialization across several algorithm runs.
+func RunJetStreamOn(ev *gen.Evolution, hg *HopGraphs, kind algo.Kind, src graph.VertexID, cfg Config, series bool) (*Result, error) {
+	part, state, err := planPartitions(cfg, ev.NumVertices, 1)
+	if err != nil {
+		return nil, err
+	}
+	m := newMachine(cfg, part, state, series)
+	stats := &engine.Stats{}
+	probe := engine.NewMultiProbe(stats, m)
+
+	st, err := engine.NewStream(hg.G0, algo.New(kind), src, probe)
+	if err != nil {
+		return nil, err
+	}
+
+	var values [][]float64
+	values = append(values, append([]float64(nil), st.Values()...))
+	for j := range ev.Adds {
+		st.ApplyDeletions(hg.Mid[j], ev.Dels[j])
+		st.ApplyAdditions(hg.New[j], ev.Adds[j])
+		values = append(values, append([]float64(nil), st.Values()...))
+	}
+	filled := newResult("JetStream", kind, cfg, m, stats)
+	filled.SnapshotValues = values
+	return filled, nil
+}
+
+func newResult(workflow string, kind algo.Kind, cfg Config, m *machine, stats *engine.Stats) *Result {
+	return &Result{
+		Workflow:   workflow,
+		Algo:       kind,
+		Cycles:     m.cycles,
+		CyclesBP:   pipelinedCycles(m.profiles, cfg.BPThresholdEvents),
+		TimeMs:     cfg.CyclesToMs(m.cycles),
+		TimeMsBP:   cfg.CyclesToMs(pipelinedCycles(m.profiles, cfg.BPThresholdEvents)),
+		Partitions: m.partitions,
+		DRAMBytes:  m.dramBytes,
+		SpillBytes: m.spillBytes,
+		SwapBytes:  m.swapBytes,
+		CacheHits:  m.cache.Hits,
+		CacheMiss:  m.cache.Misses,
+		Counts:     *stats,
+		OpProfiles: m.profiles,
+	}
+}
+
+// Speedup returns base's runtime divided by r's pipelined runtime — the
+// paper's "speedup over JetStream" metric when base is a JetStream run.
+func (r *Result) Speedup(base *Result) float64 {
+	if r.CyclesBP == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(r.CyclesBP)
+}
+
+// SpeedupNoBP is Speedup without batch pipelining on r's side.
+func (r *Result) SpeedupNoBP(base *Result) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(r.Cycles)
+}
+
+// String summarizes the run.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s/%s: %.3fms (BP %.3fms), %d partitions, %d events, %.1fMB DRAM",
+		r.Workflow, r.Algo, r.TimeMs, r.TimeMsBP, r.Partitions,
+		r.Counts.Events, float64(r.DRAMBytes)/(1<<20))
+}

@@ -1,0 +1,69 @@
+package swcost
+
+import (
+	"testing"
+
+	"mega/internal/engine"
+)
+
+var testCounts = Counts{
+	Events:  200_000,
+	Edges:   600_000,
+	Copied:  800_000,
+	Changes: 120_000,
+	Rounds:  100,
+}
+
+func TestRuntimePositive(t *testing.T) {
+	for _, m := range []Model{KickStarter, RisGraph, Subway} {
+		if ms := m.RuntimeMs(testCounts); ms <= 0 {
+			t.Errorf("%s runtime = %v ms", m.Name, ms)
+		}
+	}
+}
+
+func TestRelativeSystemSpeeds(t *testing.T) {
+	// RisGraph is faster than KickStarter on identical work; the GPU is
+	// faster than both on this event/edge volume despite launch overheads.
+	ks := KickStarter.RuntimeMs(testCounts)
+	rg := RisGraph.RuntimeMs(testCounts)
+	sw := Subway.RuntimeMs(testCounts)
+	if !(rg < ks) {
+		t.Errorf("RisGraph %.2fms not faster than KickStarter %.2fms", rg, ks)
+	}
+	if !(sw < rg) {
+		t.Errorf("Subway %.2fms not faster than RisGraph %.2fms", sw, rg)
+	}
+}
+
+func TestRuntimeScalesWithWork(t *testing.T) {
+	small := testCounts
+	big := testCounts
+	big.Events *= 4
+	big.Edges *= 4
+	for _, m := range []Model{KickStarter, RisGraph, Subway} {
+		if !(m.RuntimeMs(big) > m.RuntimeMs(small)) {
+			t.Errorf("%s: 4x work not slower", m.Name)
+		}
+	}
+}
+
+func TestFromStats(t *testing.T) {
+	s := engine.Stats{
+		Events:       10,
+		EdgesRead:    100,
+		SharedEdges:  40,
+		ValuesCopied: 7,
+		Rounds:       3,
+	}
+	c := FromStats(s, 55)
+	if c.Events != 10 || c.Edges != 140 || c.Copied != 7 || c.Changes != 55 || c.Rounds != 3 {
+		t.Errorf("FromStats = %+v", c)
+	}
+}
+
+func TestZeroWork(t *testing.T) {
+	if ms := RisGraph.RuntimeMs(Counts{}); ms != 0 {
+		t.Errorf("zero work costs %v ms", ms)
+	}
+}

@@ -1,0 +1,70 @@
+package testutil
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mega/internal/algo"
+)
+
+func TestReferenceDiamond(t *testing.T) {
+	g, edges := Diamond()
+	if g.NumEdges() != len(edges) {
+		t.Fatalf("diamond CSR has %d edges, list has %d", g.NumEdges(), len(edges))
+	}
+	sssp := Reference(g, algo.New(algo.SSSP), 0)
+	// Hand-checked: 0→2(2)→4(5)→5(3) = 10.
+	if sssp[5] != 10 {
+		t.Errorf("dist(5) = %v, want 10", sssp[5])
+	}
+	if sssp[0] != 0 {
+		t.Errorf("dist(0) = %v, want 0", sssp[0])
+	}
+}
+
+func TestReferenceSelfSeeding(t *testing.T) {
+	g, _ := Diamond()
+	labels := Reference(g, algo.New(algo.CC), 0)
+	// The diamond is a DAG rooted at 0: everything reaches label 0.
+	for v, l := range labels {
+		if l != 0 {
+			t.Errorf("label(%d) = %v, want 0", v, l)
+		}
+	}
+}
+
+func TestReferenceEmptyGraph(t *testing.T) {
+	vals := ReferenceEdges(0, nil, algo.New(algo.BFS), 0)
+	if len(vals) != 0 {
+		t.Errorf("empty graph produced %d values", len(vals))
+	}
+}
+
+func TestRandomConnectedEdgesReachability(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	edges := RandomConnectedEdges(r, 40, 20, 8)
+	vals := ReferenceEdges(40, edges, algo.New(algo.BFS), 0)
+	for v, d := range vals {
+		if math.IsInf(d, 1) {
+			t.Errorf("vertex %d unreachable in connected construction", v)
+		}
+	}
+	for _, e := range edges {
+		if e.Weight < 1 || e.Weight > 8 {
+			t.Errorf("weight %v outside [1,8]", e.Weight)
+		}
+	}
+}
+
+func TestEqualValues(t *testing.T) {
+	if !EqualValues([]float64{1, 2}, []float64{1, 2}) {
+		t.Error("equal slices reported unequal")
+	}
+	if EqualValues([]float64{1}, []float64{1, 2}) {
+		t.Error("length mismatch reported equal")
+	}
+	if EqualValues([]float64{1, 2}, []float64{1, 3}) {
+		t.Error("value mismatch reported equal")
+	}
+}

@@ -1,0 +1,79 @@
+package uarch
+
+// lru is a byte-budgeted LRU over per-vertex adjacency blocks, the edge
+// unit's cache. (internal/sim has its own; this one is deliberately
+// independent so the two fidelity levels share no modeling code.)
+type lru struct {
+	capacity int64
+	used     int64
+	nodes    map[uint32]*lruNode
+	head     *lruNode // most recently used
+	tail     *lruNode
+}
+
+type lruNode struct {
+	key        uint32
+	bytes      int64
+	prev, next *lruNode
+}
+
+func newLRU(capacity int64) *lru {
+	return &lru{capacity: capacity, nodes: make(map[uint32]*lruNode)}
+}
+
+// access touches the block and reports whether it was cached. Misses
+// install the block, evicting least-recently-used entries; blocks larger
+// than the cache bypass it.
+func (c *lru) access(key uint32, bytes int64) bool {
+	if n, ok := c.nodes[key]; ok {
+		c.moveToFront(n)
+		return true
+	}
+	if bytes > c.capacity {
+		return false
+	}
+	for c.used+bytes > c.capacity && c.tail != nil {
+		evict := c.tail
+		c.unlink(evict)
+		delete(c.nodes, evict.key)
+		c.used -= evict.bytes
+	}
+	n := &lruNode{key: key, bytes: bytes}
+	c.nodes[key] = n
+	c.used += bytes
+	c.pushFront(n)
+	return false
+}
+
+func (c *lru) pushFront(n *lruNode) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *lru) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+}
+
+func (c *lru) moveToFront(n *lruNode) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}

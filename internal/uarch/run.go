@@ -1,0 +1,349 @@
+package uarch
+
+import (
+	"fmt"
+
+	"mega/internal/engine"
+	"mega/internal/graph"
+	"mega/internal/sched"
+)
+
+// run drives the cycle loop. As the paper's §4.1 describes the hardware,
+// the batch reader "creates corresponding events for each of the active
+// snapshots" — every apply op seeds per-target events directly, so stage
+// overlap under batch pipelining needs no broadcast step and the result
+// is the query fixpoint for every snapshot regardless of interleaving.
+func (m *machine) run(s *sched.Schedule) error {
+	n := m.win.NumVertices()
+	base := engine.Solve(m.win.CommonCSR(), m.a, m.src, engine.NopProbe{})
+
+	m.vals = make([][]float64, s.NumContexts)
+	m.applied = make([]appliedSet, s.NumContexts)
+
+	// Group ops into stages; inits execute instantly (the base solution
+	// and its distribution are offline costs, as in internal/sim).
+	for i := 0; i < len(s.Ops); {
+		stage := s.Ops[i].Stage
+		var applies []sched.Op
+		for ; i < len(s.Ops) && s.Ops[i].Stage == stage; i++ {
+			op := s.Ops[i]
+			switch op.Kind {
+			case sched.OpInit:
+				if m.vals[op.Ctx] == nil {
+					m.vals[op.Ctx] = make([]float64, n)
+					m.applied[op.Ctx] = newAppliedSet(len(m.win.Batches()))
+				}
+				copy(m.vals[op.Ctx], base)
+			case sched.OpCopy:
+				return fmt.Errorf("uarch: OpCopy unsupported (BOE schedules have none)")
+			case sched.OpApply:
+				applies = append(applies, op)
+			}
+		}
+		if len(applies) > 0 {
+			m.stages = append(m.stages, &stageState{ops: applies})
+		}
+	}
+	for _, c := range s.SnapshotCtx {
+		if m.vals[c] == nil {
+			return fmt.Errorf("uarch: snapshot context %d never initialized", c)
+		}
+	}
+
+	// Allocate the direct-mapped bins: bin b owns vertices v with
+	// v % bins == b; the local index is v / bins.
+	local := (n + m.cfg.QueueBins - 1) / m.cfg.QueueBins
+	m.bins = make([]*bin, m.cfg.QueueBins)
+	for b := range m.bins {
+		bb := &bin{
+			val: make([][]float64, s.NumContexts),
+			has: make([][]bool, s.NumContexts),
+			tag: make([][]int32, s.NumContexts),
+		}
+		for c := 0; c < s.NumContexts; c++ {
+			bb.val[c] = make([]float64, local)
+			bb.has[c] = make([]bool, local)
+			bb.tag[c] = make([]int32, local)
+		}
+		m.bins[b] = bb
+	}
+
+	m.startStage(0)
+	for !m.done() {
+		m.tick()
+		if m.cfg.MaxCycles > 0 && m.now > m.cfg.MaxCycles {
+			return fmt.Errorf("uarch: exceeded %d cycles (live=%d)", m.cfg.MaxCycles, m.live)
+		}
+	}
+	return nil
+}
+
+// startStage activates stage idx: marks its batches applied for every
+// target (so cascades traverse the new edges) and arms the batch reader.
+func (m *machine) startStage(idx int) {
+	if idx >= len(m.stages) {
+		return
+	}
+	for _, op := range m.stages[idx].ops {
+		for _, c := range op.Targets {
+			m.applied[c].add(op.Batch.ID)
+		}
+	}
+	m.nextStage = idx + 1
+}
+
+func (m *machine) done() bool {
+	if m.nextStage < len(m.stages) {
+		return false
+	}
+	if m.live > 0 {
+		return false
+	}
+	for _, st := range m.stages {
+		if !st.readerDone {
+			return false
+		}
+	}
+	for _, p := range m.pes {
+		if p.busy {
+			return false
+		}
+	}
+	return true
+}
+
+// tick advances the machine one cycle: batch reading, NoC delivery,
+// scheduling, PE progress, and stage activation.
+func (m *machine) tick() {
+	m.now++
+
+	// 1. Batch reader: stream up to BatchEdgesPerCycle edges of the
+	//    oldest unfinished stage, generating one event per target.
+	for st := 0; st < m.nextStage; st++ {
+		stage := m.stages[st]
+		if stage.readerDone {
+			continue
+		}
+		m.readBatch(stage, int32(st))
+		break // one reader; it serves one stage at a time
+	}
+
+	// 2. NoC: each port delivers one event into its bin per cycle.
+	for b, port := range m.ports {
+		if len(port) == 0 {
+			continue
+		}
+		ev := port[0]
+		m.ports[b] = port[1:]
+		m.insert(m.bins[b], ev)
+	}
+
+	// 3. Scheduler: pull at most one event per bin to idle PEs.
+	pei := 0
+	for _, bb := range m.bins {
+		for pei < len(m.pes) && m.pes[pei].busy {
+			pei++
+		}
+		if pei >= len(m.pes) {
+			break
+		}
+		ev, ok := m.dequeue(bb)
+		if !ok {
+			continue
+		}
+		m.dispatch(m.pes[pei], ev)
+	}
+
+	// 4. PEs: progress generation phases.
+	for _, p := range m.pes {
+		if p.busy {
+			m.peBusy++
+			m.progress(p)
+		}
+	}
+
+	// 5. Batch pipelining: start the next stage when the machine runs dry
+	//    enough (threshold 0 = strictly after full completion).
+	if m.nextStage < len(m.stages) {
+		prev := m.stages[m.nextStage-1]
+		thr := int64(m.cfg.BPThresholdEvents)
+		if prev.readerDone && ((thr > 0 && m.live < thr) || prev.outstanding == 0) {
+			m.startStage(m.nextStage)
+		}
+	}
+
+	if m.live > m.maxLive {
+		m.maxLive = m.live
+	}
+}
+
+// readBatch advances the stage's seed cursor by up to BatchEdgesPerCycle
+// edges, generating events for every target whose source side is reached.
+func (m *machine) readBatch(stage *stageState, tag int32) {
+	edgesRead := 0
+	for edgesRead < m.cfg.BatchEdgesPerCycle {
+		opIdx := 0
+		cursor := stage.seedCursor
+		for opIdx < len(stage.ops) && cursor >= len(stage.ops[opIdx].Batch.Edges) {
+			cursor -= len(stage.ops[opIdx].Batch.Edges)
+			opIdx++
+		}
+		if opIdx >= len(stage.ops) {
+			stage.readerDone = true
+			return
+		}
+		op := stage.ops[opIdx]
+		e := op.Batch.Edges[cursor]
+		for _, c := range op.Targets {
+			srcVal := m.vals[c][e.Src]
+			if srcVal == m.a.Identity() {
+				continue
+			}
+			m.emit(event{
+				ctx: int32(c), stage: tag, dst: e.Dst,
+				val: m.a.EdgeFunc(srcVal, e.Weight),
+			})
+		}
+		stage.seedCursor++
+		edgesRead++
+	}
+}
+
+// emit pushes an event into the NoC port of its destination bin.
+func (m *machine) emit(ev event) {
+	m.generated++
+	m.live++
+	m.stages[ev.stage].outstanding++
+	b := int(ev.dst) % m.cfg.QueueBins
+	m.ports[b] = append(m.ports[b], ev)
+}
+
+// retire accounts a finished event.
+func (m *machine) retire(stage int32) {
+	m.live--
+	m.stages[stage].outstanding--
+}
+
+// insert coalesces an event into its bin's direct-mapped slot.
+func (m *machine) insert(bb *bin, ev event) {
+	idx := int(ev.dst) / m.cfg.QueueBins
+	if bb.has[ev.ctx][idx] {
+		m.coalesced++
+		if m.a.Better(ev.val, bb.val[ev.ctx][idx]) {
+			// The new candidate takes the slot; the displaced one retires.
+			displaced := bb.tag[ev.ctx][idx]
+			bb.val[ev.ctx][idx] = ev.val
+			bb.tag[ev.ctx][idx] = ev.stage
+			m.retire(displaced)
+		} else {
+			m.retire(ev.stage)
+		}
+		return
+	}
+	bb.has[ev.ctx][idx] = true
+	bb.val[ev.ctx][idx] = ev.val
+	bb.tag[ev.ctx][idx] = ev.stage
+	bb.fifo = append(bb.fifo, slot{ctx: ev.ctx, stage: ev.stage, dst: ev.dst})
+}
+
+// dequeue pops the oldest occupied slot of the bin.
+func (m *machine) dequeue(bb *bin) (event, bool) {
+	for len(bb.fifo) > 0 {
+		sl := bb.fifo[0]
+		bb.fifo = bb.fifo[1:]
+		idx := int(sl.dst) / m.cfg.QueueBins
+		if !bb.has[sl.ctx][idx] {
+			continue // slot already drained
+		}
+		bb.has[sl.ctx][idx] = false
+		return event{
+			ctx: sl.ctx, stage: bb.tag[sl.ctx][idx],
+			dst: sl.dst, val: bb.val[sl.ctx][idx],
+		}, true
+	}
+	return event{}, false
+}
+
+// dispatch starts an event on an idle PE: the vertex read and update check
+// take this cycle; improving events issue an adjacency fetch.
+func (m *machine) dispatch(p *pe, ev event) {
+	m.events++
+	if !m.a.Better(ev.val, m.vals[ev.ctx][ev.dst]) {
+		m.retire(ev.stage)
+		return // discarded after the 1-cycle check; PE stays free
+	}
+	m.appliedN++
+	m.vals[ev.ctx][ev.dst] = ev.val
+
+	lo, hi := m.u.Union().EdgeRange(ev.dst)
+	if lo == hi {
+		m.retire(ev.stage)
+		return
+	}
+	p.busy = true
+	p.ctx, p.stage, p.vertex = ev.ctx, ev.stage, ev.dst
+	p.srcVal = ev.val
+	p.edgeLo, p.edgeHi = lo, hi
+	p.readyAt = m.fetch(ev.dst, int(hi-lo))
+}
+
+// fetch models the edge unit: a cache hit is ready next cycle; a miss
+// waits DRAM latency plus the (banked) transfer time on the vertex's
+// channel.
+func (m *machine) fetch(v graph.VertexID, edges int) int64 {
+	m.fetches++
+	bytes := int64(edges) * m.cfg.EdgeEntryBytes
+	if m.cache.access(uint32(v), bytes) {
+		m.cacheHits++
+		return m.now + 1
+	}
+	m.dramBytes += bytes
+	ch := (int(v) >> 3) % m.cfg.DRAMChannels
+	transfer := ceil(bytes, m.cfg.DRAMChannelBytesPerCycle)
+	start := maxI64(m.now, m.chanBusy[ch])
+	m.chanBusy[ch] = start + transfer
+	return start + m.cfg.DRAMLatencyCycles + transfer
+}
+
+// progress advances a PE's generation phase: once the adjacency is ready,
+// up to GenStreamsPerPE output events leave per cycle.
+func (m *machine) progress(p *pe) {
+	if m.now < p.readyAt {
+		return // stalled on the edge fetch
+	}
+	dsts, ws, _ := m.u.OutEdges(p.vertex)
+	base, _ := m.u.Union().EdgeRange(p.vertex)
+	emitted := 0
+	for p.edgeLo < p.edgeHi && emitted < m.cfg.GenStreamsPerPE {
+		i := p.edgeLo - base
+		p.edgeLo++
+		b := m.batchOf[base+i]
+		if b >= 0 && !m.applied[p.ctx].has(int(b)) {
+			continue
+		}
+		cand := m.a.EdgeFunc(p.srcVal, ws[i])
+		if !m.a.Better(cand, m.vals[p.ctx][dsts[i]]) {
+			continue // generation-side filter against the value store
+		}
+		m.emit(event{ctx: p.ctx, stage: p.stage, dst: dsts[i], val: cand})
+		emitted++
+	}
+	if p.edgeLo >= p.edgeHi {
+		p.busy = false
+		m.retire(p.stage)
+	}
+}
+
+func ceil(a, b int64) int64 {
+	if b <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,504 @@
+package uarch
+
+import (
+	"fmt"
+
+	"mega/internal/algo"
+	"mega/internal/gen"
+	"mega/internal/graph"
+	"mega/internal/sim"
+)
+
+// RunStream is the cycle-by-cycle model of the JetStream streaming
+// baseline: one graph instance, sequential hops, each hop processed in
+// three phased sub-executions run to quiescence (the phasing KickStarter
+// requires for deletion correctness):
+//
+//	A. deletion events check the target's approximation parent and
+//	   propagate invalidation waves along out-edges;
+//	B. tagged vertices recompute by pulling their surviving in-edges and
+//	   repropagate;
+//	C. addition events apply as ordinary deltas.
+//
+// Phases A+B are charged as deletion cycles and C as addition cycles,
+// giving the cycle-level equivalent of Figure 2.
+type StreamResult struct {
+	Cycles      int64
+	DelCycles   int64 // invalidation + recompute phases
+	AddCycles   int64 // addition phases
+	Events      int64
+	Generated   int64
+	Fetches     int64
+	CacheHits   int64
+	DRAMBytes   int64
+	FinalValues []float64
+}
+
+// streamEvent kinds.
+const (
+	evDelta     = iota // ordinary value candidate
+	evDelCheck         // deleted edge: does dst's parent match?
+	evInvalid          // invalidation wave: does dst depend on sender?
+	evRecompute        // pull-recompute a tagged vertex
+)
+
+type streamEvent struct {
+	kind int8
+	dst  graph.VertexID
+	from int32
+	val  float64
+}
+
+// RunStream executes the evolution on the streaming machine.
+func RunStream(ev *gen.Evolution, kind algo.Kind, src graph.VertexID, cfg Config) (*StreamResult, error) {
+	if err := validate(cfg); err != nil {
+		return nil, err
+	}
+	if int(src) >= ev.NumVertices {
+		return nil, fmt.Errorf("uarch: source %d outside [0,%d)", src, ev.NumVertices)
+	}
+	hg, err := sim.BuildHopGraphs(ev)
+	if err != nil {
+		return nil, err
+	}
+	m := &streamMachine{
+		cfg:    cfg,
+		a:      algo.New(kind),
+		src:    src,
+		vals:   make([]float64, ev.NumVertices),
+		parent: make([]int32, ev.NumVertices),
+		cache:  newLRU(cfg.EdgeCacheBytes),
+		chans:  make([]int64, cfg.DRAMChannels),
+		ports:  make([][]streamEvent, cfg.QueueBins),
+		pes:    make([]*streamPE, cfg.PEs),
+		pend:   make([]float64, ev.NumVertices),
+		pfrom:  make([]int32, ev.NumVertices),
+		phas:   make([]bool, ev.NumVertices),
+	}
+	for i := range m.pes {
+		m.pes[i] = &streamPE{}
+	}
+	for v := range m.vals {
+		m.vals[v] = m.a.Identity()
+		m.parent[v] = -1
+	}
+
+	// Initial solve: offline, like the aggregate model and MEGA's base.
+	m.offlineSolve(hg.G0)
+
+	res := &StreamResult{}
+	for j := range ev.Adds {
+		// Phases A+B on the mid graph (deletions applied).
+		hg.Mid[j].EnsureInEdges()
+		delCyc, err := m.runDeletions(hg.Mid[j], ev.Dels[j], cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.DelCycles += delCyc
+		// Phase C on the new graph (additions applied).
+		addCyc, err := m.runAdditions(hg.New[j], ev.Adds[j], cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.AddCycles += addCyc
+	}
+	res.Cycles = res.DelCycles + res.AddCycles
+	res.Events = m.events
+	res.Generated = m.generated
+	res.Fetches = m.fetches
+	res.CacheHits = m.cacheHits
+	res.DRAMBytes = m.dramBytes
+	res.FinalValues = m.vals
+	return res, nil
+}
+
+type streamPE struct {
+	busy    bool
+	readyAt int64
+	kind    int8
+	vertex  graph.VertexID
+	srcVal  float64
+	edgeIdx int
+	edges   []graph.VertexID
+	weights []float64
+}
+
+type streamMachine struct {
+	cfg    Config
+	a      algo.Algorithm
+	src    graph.VertexID
+	vals   []float64
+	parent []int32
+
+	g    *graph.CSR // current out-edge graph
+	oldG *graph.CSR // pre-deletion graph for invalidation walks
+	inG  *graph.CSR // in-edge graph for recompute
+
+	cache *lru
+	chans []int64
+
+	// Coalescing slots for delta events (one per vertex); control events
+	// (delcheck/invalid/recompute) use per-bin FIFOs without coalescing.
+	pend  []float64
+	pfrom []int32
+	phas  []bool
+
+	ports [][]streamEvent
+	bins  [][]streamEvent // per-bin FIFO (control + slot refs mixed)
+	pes   []*streamPE
+
+	tagged      []graph.VertexID
+	seedQ       []streamEvent // batch-reader source
+	pendingSelf []streamEvent // recompute results awaiting their pull
+	now         int64
+	live        int64
+
+	events, generated, fetches, cacheHits, dramBytes int64
+}
+
+// offlineSolve computes the initial solution functionally (uncharged).
+func (m *streamMachine) offlineSolve(g *graph.CSR) {
+	var frontier []graph.VertexID
+	push := func(v graph.VertexID, val float64, from int32) {
+		if m.a.Better(val, m.vals[v]) {
+			m.vals[v] = val
+			m.parent[v] = from
+			frontier = append(frontier, v)
+		}
+	}
+	if ss, ok := m.a.(algo.SelfSeeding); ok {
+		for v := range m.vals {
+			push(graph.VertexID(v), ss.VertexInit(uint32(v)), -1)
+		}
+	} else {
+		push(m.src, m.a.SourceValue(), -1)
+	}
+	for len(frontier) > 0 {
+		v := frontier[0]
+		frontier = frontier[1:]
+		dsts, ws := g.OutEdges(v)
+		for i, d := range dsts {
+			push(d, m.a.EdgeFunc(m.vals[v], ws[i]), int32(v))
+		}
+	}
+}
+
+// runDeletions executes phases A and B for one hop and returns the cycles
+// consumed.
+func (m *streamMachine) runDeletions(midG *graph.CSR, dels graph.EdgeList, cfg Config) (int64, error) {
+	start := m.now
+	m.oldG = m.g
+	if m.oldG == nil {
+		m.oldG = midG
+	}
+	m.g = midG
+	m.inG = midG
+	m.tagged = m.tagged[:0]
+
+	// Phase A: deletion checks + invalidation waves.
+	m.seedQ = m.seedQ[:0]
+	for _, e := range dels {
+		m.seedQ = append(m.seedQ, streamEvent{kind: evDelCheck, dst: e.Dst, from: int32(e.Src)})
+	}
+	if err := m.drain(cfg); err != nil {
+		return 0, err
+	}
+
+	// Phase B: recompute the tagged set and repropagate.
+	m.oldG = midG
+	m.seedQ = m.seedQ[:0]
+	for _, v := range m.tagged {
+		m.seedQ = append(m.seedQ, streamEvent{kind: evRecompute, dst: v, from: -1})
+	}
+	if err := m.drain(cfg); err != nil {
+		return 0, err
+	}
+	return m.now - start, nil
+}
+
+// runAdditions executes phase C for one hop.
+func (m *streamMachine) runAdditions(newG *graph.CSR, adds graph.EdgeList, cfg Config) (int64, error) {
+	start := m.now
+	m.g = newG
+	m.oldG = newG
+	m.seedQ = m.seedQ[:0]
+	for _, e := range adds {
+		if m.vals[e.Src] == m.a.Identity() {
+			continue
+		}
+		m.seedQ = append(m.seedQ, streamEvent{
+			kind: evDelta, dst: e.Dst, from: int32(e.Src),
+			val: m.a.EdgeFunc(m.vals[e.Src], e.Weight),
+		})
+	}
+	if err := m.drain(cfg); err != nil {
+		return 0, err
+	}
+	return m.now - start, nil
+}
+
+// drain ticks the machine until the current phase quiesces.
+func (m *streamMachine) drain(cfg Config) error {
+	if m.bins == nil {
+		m.bins = make([][]streamEvent, cfg.QueueBins)
+	}
+	for {
+		if len(m.seedQ) == 0 && m.live == 0 && m.idle() {
+			return nil
+		}
+		m.tick()
+		if cfg.MaxCycles > 0 && m.now > cfg.MaxCycles {
+			return fmt.Errorf("uarch: stream exceeded %d cycles", cfg.MaxCycles)
+		}
+	}
+}
+
+func (m *streamMachine) idle() bool {
+	for _, p := range m.pes {
+		if p.busy {
+			return false
+		}
+	}
+	for _, q := range m.ports {
+		if len(q) > 0 {
+			return false
+		}
+	}
+	for _, q := range m.bins {
+		if len(q) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *streamMachine) tick() {
+	m.now++
+
+	// Reader: inject up to BatchEdgesPerCycle seeds.
+	for i := 0; i < m.cfg.BatchEdgesPerCycle && len(m.seedQ) > 0; i++ {
+		ev := m.seedQ[0]
+		m.seedQ = m.seedQ[1:]
+		m.emit(ev)
+	}
+
+	// NoC: one event per port into its bin, coalescing deltas.
+	for b, q := range m.ports {
+		if len(q) == 0 {
+			continue
+		}
+		ev := q[0]
+		m.ports[b] = q[1:]
+		m.insert(b, ev)
+	}
+
+	// Scheduler: one event per bin to idle PEs.
+	pei := 0
+	for b := range m.bins {
+		for pei < len(m.pes) && m.pes[pei].busy {
+			pei++
+		}
+		if pei >= len(m.pes) {
+			break
+		}
+		if len(m.bins[b]) == 0 {
+			continue
+		}
+		ev := m.bins[b][0]
+		m.bins[b] = m.bins[b][1:]
+		if ev.kind == evDelta {
+			// Slot reference: materialize the coalesced candidate.
+			if !m.phas[ev.dst] {
+				continue
+			}
+			m.phas[ev.dst] = false
+			ev.val = m.pend[ev.dst]
+			ev.from = m.pfrom[ev.dst]
+		}
+		m.dispatch(m.pes[pei], ev)
+	}
+
+	// PEs: progress generation.
+	for _, p := range m.pes {
+		if p.busy {
+			m.progress(p)
+		}
+	}
+}
+
+func (m *streamMachine) emit(ev streamEvent) {
+	m.generated++
+	m.live++
+	m.ports[int(ev.dst)%len(m.ports)] = append(m.ports[int(ev.dst)%len(m.ports)], ev)
+}
+
+func (m *streamMachine) insert(b int, ev streamEvent) {
+	if ev.kind != evDelta {
+		m.bins[b] = append(m.bins[b], ev)
+		return
+	}
+	if m.phas[ev.dst] {
+		if m.a.Better(ev.val, m.pend[ev.dst]) {
+			m.pend[ev.dst] = ev.val
+			m.pfrom[ev.dst] = ev.from
+		}
+		m.live-- // coalesced
+		return
+	}
+	m.phas[ev.dst] = true
+	m.pend[ev.dst] = ev.val
+	m.pfrom[ev.dst] = ev.from
+	m.bins[b] = append(m.bins[b], streamEvent{kind: evDelta, dst: ev.dst})
+}
+
+// dispatch processes an event's check stage and, when propagation is
+// needed, arms the PE with the relevant adjacency.
+func (m *streamMachine) dispatch(p *streamPE, ev streamEvent) {
+	m.events++
+	switch ev.kind {
+	case evDelta:
+		if !m.a.Better(ev.val, m.vals[ev.dst]) {
+			m.live--
+			return
+		}
+		m.vals[ev.dst] = ev.val
+		m.parent[ev.dst] = ev.from
+		m.arm(p, evDelta, ev.dst, ev.val, m.g)
+
+	case evDelCheck, evInvalid:
+		if m.parent[ev.dst] != ev.from || ev.dst == m.src {
+			m.live--
+			return
+		}
+		// Tag: reset and remember for phase B; the invalidation wave
+		// walks the pre-deletion out-edges.
+		m.vals[ev.dst] = m.a.Identity()
+		m.parent[ev.dst] = -1
+		m.tagged = append(m.tagged, ev.dst)
+		m.arm(p, evInvalid, ev.dst, 0, m.oldG)
+
+	case evRecompute:
+		// Pull the surviving in-edges; the fetch and the per-neighbor
+		// value reads are charged through the PE's generation phase.
+		srcs, ws := m.inG.InEdges(ev.dst)
+		best := m.a.Identity()
+		bestFrom := int32(-1)
+		if ss, ok := m.a.(algo.SelfSeeding); ok {
+			best = ss.VertexInit(uint32(ev.dst))
+		}
+		for i, u := range srcs {
+			if m.vals[u] == m.a.Identity() {
+				continue
+			}
+			if cand := m.a.EdgeFunc(m.vals[u], ws[i]); m.a.Better(cand, best) {
+				best = cand
+				bestFrom = int32(u)
+			}
+		}
+		if ev.dst == m.src {
+			best = m.a.SourceValue()
+			bestFrom = -1
+		}
+		if best == m.a.Identity() {
+			m.live--
+			return
+		}
+		// Re-enter as a delta to itself after the pull completes; the
+		// pull occupies the PE like a generation pass over the in-edges.
+		p.busy = true
+		p.kind = evRecompute
+		p.vertex = ev.dst
+		p.srcVal = best
+		p.edgeIdx = 0
+		p.edges = nil
+		p.weights = nil
+		p.readyAt = m.fetchCost(ev.dst, len(srcs)) + ceil(int64(len(srcs)), int64(m.cfg.GenStreamsPerPE))
+		m.pendingSelf = append(m.pendingSelf, streamEvent{kind: evDelta, dst: ev.dst, from: bestFrom, val: best})
+	}
+}
+
+// arm prepares a PE to walk v's out-edges in graph g, emitting follow-on
+// events of the given kind.
+func (m *streamMachine) arm(p *streamPE, kind int8, v graph.VertexID, val float64, g *graph.CSR) {
+	dsts, ws := g.OutEdges(v)
+	if len(dsts) == 0 {
+		m.live--
+		return
+	}
+	p.busy = true
+	p.kind = kind
+	p.vertex = v
+	p.srcVal = val
+	p.edges = dsts
+	p.weights = ws
+	p.edgeIdx = 0
+	p.readyAt = m.fetchCost(v, len(dsts))
+}
+
+// fetchCost models the edge unit for the streaming machine.
+func (m *streamMachine) fetchCost(v graph.VertexID, edges int) int64 {
+	m.fetches++
+	bytes := int64(edges) * m.cfg.EdgeEntryBytes
+	if m.cache.access(uint32(v), bytes) {
+		m.cacheHits++
+		return m.now + 1
+	}
+	m.dramBytes += bytes
+	ch := (int(v) >> 3) % len(m.chans)
+	transfer := ceil(bytes, m.cfg.DRAMChannelBytesPerCycle)
+	start := m.now
+	if m.chans[ch] > start {
+		start = m.chans[ch]
+	}
+	m.chans[ch] = start + transfer
+	return start + m.cfg.DRAMLatencyCycles + transfer
+}
+
+func (m *streamMachine) progress(p *streamPE) {
+	if m.now < p.readyAt {
+		return
+	}
+	if p.kind == evRecompute {
+		// The pull finished; the self-delta was queued at dispatch.
+		p.busy = false
+		m.live--
+		for _, ev := range m.pendingSelf {
+			if ev.dst == p.vertex {
+				m.emit(ev)
+			}
+		}
+		m.pendingSelf = filterSelf(m.pendingSelf, p.vertex)
+		return
+	}
+	emitted := 0
+	for p.edgeIdx < len(p.edges) && emitted < m.cfg.GenStreamsPerPE {
+		d := p.edges[p.edgeIdx]
+		w := p.weights[p.edgeIdx]
+		p.edgeIdx++
+		switch p.kind {
+		case evDelta:
+			cand := m.a.EdgeFunc(p.srcVal, w)
+			if !m.a.Better(cand, m.vals[d]) {
+				continue
+			}
+			m.emit(streamEvent{kind: evDelta, dst: d, from: int32(p.vertex), val: cand})
+		case evInvalid:
+			m.emit(streamEvent{kind: evInvalid, dst: d, from: int32(p.vertex)})
+		}
+		emitted++
+	}
+	if p.edgeIdx >= len(p.edges) {
+		p.busy = false
+		m.live--
+	}
+}
+
+func filterSelf(list []streamEvent, v graph.VertexID) []streamEvent {
+	out := list[:0]
+	for _, ev := range list {
+		if ev.dst != v {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+// Package uarch is a cycle-by-cycle microarchitectural simulator of the
+// MEGA datapath (Figure 12), complementing the aggregate per-round timing
+// model in internal/sim. Where sim charges each round the maximum of its
+// resource occupancies, uarch actually moves every event through explicit
+// components each cycle:
+//
+//	batch reader → NoC ports → coalescing queue bins → scheduler →
+//	processing engines → edge unit (cache + banked DRAM) →
+//	event generation streams → NoC → bins …
+//
+// The simulation *executes* the query itself (it is not trace-driven): PEs
+// update vertex values, so the final snapshot results are checked against
+// the functional engine in tests, and the cycle counts cross-validate the
+// aggregate model (the ablation-uarch experiment).
+//
+// Scope: the Batch-Oriented-Execution workflow with batch pipelining on an
+// unpartitioned configuration (the headline MEGA mode). As §4.1 describes
+// the hardware, the batch reader creates events for each of a batch's
+// active snapshots directly, so stage overlap under batch pipelining is
+// unconditionally correct (values merge monotonically).
+package uarch
+
+import (
+	"fmt"
+
+	"mega/internal/algo"
+	"mega/internal/engine"
+	"mega/internal/evolve"
+	"mega/internal/graph"
+	"mega/internal/sched"
+)
+
+// Config holds the microarchitectural parameters.
+type Config struct {
+	// PEs is the processing-engine count (paper: 8).
+	PEs int
+	// GenStreamsPerPE bounds events emitted per PE per cycle (paper: 4).
+	GenStreamsPerPE int
+	// QueueBins is the number of coalescing event bins; one NoC port
+	// feeds each bin at one insert per cycle, and each bin emits at most
+	// one event per cycle to the scheduler (dual-ported).
+	QueueBins int
+	// EdgeCacheBytes is the edge-cache capacity.
+	EdgeCacheBytes int64
+	// EdgeEntryBytes is the size of one adjacency entry.
+	EdgeEntryBytes int64
+	// DRAMLatencyCycles is the fixed access latency of an edge fetch
+	// that misses the cache.
+	DRAMLatencyCycles int64
+	// DRAMChannels and DRAMChannelBytesPerCycle define banked bandwidth.
+	DRAMChannels             int
+	DRAMChannelBytesPerCycle int64
+	// BatchEdgesPerCycle is the batch reader's streaming rate.
+	BatchEdgesPerCycle int
+	// BPThresholdEvents triggers the next stage when live events drop
+	// below it (0 = strictly sequential stages).
+	BPThresholdEvents int
+	// MaxCycles aborts runaway simulations (0 = no limit).
+	MaxCycles int64
+}
+
+// DefaultConfig mirrors sim.DefaultConfig at the microarchitectural level.
+func DefaultConfig() Config {
+	return Config{
+		PEs:                      8,
+		GenStreamsPerPE:          4,
+		QueueBins:                16,
+		EdgeCacheBytes:           8 << 10,
+		EdgeEntryBytes:           12,
+		DRAMLatencyCycles:        48,
+		DRAMChannels:             4,
+		DRAMChannelBytesPerCycle: 17,
+		BatchEdgesPerCycle:       4,
+		BPThresholdEvents:        256,
+	}
+}
+
+// Result is a microarchitectural run's outcome.
+type Result struct {
+	Cycles         int64
+	Events         int64 // events dispatched to PEs
+	Applied        int64 // events that improved their vertex
+	Generated      int64 // events injected into the NoC
+	Coalesced      int64 // events merged into occupied slots
+	Fetches        int64 // adjacency fetches issued
+	CacheHits      int64
+	DRAMBytes      int64
+	PEBusyCycles   int64 // summed busy cycles across PEs
+	MaxLiveEvents  int64
+	SnapshotValues [][]float64
+}
+
+// Utilization returns the mean PE busy fraction.
+func (r *Result) Utilization(cfg Config) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.PEBusyCycles) / float64(r.Cycles*int64(cfg.PEs))
+}
+
+// event is one in-flight delta message.
+type event struct {
+	ctx   int32
+	stage int32
+	dst   graph.VertexID
+	val   float64
+}
+
+// slot identifies an occupied coalescing cell.
+type slot struct {
+	ctx   int32
+	stage int32
+	dst   graph.VertexID
+}
+
+// bin is one direct-mapped coalescing queue bank: per (context, local
+// vertex) at most one pending candidate; occupied slots drain FIFO.
+type bin struct {
+	val  [][]float64 // [ctx][localIdx]
+	has  [][]bool
+	tag  [][]int32 // stage of the pending candidate
+	fifo []slot
+}
+
+// pe is one processing engine. After applying an event it waits for the
+// adjacency fetch, then spends ceil(deg/genStreams) cycles generating.
+type pe struct {
+	busy    bool
+	readyAt int64 // cycle at which generation may start (fetch done)
+	ctx     int32
+	stage   int32
+	srcVal  float64
+	edgeLo  uint32
+	edgeHi  uint32
+	vertex  graph.VertexID
+}
+
+// Run executes the BOE schedule for the window on the microarchitectural
+// model and returns cycle counts plus per-snapshot results.
+func Run(w *evolve.Window, kind algo.Kind, src graph.VertexID, cfg Config) (*Result, error) {
+	if err := validate(cfg); err != nil {
+		return nil, err
+	}
+	s, err := sched.New(sched.BOE, w)
+	if err != nil {
+		return nil, err
+	}
+	m, err := newMachine(w, kind, src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.run(s); err != nil {
+		return nil, err
+	}
+	res := m.result()
+	for snap := 0; snap < w.NumSnapshots(); snap++ {
+		res.SnapshotValues = append(res.SnapshotValues, m.vals[s.SnapshotCtx[snap]])
+	}
+	return res, nil
+}
+
+func validate(cfg Config) error {
+	switch {
+	case cfg.PEs < 1:
+		return fmt.Errorf("uarch: PEs %d < 1", cfg.PEs)
+	case cfg.GenStreamsPerPE < 1:
+		return fmt.Errorf("uarch: gen streams %d < 1", cfg.GenStreamsPerPE)
+	case cfg.QueueBins < 1:
+		return fmt.Errorf("uarch: queue bins %d < 1", cfg.QueueBins)
+	case cfg.DRAMChannels < 1 || cfg.DRAMChannelBytesPerCycle < 1:
+		return fmt.Errorf("uarch: invalid DRAM configuration")
+	case cfg.BatchEdgesPerCycle < 1:
+		return fmt.Errorf("uarch: batch reader rate %d < 1", cfg.BatchEdgesPerCycle)
+	}
+	return nil
+}
+
+// stageState tracks one BOE stage through the pipeline.
+type stageState struct {
+	ops         []sched.Op
+	seedCursor  int // next (op, edge, ctx) seed to read
+	outstanding int64
+	readerDone  bool
+}
+
+type machine struct {
+	cfg  Config
+	a    algo.Algorithm
+	u    *graph.UnifiedCSR
+	src  graph.VertexID
+	win  *evolve.Window
+	vals [][]float64
+
+	batchOf []int32
+	applied []appliedSet
+
+	bins  []*bin
+	ports [][]event // NoC input FIFO per bin
+	pes   []*pe
+
+	cache    *lru
+	chanBusy []int64 // per-channel busy-until cycle
+
+	stages    []*stageState
+	nextStage int
+
+	now  int64
+	live int64
+
+	// statistics
+	events, appliedN, generated, coalesced int64
+	fetches, cacheHits, dramBytes          int64
+	peBusy, maxLive                        int64
+}
+
+// appliedSet is a bitset over batch IDs.
+type appliedSet []uint64
+
+func newAppliedSet(n int) appliedSet { return make(appliedSet, (n+63)/64) }
+func (b appliedSet) add(i int)       { b[i/64] |= 1 << uint(i%64) }
+func (b appliedSet) has(i int) bool  { return b[i/64]&(1<<uint(i%64)) != 0 }
+func newMachine(w *evolve.Window, kind algo.Kind, src graph.VertexID, cfg Config) (*machine, error) {
+	// Reuse the functional engine's construction for the edge→batch map.
+	seq, err := engine.NewMulti(w, algo.New(kind), src, nil)
+	if err != nil {
+		return nil, err
+	}
+	m := &machine{
+		cfg:      cfg,
+		a:        algo.New(kind),
+		u:        w.Unified(),
+		src:      src,
+		win:      w,
+		batchOf:  seq.BatchOf(),
+		cache:    newLRU(cfg.EdgeCacheBytes),
+		chanBusy: make([]int64, cfg.DRAMChannels),
+		ports:    make([][]event, cfg.QueueBins),
+		pes:      make([]*pe, cfg.PEs),
+	}
+	for i := range m.pes {
+		m.pes[i] = &pe{}
+	}
+	return m, nil
+}
+
+func (m *machine) result() *Result {
+	return &Result{
+		Cycles: m.now, Events: m.events, Applied: m.appliedN,
+		Generated: m.generated, Coalesced: m.coalesced,
+		Fetches: m.fetches, CacheHits: m.cacheHits, DRAMBytes: m.dramBytes,
+		PEBusyCycles: m.peBusy, MaxLiveEvents: m.maxLive,
+	}
+}

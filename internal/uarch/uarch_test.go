@@ -1,0 +1,354 @@
+package uarch
+
+import (
+	"testing"
+
+	"mega/internal/graph"
+
+	"mega/internal/algo"
+	"mega/internal/evolve"
+	"mega/internal/gen"
+	"mega/internal/testutil"
+)
+
+func testWindow(t testing.TB, snapshots int, seed int64) *evolve.Window {
+	t.Helper()
+	spec := gen.TestGraph
+	spec.Seed = seed
+	ev, err := gen.Evolve(spec, gen.EvolutionSpec{Snapshots: snapshots, BatchFraction: 0.02, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := evolve.NewWindow(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// The microarchitectural simulation executes the query itself; its final
+// values must match the reference solver exactly, for every algorithm.
+func TestUarchMatchesReference(t *testing.T) {
+	w := testWindow(t, 5, 51)
+	for _, k := range algo.All {
+		res, err := Run(w, k, 0, DefaultConfig())
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if res.Cycles <= 0 {
+			t.Fatalf("%v: cycles = %d", k, res.Cycles)
+		}
+		for snap := 0; snap < w.NumSnapshots(); snap++ {
+			want := testutil.ReferenceEdges(w.NumVertices(), w.SnapshotEdges(snap), algo.New(k), 0)
+			if !testutil.EqualValues(res.SnapshotValues[snap], want) {
+				t.Errorf("%v: snapshot %d values diverge from reference", k, snap)
+			}
+		}
+	}
+}
+
+func TestUarchPipeliningCorrectUnderOverlap(t *testing.T) {
+	w := testWindow(t, 8, 52)
+	for _, thr := range []int{0, 1, 16, 1 << 20} {
+		cfg := DefaultConfig()
+		cfg.BPThresholdEvents = thr
+		res, err := Run(w, algo.SSSP, 0, cfg)
+		if err != nil {
+			t.Fatalf("threshold %d: %v", thr, err)
+		}
+		for snap := 0; snap < w.NumSnapshots(); snap++ {
+			want := testutil.ReferenceEdges(w.NumVertices(), w.SnapshotEdges(snap), algo.New(algo.SSSP), 0)
+			if !testutil.EqualValues(res.SnapshotValues[snap], want) {
+				t.Errorf("threshold %d: snapshot %d wrong under overlap", thr, snap)
+			}
+		}
+	}
+}
+
+func TestUarchPipeliningHelps(t *testing.T) {
+	w := testWindow(t, 8, 53)
+	seq := DefaultConfig()
+	seq.BPThresholdEvents = 0
+	resSeq, err := Run(w, algo.SSSP, 0, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := DefaultConfig()
+	bp.BPThresholdEvents = 512
+	resBP, err := Run(w, algo.SSSP, 0, bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resBP.Cycles > resSeq.Cycles {
+		t.Errorf("pipelined %d cycles slower than sequential %d", resBP.Cycles, resSeq.Cycles)
+	}
+}
+
+func TestUarchMorePEsNotSlower(t *testing.T) {
+	w := testWindow(t, 6, 54)
+	var prev int64 = 1 << 62
+	for _, pes := range []int{1, 2, 8} {
+		cfg := DefaultConfig()
+		cfg.PEs = pes
+		res, err := Run(w, algo.SSWP, 0, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cycles > prev {
+			t.Errorf("%d PEs slower (%d) than fewer (%d)", pes, res.Cycles, prev)
+		}
+		prev = res.Cycles
+	}
+}
+
+func TestUarchUtilizationBounds(t *testing.T) {
+	w := testWindow(t, 6, 55)
+	cfg := DefaultConfig()
+	res, err := Run(w, algo.SSSP, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := res.Utilization(cfg)
+	if u <= 0 || u > 1 {
+		t.Errorf("utilization = %v, want (0,1]", u)
+	}
+	if res.MaxLiveEvents <= 0 {
+		t.Error("no live events observed")
+	}
+	if res.Events < res.Applied {
+		t.Errorf("events %d < applied %d", res.Events, res.Applied)
+	}
+}
+
+func TestUarchSlowerDRAMSlower(t *testing.T) {
+	w := testWindow(t, 6, 56)
+	fast := DefaultConfig()
+	slow := DefaultConfig()
+	slow.DRAMLatencyCycles = 400
+	slow.DRAMChannelBytesPerCycle = 2
+	rFast, err := Run(w, algo.SSSP, 0, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rSlow, err := Run(w, algo.SSSP, 0, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rSlow.Cycles <= rFast.Cycles {
+		t.Errorf("slow DRAM %d cycles not above fast %d", rSlow.Cycles, rFast.Cycles)
+	}
+}
+
+func TestUarchConfigValidation(t *testing.T) {
+	w := testWindow(t, 2, 57)
+	for _, mutate := range []func(*Config){
+		func(c *Config) { c.PEs = 0 },
+		func(c *Config) { c.GenStreamsPerPE = 0 },
+		func(c *Config) { c.QueueBins = 0 },
+		func(c *Config) { c.DRAMChannels = 0 },
+		func(c *Config) { c.BatchEdgesPerCycle = 0 },
+	} {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if _, err := Run(w, algo.BFS, 0, cfg); err == nil {
+			t.Errorf("invalid config accepted: %+v", cfg)
+		}
+	}
+}
+
+func TestUarchMaxCyclesGuard(t *testing.T) {
+	w := testWindow(t, 6, 58)
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 3
+	if _, err := Run(w, algo.SSSP, 0, cfg); err == nil {
+		t.Fatal("3-cycle budget not exceeded")
+	}
+}
+
+func TestUarchDeterministic(t *testing.T) {
+	w := testWindow(t, 5, 59)
+	a, err := Run(w, algo.SSNP, 0, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(w, algo.SSNP, 0, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Events != b.Events || a.DRAMBytes != b.DRAMBytes {
+		t.Errorf("repeat run differs: %+v vs %+v", a, b)
+	}
+}
+
+func TestLRU(t *testing.T) {
+	c := newLRU(100)
+	if c.access(1, 60) {
+		t.Error("cold access hit")
+	}
+	if !c.access(1, 60) {
+		t.Error("warm access missed")
+	}
+	c.access(2, 60) // evicts nothing yet? 120 > 100: evicts 1
+	if c.access(1, 60) {
+		t.Error("evicted block still cached")
+	}
+	if c.access(3, 500) {
+		t.Error("jumbo block reported cached")
+	}
+}
+
+func testEvolution(t testing.TB, snapshots int, seed int64) *gen.Evolution {
+	t.Helper()
+	spec := gen.TestGraph
+	spec.Seed = seed
+	ev, err := gen.Evolve(spec, gen.EvolutionSpec{Snapshots: snapshots, BatchFraction: 0.02, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+// The streaming machine's final values must match the reference solver on
+// the last snapshot for every algorithm.
+func TestStreamMatchesReference(t *testing.T) {
+	ev := testEvolution(t, 5, 61)
+	for _, k := range algo.All {
+		res, err := RunStream(ev, k, 0, DefaultConfig())
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		want := testutil.ReferenceEdges(ev.NumVertices,
+			ev.SnapshotEdges(ev.NumSnapshots()-1), algo.New(k), 0)
+		if !testutil.EqualValues(res.FinalValues, want) {
+			t.Errorf("%v: final values diverge from reference", k)
+		}
+		if res.Cycles != res.DelCycles+res.AddCycles {
+			t.Errorf("%v: cycles %d != del %d + add %d", k, res.Cycles, res.DelCycles, res.AddCycles)
+		}
+	}
+}
+
+// Figure 2 at cycle fidelity: the deletion phases cost more than the
+// addition phases.
+func TestStreamDeletionsCostMore(t *testing.T) {
+	spec := gen.GraphSpec{
+		Name: "s2", Vertices: 1_024, Edges: 16_384,
+		A: 0.45, B: 0.15, C: 0.15, MaxWeight: 16, Seed: 62,
+	}
+	ev, err := gen.Evolve(spec, gen.EvolutionSpec{Snapshots: 8, BatchFraction: 0.01, Seed: 62})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunStream(ev, algo.SSSP, 0, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DelCycles <= res.AddCycles {
+		t.Errorf("deletion cycles %d <= addition cycles %d", res.DelCycles, res.AddCycles)
+	}
+}
+
+// The cycle-level BOE must beat the cycle-level streaming baseline on the
+// same window — Table 4's headline claim at the finest fidelity.
+func TestUarchBOEBeatsStreaming(t *testing.T) {
+	spec := gen.GraphSpec{
+		Name: "s3", Vertices: 2_048, Edges: 32_768,
+		A: 0.45, B: 0.15, C: 0.15, MaxWeight: 16, Seed: 63,
+	}
+	ev, err := gen.Evolve(spec, gen.EvolutionSpec{Snapshots: 16, BatchFraction: 0.01, Seed: 63})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := evolve.NewWindow(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := RunStream(ev, algo.SSSP, 0, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	boe, err := Run(w, algo.SSSP, 0, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := float64(js.Cycles) / float64(boe.Cycles)
+	t.Logf("cycle-level speedup: %.2fx (js %d vs boe %d)", sp, js.Cycles, boe.Cycles)
+	if sp <= 1 {
+		t.Errorf("cycle-level BOE (%d) not faster than streaming (%d)", boe.Cycles, js.Cycles)
+	}
+}
+
+func TestStreamBadSource(t *testing.T) {
+	ev := testEvolution(t, 2, 64)
+	if _, err := RunStream(ev, algo.BFS, graph.VertexID(1<<30), DefaultConfig()); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+}
+
+// CC (the self-seeding extension) must also run on the cycle-level
+// machines.
+func TestUarchConnectedComponents(t *testing.T) {
+	w := testWindow(t, 4, 65)
+	res, err := Run(w, algo.CC, 0, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for snap := 0; snap < w.NumSnapshots(); snap++ {
+		want := testutil.ReferenceEdges(w.NumVertices(), w.SnapshotEdges(snap), algo.New(algo.CC), 0)
+		if !testutil.EqualValues(res.SnapshotValues[snap], want) {
+			t.Errorf("CC snapshot %d labels wrong", snap)
+		}
+	}
+	ev := testEvolution(t, 4, 65)
+	sres, err := RunStream(ev, algo.CC, 0, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testutil.ReferenceEdges(ev.NumVertices, ev.SnapshotEdges(3), algo.New(algo.CC), 0)
+	if !testutil.EqualValues(sres.FinalValues, want) {
+		t.Error("CC streaming final labels wrong")
+	}
+}
+
+// Property: on random windows and machine shapes, both cycle-level
+// machines produce reference-exact results.
+func TestUarchRandomWindowsQuick(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		spec := gen.GraphSpec{
+			Name: "q", Vertices: 128, Edges: 1200,
+			A: 0.45, B: 0.2, C: 0.2, MaxWeight: 8, Seed: 100 + seed,
+		}
+		ev, err := gen.Evolve(spec, gen.EvolutionSpec{
+			Snapshots: 2 + int(seed), BatchFraction: 0.02, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := evolve.NewWindow(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := algo.All[int(seed)%len(algo.All)]
+		cfg := DefaultConfig()
+		cfg.PEs = 1 + int(seed)%8
+		cfg.QueueBins = []int{1, 4, 16}[int(seed)%3]
+		res, err := Run(w, k, 0, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for snap := 0; snap < w.NumSnapshots(); snap++ {
+			want := testutil.ReferenceEdges(w.NumVertices(), w.SnapshotEdges(snap), algo.New(k), 0)
+			if !testutil.EqualValues(res.SnapshotValues[snap], want) {
+				t.Fatalf("seed %d %v: snapshot %d wrong (PEs=%d bins=%d)", seed, k, snap, cfg.PEs, cfg.QueueBins)
+			}
+		}
+		sres, err := RunStream(ev, k, 0, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := testutil.ReferenceEdges(ev.NumVertices, ev.SnapshotEdges(ev.NumSnapshots()-1), algo.New(k), 0)
+		if !testutil.EqualValues(sres.FinalValues, want) {
+			t.Fatalf("seed %d %v: streaming final values wrong", seed, k)
+		}
+	}
+}

@@ -1,0 +1,281 @@
+// Package mega is a from-scratch reproduction of "MEGA: Evolving Graph
+// Accelerator" (MICRO 2023): a library for evaluating iterative graph
+// queries over windows of evolving-graph snapshots, together with a
+// cycle-level simulator of the MEGA accelerator and its JetStream
+// streaming baseline.
+//
+// The core ideas, all implemented here:
+//
+//   - CommonGraph: a window of N snapshots is stored as the edges common
+//     to all snapshots plus addition-only batches, eliminating expensive
+//     deletion processing (Window, NewWindow).
+//   - The unified evolving-graph CSR: one union CSR with per-edge
+//     snapshot-membership tags (Window.Unified).
+//   - Execution schedules: Direct-Hop, Work-Sharing, and MEGA's
+//     Batch-Oriented Execution with its shared-computation broadcast and
+//     shared edge fetches (NewSchedule).
+//   - An event-driven, delta-accumulative functional engine for the five
+//     paper algorithms — BFS, SSSP, SSWP, SSNP, Viterbi (Evaluate, Solve).
+//   - A timing simulator that charges the accelerator's datapath —
+//     PEs, coalescing event queue, NoC, edge cache, DRAM, partitioning,
+//     batch pipelining (Simulate, SimulateJetStream).
+//
+// # Quick start
+//
+//	spec := mega.GraphSpec{Name: "demo", Vertices: 1 << 12, Edges: 1 << 16,
+//		A: 0.45, B: 0.15, C: 0.15, MaxWeight: 16, Seed: 1}
+//	ev, _ := mega.Evolve(spec, mega.EvolutionSpec{Snapshots: 8, BatchFraction: 0.01, Seed: 2})
+//	w, _ := mega.NewWindow(ev)
+//	values, _ := mega.Evaluate(w, mega.SSSP, 0) // per-snapshot SSSP results
+//
+// Deeper control lives in the same package: build schedules explicitly,
+// run the simulator with a custom Config, or compare against the
+// JetStream baseline.
+package mega
+
+import (
+	"mega/internal/algo"
+	"mega/internal/engine"
+	"mega/internal/evolve"
+	"mega/internal/gen"
+	"mega/internal/graph"
+	"mega/internal/sched"
+	"mega/internal/sim"
+	"mega/internal/uarch"
+)
+
+// Graph types.
+type (
+	// Graph is an immutable CSR graph.
+	Graph = graph.CSR
+	// Edge is a directed weighted edge.
+	Edge = graph.Edge
+	// EdgeList is a set of edges with set-algebra helpers.
+	EdgeList = graph.EdgeList
+	// VertexID identifies a vertex.
+	VertexID = graph.VertexID
+	// UnifiedCSR is the unified evolving-graph representation (Fig. 6).
+	UnifiedCSR = graph.UnifiedCSR
+	// SnapshotMask is a bitmask of snapshot indexes.
+	SnapshotMask = graph.SnapshotMask
+)
+
+// Evolving-graph types.
+type (
+	// Window is a CommonGraph-decomposed group of snapshots.
+	Window = evolve.Window
+	// Batch is one addition-only batch of the window.
+	Batch = evolve.Batch
+	// Evolution is a generated evolving-graph history.
+	Evolution = gen.Evolution
+	// GraphSpec describes a synthetic R-MAT graph.
+	GraphSpec = gen.GraphSpec
+	// EvolutionSpec describes a synthetic evolution.
+	EvolutionSpec = gen.EvolutionSpec
+)
+
+// Execution types.
+type (
+	// Algorithm is the DAIC contract of one query.
+	Algorithm = algo.Algorithm
+	// AlgorithmKind enumerates the built-in algorithms.
+	AlgorithmKind = algo.Kind
+	// Schedule is an ordered operation list over value contexts.
+	Schedule = sched.Schedule
+	// ScheduleMode selects Direct-Hop, Work-Sharing or BOE.
+	ScheduleMode = sched.Mode
+	// Stats are exact functional execution counts.
+	Stats = engine.Stats
+	// Probe observes engine execution.
+	Probe = engine.Probe
+	// SimConfig holds the simulated machine's parameters.
+	SimConfig = sim.Config
+	// SimResult is a simulated run's timing and counts.
+	SimResult = sim.Result
+)
+
+// Algorithms (Table 1), plus the CC extension (self-seeding connected
+// components, demonstrating §3.2's generality claim).
+const (
+	BFS     = algo.BFS
+	SSSP    = algo.SSSP
+	SSWP    = algo.SSWP
+	SSNP    = algo.SSNP
+	Viterbi = algo.Viterbi
+	CC      = algo.CC
+)
+
+// Schedule modes.
+const (
+	DirectHop   = sched.DirectHop
+	WorkSharing = sched.WorkSharing
+	BOE         = sched.BOE
+)
+
+// NewGraph builds an immutable CSR graph.
+func NewGraph(numVertices int, edges []Edge) (*Graph, error) {
+	return graph.NewCSR(numVertices, edges)
+}
+
+// NewWindow decomposes a generated evolution into CommonGraph + batches.
+func NewWindow(ev *Evolution) (*Window, error) {
+	return evolve.NewWindow(ev)
+}
+
+// NewWindowFromParts builds a Window from an initial snapshot and per-hop
+// addition/deletion batches. See evolve.NewWindowFromParts for the
+// required disjointness invariant.
+func NewWindowFromParts(numVertices, snapshots int, initial EdgeList, adds, dels []EdgeList) (*Window, error) {
+	return evolve.NewWindowFromParts(numVertices, snapshots, initial, adds, dels)
+}
+
+// Evolve synthesizes an evolving-graph history.
+func Evolve(gspec GraphSpec, espec EvolutionSpec) (*Evolution, error) {
+	return gen.Evolve(gspec, espec)
+}
+
+// PaperGraphs returns the scaled stand-ins for the paper's six inputs.
+func PaperGraphs() []GraphSpec { return gen.PaperGraphs }
+
+// SaveEvolution writes an evolution dataset as a plain-text directory.
+func SaveEvolution(ev *Evolution, dir string) error { return ev.Save(dir) }
+
+// LoadEvolution reads a dataset previously written by SaveEvolution.
+func LoadEvolution(dir string) (*Evolution, error) { return gen.Load(dir) }
+
+// LoadEdgeList reads a SNAP-style "src dst [weight]" edge-list file,
+// densely remapping vertex IDs.
+func LoadEdgeList(path string, defaultWeight float64) (int, EdgeList, error) {
+	return gen.LoadEdgeList(path, defaultWeight)
+}
+
+// EvolveFromEdges synthesizes an evolving-graph history from a fixed
+// (e.g. real-world) edge set, as the paper's §5.1 does: a reserved subset
+// arrives as additions over the window, sampled edges leave as deletions.
+func EvolveFromEdges(numVertices int, edges EdgeList, espec EvolutionSpec) (*Evolution, error) {
+	return gen.EvolveFromEdgeList(numVertices, edges, espec)
+}
+
+// SimulateRecompute runs the naive baseline: a from-scratch solve of every
+// snapshot on the accelerator.
+func SimulateRecompute(w *Window, k AlgorithmKind, source VertexID, cfg SimConfig) (*SimResult, error) {
+	return sim.RunRecompute(w, k, source, cfg)
+}
+
+// Cycle-level simulation types (internal/uarch): a per-cycle
+// microarchitectural model of the BOE datapath that executes the query
+// through explicit components, cross-validating the aggregate model.
+type (
+	// UarchConfig holds the microarchitectural parameters.
+	UarchConfig = uarch.Config
+	// UarchResult is a cycle-level run's outcome.
+	UarchResult = uarch.Result
+)
+
+// DefaultUarchConfig mirrors DefaultSimConfig at cycle granularity.
+func DefaultUarchConfig() UarchConfig { return uarch.DefaultConfig() }
+
+// SimulateCycleLevel runs the BOE workflow on the cycle-by-cycle
+// microarchitectural simulator.
+func SimulateCycleLevel(w *Window, k AlgorithmKind, source VertexID, cfg UarchConfig) (*UarchResult, error) {
+	return uarch.Run(w, k, source, cfg)
+}
+
+// UarchStreamResult is the cycle-level streaming baseline's outcome.
+type UarchStreamResult = uarch.StreamResult
+
+// SimulateStreamCycleLevel runs the JetStream streaming baseline —
+// including its phased deletion invalidation — on the cycle-by-cycle
+// microarchitectural simulator.
+func SimulateStreamCycleLevel(ev *Evolution, k AlgorithmKind, source VertexID, cfg UarchConfig) (*UarchStreamResult, error) {
+	return uarch.RunStream(ev, k, source, cfg)
+}
+
+// NewAlgorithm returns the Algorithm implementation for a kind.
+func NewAlgorithm(k AlgorithmKind) Algorithm { return algo.New(k) }
+
+// ParseAlgorithm converts a name such as "SSSP" to its kind.
+func ParseAlgorithm(name string) (AlgorithmKind, error) { return algo.ParseKind(name) }
+
+// Algorithms lists all built-in algorithm kinds.
+func Algorithms() []AlgorithmKind { return algo.All }
+
+// NewSchedule generates a schedule for the window under the given mode.
+func NewSchedule(mode ScheduleMode, w *Window) (*Schedule, error) {
+	return sched.New(mode, w)
+}
+
+// Solve computes the query fixpoint on a static graph with the
+// event-driven engine. probe may be nil.
+func Solve(g *Graph, k AlgorithmKind, source VertexID, probe Probe) []float64 {
+	if probe == nil {
+		probe = engine.NopProbe{}
+	}
+	return engine.Solve(g, algo.New(k), source, probe)
+}
+
+// Evaluate answers the evolving-graph query functionally: it runs the BOE
+// schedule on the window and returns one value array per snapshot. probe
+// may be used to collect execution statistics; pass nil to discard them.
+func Evaluate(w *Window, k AlgorithmKind, source VertexID, probe ...Probe) ([][]float64, error) {
+	var p Probe = engine.NopProbe{}
+	if len(probe) > 0 && probe[0] != nil {
+		p = probe[0]
+	}
+	s, err := sched.New(sched.BOE, w)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.NewMulti(w, algo.New(k), source, p)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Run(s); err != nil {
+		return nil, err
+	}
+	out := make([][]float64, w.NumSnapshots())
+	for snap := range out {
+		out[snap] = eng.SnapshotValues(s, snap)
+	}
+	return out, nil
+}
+
+// EvaluateParallel is Evaluate on the goroutine-parallel software engine
+// (the paper's "software BOE", §5.2): vertex-sharded workers exchange
+// events through mailboxes with a barrier per round. workers <= 0 selects
+// GOMAXPROCS. Results are identical to Evaluate's.
+func EvaluateParallel(w *Window, k AlgorithmKind, source VertexID, workers int) ([][]float64, error) {
+	s, err := sched.New(sched.BOE, w)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.NewParallel(w, algo.New(k), source, workers)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Run(s); err != nil {
+		return nil, err
+	}
+	out := make([][]float64, w.NumSnapshots())
+	for snap := range out {
+		out[snap] = eng.SnapshotValues(s, snap)
+	}
+	return out, nil
+}
+
+// DefaultSimConfig returns the MEGA machine configuration (Table 3,
+// scaled); JetStreamSimConfig returns the streaming baseline's.
+func DefaultSimConfig() SimConfig   { return sim.DefaultConfig() }
+func JetStreamSimConfig() SimConfig { return sim.JetStreamConfig() }
+
+// Simulate runs the MEGA accelerator simulation of a workflow over the
+// window and returns timing, memory-system and functional statistics.
+func Simulate(w *Window, k AlgorithmKind, source VertexID, mode ScheduleMode, cfg SimConfig) (*SimResult, error) {
+	return sim.RunMEGA(w, k, source, mode, cfg)
+}
+
+// SimulateJetStream runs the JetStream streaming baseline over the raw
+// evolution (sequential hops with deletion invalidation).
+func SimulateJetStream(ev *Evolution, k AlgorithmKind, source VertexID, cfg SimConfig) (*SimResult, error) {
+	return sim.RunJetStream(ev, k, source, cfg)
+}
