@@ -1,0 +1,29 @@
+# Developer entry points. `make ci` is the full gate: vet, build, the
+# race-enabled test suite, and a short run of every fuzz target.
+
+GO ?= go
+FUZZTIME ?= 30s
+
+.PHONY: all build test vet race fuzz ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Each fuzz target needs its own `go test -fuzz` invocation (the tool
+# fuzzes one target per run).
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzLoadEdgeList -fuzztime=$(FUZZTIME) ./internal/gen/
+	$(GO) test -run='^$$' -fuzz=FuzzNewWindowFromParts -fuzztime=$(FUZZTIME) ./internal/evolve/
+
+ci: vet build race fuzz

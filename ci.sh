@@ -1,0 +1,12 @@
+#!/bin/sh
+# CI gate: vet, build, race-enabled tests, then a short fuzz pass over
+# every fuzz target. FUZZTIME (default 30s) scales the fuzz budget.
+set -eux
+
+FUZZTIME="${FUZZTIME:-30s}"
+
+go vet ./...
+go build ./...
+go test -race ./...
+go test -run='^$' -fuzz=FuzzLoadEdgeList -fuzztime="$FUZZTIME" ./internal/gen/
+go test -run='^$' -fuzz=FuzzNewWindowFromParts -fuzztime="$FUZZTIME" ./internal/evolve/

@@ -13,9 +13,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"mega"
 )
@@ -32,16 +36,34 @@ func main() {
 	load := flag.String("load", "", "load a megagen dataset directory instead of synthesizing")
 	edgeList := flag.String("edgelist", "", "build the window from a SNAP-style edge-list file")
 	profile := flag.Bool("profile", false, "print the per-operation timing profile")
+	timeout := flag.Duration("timeout", 0, "abort the simulation after this duration (0 = none)")
 	flag.Parse()
 
+	// SIGINT/SIGTERM cancel the run cooperatively: the engines observe the
+	// context at their next round/cycle boundary and unwind cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	showProfile = *profile
-	if err := run(*graphName, *algoName, *mode, *snapshots, *batch, *imbalance, *onchip, *source, *load, *edgeList); err != nil {
-		fmt.Fprintln(os.Stderr, "megasim:", err)
+	if err := run(ctx, *graphName, *algoName, *mode, *snapshots, *batch, *imbalance, *onchip, *source, *load, *edgeList); err != nil {
+		switch {
+		case errors.Is(err, mega.ErrCanceled):
+			fmt.Fprintln(os.Stderr, "megasim: canceled:", err)
+		case errors.Is(err, mega.ErrDivergence):
+			fmt.Fprintln(os.Stderr, "megasim: query diverged:", err)
+		default:
+			fmt.Fprintln(os.Stderr, "megasim:", err)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(graphName, algoName, mode string, snapshots int, batch, imbalance float64, onchip int64, source int, load, edgeList string) error {
+func run(ctx context.Context, graphName, algoName, mode string, snapshots int, batch, imbalance float64, onchip int64, source int, load, edgeList string) error {
 	kind, err := mega.ParseAlgorithm(algoName)
 	if err != nil {
 		return err
@@ -91,7 +113,7 @@ func run(graphName, algoName, mode string, snapshots int, batch, imbalance float
 		if onchip > 0 {
 			cfg.OnChipBytes = onchip
 		}
-		res, err = mega.SimulateJetStream(ev, kind, src, cfg)
+		res, err = mega.SimulateJetStreamContext(ctx, ev, kind, src, cfg)
 	case "recompute":
 		w, werr := mega.NewWindow(ev)
 		if werr != nil {
@@ -101,13 +123,13 @@ func run(graphName, algoName, mode string, snapshots int, batch, imbalance float
 		if onchip > 0 {
 			cfg.OnChipBytes = onchip
 		}
-		res, err = mega.SimulateRecompute(w, kind, src, cfg)
+		res, err = mega.SimulateRecomputeContext(ctx, w, kind, src, cfg)
 	case "boe-cycle":
 		w, werr := mega.NewWindow(ev)
 		if werr != nil {
 			return werr
 		}
-		r, uerr := mega.SimulateCycleLevel(w, kind, src, mega.DefaultUarchConfig())
+		r, uerr := mega.SimulateCycleLevelContext(ctx, w, kind, src, mega.DefaultUarchConfig())
 		if uerr != nil {
 			return uerr
 		}
@@ -122,7 +144,7 @@ func run(graphName, algoName, mode string, snapshots int, batch, imbalance float
 			r.Utilization(mega.DefaultUarchConfig())*100, r.MaxLiveEvents)
 		return nil
 	case "jetstream-cycle":
-		r, uerr := mega.SimulateStreamCycleLevel(ev, kind, src, mega.DefaultUarchConfig())
+		r, uerr := mega.SimulateStreamCycleLevelContext(ctx, ev, kind, src, mega.DefaultUarchConfig())
 		if uerr != nil {
 			return uerr
 		}
@@ -145,7 +167,7 @@ func run(graphName, algoName, mode string, snapshots int, batch, imbalance float
 			cfg.OnChipBytes = onchip
 		}
 		m := map[string]mega.ScheduleMode{"boe": mega.BOE, "ws": mega.WorkSharing, "dh": mega.DirectHop}[mode]
-		res, err = mega.Simulate(w, kind, src, m, cfg)
+		res, err = mega.SimulateContext(ctx, w, kind, src, m, cfg)
 	default:
 		return fmt.Errorf("unknown mode %q", mode)
 	}

@@ -1,11 +1,13 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"mega/internal/algo"
 	"mega/internal/evolve"
 	"mega/internal/graph"
+	"mega/internal/megaerr"
 	"mega/internal/sched"
 )
 
@@ -38,6 +40,12 @@ type Multi struct {
 
 	cur, next *roundQueue
 
+	// lifecycle state, set for the duration of RunContext.
+	ran    bool
+	ctx    context.Context
+	limits Limits
+	events int64 // events processed across the run (watchdog)
+
 	// noFetchShare disables cross-context adjacency-fetch sharing (for
 	// ablation studies): every updating context fetches separately, as if
 	// the datapath had no prefetch reuse between snapshots.
@@ -62,7 +70,7 @@ func NewMulti(w *evolve.Window, a algo.Algorithm, src graph.VertexID, probe Prob
 		probe = NopProbe{}
 	}
 	if int(src) >= w.NumVertices() {
-		return nil, fmt.Errorf("engine: source vertex %d outside [0,%d)", src, w.NumVertices())
+		return nil, megaerr.Invalidf("engine: source vertex %d outside [0,%d)", src, w.NumVertices())
 	}
 	u := w.Unified()
 	batchOf := make([]int32, u.NumUnionEdges())
@@ -84,10 +92,10 @@ func NewMulti(w *evolve.Window, a algo.Algorithm, src graph.VertexID, probe Prob
 				}
 			}
 			if idx < 0 {
-				return nil, fmt.Errorf("engine: batch %d edge %d->%d missing from union graph", b.ID, e.Src, e.Dst)
+				return nil, megaerr.Invalidf("engine: batch %d edge %d->%d missing from union graph", b.ID, e.Src, e.Dst)
 			}
 			if batchOf[idx] != -1 {
-				return nil, fmt.Errorf("engine: edge %d->%d belongs to batches %d and %d", e.Src, e.Dst, batchOf[idx], b.ID)
+				return nil, megaerr.Invalidf("engine: edge %d->%d belongs to batches %d and %d", e.Src, e.Dst, batchOf[idx], b.ID)
 			}
 			batchOf[idx] = int32(b.ID)
 		}
@@ -117,11 +125,39 @@ func (m *Multi) BaseValues() []float64 {
 	return m.baseVals
 }
 
+// ensureBase is BaseValues under the run's lifecycle: the CommonGraph
+// solve honours cancellation and the divergence watchdog.
+func (m *Multi) ensureBase() ([]float64, error) {
+	if m.baseVals == nil {
+		base, err := SolveContext(m.ctx, m.w.CommonCSR(), m.a, m.src, NopProbe{}, m.limits)
+		if err != nil {
+			return nil, err
+		}
+		m.baseVals = base
+	}
+	return m.baseVals, nil
+}
+
 // Run executes the schedule. Afterwards Values/SnapshotValues expose the
 // per-context and per-snapshot results. Run may be called once per engine.
 func (m *Multi) Run(s *sched.Schedule) error {
-	if m.vals != nil {
-		return fmt.Errorf("engine: Run called twice")
+	return m.RunContext(context.Background(), s, Limits{})
+}
+
+// RunContext is Run under a lifecycle: ctx is checked at every stage and
+// round boundary (a cancellation surfaces as megaerr.ErrCanceled wrapping
+// ctx.Err()), and lim bounds the fixpoint loops (zero fields take
+// DefaultLimits for the window; exceeding a bound surfaces
+// megaerr.ErrDivergence).
+func (m *Multi) RunContext(ctx context.Context, s *sched.Schedule, lim Limits) error {
+	if m.ran {
+		return megaerr.Invalidf("engine: Run called twice")
+	}
+	m.ran = true
+	m.ctx = ctx
+	m.limits = lim.withDefaults(m.w.NumVertices(), s.NumContexts)
+	if err := checkCtx(ctx, "engine start"); err != nil {
+		return err
 	}
 	n := m.w.NumVertices()
 	m.vals = make([][]float64, s.NumContexts)
@@ -134,6 +170,9 @@ func (m *Multi) Run(s *sched.Schedule) error {
 	// multiple-active-snapshots execution (§4.2). Stages with one apply
 	// degenerate to sequential execution.
 	for i := 0; i < len(s.Ops); {
+		if err := checkCtx(m.ctx, "engine stage"); err != nil {
+			return err
+		}
 		stage := s.Ops[i].Stage
 		var applies []sched.Op
 		for ; i < len(s.Ops) && s.Ops[i].Stage == stage; i++ {
@@ -155,21 +194,34 @@ func (m *Multi) Run(s *sched.Schedule) error {
 	return nil
 }
 
-// Values returns context ctx's value array (nil if never initialized).
-func (m *Multi) Values(ctx int) []float64 { return m.vals[ctx] }
+// Values returns context ctx's value array (nil if never initialized or
+// before Run).
+func (m *Multi) Values(ctx int) []float64 {
+	if ctx < 0 || ctx >= len(m.vals) {
+		return nil
+	}
+	return m.vals[ctx]
+}
 
-// SnapshotValues returns snapshot snap's final values under schedule s.
+// SnapshotValues returns snapshot snap's final values under schedule s,
+// or nil before Run or for an out-of-range snapshot.
 func (m *Multi) SnapshotValues(s *sched.Schedule, snap int) []float64 {
-	return m.vals[s.SnapshotCtx[snap]]
+	if snap < 0 || snap >= len(s.SnapshotCtx) {
+		return nil
+	}
+	return m.Values(s.SnapshotCtx[snap])
 }
 
 func (m *Multi) runOp(op sched.Op) error {
 	switch op.Kind {
 	case sched.OpInit:
 		if op.Ctx >= len(m.vals) {
-			return fmt.Errorf("engine: OpInit context %d out of range", op.Ctx)
+			return megaerr.Invalidf("engine: OpInit context %d out of range", op.Ctx)
 		}
-		base := m.BaseValues()
+		base, err := m.ensureBase()
+		if err != nil {
+			return err
+		}
 		if m.vals[op.Ctx] == nil {
 			m.vals[op.Ctx] = make([]float64, len(base))
 			m.applied[op.Ctx] = newBatchSet(len(m.w.Batches()))
@@ -183,7 +235,7 @@ func (m *Multi) runOp(op sched.Op) error {
 
 	case sched.OpCopy:
 		if m.vals[op.From] == nil {
-			return fmt.Errorf("engine: OpCopy from uninitialized context %d", op.From)
+			return megaerr.Invalidf("engine: OpCopy from uninitialized context %d", op.From)
 		}
 		if m.vals[op.Ctx] == nil {
 			m.vals[op.Ctx] = make([]float64, len(m.vals[op.From]))
@@ -200,7 +252,7 @@ func (m *Multi) runOp(op sched.Op) error {
 		return m.runApplies([]sched.Op{op})
 
 	default:
-		return fmt.Errorf("engine: unknown op kind %d", int(op.Kind))
+		return megaerr.Invalidf("engine: unknown op kind %d", int(op.Kind))
 	}
 }
 
@@ -217,7 +269,7 @@ func (m *Multi) runApplies(ops []sched.Op) error {
 	totalEdges := 0
 	for _, op := range ops {
 		if len(op.Targets) == 0 {
-			return fmt.Errorf("engine: OpApply with no targets")
+			return megaerr.Invalidf("engine: OpApply with no targets")
 		}
 		opCompute := op.Targets
 		if op.SharedCompute {
@@ -225,7 +277,7 @@ func (m *Multi) runApplies(ops []sched.Op) error {
 		}
 		for _, c := range opCompute {
 			if m.vals[c] == nil {
-				return fmt.Errorf("engine: OpApply to uninitialized context %d", c)
+				return megaerr.Invalidf("engine: OpApply to uninitialized context %d", c)
 			}
 			if seen[c] == 0 {
 				compute = append(compute, c)
@@ -241,7 +293,7 @@ func (m *Multi) runApplies(ops []sched.Op) error {
 	// op's seeds within this stage.
 	for _, op := range ops {
 		if op.SharedCompute && seen[op.Targets[0]] > 1 {
-			return fmt.Errorf("engine: shared-compute context %d also computed by another op of the stage", op.Targets[0])
+			return megaerr.Invalidf("engine: shared-compute context %d also computed by another op of the stage", op.Targets[0])
 		}
 	}
 	m.probe.OpStart("add", totalEdges, len(compute))
@@ -273,7 +325,10 @@ func (m *Multi) runApplies(ops []sched.Op) error {
 	}
 
 	m.dirty = m.dirty[:0]
-	m.runRounds(compute)
+	if err := m.runRounds(compute); err != nil {
+		m.probe.OpEnd()
+		return err
+	}
 
 	// Broadcasts: a shared-compute op's targets were state-identical
 	// before the stage and only Targets[0] computed, so copying the
@@ -288,7 +343,7 @@ func (m *Multi) runApplies(ops []sched.Op) error {
 		for _, c := range op.Targets[1:] {
 			if m.vals[c] == nil {
 				m.probe.OpEnd()
-				return fmt.Errorf("engine: broadcast to uninitialized context %d", c)
+				return megaerr.Invalidf("engine: broadcast to uninitialized context %d", c)
 			}
 			for _, v := range m.dirty {
 				if m.vals[c][v] != m.vals[src][v] {
@@ -305,10 +360,17 @@ func (m *Multi) runApplies(ops []sched.Op) error {
 }
 
 // runRounds drains the current queue to quiescence for the given computing
-// contexts, recording vertices whose values changed in m.dirty.
-func (m *Multi) runRounds(compute []int) {
+// contexts, recording vertices whose values changed in m.dirty. Each round
+// boundary checks the run's context and the divergence watchdog.
+func (m *Multi) runRounds(compute []int) error {
 	round := 0
 	for m.cur.count > 0 {
+		if err := checkCtx(m.ctx, "engine round"); err != nil {
+			return err
+		}
+		if m.limits.roundsExceeded(round) || m.limits.eventsExceeded(m.events) {
+			return m.divergence("engine", round)
+		}
 		m.probe.RoundStart(round)
 		for _, v := range m.cur.touched {
 			m.updating = m.updating[:0]
@@ -319,6 +381,7 @@ func (m *Multi) runRounds(compute []int) {
 					continue
 				}
 				applied := m.a.Better(cand, m.vals[c][v])
+				m.events++
 				m.probe.Event(v, c, applied)
 				if applied {
 					m.vals[c][v] = cand
@@ -387,18 +450,53 @@ func (m *Multi) runRounds(compute []int) {
 	for _, v := range m.dirty {
 		m.dirtyMark[v] = false
 	}
+	return nil
+}
+
+// divergence builds the watchdog's diagnostic error from the engine's
+// current queue state.
+func (m *Multi) divergence(engine string, round int) error {
+	tripped := "MaxRounds"
+	if m.limits.eventsExceeded(m.events) {
+		tripped = "MaxEvents"
+	}
+	sample := int64(-1)
+	if len(m.cur.touched) > 0 {
+		sample = int64(m.cur.touched[0])
+	}
+	return &megaerr.DivergenceError{
+		Engine: engine, Limit: tripped, Rounds: round,
+		Events: m.events, LiveEvents: int64(m.cur.count), SampleVertex: sample,
+	}
 }
 
 // Solve computes the query fixpoint on a static CSR graph with a
 // single-context event loop (used for the CommonGraph base solution and by
-// tests). probe must not be nil.
+// tests). probe must not be nil. It runs without a lifecycle — no
+// cancellation and no divergence watchdog; production callers should use
+// SolveContext.
 func Solve(g *graph.CSR, a algo.Algorithm, src graph.VertexID, probe Probe) []float64 {
+	vals, err := SolveContext(context.Background(), g, a, src, probe,
+		Limits{MaxRounds: Unlimited, MaxEvents: Unlimited})
+	if err != nil {
+		// Unreachable: the background context never cancels and both
+		// watchdog bounds are disabled.
+		panic(fmt.Sprintf("engine: unlimited Solve failed: %v", err))
+	}
+	return vals
+}
+
+// SolveContext is Solve under a lifecycle: ctx is checked at every round
+// boundary and lim bounds the fixpoint (zero fields take DefaultLimits
+// for the graph).
+func SolveContext(ctx context.Context, g *graph.CSR, a algo.Algorithm, src graph.VertexID, probe Probe, lim Limits) ([]float64, error) {
+	lim = lim.withDefaults(g.NumVertices(), 1)
 	vals := make([]float64, g.NumVertices())
 	for i := range vals {
 		vals[i] = a.Identity()
 	}
 	if g.NumVertices() == 0 {
-		return vals
+		return vals, nil
 	}
 	probe.OpStart("solve", 0, 1)
 	cur := newRoundQueue(1, g.NumVertices())
@@ -413,7 +511,27 @@ func Solve(g *graph.CSR, a algo.Algorithm, src graph.VertexID, probe Probe) []fl
 		probe.Generated(src, 0)
 	}
 	round := 0
+	events := int64(0)
 	for cur.count > 0 {
+		if err := checkCtx(ctx, "solve round"); err != nil {
+			probe.OpEnd()
+			return nil, err
+		}
+		if lim.roundsExceeded(round) || lim.eventsExceeded(events) {
+			probe.OpEnd()
+			tripped := "MaxRounds"
+			if lim.eventsExceeded(events) {
+				tripped = "MaxEvents"
+			}
+			sample := int64(-1)
+			if len(cur.touched) > 0 {
+				sample = int64(cur.touched[0])
+			}
+			return nil, &megaerr.DivergenceError{
+				Engine: "engine", Limit: tripped, Rounds: round,
+				Events: events, LiveEvents: int64(cur.count), SampleVertex: sample,
+			}
+		}
 		probe.RoundStart(round)
 		for _, v := range cur.touched {
 			cand, _, ok := cur.take(0, v)
@@ -421,6 +539,7 @@ func Solve(g *graph.CSR, a algo.Algorithm, src graph.VertexID, probe Probe) []fl
 				continue
 			}
 			applied := a.Better(cand, vals[v])
+			events++
 			probe.Event(v, 0, applied)
 			if !applied {
 				continue
@@ -443,5 +562,5 @@ func Solve(g *graph.CSR, a algo.Algorithm, src graph.VertexID, probe Probe) []fl
 		round++
 	}
 	probe.OpEnd()
-	return vals
+	return vals, nil
 }

@@ -1,13 +1,15 @@
 package engine
 
 import (
-	"fmt"
+	"context"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"mega/internal/algo"
 	"mega/internal/evolve"
 	"mega/internal/graph"
+	"mega/internal/megaerr"
 	"mega/internal/sched"
 )
 
@@ -36,6 +38,11 @@ type Parallel struct {
 	vals    [][]float64
 	applied []batchSet
 	evTotal int64
+
+	// lifecycle state, set for the duration of RunContext.
+	ran    bool
+	ctx    context.Context
+	limits Limits
 }
 
 // NewParallel builds a parallel engine with the given worker count
@@ -85,14 +92,32 @@ type shard struct {
 
 // Run executes the schedule and returns nothing; use Values afterwards.
 func (p *Parallel) Run(s *sched.Schedule) error {
-	if p.vals != nil {
-		return fmt.Errorf("engine: Run called twice")
+	return p.RunContext(context.Background(), s, Limits{})
+}
+
+// RunContext is Run under a lifecycle: ctx is checked at every stage and
+// barrier-round boundary, lim bounds the fixpoint loops (zero fields take
+// DefaultLimits for the window), and a panic in any worker goroutine is
+// contained — the barrier drains cleanly and the panic surfaces as a
+// *megaerr.WorkerPanicError instead of killing the process.
+func (p *Parallel) RunContext(ctx context.Context, s *sched.Schedule, lim Limits) error {
+	if p.ran {
+		return megaerr.Invalidf("engine: Run called twice")
+	}
+	p.ran = true
+	p.ctx = ctx
+	p.limits = lim.withDefaults(p.w.NumVertices(), s.NumContexts)
+	if err := checkCtx(ctx, "parallel start"); err != nil {
+		return err
 	}
 	n := p.w.NumVertices()
 	p.vals = make([][]float64, s.NumContexts)
 	p.applied = make([]batchSet, s.NumContexts)
 
-	base := Solve(p.w.CommonCSR(), p.a, p.src, NopProbe{})
+	base, err := SolveContext(ctx, p.w.CommonCSR(), p.a, p.src, NopProbe{}, p.limits)
+	if err != nil {
+		return err
+	}
 
 	shards := make([]*shard, p.workers)
 	for i := range shards {
@@ -113,6 +138,9 @@ func (p *Parallel) Run(s *sched.Schedule) error {
 	}
 
 	for i := 0; i < len(s.Ops); {
+		if err := checkCtx(ctx, "parallel stage"); err != nil {
+			return err
+		}
 		stage := s.Ops[i].Stage
 		var applies []sched.Op
 		for ; i < len(s.Ops) && s.Ops[i].Stage == stage; i++ {
@@ -127,7 +155,7 @@ func (p *Parallel) Run(s *sched.Schedule) error {
 				p.applied[op.Ctx].clear()
 			case sched.OpCopy:
 				if p.vals[op.From] == nil {
-					return fmt.Errorf("engine: OpCopy from uninitialized context %d", op.From)
+					return megaerr.Invalidf("engine: OpCopy from uninitialized context %d", op.From)
 				}
 				if p.vals[op.Ctx] == nil {
 					p.vals[op.Ctx] = make([]float64, n)
@@ -148,12 +176,22 @@ func (p *Parallel) Run(s *sched.Schedule) error {
 	return nil
 }
 
-// Values returns context ctx's value array.
-func (p *Parallel) Values(ctx int) []float64 { return p.vals[ctx] }
+// Values returns context ctx's value array, or nil before Run or for an
+// out-of-range context.
+func (p *Parallel) Values(ctx int) []float64 {
+	if ctx < 0 || ctx >= len(p.vals) {
+		return nil
+	}
+	return p.vals[ctx]
+}
 
-// SnapshotValues returns snapshot snap's final values under schedule s.
+// SnapshotValues returns snapshot snap's final values under schedule s,
+// or nil before Run or for an out-of-range snapshot.
 func (p *Parallel) SnapshotValues(s *sched.Schedule, snap int) []float64 {
-	return p.vals[s.SnapshotCtx[snap]]
+	if snap < 0 || snap >= len(s.SnapshotCtx) {
+		return nil
+	}
+	return p.Values(s.SnapshotCtx[snap])
 }
 
 // Events returns the total number of processed events.
@@ -163,7 +201,43 @@ func (p *Parallel) Events() int64 {
 	return p.evTotal
 }
 
-func (p *Parallel) runApplies(shards []*shard, ops []sched.Op) error {
+// panicTrap collects the first panic recovered in any worker goroutine
+// (or the coordinator's seeding loop) of one batch application.
+type panicTrap struct {
+	mu    sync.Mutex
+	err   error
+	round int
+}
+
+// capture runs inside a deferred recover; it records the first panic as a
+// typed WorkerPanicError, preserving the panicking goroutine's stack.
+func (t *panicTrap) capture(shard int, r any) {
+	t.mu.Lock()
+	if t.err == nil {
+		t.err = &megaerr.WorkerPanicError{
+			Shard: shard, Round: t.round, Value: r, Stack: debug.Stack(),
+		}
+	}
+	t.mu.Unlock()
+}
+
+func (t *panicTrap) tripped() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+func (p *Parallel) runApplies(shards []*shard, ops []sched.Op) (err error) {
+	trap := &panicTrap{}
+	// The coordinator's seeding loop also calls the user-supplied
+	// Algorithm; contain its panics the same way (Shard = -1).
+	defer func() {
+		if r := recover(); r != nil {
+			trap.capture(-1, r)
+			err = trap.tripped()
+		}
+	}()
+
 	// Seed: route each batch edge's candidates to the owning shard.
 	for _, op := range ops {
 		compute := op.Targets
@@ -172,7 +246,7 @@ func (p *Parallel) runApplies(shards []*shard, ops []sched.Op) error {
 		}
 		for _, c := range compute {
 			if p.vals[c] == nil {
-				return fmt.Errorf("engine: OpApply to uninitialized context %d", c)
+				return megaerr.Invalidf("engine: OpApply to uninitialized context %d", c)
 			}
 			p.applied[c].add(op.Batch.ID)
 		}
@@ -190,23 +264,47 @@ func (p *Parallel) runApplies(shards []*shard, ops []sched.Op) error {
 		}
 	}
 
+	// Each barrier round: deliver, process, exchange. Every worker
+	// goroutine recovers its own panics into the trap so wg.Done always
+	// runs and wg.Wait — the barrier — can never deadlock on a panic.
 	var wg sync.WaitGroup
+	round := 0
+	events := p.evTotal
+	for _, sh := range shards {
+		events += sh.events
+	}
 	for {
+		if cerr := checkCtx(p.ctx, "parallel barrier"); cerr != nil {
+			return cerr
+		}
+		if p.limits.roundsExceeded(round) || p.limits.eventsExceeded(events) {
+			return p.divergence(shards, round, events)
+		}
+		trap.round = round
+
 		// Deliver inboxes into pending matrices and check quiescence.
 		live := false
 		wg.Add(len(shards))
-		for _, sh := range shards {
-			go func(sh *shard) {
+		for si, sh := range shards {
+			go func(si int, sh *shard) {
 				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						trap.capture(si, r)
+					}
+				}()
 				for w := range sh.inbox {
 					for _, ev := range sh.inbox[w] {
 						sh.push(p.a, ev)
 					}
 					sh.inbox[w] = sh.inbox[w][:0]
 				}
-			}(sh)
+			}(si, sh)
 		}
 		wg.Wait()
+		if perr := trap.tripped(); perr != nil {
+			return perr
+		}
 		for _, sh := range shards {
 			if len(sh.touched) > 0 {
 				live = true
@@ -222,10 +320,18 @@ func (p *Parallel) runApplies(shards []*shard, ops []sched.Op) error {
 		for si, sh := range shards {
 			go func(si int, sh *shard) {
 				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						trap.capture(si, r)
+					}
+				}()
 				p.processShard(sh)
 			}(si, sh)
 		}
 		wg.Wait()
+		if perr := trap.tripped(); perr != nil {
+			return perr
+		}
 
 		// Exchange outboxes (single-threaded pointer swaps).
 		for si, sh := range shards {
@@ -235,6 +341,11 @@ func (p *Parallel) runApplies(shards []*shard, ops []sched.Op) error {
 			}
 			_ = si
 		}
+		events = p.evTotal
+		for _, sh := range shards {
+			events += sh.events
+		}
+		round++
 	}
 
 	for _, sh := range shards {
@@ -250,7 +361,7 @@ func (p *Parallel) runApplies(shards []*shard, ops []sched.Op) error {
 		src := op.Targets[0]
 		for _, c := range op.Targets[1:] {
 			if p.vals[c] == nil {
-				return fmt.Errorf("engine: broadcast to uninitialized context %d", c)
+				return megaerr.Invalidf("engine: broadcast to uninitialized context %d", c)
 			}
 			for v := range p.vals[c] {
 				if p.vals[c][v] != p.vals[src][v] {
@@ -261,6 +372,35 @@ func (p *Parallel) runApplies(shards []*shard, ops []sched.Op) error {
 		}
 	}
 	return nil
+}
+
+// divergence builds the watchdog's diagnostic error from the shards'
+// pending state.
+func (p *Parallel) divergence(shards []*shard, round int, events int64) error {
+	tripped := "MaxRounds"
+	if p.limits.eventsExceeded(events) {
+		tripped = "MaxEvents"
+	}
+	// Pending work sits in touched lists right after delivery and in
+	// inboxes right after an exchange; sample from whichever is live.
+	sample := int64(-1)
+	live := int64(0)
+	for _, sh := range shards {
+		live += int64(len(sh.touched))
+		if sample < 0 && len(sh.touched) > 0 {
+			sample = int64(sh.touched[0])
+		}
+		for _, in := range sh.inbox {
+			live += int64(len(in))
+			if sample < 0 && len(in) > 0 {
+				sample = int64(in[0].dst)
+			}
+		}
+	}
+	return &megaerr.DivergenceError{
+		Engine: "parallel", Limit: tripped, Rounds: round,
+		Events: events, LiveEvents: live, SampleVertex: sample,
+	}
 }
 
 // push coalesces an event into the shard's pending matrix.

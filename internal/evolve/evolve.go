@@ -14,10 +14,9 @@
 package evolve
 
 import (
-	"fmt"
-
 	"mega/internal/gen"
 	"mega/internal/graph"
+	"mega/internal/megaerr"
 )
 
 // Batch is one addition-only batch of the deletion-free formulation.
@@ -57,15 +56,18 @@ func NewWindow(ev *gen.Evolution) (*Window, error) {
 // every edge is touched by at most one batch within the window, deletions
 // are edges of G_0, additions are disjoint from G_0.
 func NewWindowFromParts(numVertices, snapshots int, initial graph.EdgeList, adds, dels []graph.EdgeList) (*Window, error) {
+	if numVertices < 1 {
+		return nil, megaerr.Invalidf("evolve: vertex count %d < 1", numVertices)
+	}
 	if snapshots < 1 {
-		return nil, fmt.Errorf("evolve: snapshot count %d < 1", snapshots)
+		return nil, megaerr.Invalidf("evolve: snapshot count %d < 1", snapshots)
 	}
 	if snapshots > 64 {
-		return nil, fmt.Errorf("evolve: snapshot count %d exceeds the 64-snapshot unified-representation limit", snapshots)
+		return nil, megaerr.Invalidf("evolve: snapshot count %d exceeds the 64-snapshot unified-representation limit", snapshots)
 	}
 	hops := snapshots - 1
 	if len(adds) != hops || len(dels) != hops {
-		return nil, fmt.Errorf("evolve: %d snapshots need %d add and del batches, got %d and %d", snapshots, hops, len(adds), len(dels))
+		return nil, megaerr.Invalidf("evolve: %d snapshots need %d add and del batches, got %d and %d", snapshots, hops, len(adds), len(dels))
 	}
 
 	common := initial.Clone().Normalize()
@@ -102,7 +104,7 @@ func NewWindowFromParts(numVertices, snapshots int, initial graph.EdgeList, adds
 	}
 	unified, err := graph.BuildUnified(numVertices, snapshots, common, lists, users)
 	if err != nil {
-		return nil, fmt.Errorf("evolve: building unified representation: %w", err)
+		return nil, megaerr.Invalidf("evolve: building unified representation: %v", err)
 	}
 	return &Window{
 		numVertices: numVertices,

@@ -1,0 +1,73 @@
+package evolve
+
+import (
+	"errors"
+	"testing"
+
+	"mega/internal/graph"
+	"mega/internal/megaerr"
+)
+
+// decodeEdges turns fuzz bytes into an edge list deterministically: three
+// bytes per edge (src, dst, weight), vertex IDs reduced modulo n so both
+// valid and out-of-range shapes appear depending on n.
+func decodeEdges(data []byte, n int) graph.EdgeList {
+	var edges graph.EdgeList
+	for i := 0; i+2 < len(data); i += 3 {
+		edges = append(edges, graph.Edge{
+			Src:    graph.VertexID(data[i]),
+			Dst:    graph.VertexID(data[i+1]),
+			Weight: float64(data[i+2]%16) + 1,
+		})
+	}
+	_ = n
+	return edges
+}
+
+// FuzzNewWindowFromParts throws arbitrary histories at the CommonGraph
+// decomposition. The contract: never panic, and reject every invalid shape
+// (bad counts, violated disjointness, out-of-range endpoints) with an
+// error matching megaerr.ErrInvalidInput. Accepted windows must be
+// self-consistent enough to materialize every snapshot.
+func FuzzNewWindowFromParts(f *testing.F) {
+	f.Add(3, 2, []byte{0, 1, 4}, []byte{1, 2, 3}, []byte{0, 1, 4})
+	f.Add(8, 1, []byte{0, 1, 1, 1, 2, 2}, []byte{}, []byte{})
+	f.Add(0, 0, []byte{}, []byte{}, []byte{})
+	f.Add(4, 65, []byte{0, 1, 1}, []byte{}, []byte{})
+	f.Add(2, 3, []byte{0, 1, 1}, []byte{1, 0, 1}, []byte{0, 1, 1})
+	f.Fuzz(func(t *testing.T, numVertices, snapshots int, initRaw, addRaw, delRaw []byte) {
+		if numVertices > 1<<12 || snapshots > 1<<8 || numVertices < -1<<12 || snapshots < -1<<8 {
+			t.Skip("scope the search to small shapes")
+		}
+		initial := decodeEdges(initRaw, numVertices)
+		var adds, dels []graph.EdgeList
+		if snapshots > 1 {
+			hops := snapshots - 1
+			adds = make([]graph.EdgeList, hops)
+			dels = make([]graph.EdgeList, hops)
+			for j := 0; j < hops; j++ {
+				if j == 0 {
+					adds[j] = decodeEdges(addRaw, numVertices)
+					dels[j] = decodeEdges(delRaw, numVertices)
+				}
+			}
+		}
+		w, err := NewWindowFromParts(numVertices, snapshots, initial, adds, dels)
+		if err != nil {
+			if !errors.Is(err, megaerr.ErrInvalidInput) {
+				t.Fatalf("error %v does not match ErrInvalidInput", err)
+			}
+			return
+		}
+		if w.NumSnapshots() != snapshots {
+			t.Fatalf("NumSnapshots = %d, want %d", w.NumSnapshots(), snapshots)
+		}
+		for s := 0; s < w.NumSnapshots(); s++ {
+			for _, e := range w.SnapshotEdges(s) {
+				if int(e.Src) >= numVertices || int(e.Dst) >= numVertices {
+					t.Fatalf("snapshot %d edge %d->%d outside %d vertices", s, e.Src, e.Dst, numVertices)
+				}
+			}
+		}
+	})
+}

@@ -2,12 +2,14 @@ package gen
 
 import (
 	"bufio"
-	"fmt"
+	"math"
 	"math/rand"
 	"os"
+	"strconv"
 	"strings"
 
 	"mega/internal/graph"
+	"mega/internal/megaerr"
 )
 
 // LoadEdgeList reads a SNAP-style whitespace-separated edge list: one
@@ -15,6 +17,12 @@ import (
 // IDs are remapped densely in order of first appearance; edges without a
 // weight get defaultWeight. Returns the dense vertex count and the
 // normalized edge list.
+//
+// Malformed lines are rejected with an error matching
+// megaerr.ErrInvalidInput that names the 1-based line number and the
+// offending token. NaN and -Inf weights are rejected: both would poison
+// the selection engines (NaN fails every Better comparison; -Inf makes
+// minimizing algorithms diverge).
 func LoadEdgeList(path string, defaultWeight float64) (int, graph.EdgeList, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -47,19 +55,20 @@ func LoadEdgeList(path string, defaultWeight float64) (int, graph.EdgeList, erro
 		}
 		fields := strings.Fields(text)
 		if len(fields) < 2 {
-			return 0, nil, fmt.Errorf("gen: %s:%d: want 'src dst [weight]', got %q", path, line, text)
+			return 0, nil, megaerr.Invalidf("gen: %s: line %d: want 'src dst [weight]', got %q", path, line, text)
 		}
-		var src, dst uint64
-		if _, err := fmt.Sscanf(fields[0], "%d", &src); err != nil {
-			return 0, nil, fmt.Errorf("gen: %s:%d: bad src: %w", path, line, err)
+		src, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			return 0, nil, megaerr.Invalidf("gen: %s: line %d: bad src %q: %v", path, line, fields[0], err)
 		}
-		if _, err := fmt.Sscanf(fields[1], "%d", &dst); err != nil {
-			return 0, nil, fmt.Errorf("gen: %s:%d: bad dst: %w", path, line, err)
+		dst, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return 0, nil, megaerr.Invalidf("gen: %s: line %d: bad dst %q: %v", path, line, fields[1], err)
 		}
 		w := defaultWeight
 		if len(fields) >= 3 {
-			if _, err := fmt.Sscanf(fields[2], "%g", &w); err != nil {
-				return 0, nil, fmt.Errorf("gen: %s:%d: bad weight: %w", path, line, err)
+			if w, err = parseWeight(fields[2]); err != nil {
+				return 0, nil, megaerr.Invalidf("gen: %s: line %d: %v", path, line, err)
 			}
 		}
 		edges = append(edges, graph.Edge{Src: id(src), Dst: id(dst), Weight: w})
@@ -70,6 +79,23 @@ func LoadEdgeList(path string, defaultWeight float64) (int, graph.EdgeList, erro
 	return len(remap), edges.Normalize(), nil
 }
 
+// parseWeight parses an edge weight, rejecting the values the selection
+// engines cannot price: NaN (incomparable) and -Inf (minimizing
+// algorithms would relax forever toward it).
+func parseWeight(tok string) (float64, error) {
+	w, err := strconv.ParseFloat(tok, 64)
+	if err != nil {
+		return 0, megaerr.Invalidf("bad weight %q: %v", tok, err)
+	}
+	if math.IsNaN(w) {
+		return 0, megaerr.Invalidf("bad weight %q: NaN is not comparable", tok)
+	}
+	if math.IsInf(w, -1) {
+		return 0, megaerr.Invalidf("bad weight %q: -Inf diverges minimizing queries", tok)
+	}
+	return w, nil
+}
+
 // EvolveFromEdgeList synthesizes an evolving-graph history from a fixed
 // real-world edge set, the way §5.1 builds the paper's workloads from
 // static datasets: a seeded shuffle reserves enough edges as the addition
@@ -78,10 +104,10 @@ func LoadEdgeList(path string, defaultWeight float64) (int, graph.EdgeList, erro
 // disjointness invariant holds by construction.
 func EvolveFromEdgeList(numVertices int, edges graph.EdgeList, espec EvolutionSpec) (*Evolution, error) {
 	if espec.Snapshots < 1 {
-		return nil, fmt.Errorf("gen: snapshot count %d < 1", espec.Snapshots)
+		return nil, megaerr.Invalidf("gen: snapshot count %d < 1", espec.Snapshots)
 	}
 	if espec.BatchFraction < 0 || espec.BatchFraction > 0.5 {
-		return nil, fmt.Errorf("gen: batch fraction %v outside [0, 0.5]", espec.BatchFraction)
+		return nil, megaerr.Invalidf("gen: batch fraction %v outside [0, 0.5]", espec.BatchFraction)
 	}
 	hops := espec.Snapshots - 1
 	baseEdges := len(edges)
@@ -90,7 +116,7 @@ func EvolveFromEdgeList(numVertices int, edges graph.EdgeList, espec EvolutionSp
 	totalAdds := half * hops
 	totalDels := half * hops
 	if totalAdds+totalDels > baseEdges/2 {
-		return nil, fmt.Errorf("gen: window changes %d of %d edges; too destructive", totalAdds+totalDels, baseEdges)
+		return nil, megaerr.Invalidf("gen: window changes %d of %d edges; too destructive", totalAdds+totalDels, baseEdges)
 	}
 
 	r := rand.New(rand.NewSource(espec.Seed ^ 0x5eed))

@@ -1,0 +1,51 @@
+package gen
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mega/internal/megaerr"
+)
+
+// FuzzLoadEdgeList feeds arbitrary file contents to the edge-list parser.
+// The contract under fuzzing: never panic, reject malformed input with an
+// error matching megaerr.ErrInvalidInput, and never emit an edge list
+// containing out-of-range endpoints or unpriceable (NaN/-Inf) weights.
+func FuzzLoadEdgeList(f *testing.F) {
+	f.Add("1 2 3.5\n")
+	f.Add("# comment\n0 1\n1 0 2\n")
+	f.Add("")
+	f.Add("7 7 0\n")
+	f.Add("a b\n")
+	f.Add("1\n")
+	f.Add("1 2 NaN\n")
+	f.Add("1 2 -Inf\n")
+	f.Add("1 2 +Inf\n")
+	f.Add("-1 2\n")
+	f.Add("18446744073709551616 0\n")
+	f.Add("3 4 1e308\n\n\n9 9\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		path := filepath.Join(t.TempDir(), "edges.txt")
+		if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+			t.Skip(err)
+		}
+		n, edges, err := LoadEdgeList(path, 1)
+		if err != nil {
+			if !errors.Is(err, megaerr.ErrInvalidInput) {
+				t.Fatalf("parse error %v does not match ErrInvalidInput", err)
+			}
+			return
+		}
+		for _, e := range edges {
+			if int(e.Src) >= n || int(e.Dst) >= n {
+				t.Fatalf("edge %d->%d outside the reported %d vertices", e.Src, e.Dst, n)
+			}
+			if math.IsNaN(e.Weight) || math.IsInf(e.Weight, -1) {
+				t.Fatalf("unpriceable weight %v survived parsing", e.Weight)
+			}
+		}
+	})
+}

@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"mega/internal/graph"
+	"mega/internal/megaerr"
 )
 
 // Evolution datasets are stored as a directory of plain-text edge lists:
@@ -50,10 +53,10 @@ func Load(dir string) (*Evolution, error) {
 	}
 	var vertices, snapshots int
 	if _, err := fmt.Sscanf(string(metaBytes), "%d %d", &vertices, &snapshots); err != nil {
-		return nil, fmt.Errorf("gen: parsing meta: %w", err)
+		return nil, megaerr.Invalidf("gen: parsing meta %q: %v", strings.TrimSpace(string(metaBytes)), err)
 	}
 	if snapshots < 1 {
-		return nil, fmt.Errorf("gen: meta declares %d snapshots", snapshots)
+		return nil, megaerr.Invalidf("gen: meta declares %d snapshots", snapshots)
 	}
 	ev := &Evolution{NumVertices: vertices}
 	if ev.Initial, err = readEdges(filepath.Join(dir, "initial.txt"), vertices); err != nil {
@@ -102,17 +105,28 @@ func readEdges(path string, numVertices int) (graph.EdgeList, error) {
 	line := 0
 	for sc.Scan() {
 		line++
-		text := sc.Text()
+		text := strings.TrimSpace(sc.Text())
 		if text == "" {
 			continue
 		}
-		var src, dst uint32
-		var w float64
-		if _, err := fmt.Sscanf(text, "%d %d %g", &src, &dst, &w); err != nil {
-			return nil, fmt.Errorf("gen: %s:%d: %w", path, line, err)
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return nil, megaerr.Invalidf("gen: %s: line %d: want 'src dst weight', got %q", path, line, text)
+		}
+		src, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, megaerr.Invalidf("gen: %s: line %d: bad src %q: %v", path, line, fields[0], err)
+		}
+		dst, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, megaerr.Invalidf("gen: %s: line %d: bad dst %q: %v", path, line, fields[1], err)
+		}
+		w, err := parseWeight(fields[2])
+		if err != nil {
+			return nil, megaerr.Invalidf("gen: %s: line %d: %v", path, line, err)
 		}
 		if int(src) >= numVertices || int(dst) >= numVertices {
-			return nil, fmt.Errorf("gen: %s:%d: edge %d->%d outside %d vertices", path, line, src, dst, numVertices)
+			return nil, megaerr.Invalidf("gen: %s: line %d: edge %d->%d outside %d vertices", path, line, src, dst, numVertices)
 		}
 		edges = append(edges, graph.Edge{Src: graph.VertexID(src), Dst: graph.VertexID(dst), Weight: w})
 	}

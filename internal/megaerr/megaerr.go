@@ -1,0 +1,139 @@
+// Package megaerr defines the error contract shared by every execution
+// layer of the reproduction: sentinel errors matched with errors.Is and
+// typed errors inspected with errors.As. The engines (internal/engine),
+// the aggregate simulator (internal/sim), the cycle-level simulator
+// (internal/uarch) and the input loaders (internal/gen, internal/evolve)
+// all classify their failures through this package, so callers at the
+// mega API boundary can dispatch on failure kind without string matching.
+//
+// The package is dependency-free by design: it sits below every other
+// internal package.
+package megaerr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors. Match with errors.Is.
+var (
+	// ErrCanceled marks a run aborted by context cancellation or
+	// deadline expiry. Errors carrying it also carry the original
+	// context error, so errors.Is(err, context.Canceled) and
+	// errors.Is(err, context.DeadlineExceeded) keep working.
+	ErrCanceled = errors.New("mega: execution canceled")
+
+	// ErrDivergence marks a fixpoint loop that exceeded its divergence
+	// watchdog limit (rounds, events, or cycles) — the signature of a
+	// non-monotone user-supplied Algorithm. Inspect the carrying
+	// *DivergenceError with errors.As for diagnosis.
+	ErrDivergence = errors.New("mega: fixpoint diverged")
+
+	// ErrInvalidInput marks malformed caller input: unparsable edge
+	// lists, inconsistent window parts, out-of-range sources, invalid
+	// schedules or configurations.
+	ErrInvalidInput = errors.New("mega: invalid input")
+)
+
+// CanceledError wraps the context error observed at a lifecycle
+// checkpoint. It matches both ErrCanceled and the underlying context
+// error (context.Canceled or context.DeadlineExceeded).
+type CanceledError struct {
+	// Phase names the checkpoint that observed the cancellation,
+	// e.g. "engine round", "parallel barrier", "uarch cycle".
+	Phase string
+	// Err is the context's error.
+	Err error
+}
+
+// Error implements error.
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("mega: %s: %v", e.Phase, e.Err)
+}
+
+// Unwrap lets errors.Is match both ErrCanceled and the context error.
+func (e *CanceledError) Unwrap() []error { return []error{ErrCanceled, e.Err} }
+
+// Canceled wraps a context error observed at the named phase. cause must
+// be non-nil (the ctx.Err() that tripped the check).
+func Canceled(phase string, cause error) error {
+	return &CanceledError{Phase: phase, Err: cause}
+}
+
+// DivergenceError reports a fixpoint loop aborted by the divergence
+// watchdog, with enough state to diagnose the oscillation. It matches
+// ErrDivergence under errors.Is.
+type DivergenceError struct {
+	// Engine names the execution layer: "engine", "parallel", "uarch",
+	// "uarch-stream".
+	Engine string
+	// Limit names the tripped bound: "MaxRounds", "MaxEvents",
+	// "MaxCycles".
+	Limit string
+	// Rounds is the round count at abort (round-based engines).
+	Rounds int
+	// Cycles is the cycle count at abort (cycle-level simulators).
+	Cycles int64
+	// Events is the number of events processed before the abort.
+	Events int64
+	// LiveEvents is the number of events still pending at abort; a
+	// diverging run keeps this persistently nonzero.
+	LiveEvents int64
+	// SampleVertex is one vertex with a pending event at abort — in a
+	// diverging run, typically a member of the oscillating set. -1 when
+	// no sample was available.
+	SampleVertex int64
+}
+
+// Error implements error.
+func (e *DivergenceError) Error() string {
+	where := fmt.Sprintf("%d rounds", e.Rounds)
+	if e.Limit == "MaxCycles" {
+		where = fmt.Sprintf("%d cycles", e.Cycles)
+	}
+	sample := ""
+	if e.SampleVertex >= 0 {
+		sample = fmt.Sprintf(", sample vertex %d", e.SampleVertex)
+	}
+	return fmt.Sprintf("mega: %s exceeded %s after %s (%d events processed, %d live%s); non-monotone algorithm?",
+		e.Engine, e.Limit, where, e.Events, e.LiveEvents, sample)
+}
+
+// Unwrap lets errors.Is match ErrDivergence.
+func (e *DivergenceError) Unwrap() error { return ErrDivergence }
+
+// WorkerPanicError reports a panic recovered inside one of the parallel
+// engine's goroutines (or its seeding loop). The coordinator drains the
+// round barrier cleanly and returns this instead of crashing the process.
+type WorkerPanicError struct {
+	// Shard is the panicking worker's shard index, or -1 when the panic
+	// occurred in the coordinator's seeding loop.
+	Shard int
+	// Round is the barrier round during which the panic occurred.
+	Round int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *WorkerPanicError) Error() string {
+	who := fmt.Sprintf("worker %d", e.Shard)
+	if e.Shard < 0 {
+		who = "seeding loop"
+	}
+	return fmt.Sprintf("mega: panic in %s (round %d): %v", who, e.Round, e.Value)
+}
+
+// invalidError carries a descriptive message and matches ErrInvalidInput.
+type invalidError struct{ msg string }
+
+func (e *invalidError) Error() string { return e.msg }
+func (e *invalidError) Unwrap() error { return ErrInvalidInput }
+
+// Invalidf builds an ErrInvalidInput-matching error with a formatted
+// message. Use like fmt.Errorf; %w verbs are not supported.
+func Invalidf(format string, args ...any) error {
+	return &invalidError{msg: fmt.Sprintf(format, args...)}
+}

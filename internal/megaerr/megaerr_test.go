@@ -1,0 +1,78 @@
+package megaerr
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestCanceledMatchesBothSentinels(t *testing.T) {
+	err := Canceled("engine round", context.Canceled)
+	if !errors.Is(err, ErrCanceled) {
+		t.Error("does not match ErrCanceled")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Error("does not match context.Canceled")
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		t.Error("matches DeadlineExceeded spuriously")
+	}
+	var ce *CanceledError
+	if !errors.As(err, &ce) || ce.Phase != "engine round" {
+		t.Errorf("As/Phase failed: %+v", ce)
+	}
+
+	dl := Canceled("uarch cycle", context.DeadlineExceeded)
+	if !errors.Is(dl, ErrCanceled) || !errors.Is(dl, context.DeadlineExceeded) {
+		t.Error("deadline wrap does not match both sentinels")
+	}
+}
+
+func TestDivergenceErrorContract(t *testing.T) {
+	err := error(&DivergenceError{
+		Engine: "parallel", Limit: "MaxRounds", Rounds: 70,
+		Events: 1234, LiveEvents: 5, SampleVertex: 2,
+	})
+	if !errors.Is(err, ErrDivergence) {
+		t.Error("does not match ErrDivergence")
+	}
+	var div *DivergenceError
+	if !errors.As(err, &div) || div.SampleVertex != 2 {
+		t.Errorf("As failed: %+v", div)
+	}
+	msg := err.Error()
+	for _, want := range []string{"parallel", "MaxRounds", "70 rounds", "sample vertex 2"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("message %q lacks %q", msg, want)
+		}
+	}
+	noSample := (&DivergenceError{Engine: "uarch", Limit: "MaxCycles", Cycles: 9, SampleVertex: -1}).Error()
+	if strings.Contains(noSample, "sample vertex") {
+		t.Errorf("message %q mentions a sample it does not have", noSample)
+	}
+	if !strings.Contains(noSample, "9 cycles") {
+		t.Errorf("MaxCycles message %q should count cycles", noSample)
+	}
+}
+
+func TestWorkerPanicErrorMessage(t *testing.T) {
+	err := &WorkerPanicError{Shard: 3, Round: 7, Value: "boom", Stack: []byte("stack")}
+	if !strings.Contains(err.Error(), "worker 3") || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("message %q lacks shard or value", err.Error())
+	}
+	seed := &WorkerPanicError{Shard: -1, Round: 0, Value: 42}
+	if !strings.Contains(seed.Error(), "seeding loop") {
+		t.Errorf("message %q should name the seeding loop", seed.Error())
+	}
+}
+
+func TestInvalidf(t *testing.T) {
+	err := Invalidf("gen: line %d: bad token %q", 3, "x")
+	if !errors.Is(err, ErrInvalidInput) {
+		t.Error("does not match ErrInvalidInput")
+	}
+	if got := err.Error(); got != `gen: line 3: bad token "x"` {
+		t.Errorf("message = %q", got)
+	}
+}

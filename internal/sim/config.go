@@ -25,7 +25,7 @@
 // of modeling preserves.
 package sim
 
-import "fmt"
+import "mega/internal/megaerr"
 
 // Config holds the machine parameters. The defaults mirror the paper's
 // Table 3 configuration with memory capacities scaled down by the same
@@ -139,25 +139,26 @@ func (c Config) CyclesToMs(cycles int64) float64 {
 	return float64(cycles) / (c.ClockGHz * 1e6)
 }
 
-// Validate rejects configurations the timing model cannot price.
+// Validate rejects configurations the timing model cannot price. Errors
+// match megaerr.ErrInvalidInput.
 func (c Config) Validate() error {
 	switch {
 	case c.PEs < 1:
-		return fmt.Errorf("sim: PEs %d < 1", c.PEs)
+		return megaerr.Invalidf("sim: PEs %d < 1", c.PEs)
 	case c.GenStreamsPerPE < 1:
-		return fmt.Errorf("sim: gen streams %d < 1", c.GenStreamsPerPE)
+		return megaerr.Invalidf("sim: gen streams %d < 1", c.GenStreamsPerPE)
 	case c.QueueBins < 1:
-		return fmt.Errorf("sim: queue bins %d < 1", c.QueueBins)
+		return megaerr.Invalidf("sim: queue bins %d < 1", c.QueueBins)
 	case c.NoCPorts < 1:
-		return fmt.Errorf("sim: NoC ports %d < 1", c.NoCPorts)
+		return megaerr.Invalidf("sim: NoC ports %d < 1", c.NoCPorts)
 	case c.ClockGHz <= 0:
-		return fmt.Errorf("sim: clock %v GHz <= 0", c.ClockGHz)
+		return megaerr.Invalidf("sim: clock %v GHz <= 0", c.ClockGHz)
 	case c.OnChipBytes < 1:
-		return fmt.Errorf("sim: on-chip bytes %d < 1", c.OnChipBytes)
+		return megaerr.Invalidf("sim: on-chip bytes %d < 1", c.OnChipBytes)
 	case c.DRAMBytesPerCycle <= 0:
-		return fmt.Errorf("sim: DRAM bandwidth %v <= 0", c.DRAMBytesPerCycle)
+		return megaerr.Invalidf("sim: DRAM bandwidth %v <= 0", c.DRAMBytesPerCycle)
 	case c.ValueBytes < 1 || c.EdgeEntryBytes < 1 || c.EventBytes < 1 || c.BatchEdgeBytes < 1:
-		return fmt.Errorf("sim: record sizes must be positive")
+		return megaerr.Invalidf("sim: record sizes must be positive")
 	}
 	return nil
 }

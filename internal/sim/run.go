@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"mega/internal/algo"
@@ -86,15 +87,22 @@ func planPartitions(cfg Config, numVertices, residentCtxs int) (*graph.Partition
 // an evolving window. The base CommonGraph solve is excluded from timing,
 // matching the evaluation's per-window measurements (DESIGN.md §3).
 func RunMEGA(w *evolve.Window, kind algo.Kind, src graph.VertexID, mode sched.Mode, cfg Config) (*Result, error) {
-	return runMEGA(w, kind, src, mode, cfg, false)
+	return runMEGA(context.Background(), w, kind, src, mode, cfg, false)
+}
+
+// RunMEGAContext is RunMEGA under a lifecycle: the engine checks ctx at
+// every batch and round boundary, and the divergence watchdog (safe
+// defaults, see engine.DefaultLimits) bounds the run.
+func RunMEGAContext(ctx context.Context, w *evolve.Window, kind algo.Kind, src graph.VertexID, mode sched.Mode, cfg Config) (*Result, error) {
+	return runMEGA(ctx, w, kind, src, mode, cfg, false)
 }
 
 // RunMEGASeries is RunMEGA with per-op round-series capture (Figure 10).
 func RunMEGASeries(w *evolve.Window, kind algo.Kind, src graph.VertexID, mode sched.Mode, cfg Config) (*Result, error) {
-	return runMEGA(w, kind, src, mode, cfg, true)
+	return runMEGA(context.Background(), w, kind, src, mode, cfg, true)
 }
 
-func runMEGA(w *evolve.Window, kind algo.Kind, src graph.VertexID, mode sched.Mode, cfg Config, series bool) (*Result, error) {
+func runMEGA(ctx context.Context, w *evolve.Window, kind algo.Kind, src graph.VertexID, mode sched.Mode, cfg Config, series bool) (*Result, error) {
 	s, err := sched.New(mode, w)
 	if err != nil {
 		return nil, err
@@ -109,7 +117,7 @@ func runMEGA(w *evolve.Window, kind algo.Kind, src graph.VertexID, mode sched.Mo
 	if err != nil {
 		return nil, err
 	}
-	if err := eng.Run(s); err != nil {
+	if err := eng.RunContext(ctx, s, engine.Limits{}); err != nil {
 		return nil, err
 	}
 	res := newResult(mode.String(), kind, cfg, m, stats)
@@ -138,7 +146,7 @@ func RunMEGANoFetchShare(w *evolve.Window, kind algo.Kind, src graph.VertexID, m
 		return nil, err
 	}
 	eng.SetFetchSharing(false)
-	if err := eng.Run(s); err != nil {
+	if err := eng.RunContext(context.Background(), s, engine.Limits{}); err != nil {
 		return nil, err
 	}
 	res := newResult(mode.String()+" (no fetch sharing)", kind, cfg, m, stats)
@@ -154,6 +162,12 @@ func RunMEGANoFetchShare(w *evolve.Window, kind algo.Kind, src graph.VertexID, m
 // like the unified representation's construction); only the solves are
 // timed.
 func RunRecompute(w *evolve.Window, kind algo.Kind, src graph.VertexID, cfg Config) (*Result, error) {
+	return RunRecomputeContext(context.Background(), w, kind, src, cfg)
+}
+
+// RunRecomputeContext is RunRecompute under a lifecycle: ctx is checked
+// before each per-snapshot solve and at every round inside it.
+func RunRecomputeContext(ctx context.Context, w *evolve.Window, kind algo.Kind, src graph.VertexID, cfg Config) (*Result, error) {
 	part, state, err := planPartitions(cfg, w.NumVertices(), 1)
 	if err != nil {
 		return nil, err
@@ -163,11 +177,17 @@ func RunRecompute(w *evolve.Window, kind algo.Kind, src graph.VertexID, cfg Conf
 	probe := engine.NewMultiProbe(stats, m)
 	res := &Result{}
 	for snap := 0; snap < w.NumSnapshots(); snap++ {
+		if err := engine.CheckContext(ctx, "recompute snapshot"); err != nil {
+			return nil, err
+		}
 		g, err := graph.NewCSR(w.NumVertices(), w.SnapshotEdges(snap))
 		if err != nil {
 			return nil, err
 		}
-		vals := engine.Solve(g, algo.New(kind), src, probe)
+		vals, err := engine.SolveContext(ctx, g, algo.New(kind), src, probe, engine.Limits{})
+		if err != nil {
+			return nil, err
+		}
 		res.SnapshotValues = append(res.SnapshotValues, vals)
 	}
 	filled := newResult("Recompute", kind, cfg, m, stats)
@@ -180,20 +200,26 @@ func RunRecompute(w *evolve.Window, kind algo.Kind, src graph.VertexID, cfg Conf
 // additions. The initial G_0 solve is excluded from timing, matching the
 // MEGA runs.
 func RunJetStream(ev *gen.Evolution, kind algo.Kind, src graph.VertexID, cfg Config) (*Result, error) {
-	return runJetStream(ev, kind, src, cfg, false)
+	return runJetStream(context.Background(), ev, kind, src, cfg, false)
+}
+
+// RunJetStreamContext is RunJetStream under a lifecycle: ctx is checked
+// before every evolution hop.
+func RunJetStreamContext(ctx context.Context, ev *gen.Evolution, kind algo.Kind, src graph.VertexID, cfg Config) (*Result, error) {
+	return runJetStream(ctx, ev, kind, src, cfg, false)
 }
 
 // RunJetStreamSeries is RunJetStream with round-series capture.
 func RunJetStreamSeries(ev *gen.Evolution, kind algo.Kind, src graph.VertexID, cfg Config) (*Result, error) {
-	return runJetStream(ev, kind, src, cfg, true)
+	return runJetStream(context.Background(), ev, kind, src, cfg, true)
 }
 
-func runJetStream(ev *gen.Evolution, kind algo.Kind, src graph.VertexID, cfg Config, series bool) (*Result, error) {
+func runJetStream(ctx context.Context, ev *gen.Evolution, kind algo.Kind, src graph.VertexID, cfg Config, series bool) (*Result, error) {
 	hg, err := BuildHopGraphs(ev)
 	if err != nil {
 		return nil, err
 	}
-	return RunJetStreamOn(ev, hg, kind, src, cfg, series)
+	return RunJetStreamOnContext(ctx, ev, hg, kind, src, cfg, series)
 }
 
 // HopGraphs holds the materialized graph sequence of an evolution: the
@@ -233,6 +259,12 @@ func BuildHopGraphs(ev *gen.Evolution) (*HopGraphs, error) {
 // RunJetStreamOn is RunJetStream over prebuilt hop graphs, letting callers
 // amortize graph materialization across several algorithm runs.
 func RunJetStreamOn(ev *gen.Evolution, hg *HopGraphs, kind algo.Kind, src graph.VertexID, cfg Config, series bool) (*Result, error) {
+	return RunJetStreamOnContext(context.Background(), ev, hg, kind, src, cfg, series)
+}
+
+// RunJetStreamOnContext is RunJetStreamOn under a lifecycle: ctx is
+// checked before the initial solve and before every evolution hop.
+func RunJetStreamOnContext(ctx context.Context, ev *gen.Evolution, hg *HopGraphs, kind algo.Kind, src graph.VertexID, cfg Config, series bool) (*Result, error) {
 	part, state, err := planPartitions(cfg, ev.NumVertices, 1)
 	if err != nil {
 		return nil, err
@@ -241,6 +273,9 @@ func RunJetStreamOn(ev *gen.Evolution, hg *HopGraphs, kind algo.Kind, src graph.
 	stats := &engine.Stats{}
 	probe := engine.NewMultiProbe(stats, m)
 
+	if err := engine.CheckContext(ctx, "jetstream solve"); err != nil {
+		return nil, err
+	}
 	st, err := engine.NewStream(hg.G0, algo.New(kind), src, probe)
 	if err != nil {
 		return nil, err
@@ -249,6 +284,9 @@ func RunJetStreamOn(ev *gen.Evolution, hg *HopGraphs, kind algo.Kind, src graph.
 	var values [][]float64
 	values = append(values, append([]float64(nil), st.Values()...))
 	for j := range ev.Adds {
+		if err := engine.CheckContext(ctx, "jetstream hop"); err != nil {
+			return nil, err
+		}
 		st.ApplyDeletions(hg.Mid[j], ev.Dels[j])
 		st.ApplyAdditions(hg.New[j], ev.Adds[j])
 		values = append(values, append([]float64(nil), st.Values()...))

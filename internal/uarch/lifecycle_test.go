@@ -1,0 +1,87 @@
+package uarch
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"mega/internal/algo"
+	"mega/internal/evolve"
+	"mega/internal/graph"
+	"mega/internal/megaerr"
+)
+
+// flipFlop is the same non-monotone Algorithm the engine lifecycle tests
+// use: Better accepts any different value, so a cycle reached through a
+// batch ping-pongs forever and only the MaxCycles watchdog can stop it.
+type flipFlop struct{}
+
+func (flipFlop) Kind() algo.Kind                         { return algo.Kind(97) }
+func (flipFlop) Identity() float64                       { return math.Inf(1) }
+func (flipFlop) SourceValue() float64                    { return 0 }
+func (flipFlop) EdgeFunc(srcVal, weight float64) float64 { return srcVal + weight }
+func (flipFlop) Better(a, b float64) bool                { return a != b }
+
+// divergentWindow puts the 1↔2 cycle's back edge in a batch so the base
+// CommonGraph solve (which has its own round watchdog) stays acyclic.
+func divergentWindow(t *testing.T) *evolve.Window {
+	t.Helper()
+	initial := graph.EdgeList{
+		{Src: 0, Dst: 1, Weight: 1},
+		{Src: 1, Dst: 2, Weight: 1},
+	}
+	adds := []graph.EdgeList{{{Src: 2, Dst: 1, Weight: 1}}}
+	dels := []graph.EdgeList{nil}
+	w, err := evolve.NewWindowFromParts(3, 2, initial, adds, dels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestUarchDivergenceWatchdog(t *testing.T) {
+	w := divergentWindow(t)
+	cfg := DefaultConfig()
+	// The derived default ceiling is sized for legitimate runs and far too
+	// large for a test; any bound big enough to outlast convergence of a
+	// 3-vertex monotone query works here.
+	cfg.MaxCycles = 200_000
+	_, err := RunAlgorithm(context.Background(), w, flipFlop{}, 0, cfg)
+	if !errors.Is(err, megaerr.ErrDivergence) {
+		t.Fatalf("RunAlgorithm err = %v, want ErrDivergence", err)
+	}
+	var div *megaerr.DivergenceError
+	if !errors.As(err, &div) {
+		t.Fatalf("err %v is not a *DivergenceError", err)
+	}
+	if div.Engine != "uarch" || div.Limit != "MaxCycles" {
+		t.Errorf("diagnostics = %+v, want uarch/MaxCycles", div)
+	}
+	if div.Cycles < cfg.MaxCycles {
+		t.Errorf("Cycles = %d, want >= the %d ceiling", div.Cycles, cfg.MaxCycles)
+	}
+}
+
+func TestUarchRunContextCanceled(t *testing.T) {
+	w := testWindow(t, 4, 57)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, w, algo.SSSP, 0, DefaultConfig())
+	if !errors.Is(err, megaerr.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext err = %v, want ErrCanceled and context.Canceled", err)
+	}
+}
+
+func TestUarchWatchdogSparesConvergingRuns(t *testing.T) {
+	// The derived default MaxCycles must never trip a legitimate query.
+	w := testWindow(t, 4, 58)
+	cfg := DefaultConfig()
+	res, err := Run(w, algo.SSSP, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 {
+		t.Fatalf("cycles = %d", res.Cycles)
+	}
+}

@@ -1,10 +1,11 @@
 package uarch
 
 import (
-	"fmt"
+	"context"
 
 	"mega/internal/engine"
 	"mega/internal/graph"
+	"mega/internal/megaerr"
 	"mega/internal/sched"
 )
 
@@ -13,9 +14,13 @@ import (
 // snapshots" — every apply op seeds per-target events directly, so stage
 // overlap under batch pipelining needs no broadcast step and the result
 // is the query fixpoint for every snapshot regardless of interleaving.
-func (m *machine) run(s *sched.Schedule) error {
+func (m *machine) run(ctx context.Context, s *sched.Schedule) error {
 	n := m.win.NumVertices()
-	base := engine.Solve(m.win.CommonCSR(), m.a, m.src, engine.NopProbe{})
+	base, err := engine.SolveContext(ctx, m.win.CommonCSR(), m.a, m.src,
+		engine.NopProbe{}, engine.Limits{})
+	if err != nil {
+		return err
+	}
 
 	m.vals = make([][]float64, s.NumContexts)
 	m.applied = make([]appliedSet, s.NumContexts)
@@ -35,7 +40,7 @@ func (m *machine) run(s *sched.Schedule) error {
 				}
 				copy(m.vals[op.Ctx], base)
 			case sched.OpCopy:
-				return fmt.Errorf("uarch: OpCopy unsupported (BOE schedules have none)")
+				return megaerr.Invalidf("uarch: OpCopy unsupported (BOE schedules have none)")
 			case sched.OpApply:
 				applies = append(applies, op)
 			}
@@ -46,7 +51,7 @@ func (m *machine) run(s *sched.Schedule) error {
 	}
 	for _, c := range s.SnapshotCtx {
 		if m.vals[c] == nil {
-			return fmt.Errorf("uarch: snapshot context %d never initialized", c)
+			return megaerr.Invalidf("uarch: snapshot context %d never initialized", c)
 		}
 	}
 
@@ -71,11 +76,42 @@ func (m *machine) run(s *sched.Schedule) error {
 	m.startStage(0)
 	for !m.done() {
 		m.tick()
+		// Lifecycle checks, amortized: the context every ctxCheckCycles
+		// cycles, the divergence watchdog every cycle (a compare).
+		if m.now%ctxCheckCycles == 0 {
+			if err := engine.CheckContext(ctx, "uarch cycle"); err != nil {
+				return err
+			}
+		}
 		if m.cfg.MaxCycles > 0 && m.now > m.cfg.MaxCycles {
-			return fmt.Errorf("uarch: exceeded %d cycles (live=%d)", m.cfg.MaxCycles, m.live)
+			return m.divergence()
 		}
 	}
 	return nil
+}
+
+// divergence builds the watchdog's diagnostic error, sampling one vertex
+// with a pending event from the coalescing bins.
+func (m *machine) divergence() error {
+	sample := int64(-1)
+	for _, bb := range m.bins {
+		if len(bb.fifo) > 0 {
+			sample = int64(bb.fifo[0].dst)
+			break
+		}
+	}
+	if sample < 0 {
+		for _, port := range m.ports {
+			if len(port) > 0 {
+				sample = int64(port[0].dst)
+				break
+			}
+		}
+	}
+	return &megaerr.DivergenceError{
+		Engine: "uarch", Limit: "MaxCycles", Cycles: m.now,
+		Events: m.events, LiveEvents: m.live, SampleVertex: sample,
+	}
 }
 
 // startStage activates stage idx: marks its batches applied for every

@@ -1,11 +1,13 @@
 package uarch
 
 import (
-	"fmt"
+	"context"
 
 	"mega/internal/algo"
+	"mega/internal/engine"
 	"mega/internal/gen"
 	"mega/internal/graph"
+	"mega/internal/megaerr"
 	"mega/internal/sim"
 )
 
@@ -51,17 +53,28 @@ type streamEvent struct {
 
 // RunStream executes the evolution on the streaming machine.
 func RunStream(ev *gen.Evolution, kind algo.Kind, src graph.VertexID, cfg Config) (*StreamResult, error) {
+	return RunStreamContext(context.Background(), ev, kind, src, cfg)
+}
+
+// RunStreamContext is RunStream under a lifecycle: ctx is checked every
+// ctxCheckCycles cycles and the MaxCycles watchdog aborts runaway phases
+// with megaerr.ErrDivergence.
+func RunStreamContext(ctx context.Context, ev *gen.Evolution, kind algo.Kind, src graph.VertexID, cfg Config) (*StreamResult, error) {
 	if err := validate(cfg); err != nil {
 		return nil, err
 	}
 	if int(src) >= ev.NumVertices {
-		return nil, fmt.Errorf("uarch: source %d outside [0,%d)", src, ev.NumVertices)
+		return nil, megaerr.Invalidf("uarch: source %d outside [0,%d)", src, ev.NumVertices)
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = defaultMaxCycles(ev.NumVertices, ev.NumSnapshots(), cfg)
 	}
 	hg, err := sim.BuildHopGraphs(ev)
 	if err != nil {
 		return nil, err
 	}
 	m := &streamMachine{
+		ctx:    ctx,
 		cfg:    cfg,
 		a:      algo.New(kind),
 		src:    src,
@@ -88,6 +101,9 @@ func RunStream(ev *gen.Evolution, kind algo.Kind, src graph.VertexID, cfg Config
 
 	res := &StreamResult{}
 	for j := range ev.Adds {
+		if err := engine.CheckContext(ctx, "uarch-stream hop"); err != nil {
+			return nil, err
+		}
 		// Phases A+B on the mid graph (deletions applied).
 		hg.Mid[j].EnsureInEdges()
 		delCyc, err := m.runDeletions(hg.Mid[j], ev.Dels[j], cfg)
@@ -124,6 +140,7 @@ type streamPE struct {
 }
 
 type streamMachine struct {
+	ctx    context.Context
 	cfg    Config
 	a      algo.Algorithm
 	src    graph.VertexID
@@ -247,8 +264,23 @@ func (m *streamMachine) drain(cfg Config) error {
 			return nil
 		}
 		m.tick()
+		if m.now%ctxCheckCycles == 0 {
+			if err := engine.CheckContext(m.ctx, "uarch-stream cycle"); err != nil {
+				return err
+			}
+		}
 		if cfg.MaxCycles > 0 && m.now > cfg.MaxCycles {
-			return fmt.Errorf("uarch: stream exceeded %d cycles", cfg.MaxCycles)
+			sample := int64(-1)
+			for _, q := range m.bins {
+				if len(q) > 0 {
+					sample = int64(q[0].dst)
+					break
+				}
+			}
+			return &megaerr.DivergenceError{
+				Engine: "uarch-stream", Limit: "MaxCycles", Cycles: m.now,
+				Events: m.events, LiveEvents: m.live, SampleVertex: sample,
+			}
 		}
 	}
 }

@@ -21,12 +21,14 @@
 package uarch
 
 import (
-	"fmt"
+	"context"
+	"math"
 
 	"mega/internal/algo"
 	"mega/internal/engine"
 	"mega/internal/evolve"
 	"mega/internal/graph"
+	"mega/internal/megaerr"
 	"mega/internal/sched"
 )
 
@@ -55,7 +57,10 @@ type Config struct {
 	// BPThresholdEvents triggers the next stage when live events drop
 	// below it (0 = strictly sequential stages).
 	BPThresholdEvents int
-	// MaxCycles aborts runaway simulations (0 = no limit).
+	// MaxCycles is the divergence watchdog: exceeding it aborts the run
+	// with megaerr.ErrDivergence. 0 derives a safe ceiling from the
+	// problem size (see engine.DefaultLimits); use engine.Unlimited (-1)
+	// to disable the watchdog entirely.
 	MaxCycles int64
 }
 
@@ -138,6 +143,20 @@ type pe struct {
 // Run executes the BOE schedule for the window on the microarchitectural
 // model and returns cycle counts plus per-snapshot results.
 func Run(w *evolve.Window, kind algo.Kind, src graph.VertexID, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), w, kind, src, cfg)
+}
+
+// RunContext is Run under a lifecycle: ctx is checked every ctxCheckCycles
+// cycles (amortized — the tick loop is the hot path) and the MaxCycles
+// watchdog aborts runaway simulations with megaerr.ErrDivergence.
+func RunContext(ctx context.Context, w *evolve.Window, kind algo.Kind, src graph.VertexID, cfg Config) (*Result, error) {
+	return RunAlgorithm(ctx, w, algo.New(kind), src, cfg)
+}
+
+// RunAlgorithm is RunContext for a caller-supplied Algorithm — the §3.2
+// extension point at cycle fidelity. Non-monotone algorithms trip the
+// MaxCycles watchdog instead of spinning.
+func RunAlgorithm(ctx context.Context, w *evolve.Window, a algo.Algorithm, src graph.VertexID, cfg Config) (*Result, error) {
 	if err := validate(cfg); err != nil {
 		return nil, err
 	}
@@ -145,11 +164,14 @@ func Run(w *evolve.Window, kind algo.Kind, src graph.VertexID, cfg Config) (*Res
 	if err != nil {
 		return nil, err
 	}
-	m, err := newMachine(w, kind, src, cfg)
+	m, err := newMachine(w, a, src, cfg)
 	if err != nil {
 		return nil, err
 	}
-	if err := m.run(s); err != nil {
+	if m.cfg.MaxCycles == 0 {
+		m.cfg.MaxCycles = defaultMaxCycles(w.NumVertices(), w.NumSnapshots(), cfg)
+	}
+	if err := m.run(ctx, s); err != nil {
 		return nil, err
 	}
 	res := m.result()
@@ -159,18 +181,38 @@ func Run(w *evolve.Window, kind algo.Kind, src graph.VertexID, cfg Config) (*Res
 	return res, nil
 }
 
+// ctxCheckCycles is the amortization interval of the tick loop's context
+// checks: one atomic load every 1024 simulated cycles.
+const ctxCheckCycles = 1024
+
+// defaultMaxCycles derives the divergence watchdog's cycle ceiling: the
+// engine-level event bound times the worst per-event stall (DRAM latency
+// plus a transfer allowance). Converging runs retire events far faster,
+// so the ceiling only trips genuinely diverging simulations.
+func defaultMaxCycles(numVertices, contexts int, cfg Config) int64 {
+	events := engine.DefaultLimits(numVertices, contexts).MaxEvents
+	perEvent := cfg.DRAMLatencyCycles + 64
+	if perEvent < 1 {
+		perEvent = 64
+	}
+	if events > math.MaxInt64/perEvent {
+		return math.MaxInt64
+	}
+	return events * perEvent
+}
+
 func validate(cfg Config) error {
 	switch {
 	case cfg.PEs < 1:
-		return fmt.Errorf("uarch: PEs %d < 1", cfg.PEs)
+		return megaerr.Invalidf("uarch: PEs %d < 1", cfg.PEs)
 	case cfg.GenStreamsPerPE < 1:
-		return fmt.Errorf("uarch: gen streams %d < 1", cfg.GenStreamsPerPE)
+		return megaerr.Invalidf("uarch: gen streams %d < 1", cfg.GenStreamsPerPE)
 	case cfg.QueueBins < 1:
-		return fmt.Errorf("uarch: queue bins %d < 1", cfg.QueueBins)
+		return megaerr.Invalidf("uarch: queue bins %d < 1", cfg.QueueBins)
 	case cfg.DRAMChannels < 1 || cfg.DRAMChannelBytesPerCycle < 1:
-		return fmt.Errorf("uarch: invalid DRAM configuration")
+		return megaerr.Invalidf("uarch: invalid DRAM configuration")
 	case cfg.BatchEdgesPerCycle < 1:
-		return fmt.Errorf("uarch: batch reader rate %d < 1", cfg.BatchEdgesPerCycle)
+		return megaerr.Invalidf("uarch: batch reader rate %d < 1", cfg.BatchEdgesPerCycle)
 	}
 	return nil
 }
@@ -219,15 +261,15 @@ type appliedSet []uint64
 func newAppliedSet(n int) appliedSet { return make(appliedSet, (n+63)/64) }
 func (b appliedSet) add(i int)       { b[i/64] |= 1 << uint(i%64) }
 func (b appliedSet) has(i int) bool  { return b[i/64]&(1<<uint(i%64)) != 0 }
-func newMachine(w *evolve.Window, kind algo.Kind, src graph.VertexID, cfg Config) (*machine, error) {
+func newMachine(w *evolve.Window, a algo.Algorithm, src graph.VertexID, cfg Config) (*machine, error) {
 	// Reuse the functional engine's construction for the edge→batch map.
-	seq, err := engine.NewMulti(w, algo.New(kind), src, nil)
+	seq, err := engine.NewMulti(w, a, src, nil)
 	if err != nil {
 		return nil, err
 	}
 	m := &machine{
 		cfg:      cfg,
-		a:        algo.New(kind),
+		a:        a,
 		u:        w.Unified(),
 		src:      src,
 		win:      w,

@@ -34,15 +34,64 @@
 package mega
 
 import (
+	"context"
+
 	"mega/internal/algo"
 	"mega/internal/engine"
 	"mega/internal/evolve"
 	"mega/internal/gen"
 	"mega/internal/graph"
+	"mega/internal/megaerr"
 	"mega/internal/sched"
 	"mega/internal/sim"
 	"mega/internal/uarch"
 )
+
+// Error contract. Every failure returned by this package matches exactly
+// one of these sentinels under errors.Is:
+//
+//   - ErrInvalidInput — malformed graphs, schedules, configurations or
+//     input files; retrying cannot help.
+//   - ErrCanceled — a Context variant observed ctx cancellation or
+//     deadline expiry; errors.Is also matches the underlying
+//     context.Canceled / context.DeadlineExceeded.
+//   - ErrDivergence — the divergence watchdog aborted a run whose
+//     Algorithm failed to converge (errors.As against *DivergenceError
+//     recovers the diagnostic counters).
+//
+// A panic inside a parallel worker is contained and surfaced as a
+// *WorkerPanicError (errors.As) instead of crashing the process.
+var (
+	// ErrCanceled reports cooperative cancellation.
+	ErrCanceled = megaerr.ErrCanceled
+	// ErrDivergence reports a tripped divergence watchdog.
+	ErrDivergence = megaerr.ErrDivergence
+	// ErrInvalidInput reports a rejected input or configuration.
+	ErrInvalidInput = megaerr.ErrInvalidInput
+)
+
+// Typed errors (use errors.As).
+type (
+	// CanceledError carries the phase at which cancellation was observed.
+	CanceledError = megaerr.CanceledError
+	// DivergenceError carries the watchdog's diagnostic counters.
+	DivergenceError = megaerr.DivergenceError
+	// WorkerPanicError carries a contained parallel-worker panic.
+	WorkerPanicError = megaerr.WorkerPanicError
+)
+
+// Limits configures the divergence watchdog of the Context variants.
+// The zero value selects safe defaults derived from the problem size.
+type Limits = engine.Limits
+
+// Unlimited disables one Limits bound.
+const Unlimited = engine.Unlimited
+
+// DefaultLimits returns the watchdog bounds a zero Limits resolves to for
+// the window.
+func DefaultLimits(w *Window) Limits {
+	return engine.DefaultLimits(w.NumVertices(), w.NumSnapshots())
+}
 
 // Graph types.
 type (
@@ -162,6 +211,12 @@ func SimulateRecompute(w *Window, k AlgorithmKind, source VertexID, cfg SimConfi
 	return sim.RunRecompute(w, k, source, cfg)
 }
 
+// SimulateRecomputeContext is SimulateRecompute under a lifecycle: ctx is
+// checked before each snapshot solve and at every round inside it.
+func SimulateRecomputeContext(ctx context.Context, w *Window, k AlgorithmKind, source VertexID, cfg SimConfig) (*SimResult, error) {
+	return sim.RunRecomputeContext(ctx, w, k, source, cfg)
+}
+
 // Cycle-level simulation types (internal/uarch): a per-cycle
 // microarchitectural model of the BOE datapath that executes the query
 // through explicit components, cross-validating the aggregate model.
@@ -181,6 +236,13 @@ func SimulateCycleLevel(w *Window, k AlgorithmKind, source VertexID, cfg UarchCo
 	return uarch.Run(w, k, source, cfg)
 }
 
+// SimulateCycleLevelContext is SimulateCycleLevel under a lifecycle: ctx
+// is checked every 1024 simulated cycles, and cfg.MaxCycles (defaulted
+// from the problem size when zero) bounds the run.
+func SimulateCycleLevelContext(ctx context.Context, w *Window, k AlgorithmKind, source VertexID, cfg UarchConfig) (*UarchResult, error) {
+	return uarch.RunContext(ctx, w, k, source, cfg)
+}
+
 // UarchStreamResult is the cycle-level streaming baseline's outcome.
 type UarchStreamResult = uarch.StreamResult
 
@@ -189,6 +251,13 @@ type UarchStreamResult = uarch.StreamResult
 // microarchitectural simulator.
 func SimulateStreamCycleLevel(ev *Evolution, k AlgorithmKind, source VertexID, cfg UarchConfig) (*UarchStreamResult, error) {
 	return uarch.RunStream(ev, k, source, cfg)
+}
+
+// SimulateStreamCycleLevelContext is SimulateStreamCycleLevel under a
+// lifecycle: ctx is checked every 1024 simulated cycles and before every
+// evolution hop.
+func SimulateStreamCycleLevelContext(ctx context.Context, ev *Evolution, k AlgorithmKind, source VertexID, cfg UarchConfig) (*UarchStreamResult, error) {
+	return uarch.RunStreamContext(ctx, ev, k, source, cfg)
 }
 
 // NewAlgorithm returns the Algorithm implementation for a kind.
@@ -214,10 +283,32 @@ func Solve(g *Graph, k AlgorithmKind, source VertexID, probe Probe) []float64 {
 	return engine.Solve(g, algo.New(k), source, probe)
 }
 
+// SolveContext is Solve under a lifecycle: ctx is checked every round, and
+// lim (zero value = safe defaults) bounds the fixpoint iteration.
+func SolveContext(ctx context.Context, g *Graph, k AlgorithmKind, source VertexID, probe Probe, lim Limits) ([]float64, error) {
+	if probe == nil {
+		probe = engine.NopProbe{}
+	}
+	return engine.SolveContext(ctx, g, algo.New(k), source, probe, lim)
+}
+
 // Evaluate answers the evolving-graph query functionally: it runs the BOE
 // schedule on the window and returns one value array per snapshot. probe
 // may be used to collect execution statistics; pass nil to discard them.
 func Evaluate(w *Window, k AlgorithmKind, source VertexID, probe ...Probe) ([][]float64, error) {
+	return EvaluateContext(context.Background(), w, k, source, probe...)
+}
+
+// EvaluateContext is Evaluate under a lifecycle: ctx is checked at every
+// batch and round boundary, and the divergence watchdog (safe defaults,
+// see DefaultLimits) bounds the run. Use EvaluateLimits to tune it.
+func EvaluateContext(ctx context.Context, w *Window, k AlgorithmKind, source VertexID, probe ...Probe) ([][]float64, error) {
+	return EvaluateLimits(ctx, w, k, source, Limits{}, probe...)
+}
+
+// EvaluateLimits is EvaluateContext with an explicit watchdog
+// configuration (zero fields take defaults; Unlimited disables a bound).
+func EvaluateLimits(ctx context.Context, w *Window, k AlgorithmKind, source VertexID, lim Limits, probe ...Probe) ([][]float64, error) {
 	var p Probe = engine.NopProbe{}
 	if len(probe) > 0 && probe[0] != nil {
 		p = probe[0]
@@ -230,7 +321,7 @@ func Evaluate(w *Window, k AlgorithmKind, source VertexID, probe ...Probe) ([][]
 	if err != nil {
 		return nil, err
 	}
-	if err := eng.Run(s); err != nil {
+	if err := eng.RunContext(ctx, s, lim); err != nil {
 		return nil, err
 	}
 	out := make([][]float64, w.NumSnapshots())
@@ -245,6 +336,14 @@ func Evaluate(w *Window, k AlgorithmKind, source VertexID, probe ...Probe) ([][]
 // events through mailboxes with a barrier per round. workers <= 0 selects
 // GOMAXPROCS. Results are identical to Evaluate's.
 func EvaluateParallel(w *Window, k AlgorithmKind, source VertexID, workers int) ([][]float64, error) {
+	return EvaluateParallelContext(context.Background(), w, k, source, workers)
+}
+
+// EvaluateParallelContext is EvaluateParallel under a lifecycle: ctx is
+// checked at every barrier round (cancellation returns within one round,
+// with all workers joined), worker panics surface as *WorkerPanicError,
+// and the divergence watchdog bounds the run.
+func EvaluateParallelContext(ctx context.Context, w *Window, k AlgorithmKind, source VertexID, workers int) ([][]float64, error) {
 	s, err := sched.New(sched.BOE, w)
 	if err != nil {
 		return nil, err
@@ -253,7 +352,7 @@ func EvaluateParallel(w *Window, k AlgorithmKind, source VertexID, workers int) 
 	if err != nil {
 		return nil, err
 	}
-	if err := eng.Run(s); err != nil {
+	if err := eng.RunContext(ctx, s, Limits{}); err != nil {
 		return nil, err
 	}
 	out := make([][]float64, w.NumSnapshots())
@@ -274,8 +373,20 @@ func Simulate(w *Window, k AlgorithmKind, source VertexID, mode ScheduleMode, cf
 	return sim.RunMEGA(w, k, source, mode, cfg)
 }
 
+// SimulateContext is Simulate under a lifecycle: ctx is checked at every
+// batch and round boundary and the divergence watchdog bounds the run.
+func SimulateContext(ctx context.Context, w *Window, k AlgorithmKind, source VertexID, mode ScheduleMode, cfg SimConfig) (*SimResult, error) {
+	return sim.RunMEGAContext(ctx, w, k, source, mode, cfg)
+}
+
 // SimulateJetStream runs the JetStream streaming baseline over the raw
 // evolution (sequential hops with deletion invalidation).
 func SimulateJetStream(ev *Evolution, k AlgorithmKind, source VertexID, cfg SimConfig) (*SimResult, error) {
 	return sim.RunJetStream(ev, k, source, cfg)
+}
+
+// SimulateJetStreamContext is SimulateJetStream under a lifecycle: ctx is
+// checked before every evolution hop.
+func SimulateJetStreamContext(ctx context.Context, ev *Evolution, k AlgorithmKind, source VertexID, cfg SimConfig) (*SimResult, error) {
+	return sim.RunJetStreamContext(ctx, ev, k, source, cfg)
 }
