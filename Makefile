@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test vet race fuzz ci
+.PHONY: all build test vet race fuzz bench-smoke bench-json ci
 
 all: build
 
@@ -26,4 +26,13 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzLoadEdgeList -fuzztime=$(FUZZTIME) ./internal/gen/
 	$(GO) test -run='^$$' -fuzz=FuzzNewWindowFromParts -fuzztime=$(FUZZTIME) ./internal/evolve/
 
-ci: vet build race fuzz
+# Compile and execute every benchmark for a single iteration — catches
+# benchmarks that no longer build or crash, without measuring anything.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Regenerate BENCH_parallel.json with freshly measured numbers.
+bench-json:
+	$(GO) run ./cmd/megabench -perf -v -perfout BENCH_parallel.json
+
+ci: vet build race bench-smoke fuzz

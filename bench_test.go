@@ -115,6 +115,31 @@ func BenchmarkFig04_05_FunctionalBOE(b *testing.B) {
 	}
 }
 
+// --- Software-BOE parallel engine: worker scaling (Figure 14 context) ---
+
+func benchmarkParallelWorkers(b *testing.B, workers int) {
+	_, win, _, src := benchWorkload(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := sched.New(sched.BOE, win)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := engine.NewParallel(win, algo.New(algo.SSSP), src, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Run(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParallelWorkers1(b *testing.B) { benchmarkParallelWorkers(b, 1) }
+func BenchmarkParallelWorkers2(b *testing.B) { benchmarkParallelWorkers(b, 2) }
+func BenchmarkParallelWorkers4(b *testing.B) { benchmarkParallelWorkers(b, 4) }
+func BenchmarkParallelWorkers8(b *testing.B) { benchmarkParallelWorkers(b, 8) }
+
 // --- Figure 10: round-series capture ---
 
 func BenchmarkFig10_RoundSeries(b *testing.B) {

@@ -8,5 +8,8 @@ FUZZTIME="${FUZZTIME:-30s}"
 go vet ./...
 go build ./...
 go test -race ./...
+# Benchmark smoke: one iteration of every benchmark, so a broken or
+# crashing benchmark fails CI even though nothing is being measured.
+go test -bench=. -benchtime=1x -run='^$' ./...
 go test -run='^$' -fuzz=FuzzLoadEdgeList -fuzztime="$FUZZTIME" ./internal/gen/
 go test -run='^$' -fuzz=FuzzNewWindowFromParts -fuzztime="$FUZZTIME" ./internal/evolve/

@@ -8,11 +8,16 @@
 // With no -exp flag every experiment runs in paper order. Experiment IDs:
 // fig2 fig3 fig4 fig5 fig10 table4 fig14 fig15 fig16 fig17 fig18 fig19
 // fig20 fig21 table5.
+//
+// With -perf the paper experiments are skipped and the engine throughput
+// regression harness runs instead, writing BENCH_parallel.json (override
+// with -perfout, or "-" for stdout only).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -22,12 +27,24 @@ import (
 	"mega/internal/gen"
 )
 
+// logWriter avoids handing RunPerfBench a non-nil interface wrapping a nil
+// *os.File, which would make its `log != nil` check pass and then panic.
+func logWriter(f *os.File) io.Writer {
+	if f == nil {
+		return nil
+	}
+	return f
+}
+
 func main() {
 	exp := flag.String("exp", "", "comma-separated experiment IDs (default: all)")
 	quick := flag.Bool("quick", false, "use smaller graphs and fewer algorithms")
 	verbose := flag.Bool("v", false, "log per-run progress to stderr")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	format := flag.String("format", "text", "output format: text or csv")
+	perf := flag.Bool("perf", false, "run the engine throughput regression harness instead of experiments")
+	perfOut := flag.String("perfout", "BENCH_parallel.json", "perf harness JSON output path (- for stdout only)")
+	perfRounds := flag.Int("perfrounds", 3, "perf harness repetitions per configuration (best-of)")
 	flag.Parse()
 
 	if *format != "text" && *format != "csv" {
@@ -38,6 +55,37 @@ func main() {
 	if *list {
 		for _, e := range bench.Experiments {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	if *perf {
+		var log *os.File
+		if *verbose {
+			log = os.Stderr
+		}
+		rep, err := bench.RunPerfBench(*quick, nil, *perfRounds, logWriter(log))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "megabench: perf: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Fprint(os.Stdout)
+		if *perfOut != "-" {
+			f, err := os.Create(*perfOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "megabench: perf: %v\n", err)
+				os.Exit(1)
+			}
+			if err := rep.WriteJSON(f); err != nil {
+				f.Close()
+				fmt.Fprintf(os.Stderr, "megabench: perf: %v\n", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "megabench: perf: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "megabench: wrote %s\n", *perfOut)
 		}
 		return
 	}

@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"mega/internal/algo"
+	"mega/internal/engine"
+	"mega/internal/evolve"
+	"mega/internal/gen"
+	"mega/internal/graph"
+	"mega/internal/sched"
+)
+
+// The perf-regression harness measures engine throughput with Go's
+// benchmark machinery (testing.Benchmark) rather than the cycle-level
+// simulator: it answers "did this commit make the software engines
+// slower?", not "what would the accelerator do?". The sequential Multi
+// engine and the Parallel engine at 1/2/4/8 workers run the same BOE
+// workload; results serialize to BENCH_parallel.json so CI and future PRs
+// can diff against the committed numbers.
+
+// PerfResult is one engine configuration's measurement.
+type PerfResult struct {
+	// Name identifies the configuration ("sequential" or "parallel-N").
+	Name string `json:"name"`
+	// Workers is the parallel worker count; 0 for the sequential engine.
+	Workers int `json:"workers"`
+	// Iterations is the b.N the benchmark settled on.
+	Iterations int `json:"iterations"`
+	NsPerOp    int64 `json:"ns_per_op"`
+	// EventsPerOp is the engine's processed-event count for one full run.
+	EventsPerOp int64 `json:"events_per_op"`
+	// EventsPerSec is the throughput headline: events processed per
+	// wall-clock second.
+	EventsPerSec float64 `json:"events_per_sec"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+}
+
+// PerfReport is the full regression record emitted as BENCH_parallel.json.
+type PerfReport struct {
+	// Workload pins the measured configuration so future runs compare
+	// like with like.
+	Workload string `json:"workload"`
+	// GoMaxProcs records the parallelism available when measuring —
+	// worker scaling numbers are meaningless without it.
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Timestamp  string       `json:"timestamp,omitempty"`
+	Results    []PerfResult `json:"results"`
+}
+
+// perfWorkload mirrors the root bench_test.go workload: a 2k-vertex RMAT
+// evolution, 16 snapshots, 1% batches, SSSP from the heaviest hub.
+func perfWorkload(quick bool) (*evolve.Window, graph.VertexID, error) {
+	spec := gen.GraphSpec{
+		Name: "perf", Vertices: 2_048, Edges: 40_960,
+		A: 0.45, B: 0.15, C: 0.15, MaxWeight: 16, Seed: 77,
+	}
+	es := gen.EvolutionSpec{Snapshots: 16, BatchFraction: 0.01, Seed: 7}
+	if quick {
+		spec.Vertices, spec.Edges = 1_024, 20_480
+		es.Snapshots = 8
+	}
+	ev, err := gen.Evolve(spec, es)
+	if err != nil {
+		return nil, 0, err
+	}
+	w, err := evolve.NewWindow(ev)
+	if err != nil {
+		return nil, 0, err
+	}
+	deg := make([]int, spec.Vertices)
+	best := 0
+	for _, e := range ev.Initial {
+		deg[e.Src]++
+		if deg[e.Src] > deg[best] {
+			best = int(e.Src)
+		}
+	}
+	return w, graph.VertexID(best), nil
+}
+
+// countEvents runs one engine end to end and returns its processed-event
+// total (outside the timed benchmark, so probes cost nothing there).
+func countEvents(w *evolve.Window, src graph.VertexID, workers int) (int64, error) {
+	s, err := sched.New(sched.BOE, w)
+	if err != nil {
+		return 0, err
+	}
+	if workers == 0 {
+		var st engine.Stats
+		eng, err := engine.NewMulti(w, algo.New(algo.SSSP), src, &st)
+		if err != nil {
+			return 0, err
+		}
+		if err := eng.Run(s); err != nil {
+			return 0, err
+		}
+		return st.Events, nil
+	}
+	eng, err := engine.NewParallel(w, algo.New(algo.SSSP), src, workers)
+	if err != nil {
+		return 0, err
+	}
+	if err := eng.Run(s); err != nil {
+		return 0, err
+	}
+	return eng.Events(), nil
+}
+
+// benchOnce runs the full schedule-build + engine-run cycle once; the
+// closure shape matches what BenchmarkParallelWorkersN in the root
+// bench_test.go measures, so JSON numbers and `go test -bench` numbers are
+// directly comparable.
+func benchOnce(w *evolve.Window, src graph.VertexID, workers int) error {
+	s, err := sched.New(sched.BOE, w)
+	if err != nil {
+		return err
+	}
+	if workers == 0 {
+		eng, err := engine.NewMulti(w, algo.New(algo.SSSP), src, nil)
+		if err != nil {
+			return err
+		}
+		return eng.Run(s)
+	}
+	eng, err := engine.NewParallel(w, algo.New(algo.SSSP), src, workers)
+	if err != nil {
+		return err
+	}
+	return eng.Run(s)
+}
+
+// RunPerfBench measures the sequential engine and the parallel engine at
+// the given worker counts (nil means 1/2/4/8) and returns the report.
+// rounds > 1 repeats every measurement and keeps the fastest ns/op, which
+// suppresses scheduler and neighbor noise on shared machines.
+func RunPerfBench(quick bool, workerCounts []int, rounds int, log io.Writer) (*PerfReport, error) {
+	if workerCounts == nil {
+		workerCounts = []int{1, 2, 4, 8}
+	}
+	if rounds < 1 {
+		rounds = 1
+	}
+	w, src, err := perfWorkload(quick)
+	if err != nil {
+		return nil, err
+	}
+	rep := &PerfReport{
+		Workload: fmt.Sprintf("rmat v=%d snapshots=%d batch=1%% algo=SSSP sched=BOE",
+			w.NumVertices(), w.NumSnapshots()),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+
+	configs := []int{0} // 0 = sequential Multi
+	configs = append(configs, workerCounts...)
+	for _, workers := range configs {
+		name := "sequential"
+		if workers > 0 {
+			name = fmt.Sprintf("parallel-%d", workers)
+		}
+		events, err := countEvents(w, src, workers)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		var best testing.BenchmarkResult
+		for round := 0; round < rounds; round++ {
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := benchOnce(w, src, workers); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			if round == 0 || r.NsPerOp() < best.NsPerOp() {
+				best = r
+			}
+			if log != nil {
+				fmt.Fprintf(log, "[perf %s round %d/%d: %s]\n", name, round+1, rounds, r.String())
+			}
+		}
+		res := PerfResult{
+			Name:        name,
+			Workers:     workers,
+			Iterations:  best.N,
+			NsPerOp:     best.NsPerOp(),
+			EventsPerOp: events,
+			AllocsPerOp: best.AllocsPerOp(),
+			BytesPerOp:  best.AllocedBytesPerOp(),
+		}
+		if res.NsPerOp > 0 {
+			res.EventsPerSec = float64(events) / (float64(res.NsPerOp) / 1e9)
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	sort.SliceStable(rep.Results, func(i, j int) bool {
+		return rep.Results[i].Workers < rep.Results[j].Workers
+	})
+	return rep, nil
+}
+
+// WriteJSON serializes the report with stable indentation (committed to
+// the repo, so diffs should be reviewable).
+func (r *PerfReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Fprint renders the report as an aligned text table.
+func (r *PerfReport) Fprint(w io.Writer) {
+	t := Table{
+		ID:     "perf",
+		Title:  fmt.Sprintf("Engine throughput (%s, GOMAXPROCS=%d)", r.Workload, r.GoMaxProcs),
+		Header: []string{"Engine", "ns/op", "events/s", "allocs/op", "B/op"},
+	}
+	for _, res := range r.Results {
+		t.Rows = append(t.Rows, []string{
+			res.Name,
+			fmt.Sprintf("%d", res.NsPerOp),
+			fmt.Sprintf("%.3g", res.EventsPerSec),
+			fmt.Sprintf("%d", res.AllocsPerOp),
+			fmt.Sprintf("%d", res.BytesPerOp),
+		})
+	}
+	t.Fprint(w)
+}

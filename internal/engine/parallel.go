@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"math/bits"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -15,29 +16,70 @@ import (
 
 // Parallel is the shared-memory software implementation of schedule
 // execution — the "software BOE" the paper evaluates on RisGraph (§5.2,
-// Figure 14). Vertices are sharded across workers by ID range; each round,
-// every worker processes the pending events of its own shard and posts the
-// events it generates into per-destination-shard mailboxes, which the
-// owning worker coalesces at the next round boundary. Workers only ever
-// write their own shard's values and queue slots, so the execution is
-// race-free without atomics; the coalescing queue's monotone semantics
-// make the result identical to the sequential engine's fixpoint.
+// Figure 14). Vertices are sharded across workers by edge-balanced
+// contiguous ranges; each round, every worker processes the pending events
+// of its own shard and posts the events it generates into per-destination
+// chunked mailboxes, which the owning worker coalesces at the next round
+// boundary. Workers only ever write their own shard's values and queue
+// slots, so the execution is race-free without atomics; the coalescing
+// queue's monotone semantics make the result identical to the sequential
+// engine's fixpoint.
+//
+// Execution model (see DESIGN.md §"Parallel engine execution model"):
+//
+//   - One persistent goroutine per shard is started at RunContext entry and
+//     driven through phase barriers (a command channel per worker plus a
+//     shared WaitGroup) — no goroutine is spawned per round.
+//   - Shard ranges come from graph.NewBalancedPartitioning over the union
+//     CSR's degree prefix sums, so each shard owns ≈ equal out-edges even
+//     on skewed RMAT degree distributions.
+//   - Mailboxes are fixed-size event chunks recycled through a sync.Pool;
+//     pending matrices use per-vertex context bitmasks. After warm-up, an
+//     apply executes with zero steady-state heap allocations.
+//   - Phases whose total work is below inlinePhaseUnits run inline on the
+//     coordinator: a barrier hand-off costs microseconds, which dominates
+//     the short convergence-tail rounds.
 //
 // Like the paper's software BOE, Parallel gains parallelism from
 // concurrent snapshots but no hardware fetch sharing.
 type Parallel struct {
 	w       *evolve.Window
 	u       *graph.UnifiedCSR
+	union   *graph.CSR
 	a       algo.Algorithm
+	ident   float64 // cached a.Identity()
 	src     graph.VertexID
 	workers int
 
 	batchOf []int32
 	part    *graph.Partitioning
+	// ownerTab flattens part.PartOf into a direct vertex→shard lookup for
+	// the per-edge routing in the seed and process loops.
+	ownerTab []int32
+	procs    int // runtime.GOMAXPROCS at construction; 1 disables barriers
 
 	vals    [][]float64
 	applied []batchSet
 	evTotal int64
+
+	numCtx   int
+	ctxWords int // per-vertex context-mask words: (numCtx+63)/64
+
+	shards    []*shard
+	chunkPool sync.Pool // *pChunk recycling across shards and rounds
+
+	// Worker pool state. cmd carries phase IDs to each worker; wg is the
+	// phase barrier; exitWG joins worker goroutines at stopWorkers.
+	cmd    []chan int
+	wg     sync.WaitGroup
+	exitWG sync.WaitGroup
+	trap   *panicTrap
+
+	// Per-phase arguments, set by the coordinator before releasing a
+	// barrier (the channel send orders them before worker reads).
+	curOps []sched.Op
+
+	live []int // scratch list of shard indexes with work
 
 	// lifecycle state, set for the duration of RunContext.
 	ran    bool
@@ -59,17 +101,26 @@ func NewParallel(w *evolve.Window, a algo.Algorithm, src graph.VertexID, workers
 	if err != nil {
 		return nil, err
 	}
-	part, err := graph.NewPartitioning(w.NumVertices(), workers)
+	union := w.Unified().Union()
+	part, err := graph.NewBalancedPartitioning(union.Offsets(), workers)
 	if err != nil {
 		return nil, err
 	}
-	return &Parallel{
-		w: w, u: w.Unified(), a: a, src: src, workers: workers,
+	p := &Parallel{
+		w: w, u: w.Unified(), union: union, a: a, ident: a.Identity(),
+		src: src, workers: workers, procs: runtime.GOMAXPROCS(0),
 		batchOf: seq.batchOf, part: part,
-	}, nil
+		trap: &panicTrap{},
+	}
+	p.chunkPool.New = func() any { return new(pChunk) }
+	p.ownerTab = make([]int32, w.NumVertices())
+	for v := range p.ownerTab {
+		p.ownerTab[v] = int32(part.PartOf(graph.VertexID(v)))
+	}
+	return p, nil
 }
 
-// mailbox carries candidate values from one producing worker to one
+// pEvent carries one candidate value from a producing worker to the
 // owning shard; entries are coalesced by the owner.
 type pEvent struct {
 	ctx int32
@@ -77,17 +128,60 @@ type pEvent struct {
 	val float64
 }
 
+// pChunkLen sizes a mailbox chunk: 256 events × 16 bytes = 4 KiB, one
+// transfer unit between producer outboxes and owner inboxes.
+const pChunkLen = 256
+
+// pChunk is a fixed-capacity event buffer. Chunks move between shards by
+// pointer at exchange barriers (no event copying) and recycle through the
+// engine's chunkPool, so steady-state rounds allocate nothing.
+type pChunk struct {
+	n  int
+	ev [pChunkLen]pEvent
+}
+
+// inlinePhaseUnits is the work threshold (events or touched vertices,
+// summed across live shards) below which the coordinator runs a phase
+// inline instead of waking workers: a barrier hand-off costs microseconds
+// while a unit of phase work costs tens of nanoseconds, so short
+// convergence-tail rounds are cheaper single-threaded.
+const inlinePhaseUnits = 512
+
+// Worker phase IDs, sent over each worker's command channel.
+const (
+	phaseSeed = iota
+	phaseDeliver
+	phaseProcess
+	phaseBroadcast
+)
+
 // shard is one worker's private state: the pending-candidate matrix for
-// its vertex range plus incoming mailboxes.
+// its vertex range plus chunked mailboxes.
 type shard struct {
-	lo, hi  graph.VertexID
-	pending [][]float64 // [ctx][vertex-lo]
-	has     [][]bool
+	id     int
+	lo, hi graph.VertexID
+
+	// pending[idx*numCtx+c] holds context c's coalesced candidate for
+	// vertex lo+idx; ctxMask[idx*ctxWords+w] is the bitmask of contexts
+	// with a live candidate. Vertex-major layout keeps one vertex's
+	// contexts on the same cache lines for the processing loop.
+	pending []float64
+	ctxMask []uint64
+
 	touched []graph.VertexID
-	mark    []bool     // vertex-lo on touched list
-	inbox   [][]pEvent // one slice per producing worker
-	outbox  [][]pEvent // one slice per destination shard
-	events  int64
+	spare   []graph.VertexID // second touched buffer; swapped per round so
+	// self-delivered events during processing never append into the list
+	// being drained
+	mark   []bool    // vertex-lo on touched list
+	updCtx []int32   // scratch: contexts improved at the current vertex
+	updVal []float64 // scratch: the improved values, parallel to updCtx
+
+	inbox  []*pChunk   // chunks routed to this shard, drained at deliver
+	outbox [][]*pChunk // open chunk lists, one per destination shard
+	open   []*pChunk   // tail of each outbox list (nil when closed), so the
+	// per-event emit skips the slice-tail lookup
+
+	events int64
 }
 
 // Run executes the schedule and returns nothing; use Values afterwards.
@@ -111,6 +205,8 @@ func (p *Parallel) RunContext(ctx context.Context, s *sched.Schedule, lim Limits
 		return err
 	}
 	n := p.w.NumVertices()
+	p.numCtx = s.NumContexts
+	p.ctxWords = (s.NumContexts + 63) / 64
 	p.vals = make([][]float64, s.NumContexts)
 	p.applied = make([]batchSet, s.NumContexts)
 
@@ -119,23 +215,21 @@ func (p *Parallel) RunContext(ctx context.Context, s *sched.Schedule, lim Limits
 		return err
 	}
 
-	shards := make([]*shard, p.workers)
-	for i := range shards {
+	p.shards = make([]*shard, p.workers)
+	for i := range p.shards {
 		lo, hi := p.part.Range(i)
-		sh := &shard{
-			lo: lo, hi: hi,
-			pending: make([][]float64, s.NumContexts),
-			has:     make([][]bool, s.NumContexts),
-			mark:    make([]bool, int(hi-lo)),
-			inbox:   make([][]pEvent, p.workers),
-			outbox:  make([][]pEvent, p.workers),
+		size := int(hi - lo)
+		p.shards[i] = &shard{
+			id: i, lo: lo, hi: hi,
+			pending: make([]float64, size*p.numCtx),
+			ctxMask: make([]uint64, size*p.ctxWords),
+			mark:    make([]bool, size),
+			outbox:  make([][]*pChunk, p.workers),
+			open:    make([]*pChunk, p.workers),
 		}
-		for c := 0; c < s.NumContexts; c++ {
-			sh.pending[c] = make([]float64, int(hi-lo))
-			sh.has[c] = make([]bool, int(hi-lo))
-		}
-		shards[i] = sh
 	}
+	p.startWorkers()
+	defer p.stopWorkers()
 
 	for i := 0; i < len(s.Ops); {
 		if err := checkCtx(ctx, "parallel stage"); err != nil {
@@ -168,7 +262,7 @@ func (p *Parallel) RunContext(ctx context.Context, s *sched.Schedule, lim Limits
 			}
 		}
 		if len(applies) > 0 {
-			if err := p.runApplies(shards, applies); err != nil {
+			if err := p.runApplies(applies); err != nil {
 				return err
 			}
 		}
@@ -202,7 +296,7 @@ func (p *Parallel) Events() int64 {
 }
 
 // panicTrap collects the first panic recovered in any worker goroutine
-// (or the coordinator's seeding loop) of one batch application.
+// (or the coordinator's inline phase execution) of one batch application.
 type panicTrap struct {
 	mu    sync.Mutex
 	err   error
@@ -227,19 +321,111 @@ func (t *panicTrap) tripped() error {
 	return t.err
 }
 
-func (p *Parallel) runApplies(shards []*shard, ops []sched.Op) (err error) {
-	trap := &panicTrap{}
-	// The coordinator's seeding loop also calls the user-supplied
-	// Algorithm; contain its panics the same way (Shard = -1).
+// startWorkers launches the persistent worker pool: one goroutine per
+// shard, parked on its command channel between phases. Workers live until
+// stopWorkers; RunContext pairs the two so no goroutine outlives a run.
+func (p *Parallel) startWorkers() {
+	p.cmd = make([]chan int, len(p.shards))
+	for i := range p.cmd {
+		p.cmd[i] = make(chan int, 1)
+	}
+	p.exitWG.Add(len(p.shards))
+	for i := range p.shards {
+		go p.workerLoop(i)
+	}
+}
+
+// stopWorkers closes every command channel and joins the workers. Callers
+// hold the barrier (no phase in flight), so close cannot race a send.
+func (p *Parallel) stopWorkers() {
+	for _, c := range p.cmd {
+		close(c)
+	}
+	p.exitWG.Wait()
+}
+
+func (p *Parallel) workerLoop(si int) {
+	defer p.exitWG.Done()
+	for ph := range p.cmd[si] {
+		p.phaseOn(si, ph)
+		p.wg.Done()
+	}
+}
+
+// phaseOn executes one phase for one shard, containing panics: a panic in
+// user Algorithm code lands in the trap and the barrier still completes,
+// whether the phase ran on a worker goroutine or inline.
+func (p *Parallel) phaseOn(si, ph int) {
 	defer func() {
 		if r := recover(); r != nil {
-			trap.capture(-1, r)
-			err = trap.tripped()
+			p.trap.capture(si, r)
 		}
 	}()
+	sh := p.shards[si]
+	switch ph {
+	case phaseSeed:
+		p.seedShard(si, sh)
+	case phaseDeliver:
+		p.deliverShard(sh)
+	case phaseProcess:
+		p.processShard(sh)
+	case phaseBroadcast:
+		p.broadcastShard(sh)
+	}
+}
 
-	// Seed: route each batch edge's candidates to the owning shard.
+// runPhase drives one phase barrier over the given shard indexes. Small
+// phases (one live shard, or total work under inlinePhaseUnits) run inline
+// on the coordinator, as do all phases on a single-P runtime — with
+// GOMAXPROCS=1 a barrier hand-off serializes through the scheduler anyway,
+// so waking workers only adds context switches. Otherwise workers are
+// woken and the WaitGroup is the barrier. Returns the first trapped panic,
+// if any.
+func (p *Parallel) runPhase(live []int, ph, units int) error {
+	if len(live) == 0 {
+		return p.trap.tripped()
+	}
+	if p.procs == 1 || len(live) == 1 || units < inlinePhaseUnits {
+		for _, si := range live {
+			p.phaseOn(si, ph)
+		}
+		return p.trap.tripped()
+	}
+	p.wg.Add(len(live))
+	for _, si := range live {
+		p.cmd[si] <- ph
+	}
+	p.wg.Wait()
+	return p.trap.tripped()
+}
+
+// allShards returns the scratch live list filled with every shard index.
+func (p *Parallel) allShards() []int {
+	p.live = p.live[:0]
+	for si := range p.shards {
+		p.live = append(p.live, si)
+	}
+	return p.live
+}
+
+func (p *Parallel) runApplies(ops []sched.Op) (err error) {
+	// The coordinator's own loops may also call user code via bookkeeping;
+	// contain panics that escape phase execution the same way (Shard = -1).
+	defer func() {
+		if r := recover(); r != nil {
+			p.trap.capture(-1, r)
+			err = p.trap.tripped()
+		}
+	}()
+	p.trap.round = 0
+
+	// Validate targets and mark batches applied before seeding, so
+	// propagation traverses the batches' edges from the first round.
+	seedUnits := 0
 	for _, op := range ops {
+		if len(op.Targets) == 0 {
+			return megaerr.Invalidf("engine: OpApply with no targets")
+		}
 		compute := op.Targets
 		if op.SharedCompute {
 			compute = op.Targets[:1]
@@ -250,27 +436,23 @@ func (p *Parallel) runApplies(shards []*shard, ops []sched.Op) (err error) {
 			}
 			p.applied[c].add(op.Batch.ID)
 		}
-		for _, e := range op.Batch.Edges {
-			for _, c := range compute {
-				srcVal := p.vals[c][e.Src]
-				if srcVal == p.a.Identity() {
-					continue
-				}
-				owner := p.part.PartOf(e.Dst)
-				shards[owner].inbox[0] = append(shards[owner].inbox[0], pEvent{
-					ctx: int32(c), dst: e.Dst, val: p.a.EdgeFunc(srcVal, e.Weight),
-				})
-			}
-		}
+		seedUnits += len(op.Batch.Edges) * len(compute)
 	}
 
-	// Each barrier round: deliver, process, exchange. Every worker
-	// goroutine recovers its own panics into the trap so wg.Done always
-	// runs and wg.Wait — the barrier — can never deadlock on a panic.
-	var wg sync.WaitGroup
+	// Seed: workers split each batch's edge list evenly and route the
+	// resulting candidates to the owning shards through the mailboxes.
+	p.curOps = ops
+	if err := p.runPhase(p.allShards(), phaseSeed, seedUnits); err != nil {
+		return err
+	}
+	p.exchange()
+
+	// Each barrier round: deliver, process, exchange. Phase work runs on
+	// the persistent workers (or inline when small); every phase recovers
+	// its own panics into the trap so the barrier can never deadlock.
 	round := 0
 	events := p.evTotal
-	for _, sh := range shards {
+	for _, sh := range p.shards {
 		events += sh.events
 	}
 	for {
@@ -278,105 +460,111 @@ func (p *Parallel) runApplies(shards []*shard, ops []sched.Op) (err error) {
 			return cerr
 		}
 		if p.limits.roundsExceeded(round) || p.limits.eventsExceeded(events) {
-			return p.divergence(shards, round, events)
+			return p.divergence(round, events)
 		}
-		trap.round = round
+		p.trap.round = round
 
-		// Deliver inboxes into pending matrices and check quiescence.
-		live := false
-		wg.Add(len(shards))
-		for si, sh := range shards {
-			go func(si int, sh *shard) {
-				defer wg.Done()
-				defer func() {
-					if r := recover(); r != nil {
-						trap.capture(si, r)
-					}
-				}()
-				for w := range sh.inbox {
-					for _, ev := range sh.inbox[w] {
-						sh.push(p.a, ev)
-					}
-					sh.inbox[w] = sh.inbox[w][:0]
-				}
-			}(si, sh)
+		// Deliver inbox chunks into pending matrices.
+		live, units := p.liveInbox()
+		if err := p.runPhase(live, phaseDeliver, units); err != nil {
+			return err
 		}
-		wg.Wait()
-		if perr := trap.tripped(); perr != nil {
-			return perr
-		}
-		for _, sh := range shards {
-			if len(sh.touched) > 0 {
-				live = true
-				break
-			}
-		}
-		if !live {
+
+		// Quiescence: no shard was touched by delivery.
+		live, units = p.liveTouched()
+		if len(live) == 0 {
 			break
 		}
 
-		// Process each shard's touched vertices in parallel.
-		wg.Add(len(shards))
-		for si, sh := range shards {
-			go func(si int, sh *shard) {
-				defer wg.Done()
-				defer func() {
-					if r := recover(); r != nil {
-						trap.capture(si, r)
-					}
-				}()
-				p.processShard(sh)
-			}(si, sh)
-		}
-		wg.Wait()
-		if perr := trap.tripped(); perr != nil {
-			return perr
+		// Process each live shard's touched vertices.
+		if err := p.runPhase(live, phaseProcess, units); err != nil {
+			return err
 		}
 
-		// Exchange outboxes (single-threaded pointer swaps).
-		for si, sh := range shards {
-			for di := range sh.outbox {
-				shards[di].inbox[si] = append(shards[di].inbox[si], sh.outbox[di]...)
-				sh.outbox[di] = sh.outbox[di][:0]
-			}
-			_ = si
-		}
+		// Exchange outbox chunks (single-threaded pointer moves).
+		p.exchange()
 		events = p.evTotal
-		for _, sh := range shards {
+		for _, sh := range p.shards {
 			events += sh.events
 		}
 		round++
 	}
 
-	for _, sh := range shards {
+	for _, sh := range p.shards {
 		p.evTotal += sh.events
 		sh.events = 0
 	}
 
-	// Shared-compute broadcasts (sequential; values are settled).
+	// Shared-compute broadcasts: values are settled, so each shard copies
+	// its own vertex range of the source context into the targets.
+	bcUnits := 0
 	for _, op := range ops {
 		if !op.SharedCompute || len(op.Targets) < 2 {
 			continue
 		}
-		src := op.Targets[0]
 		for _, c := range op.Targets[1:] {
 			if p.vals[c] == nil {
 				return megaerr.Invalidf("engine: broadcast to uninitialized context %d", c)
 			}
-			for v := range p.vals[c] {
-				if p.vals[c][v] != p.vals[src][v] {
-					p.vals[c][v] = p.vals[src][v]
-				}
-			}
 			p.applied[c].add(op.Batch.ID)
+			bcUnits += p.w.NumVertices()
+		}
+	}
+	if bcUnits > 0 {
+		if err := p.runPhase(p.allShards(), phaseBroadcast, bcUnits); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
+// liveInbox lists shards with undelivered chunks; units approximates the
+// total buffered events.
+func (p *Parallel) liveInbox() ([]int, int) {
+	p.live = p.live[:0]
+	units := 0
+	for si, sh := range p.shards {
+		if len(sh.inbox) > 0 {
+			p.live = append(p.live, si)
+			units += len(sh.inbox) * pChunkLen
+		}
+	}
+	return p.live, units
+}
+
+// liveTouched lists shards with touched vertices; units is the total.
+func (p *Parallel) liveTouched() ([]int, int) {
+	p.live = p.live[:0]
+	units := 0
+	for si, sh := range p.shards {
+		if len(sh.touched) > 0 {
+			p.live = append(p.live, si)
+			units += len(sh.touched)
+		}
+	}
+	return p.live, units
+}
+
+// exchange moves outbox chunk pointers to their destination inboxes. It
+// runs on the coordinator between barriers, so no locking is needed, and
+// it moves chunk pointers — never event payloads.
+func (p *Parallel) exchange() {
+	for _, sh := range p.shards {
+		for di, chunks := range sh.outbox {
+			if len(chunks) == 0 {
+				continue
+			}
+			dst := p.shards[di]
+			dst.inbox = append(dst.inbox, chunks...)
+			sh.outbox[di] = sh.outbox[di][:0]
+			sh.open[di] = nil
+		}
+	}
+}
+
 // divergence builds the watchdog's diagnostic error from the shards'
 // pending state.
-func (p *Parallel) divergence(shards []*shard, round int, events int64) error {
+func (p *Parallel) divergence(round int, events int64) error {
 	tripped := "MaxRounds"
 	if p.limits.eventsExceeded(events) {
 		tripped = "MaxEvents"
@@ -385,15 +573,15 @@ func (p *Parallel) divergence(shards []*shard, round int, events int64) error {
 	// inboxes right after an exchange; sample from whichever is live.
 	sample := int64(-1)
 	live := int64(0)
-	for _, sh := range shards {
+	for _, sh := range p.shards {
 		live += int64(len(sh.touched))
 		if sample < 0 && len(sh.touched) > 0 {
 			sample = int64(sh.touched[0])
 		}
-		for _, in := range sh.inbox {
-			live += int64(len(in))
-			if sample < 0 && len(in) > 0 {
-				sample = int64(in[0].dst)
+		for _, ck := range sh.inbox {
+			live += int64(ck.n)
+			if sample < 0 && ck.n > 0 {
+				sample = int64(ck.ev[0].dst)
 			}
 		}
 	}
@@ -403,55 +591,222 @@ func (p *Parallel) divergence(shards []*shard, round int, events int64) error {
 	}
 }
 
+// seedShard generates this worker's share of the stage's seed events:
+// each batch's edge list is split evenly across workers (independent of
+// vertex ownership) and candidates are routed to the owning shards via
+// the chunked mailboxes, exactly like propagation events.
+func (p *Parallel) seedShard(si int, sh *shard) {
+	workers := len(p.shards)
+	for _, op := range p.curOps {
+		compute := op.Targets
+		if op.SharedCompute {
+			compute = op.Targets[:1]
+		}
+		edges := op.Batch.Edges
+		lo := len(edges) * si / workers
+		hi := len(edges) * (si + 1) / workers
+		direct := p.procs == 1
+		for _, e := range edges[lo:hi] {
+			owner := int(p.ownerTab[e.Dst])
+			for _, c := range compute {
+				srcVal := p.vals[c][e.Src]
+				if srcVal == p.ident {
+					continue
+				}
+				ev := pEvent{
+					ctx: int32(c), dst: e.Dst, val: p.a.EdgeFunc(srcVal, e.Weight),
+				}
+				if owner == sh.id {
+					p.push(sh, ev) // own vertex: skip the mailbox round-trip
+				} else if direct {
+					p.push(p.shards[owner], ev)
+				} else {
+					p.emit(sh, owner, ev)
+				}
+			}
+		}
+	}
+}
+
+// deliverShard coalesces the shard's inbox chunks into its pending matrix
+// and recycles the chunks. The push logic is written out with hoisted
+// slice headers: this loop handles every cross-shard event of every round
+// and the per-event function-call and field-reload overhead is measurable.
+func (p *Parallel) deliverShard(sh *shard) {
+	a := p.a
+	numCtx, ctxWords := p.numCtx, p.ctxWords
+	pending, mask, mark := sh.pending, sh.ctxMask, sh.mark
+	lo := sh.lo
+	for _, ck := range sh.inbox {
+		for i := 0; i < ck.n; i++ {
+			ev := &ck.ev[i]
+			idx := int(ev.dst - lo)
+			word := idx*ctxWords + int(ev.ctx)>>6
+			bit := uint64(1) << (uint(ev.ctx) & 63)
+			slot := idx*numCtx + int(ev.ctx)
+			if mask[word]&bit != 0 {
+				if a.Better(ev.val, pending[slot]) {
+					pending[slot] = ev.val
+				}
+			} else {
+				mask[word] |= bit
+				pending[slot] = ev.val
+				if !mark[idx] {
+					mark[idx] = true
+					sh.touched = append(sh.touched, ev.dst)
+				}
+			}
+		}
+		ck.n = 0
+		p.chunkPool.Put(ck)
+	}
+	sh.inbox = sh.inbox[:0]
+}
+
 // push coalesces an event into the shard's pending matrix.
-func (sh *shard) push(a algo.Algorithm, ev pEvent) {
-	idx := ev.dst - sh.lo
-	if sh.has[ev.ctx][idx] {
-		if a.Better(ev.val, sh.pending[ev.ctx][idx]) {
-			sh.pending[ev.ctx][idx] = ev.val
+func (p *Parallel) push(sh *shard, ev pEvent) {
+	idx := int(ev.dst - sh.lo)
+	word := idx*p.ctxWords + int(ev.ctx)>>6
+	bit := uint64(1) << (uint(ev.ctx) & 63)
+	slot := idx*p.numCtx + int(ev.ctx)
+	if sh.ctxMask[word]&bit != 0 {
+		if p.a.Better(ev.val, sh.pending[slot]) {
+			sh.pending[slot] = ev.val
 		}
 		return
 	}
-	sh.has[ev.ctx][idx] = true
-	sh.pending[ev.ctx][idx] = ev.val
+	sh.ctxMask[word] |= bit
+	sh.pending[slot] = ev.val
 	if !sh.mark[idx] {
 		sh.mark[idx] = true
 		sh.touched = append(sh.touched, ev.dst)
 	}
 }
 
+// emit appends an event to the open chunk of sh's outbox for the owning
+// shard, starting a fresh pooled chunk when the open one is full.
+func (p *Parallel) emit(sh *shard, owner int, ev pEvent) {
+	ck := sh.open[owner]
+	if ck == nil || ck.n == pChunkLen {
+		ck = p.chunkPool.Get().(*pChunk)
+		sh.outbox[owner] = append(sh.outbox[owner], ck)
+		sh.open[owner] = ck
+	}
+	ck.ev[ck.n] = ev
+	ck.n++
+}
+
 // processShard drains the shard's touched vertices, updating owned values
-// and emitting generated events into outboxes.
+// and emitting generated events into outboxes. The per-vertex context
+// bitmask walks only contexts with live candidates, and one adjacency
+// fetch serves every improved context of a vertex.
 func (p *Parallel) processShard(sh *shard) {
+	a := p.a
+	numCtx, ctxWords := p.numCtx, p.ctxWords
+	ctxMask, pending := sh.ctxMask, sh.pending
+	vals, batchOf, ownerTab := p.vals, p.batchOf, p.ownerTab
+	// On a single-P runtime every phase runs inline on the coordinator, so
+	// shards are processed strictly sequentially and cross-shard events can
+	// be pushed straight into the destination's pending matrix — the
+	// chunked mailboxes only exist to keep concurrent workers race-free.
+	// Direct pushes may be consumed later in the same round (if the target
+	// shard processes after this one), which is safe for a monotone
+	// coalescing fixpoint and only accelerates convergence.
+	direct := p.procs == 1
+	// Swap in the spare touched buffer: self-delivered events re-mark
+	// vertices for the NEXT round by appending to sh.touched, which must
+	// not alias the list being drained.
 	touched := sh.touched
-	sh.touched = sh.touched[:0]
+	sh.touched = sh.spare[:0]
 	for _, v := range touched {
-		idx := v - sh.lo
+		idx := int(v - sh.lo)
 		sh.mark[idx] = false
-		for c := range sh.pending {
-			if p.vals[c] == nil || !sh.has[c][idx] {
+		upd := sh.updCtx[:0]
+		updVal := sh.updVal[:0]
+		mbase := idx * ctxWords
+		pbase := idx * numCtx
+		for w := 0; w < ctxWords; w++ {
+			m := ctxMask[mbase+w]
+			if m == 0 {
 				continue
 			}
-			sh.has[c][idx] = false
-			cand := sh.pending[c][idx]
-			sh.events++
-			if !p.a.Better(cand, p.vals[c][v]) {
-				continue
+			ctxMask[mbase+w] = 0
+			for m != 0 {
+				c := w<<6 + bits.TrailingZeros64(m)
+				m &= m - 1
+				cand := pending[pbase+c]
+				sh.events++
+				if a.Better(cand, vals[c][v]) {
+					vals[c][v] = cand
+					upd = append(upd, int32(c))
+					updVal = append(updVal, cand)
+				}
 			}
-			p.vals[c][v] = cand
-			lo, _ := p.u.Union().EdgeRange(v)
-			dsts, ws, _ := p.u.OutEdges(v)
+		}
+		sh.updCtx, sh.updVal = upd[:0], updVal[:0]
+		if len(upd) == 0 {
+			continue
+		}
+		lo, _ := p.union.EdgeRange(v)
+		dsts, ws := p.union.OutEdges(v)
+		if len(upd) == 1 {
+			// Overwhelmingly common in convergence tails: one context
+			// improved, so hoist its state out of the edge loop.
+			c, srcVal := upd[0], updVal[0]
+			appliedC := p.applied[c]
 			for i, d := range dsts {
-				b := p.batchOf[lo+uint32(i)]
+				if b := batchOf[lo+uint32(i)]; b >= 0 && !appliedC.has(int(b)) {
+					continue
+				}
+				ev := pEvent{ctx: c, dst: d, val: a.EdgeFunc(srcVal, ws[i])}
+				if owner := int(ownerTab[d]); owner == sh.id {
+					p.push(sh, ev) // own vertex: next round, no mailbox trip
+				} else if direct {
+					p.push(p.shards[owner], ev)
+				} else {
+					p.emit(sh, owner, ev)
+				}
+			}
+			continue
+		}
+		for i, d := range dsts {
+			b := batchOf[lo+uint32(i)]
+			owner := int(ownerTab[d])
+			for k, c := range upd {
 				if b >= 0 && !p.applied[c].has(int(b)) {
 					continue
 				}
-				out := p.a.EdgeFunc(cand, ws[i])
-				owner := p.part.PartOf(d)
-				sh.outbox[owner] = append(sh.outbox[owner], pEvent{
-					ctx: int32(c), dst: d, val: out,
-				})
+				ev := pEvent{
+					ctx: c, dst: d, val: a.EdgeFunc(updVal[k], ws[i]),
+				}
+				if owner == sh.id {
+					p.push(sh, ev)
+				} else if direct {
+					p.push(p.shards[owner], ev)
+				} else {
+					p.emit(sh, owner, ev)
+				}
 			}
+		}
+	}
+	sh.spare = touched[:0]
+}
+
+// broadcastShard replays shared-compute results: for each broadcasting op
+// the shard copies its own vertex range from the computed context into
+// every remaining target with a single copy per target.
+func (p *Parallel) broadcastShard(sh *shard) {
+	lo, hi := int(sh.lo), int(sh.hi)
+	if lo == hi {
+		return
+	}
+	for _, op := range p.curOps {
+		if !op.SharedCompute || len(op.Targets) < 2 {
+			continue
+		}
+		src := p.vals[op.Targets[0]]
+		for _, c := range op.Targets[1:] {
+			copy(p.vals[c][lo:hi], src[lo:hi])
 		}
 	}
 }

@@ -2,10 +2,12 @@ package engine
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 
 	"mega/internal/algo"
+	"mega/internal/evolve"
 	"mega/internal/gen"
 	"mega/internal/sched"
 	"mega/internal/testutil"
@@ -135,5 +137,82 @@ func TestParallelEquivalenceQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// skewedWindow builds an evolving window over a hub-heavy RMAT graph: the
+// high A parameter concentrates out-edges on low-ID vertices, which is the
+// degree distribution the edge-balanced partitioning exists for.
+func skewedWindow(t testing.TB) *evolve.Window {
+	t.Helper()
+	spec := gen.GraphSpec{
+		Name: "skew", Vertices: 2_048, Edges: 32_768,
+		A: 0.62, B: 0.18, C: 0.12, MaxWeight: 10, Seed: 99,
+	}
+	ev, err := gen.Evolve(spec, gen.EvolutionSpec{Snapshots: 8, BatchFraction: 0.05, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := evolve.NewWindow(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// Parallel must agree with Multi for every worker count on a skewed RMAT
+// graph — hub shards get tiny vertex ranges and tail shards get huge ones,
+// stressing the balanced partitioning, the chunked mailboxes, and the
+// phase barriers. GOMAXPROCS is raised so the persistent workers really
+// run concurrently; with -race this validates the sharding discipline.
+func TestParallelEquivalenceSkewedRMAT(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	w := skewedWindow(t)
+	for _, k := range []algo.Kind{algo.SSSP, algo.SSWP} {
+		s, err := sched.New(sched.BOE, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := NewMulti(w, algo.New(k), 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := seq.Run(s); err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 3, 7, 8} {
+			par, err := NewParallel(w, algo.New(k), 0, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := par.Run(s); err != nil {
+				t.Fatalf("%v/%d workers: %v", k, workers, err)
+			}
+			for snap := 0; snap < w.NumSnapshots(); snap++ {
+				if !testutil.EqualValues(seq.SnapshotValues(s, snap), par.SnapshotValues(s, snap)) {
+					t.Errorf("%v/%d workers: snapshot %d diverges from Multi", k, workers, snap)
+				}
+			}
+		}
+	}
+}
+
+// The balanced partitioning must actually be what NewParallel uses: on the
+// hub-heavy graph, vertex ranges should differ in size across shards
+// (uniform splitting would make them all equal).
+func TestParallelUsesBalancedPartitioning(t *testing.T) {
+	w := skewedWindow(t)
+	par, err := NewParallel(w, algo.New(algo.SSSP), 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := make(map[int]bool)
+	for i := 0; i < par.part.Parts(); i++ {
+		sizes[par.part.Size(i)] = true
+	}
+	if len(sizes) < 2 {
+		t.Errorf("all 8 shards have equal vertex counts on a skewed graph; balanced partitioning not in effect")
 	}
 }

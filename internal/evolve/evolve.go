@@ -14,6 +14,8 @@
 package evolve
 
 import (
+	"sync"
+
 	"mega/internal/gen"
 	"mega/internal/graph"
 	"mega/internal/megaerr"
@@ -43,6 +45,9 @@ type Window struct {
 	common      graph.EdgeList
 	batches     []Batch
 	unified     *graph.UnifiedCSR
+
+	commonOnce sync.Once
+	commonCSR  *graph.CSR
 }
 
 // NewWindow builds a Window from a generated evolution history.
@@ -124,9 +129,14 @@ func (w *Window) NumSnapshots() int { return w.snapshots }
 // Common returns the CommonGraph edge list (do not modify).
 func (w *Window) Common() graph.EdgeList { return w.common }
 
-// CommonCSR materializes the CommonGraph as a CSR.
+// CommonCSR materializes the CommonGraph as a CSR. The CSR is built once
+// and cached — the Window is immutable, and every engine run starts from
+// the CommonGraph, so rebuilding it per run was pure overhead.
 func (w *Window) CommonCSR() *graph.CSR {
-	return graph.MustCSR(w.numVertices, w.common)
+	w.commonOnce.Do(func() {
+		w.commonCSR = graph.MustCSR(w.numVertices, w.common)
+	})
+	return w.commonCSR
 }
 
 // Batches returns all addition-only batches (do not modify).
