@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test vet race fuzz bench-smoke bench-json ci
+.PHONY: all build test vet race fuzz chaos bench-smoke bench-json ci
 
 all: build
 
@@ -25,6 +25,13 @@ race:
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzLoadEdgeList -fuzztime=$(FUZZTIME) ./internal/gen/
 	$(GO) test -run='^$$' -fuzz=FuzzNewWindowFromParts -fuzztime=$(FUZZTIME) ./internal/evolve/
+	$(GO) test -run='^$$' -fuzz=FuzzCheckpointDecode -fuzztime=$(FUZZTIME) ./internal/engine/
+
+# Crash-equivalence chaos sweep: kill the run at every round boundary,
+# resume from the last checkpoint, and demand bit-identical results, for
+# both engines and all three schedule modes, under the race detector.
+chaos:
+	MEGA_CHAOS=full $(GO) test -race -run 'CrashEquivalence' ./internal/engine/
 
 # Compile and execute every benchmark for a single iteration — catches
 # benchmarks that no longer build or crash, without measuring anything.
@@ -35,4 +42,4 @@ bench-smoke:
 bench-json:
 	$(GO) run ./cmd/megabench -perf -v -perfout BENCH_parallel.json
 
-ci: vet build race bench-smoke fuzz
+ci: vet build race bench-smoke chaos fuzz

@@ -13,3 +13,8 @@ go test -race ./...
 go test -bench=. -benchtime=1x -run='^$' ./...
 go test -run='^$' -fuzz=FuzzLoadEdgeList -fuzztime="$FUZZTIME" ./internal/gen/
 go test -run='^$' -fuzz=FuzzNewWindowFromParts -fuzztime="$FUZZTIME" ./internal/evolve/
+go test -run='^$' -fuzz=FuzzCheckpointDecode -fuzztime="$FUZZTIME" ./internal/engine/
+# Chaos gate: the full crash-equivalence sweep — kill the run at EVERY
+# round boundary, resume from the checkpoint, demand bit-identical
+# results — for both engines and all three schedule modes, under -race.
+MEGA_CHAOS=full go test -race -run 'CrashEquivalence' ./internal/engine/

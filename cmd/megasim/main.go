@@ -4,12 +4,26 @@
 //
 // Usage:
 //
-//	megasim [-graph PK|LJ|OR|DL|UK|Wen] [-algo SSSP] [-mode boe|ws|dh|jetstream|recompute]
+//	megasim [-graph PK|LJ|OR|DL|UK|Wen] [-algo SSSP] [-mode boe|ws|dh|jetstream|recompute|eval]
 //	        [-snapshots 16] [-batch 0.01] [-onchip 524288] [-load dir]
+//	        [-fault SPEC]... [-checkpoint FILE] [-checkpoint-every N] [-resume] [-retries N]
 //
 // By default it runs SSSP over 16 snapshots of the PK stand-in under BOE.
 // With -load it consumes a dataset directory written by megagen instead of
 // synthesizing one.
+//
+// Mode "eval" runs the functional query through the fault-tolerant
+// evaluator: it checkpoints every -checkpoint-every rounds (persisting
+// atomically to -checkpoint when given), retries transient faults from
+// the last checkpoint, falls back from the parallel to the sequential
+// engine after a worker panic, and with -resume restarts from the
+// persisted checkpoint file. -fault injects deterministic faults using
+// the "site[#shard]:kind[=latency]@visit[xevery]" grammar, e.g.
+// -fault engine.round:transient@100 or -fault parallel.phase#2:panic@7.
+//
+// Exit codes: 0 success, 1 generic failure, 2 invalid input, 3 canceled
+// (signal or -timeout), 4 query divergence, 5 checkpoint corruption or
+// mismatch.
 package main
 
 import (
@@ -19,15 +33,47 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 
 	"mega"
 )
 
+// Exit codes, also documented in the package comment and README.
+const (
+	exitOK         = 0
+	exitGeneric    = 1
+	exitInvalid    = 2
+	exitCanceled   = 3
+	exitDivergence = 4
+	exitCheckpoint = 5
+)
+
+// faultList collects repeatable -fault flags.
+type faultList []mega.FaultOp
+
+func (f *faultList) String() string {
+	specs := make([]string, len(*f))
+	for i, op := range *f {
+		specs[i] = op.String()
+	}
+	return strings.Join(specs, ",")
+}
+
+func (f *faultList) Set(spec string) error {
+	op, err := mega.ParseFaultOp(spec)
+	if err != nil {
+		return err
+	}
+	*f = append(*f, op)
+	return nil
+}
+
 func main() {
 	graphName := flag.String("graph", "PK", "paper stand-in graph name")
 	algoName := flag.String("algo", "SSSP", "algorithm: BFS SSSP SSWP SSNP Viterbi")
-	mode := flag.String("mode", "boe", "workflow: boe, ws, dh, or jetstream")
+	mode := flag.String("mode", "boe", "workflow: boe, ws, dh, jetstream, recompute, eval")
 	snapshots := flag.Int("snapshots", 16, "snapshot window size")
 	batch := flag.Float64("batch", 0.01, "per-hop batch fraction of edges")
 	imbalance := flag.Float64("imbalance", 1, "largest/smallest batch ratio")
@@ -37,6 +83,15 @@ func main() {
 	edgeList := flag.String("edgelist", "", "build the window from a SNAP-style edge-list file")
 	profile := flag.Bool("profile", false, "print the per-operation timing profile")
 	timeout := flag.Duration("timeout", 0, "abort the simulation after this duration (0 = none)")
+	engineFlag := flag.String("engine", "seq", "eval engine: seq or par")
+	workers := flag.Int("workers", 0, "parallel engine workers (0 = GOMAXPROCS)")
+	ckptFile := flag.String("checkpoint", "", "eval: persist checkpoints to this file (atomic rename)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "eval: checkpoint every N rounds (0 = default 32)")
+	resume := flag.Bool("resume", false, "eval: resume from the -checkpoint file")
+	retries := flag.Int("retries", 0, "eval: max restarts after transient faults (0 = default 3)")
+	faultSeed := flag.Int64("fault-seed", 42, "seed for probabilistic fault ops")
+	var faults faultList
+	flag.Var(&faults, "fault", "inject a deterministic fault (repeatable): site[#shard]:kind[=latency]@visit[xevery]")
 	flag.Parse()
 
 	// SIGINT/SIGTERM cancel the run cooperatively: the engines observe the
@@ -48,22 +103,53 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	if len(faults) > 0 {
+		plan := mega.NewFaultPlan(*faultSeed)
+		for _, op := range faults {
+			plan.Add(op)
+		}
+		ctx = mega.WithFaultPlan(ctx, plan)
+	}
 
 	showProfile = *profile
-	if err := run(ctx, *graphName, *algoName, *mode, *snapshots, *batch, *imbalance, *onchip, *source, *load, *edgeList); err != nil {
+	opts := evalOptions{
+		engine: *engineFlag, workers: *workers,
+		ckptFile: *ckptFile, ckptEvery: *ckptEvery,
+		resume: *resume, retries: *retries,
+	}
+	if err := run(ctx, *graphName, *algoName, *mode, *snapshots, *batch, *imbalance, *onchip, *source, *load, *edgeList, opts); err != nil {
+		code := exitGeneric
 		switch {
+		case errors.Is(err, mega.ErrInvalidInput):
+			fmt.Fprintln(os.Stderr, "megasim: invalid input:", err)
+			code = exitInvalid
+		case errors.Is(err, mega.ErrCheckpoint):
+			fmt.Fprintln(os.Stderr, "megasim: checkpoint:", err)
+			code = exitCheckpoint
 		case errors.Is(err, mega.ErrCanceled):
 			fmt.Fprintln(os.Stderr, "megasim: canceled:", err)
+			code = exitCanceled
 		case errors.Is(err, mega.ErrDivergence):
 			fmt.Fprintln(os.Stderr, "megasim: query diverged:", err)
+			code = exitDivergence
 		default:
 			fmt.Fprintln(os.Stderr, "megasim:", err)
 		}
-		os.Exit(1)
+		os.Exit(code)
 	}
 }
 
-func run(ctx context.Context, graphName, algoName, mode string, snapshots int, batch, imbalance float64, onchip int64, source int, load, edgeList string) error {
+// evalOptions carries the eval-mode flags through run.
+type evalOptions struct {
+	engine    string
+	workers   int
+	ckptFile  string
+	ckptEvery int
+	resume    bool
+	retries   int
+}
+
+func run(ctx context.Context, graphName, algoName, mode string, snapshots int, batch, imbalance float64, onchip int64, source int, load, edgeList string, opts evalOptions) error {
 	kind, err := mega.ParseAlgorithm(algoName)
 	if err != nil {
 		return err
@@ -72,7 +158,7 @@ func run(ctx context.Context, graphName, algoName, mode string, snapshots int, b
 	var ev *mega.Evolution
 	switch {
 	case load != "":
-		if ev, err = mega.LoadEvolution(load); err != nil {
+		if ev, err = mega.LoadEvolutionContext(ctx, load); err != nil {
 			return err
 		}
 	case edgeList != "":
@@ -108,6 +194,12 @@ func run(ctx context.Context, graphName, algoName, mode string, snapshots int, b
 
 	var res *mega.SimResult
 	switch mode {
+	case "eval":
+		w, werr := mega.NewWindow(ev)
+		if werr != nil {
+			return werr
+		}
+		return runEval(ctx, w, kind, src, opts)
 	case "jetstream":
 		cfg := mega.JetStreamSimConfig()
 		if onchip > 0 {
@@ -196,6 +288,85 @@ func run(ctx context.Context, graphName, algoName, mode string, snapshots int, b
 		}
 	}
 	return nil
+}
+
+// runEval answers the query through the fault-tolerant evaluator and
+// prints a recovery report alongside a functional summary.
+func runEval(ctx context.Context, w *mega.Window, kind mega.AlgorithmKind, src mega.VertexID, opts evalOptions) error {
+	ropt := mega.RecoverOptions{
+		Parallel:        opts.engine == "par",
+		Workers:         opts.workers,
+		CheckpointEvery: opts.ckptEvery,
+		MaxRetries:      opts.retries,
+	}
+	switch opts.engine {
+	case "seq", "par":
+	default:
+		return fmt.Errorf("%w: unknown engine %q (want seq or par)", mega.ErrInvalidInput, opts.engine)
+	}
+	if opts.ckptFile != "" {
+		ropt.Sink = func(b []byte) error { return writeFileAtomic(opts.ckptFile, b) }
+	}
+	if opts.resume {
+		if opts.ckptFile == "" {
+			return fmt.Errorf("%w: -resume requires -checkpoint FILE", mega.ErrInvalidInput)
+		}
+		data, rerr := os.ReadFile(opts.ckptFile)
+		if rerr != nil {
+			return fmt.Errorf("%w: reading resume file: %v", mega.ErrCheckpoint, rerr)
+		}
+		ropt.Checkpoint = data
+	}
+
+	values, rec, err := mega.EvaluateRecover(ctx, w, kind, src, mega.BOE, ropt)
+	engineName := map[bool]string{false: "sequential", true: "parallel"}[ropt.Parallel]
+	fmt.Printf("workflow:        eval (%s engine) / %s (source %d)\n", engineName, kind, src)
+	fmt.Printf("attempts:        %d (%d resumed from checkpoint)\n", rec.Attempts, rec.Resumes)
+	if rec.FellBack {
+		fmt.Printf("fallback:        worker panic demoted the run to the sequential engine\n")
+	}
+	for _, f := range rec.Faults {
+		fmt.Printf("survived fault:  %s\n", f)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("snapshots:       %d\n", len(values))
+	identity := mega.NewAlgorithm(kind).Identity()
+	for s, vals := range values {
+		reached := 0
+		for _, v := range vals {
+			if v != identity {
+				reached++
+			}
+		}
+		fmt.Printf("  snapshot %2d:   %d/%d vertices reached\n", s, reached, len(vals))
+	}
+	return nil
+}
+
+// writeFileAtomic persists b so that a crash mid-write never leaves a
+// truncated checkpoint: write to a temp file in the same directory, fsync,
+// then rename over the destination.
+func writeFileAtomic(path string, b []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // showProfile is set by the -profile flag.

@@ -4,15 +4,14 @@ import (
 	"context"
 	"errors"
 	"math"
-	"runtime"
 	"testing"
-	"time"
 
 	"mega/internal/algo"
 	"mega/internal/evolve"
 	"mega/internal/graph"
 	"mega/internal/megaerr"
 	"mega/internal/sched"
+	"mega/internal/testutil"
 )
 
 // flipFlop is a deliberately non-monotone Algorithm: Better accepts any
@@ -134,7 +133,7 @@ func TestMultiRunContextCanceled(t *testing.T) {
 // the barrier protocol must drain cleanly, not strand senders.
 func TestParallelCancelNoGoroutineLeak(t *testing.T) {
 	w := testMultiWindow(t, 6, 92)
-	before := runtime.NumGoroutine()
+	testutil.NoGoroutineLeak(t)
 	for i := 0; i < 5; i++ {
 		s, err := sched.New(sched.BOE, w)
 		if err != nil {
@@ -149,14 +148,6 @@ func TestParallelCancelNoGoroutineLeak(t *testing.T) {
 		if err := p.RunContext(ctx, s, Limits{}); !errors.Is(err, megaerr.ErrCanceled) {
 			t.Fatalf("RunContext err = %v, want ErrCanceled", err)
 		}
-	}
-	// Give any (buggy) stragglers a moment to show up before counting.
-	deadline := time.Now().Add(2 * time.Second)
-	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
-		time.Sleep(10 * time.Millisecond)
-	}
-	if after := runtime.NumGoroutine(); after > before+2 {
-		t.Fatalf("goroutines: %d before, %d after canceled runs — leak", before, after)
 	}
 }
 

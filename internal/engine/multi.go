@@ -6,6 +6,7 @@ import (
 
 	"mega/internal/algo"
 	"mega/internal/evolve"
+	"mega/internal/fault"
 	"mega/internal/graph"
 	"mega/internal/megaerr"
 	"mega/internal/sched"
@@ -46,6 +47,21 @@ type Multi struct {
 	limits Limits
 	events int64 // events processed across the run (watchdog)
 
+	// fault injection (picked up from the run context) and
+	// checkpoint/resume state. fp is nil on fault-free runs and ckptEvery
+	// is 0 unless checkpointing was requested, so both features cost one
+	// compare per round boundary when off.
+	fp        *fault.Plan
+	schedHash uint64
+	winFP     []ckptBatch // lazily cached window fingerprint
+	ckptEvery int
+	ckptSink  func([]byte) error
+	lastCkpt  []byte
+	resume    *checkpointState
+	curStage  int  // op index of the first op of the executing stage
+	inRounds  bool // true between seeding and quiescence of a stage
+	curRound  int  // next round to process, valid while inRounds
+
 	// noFetchShare disables cross-context adjacency-fetch sharing (for
 	// ablation studies): every updating context fetches separately, as if
 	// the datapath had no prefetch reuse between snapshots.
@@ -61,6 +77,114 @@ type Multi struct {
 // SetFetchSharing toggles cross-snapshot adjacency-fetch reuse (default
 // on). Must be called before Run.
 func (m *Multi) SetFetchSharing(enabled bool) { m.noFetchShare = !enabled }
+
+// SetCheckpointEvery enables automatic checkpoints: one at every stage
+// boundary and one every n round boundaries inside a stage (0 disables).
+// Must be called before Run.
+func (m *Multi) SetCheckpointEvery(n int) { m.ckptEvery = n }
+
+// SetCheckpointSink registers a destination for automatic checkpoints
+// (e.g. an atomic file write). A sink error aborts the run. The engine
+// retains the latest checkpoint regardless; see LastCheckpoint.
+func (m *Multi) SetCheckpointSink(sink func([]byte) error) { m.ckptSink = sink }
+
+// LastCheckpoint returns the most recent automatic checkpoint, or nil if
+// none was taken. The bytes are valid to Restore into a fresh engine even
+// after this engine failed mid-run — including after a panic, since the
+// checkpoint was serialized at an earlier consistent boundary.
+func (m *Multi) LastCheckpoint() []byte { return m.lastCkpt }
+
+// Checkpoint serializes the engine's state at its current consistent
+// point: a round boundary (after a transient mid-stage failure) or a
+// stage boundary (after a stage-level failure or a completed run). Only
+// valid once Run has started; after a panic, use LastCheckpoint instead —
+// the live state may be torn mid-round.
+func (m *Multi) Checkpoint() ([]byte, error) {
+	if !m.ran {
+		return nil, megaerr.Invalidf("engine: Checkpoint before Run")
+	}
+	return m.snapshotState().encode(), nil
+}
+
+// Restore primes a fresh engine to resume from checkpoint bytes. The
+// checkpoint must match the engine's algorithm, source, and window
+// (validated here) and the schedule later given to Run (validated there).
+// Restore must precede Run.
+func (m *Multi) Restore(data []byte) error {
+	if m.ran {
+		return megaerr.Invalidf("engine: Restore after Run")
+	}
+	st, err := DecodeCheckpoint(data)
+	if err != nil {
+		return err
+	}
+	if err := st.matchEngine(uint32(m.a.Kind()), uint32(m.src), m.w, m.windowFingerprint()); err != nil {
+		return err
+	}
+	m.resume = st
+	return nil
+}
+
+// windowFingerprint computes the content fingerprint once per engine;
+// fingerprinting iterates every batch edge, so per-checkpoint recompute
+// would dominate small rounds.
+func (m *Multi) windowFingerprint() []ckptBatch {
+	if m.winFP == nil {
+		m.winFP = fingerprintWindow(m.w)
+	}
+	return m.winFP
+}
+
+// snapshotState captures the engine's live state for encoding. At stage
+// boundaries the queue is empty and the dirty list is stale scratch, so
+// both are omitted.
+func (m *Multi) snapshotState() *checkpointState {
+	st := &checkpointState{
+		algoKind:   uint32(m.a.Kind()),
+		source:     uint32(m.src),
+		numVerts:   uint32(m.w.NumVertices()),
+		numCtx:     uint32(len(m.vals)),
+		batches:    m.windowFingerprint(),
+		schedHash:  m.schedHash,
+		stageStart: uint32(m.curStage),
+		inRounds:   m.inRounds,
+		events:     m.events,
+		baseVals:   m.baseVals,
+		vals:       m.vals,
+		applied:    m.applied,
+	}
+	if m.inRounds {
+		st.round = uint32(m.curRound)
+		st.queue = dumpRoundQueue(m.cur)
+		st.dirty = m.dirty
+	}
+	return st
+}
+
+// dumpRoundQueue lists a queue's coalesced pending entries in touched
+// order (ties within a vertex by ascending context).
+func dumpRoundQueue(q *roundQueue) []ckptEntry {
+	out := make([]ckptEntry, 0, q.count)
+	for _, v := range q.touched {
+		for c := range q.has {
+			if q.has[c][v] {
+				out = append(out, ckptEntry{ctx: int32(c), v: v, val: q.pending[c][v], tag: q.batch[c][v]})
+			}
+		}
+	}
+	return out
+}
+
+// takeCheckpoint encodes the current state, retains it, and forwards it
+// to the sink when one is registered.
+func (m *Multi) takeCheckpoint() error {
+	data := m.snapshotState().encode()
+	m.lastCkpt = data
+	if m.ckptSink != nil {
+		return m.ckptSink(data)
+	}
+	return nil
+}
 
 // NewMulti builds an engine for the window. src is the query source
 // vertex. probe may be nil. It fails if any non-common edge belongs to
@@ -167,15 +291,46 @@ func (m *Multi) RunContext(ctx context.Context, s *sched.Schedule, lim Limits) e
 	}
 	m.ran = true
 	m.ctx = ctx
+	m.fp = fault.From(ctx)
 	m.limits = lim.withDefaults(m.w.NumVertices(), s.NumContexts)
 	if err := checkCtx(ctx, "engine start"); err != nil {
 		return err
 	}
+	st := m.resume
+	m.resume = nil
+	if st != nil {
+		if err := st.matchSchedule(s); err != nil {
+			return err
+		}
+	}
+	m.schedHash = hashSchedule(s)
 	n := m.w.NumVertices()
 	m.vals = make([][]float64, s.NumContexts)
 	m.applied = make([]batchSet, s.NumContexts)
 	m.cur = newRoundQueue(s.NumContexts, n)
 	m.next = newRoundQueue(s.NumContexts, n)
+	if st != nil {
+		// Install the checkpointed state: values, applied sets, the base
+		// solution, the watchdog's event count, and — when the checkpoint
+		// was taken mid-stage — the pending queue and dirty list.
+		m.events = st.events
+		if st.baseVals != nil {
+			m.baseVals = st.baseVals
+		}
+		for c := range st.vals {
+			if st.vals[c] != nil {
+				m.vals[c] = st.vals[c]
+				m.applied[c] = st.applied[c]
+			}
+		}
+		for _, e := range st.queue {
+			m.cur.push(m.a, int(e.ctx), e.v, e.val, e.tag)
+		}
+		m.dirty = append(m.dirty[:0], st.dirty...)
+		for _, v := range st.dirty {
+			m.dirtyMark[v] = true
+		}
+	}
 	// Ops of one stage run concurrently on the accelerator: the stage's
 	// bookkeeping ops (init/copy) execute first, then all of its batch
 	// applications merge into one multi-context round loop — MEGA's
@@ -185,14 +340,48 @@ func (m *Multi) RunContext(ctx context.Context, s *sched.Schedule, lim Limits) e
 		if err := checkCtx(m.ctx, "engine stage"); err != nil {
 			return err
 		}
+		stageFirst := i
 		stage := s.Ops[i].Stage
-		var applies []sched.Op
+		var books, applies []sched.Op
 		for ; i < len(s.Ops) && s.Ops[i].Stage == stage; i++ {
 			op := s.Ops[i]
 			if op.Kind == sched.OpApply {
 				applies = append(applies, op)
+			} else {
+				books = append(books, op)
+			}
+		}
+		if st != nil {
+			if i <= int(st.stageStart) {
+				continue // stage completed before the checkpoint
+			}
+			if stageFirst != int(st.stageStart) {
+				return megaerr.Checkpointf("cursor op %d is not a stage boundary (stage starts at op %d)", st.stageStart, stageFirst)
+			}
+			if st.inRounds {
+				// Mid-stage checkpoint: bookkeeping, batch marking, and
+				// seeding all happened before it was taken; their effects
+				// were restored above. Re-enter the round loop directly.
+				round := int(st.round)
+				st = nil
+				m.curStage = stageFirst
+				if err := m.resumeApplies(applies, round); err != nil {
+					return err
+				}
 				continue
 			}
+			st = nil // stage-boundary checkpoint: run this stage normally
+		}
+		m.curStage = stageFirst
+		if err := m.fp.Check(fault.SiteEngineOp); err != nil {
+			return err
+		}
+		if m.ckptEvery > 0 {
+			if err := m.takeCheckpoint(); err != nil {
+				return err
+			}
+		}
+		for _, op := range books {
 			if err := m.runOp(op); err != nil {
 				return err
 			}
@@ -203,6 +392,7 @@ func (m *Multi) RunContext(ctx context.Context, s *sched.Schedule, lim Limits) e
 			}
 		}
 	}
+	m.curStage = len(s.Ops)
 	return nil
 }
 
@@ -276,37 +466,9 @@ func (m *Multi) runOp(op sched.Op) error {
 // stages target distinct contexts, and a BOE stage's Δ− computes on
 // context j while Δ+ computes on j+1..N−1).
 func (m *Multi) runApplies(ops []sched.Op) error {
-	var compute []int
-	seen := make(map[int]int) // context -> number of ops computing on it
-	totalEdges := 0
-	for _, op := range ops {
-		if len(op.Targets) == 0 {
-			return megaerr.Invalidf("engine: OpApply with no targets")
-		}
-		opCompute := op.Targets
-		if op.SharedCompute {
-			opCompute = op.Targets[:1]
-		}
-		for _, c := range opCompute {
-			if m.vals[c] == nil {
-				return megaerr.Invalidf("engine: OpApply to uninitialized context %d", c)
-			}
-			if seen[c] == 0 {
-				compute = append(compute, c)
-			}
-			seen[c]++
-		}
-		// The batch reader streams each batch once; events for all
-		// computing contexts are generated from the single read.
-		totalEdges += len(op.Batch.Edges)
-	}
-	// A shared-compute op's broadcast replays exactly its own batch's
-	// effect, so its computing context must not also receive another
-	// op's seeds within this stage.
-	for _, op := range ops {
-		if op.SharedCompute && seen[op.Targets[0]] > 1 {
-			return megaerr.Invalidf("engine: shared-compute context %d also computed by another op of the stage", op.Targets[0])
-		}
+	compute, totalEdges, err := m.applyCompute(ops)
+	if err != nil {
+		return err
 	}
 	m.probe.OpStart("add", totalEdges, len(compute))
 
@@ -337,7 +499,64 @@ func (m *Multi) runApplies(ops []sched.Op) error {
 	}
 
 	m.dirty = m.dirty[:0]
-	if err := m.runRounds(compute); err != nil {
+	return m.finishApplies(ops, compute, 0)
+}
+
+// resumeApplies re-enters an interrupted stage at a round-boundary
+// checkpoint: batch marking and seeding already happened before the
+// checkpoint was taken (their effects — applied bits, the pending queue,
+// the dirty list — were restored by RunContext), so the stage continues
+// straight into the round loop.
+func (m *Multi) resumeApplies(ops []sched.Op, round int) error {
+	compute, totalEdges, err := m.applyCompute(ops)
+	if err != nil {
+		return err
+	}
+	m.probe.OpStart("add", totalEdges, len(compute))
+	return m.finishApplies(ops, compute, round)
+}
+
+// applyCompute validates a stage's apply ops and derives its computing
+// context set and streamed-edge total.
+func (m *Multi) applyCompute(ops []sched.Op) (compute []int, totalEdges int, err error) {
+	seen := make(map[int]int) // context -> number of ops computing on it
+	for _, op := range ops {
+		if len(op.Targets) == 0 {
+			return nil, 0, megaerr.Invalidf("engine: OpApply with no targets")
+		}
+		opCompute := op.Targets
+		if op.SharedCompute {
+			opCompute = op.Targets[:1]
+		}
+		for _, c := range opCompute {
+			if m.vals[c] == nil {
+				return nil, 0, megaerr.Invalidf("engine: OpApply to uninitialized context %d", c)
+			}
+			if seen[c] == 0 {
+				compute = append(compute, c)
+			}
+			seen[c]++
+		}
+		// The batch reader streams each batch once; events for all
+		// computing contexts are generated from the single read.
+		totalEdges += len(op.Batch.Edges)
+	}
+	// A shared-compute op's broadcast replays exactly its own batch's
+	// effect, so its computing context must not also receive another
+	// op's seeds within this stage.
+	for _, op := range ops {
+		if op.SharedCompute && seen[op.Targets[0]] > 1 {
+			return nil, 0, megaerr.Invalidf("engine: shared-compute context %d also computed by another op of the stage", op.Targets[0])
+		}
+	}
+	return compute, totalEdges, nil
+}
+
+// finishApplies drains the stage's round loop from startRound and replays
+// shared-compute broadcasts. Both entry points (fresh and resumed stages)
+// converge here with the queue seeded and batches marked.
+func (m *Multi) finishApplies(ops []sched.Op, compute []int, startRound int) error {
+	if err := m.runRounds(compute, startRound); err != nil {
 		m.probe.OpEnd()
 		return err
 	}
@@ -374,14 +593,24 @@ func (m *Multi) runApplies(ops []sched.Op) error {
 // runRounds drains the current queue to quiescence for the given computing
 // contexts, recording vertices whose values changed in m.dirty. Each round
 // boundary checks the run's context and the divergence watchdog.
-func (m *Multi) runRounds(compute []int) error {
-	round := 0
+func (m *Multi) runRounds(compute []int, startRound int) error {
+	m.inRounds = true
+	round := startRound
 	for m.cur.count > 0 {
+		m.curRound = round
 		if err := checkCtx(m.ctx, "engine round"); err != nil {
 			return err
 		}
 		if m.limits.roundsExceeded(round) || m.limits.eventsExceeded(m.events) {
 			return m.divergence("engine", round)
+		}
+		if m.ckptEvery > 0 && round%m.ckptEvery == 0 {
+			if err := m.takeCheckpoint(); err != nil {
+				return err
+			}
+		}
+		if err := m.fp.Check(fault.SiteEngineRound); err != nil {
+			return err
 		}
 		m.probe.RoundStart(round)
 		for _, v := range m.cur.touched {
@@ -462,6 +691,7 @@ func (m *Multi) runRounds(compute []int) error {
 	for _, v := range m.dirty {
 		m.dirtyMark[v] = false
 	}
+	m.inRounds = false
 	return nil
 }
 
@@ -516,6 +746,7 @@ func SolveContext(ctx context.Context, g *graph.CSR, a algo.Algorithm, src graph
 	if g.NumVertices() == 0 {
 		return vals, nil
 	}
+	fp := fault.From(ctx)
 	probe.OpStart("solve", 0, 1)
 	cur := newRoundQueue(1, g.NumVertices())
 	next := newRoundQueue(1, g.NumVertices())
@@ -549,6 +780,10 @@ func SolveContext(ctx context.Context, g *graph.CSR, a algo.Algorithm, src graph
 				Engine: "engine", Limit: tripped, Rounds: round,
 				Events: events, LiveEvents: int64(cur.count), SampleVertex: sample,
 			}
+		}
+		if err := fp.Check(fault.SiteSolveRound); err != nil {
+			probe.OpEnd()
+			return nil, err
 		}
 		probe.RoundStart(round)
 		for _, v := range cur.touched {
@@ -597,6 +832,7 @@ func solveNoProbe(ctx context.Context, g *graph.CSR, a algo.Algorithm, src graph
 	if g.NumVertices() == 0 {
 		return vals, nil
 	}
+	fp := fault.From(ctx)
 	cur := newRoundQueue(1, g.NumVertices())
 	next := newRoundQueue(1, g.NumVertices())
 	if ss, ok := a.(algo.SelfSeeding); ok {
@@ -625,6 +861,9 @@ func solveNoProbe(ctx context.Context, g *graph.CSR, a algo.Algorithm, src graph
 				Engine: "engine", Limit: tripped, Rounds: round,
 				Events: events, LiveEvents: int64(cur.count), SampleVertex: sample,
 			}
+		}
+		if err := fp.Check(fault.SiteSolveRound); err != nil {
+			return nil, err
 		}
 		has, pending := cur.has[0], cur.pending[0]
 		nhas, npending, nmark := next.has[0], next.pending[0], next.mark

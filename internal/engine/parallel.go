@@ -9,6 +9,7 @@ import (
 
 	"mega/internal/algo"
 	"mega/internal/evolve"
+	"mega/internal/fault"
 	"mega/internal/graph"
 	"mega/internal/megaerr"
 	"mega/internal/sched"
@@ -85,6 +86,29 @@ type Parallel struct {
 	ran    bool
 	ctx    context.Context
 	limits Limits
+
+	// fault injection and checkpoint/resume state. fp is nil on
+	// fault-free runs; trackDirty (per-shard dirty-vertex tracking, needed
+	// so checkpoints can replay sequential-engine broadcasts) is enabled
+	// only when checkpointing is, keeping the steady-state process loop
+	// allocation-free otherwise.
+	fp         *fault.Plan
+	base       []float64 // CommonGraph solution, kept for checkpoints
+	schedHash  uint64
+	winFP      []ckptBatch // lazily cached window fingerprint
+	ckptEvery  int
+	ckptSink   func([]byte) error
+	lastCkpt   []byte
+	resume     *checkpointState
+	curStage   int
+	inRounds   bool
+	curRound   int
+	trackDirty bool
+
+	// phaseErr collects the first transient fault injected inside a
+	// worker phase; checked at every barrier alongside the panic trap.
+	phaseMu  sync.Mutex
+	phaseErr error
 }
 
 // NewParallel builds a parallel engine with the given worker count
@@ -182,6 +206,166 @@ type shard struct {
 	// per-event emit skips the slice-tail lookup
 
 	events int64
+
+	// dirty lists the shard's vertices whose values changed during the
+	// current stage, maintained only when the engine tracks dirt for
+	// checkpoints (dirtyMark is nil otherwise).
+	dirty     []graph.VertexID
+	dirtyMark []bool
+}
+
+// SetCheckpointEvery enables automatic checkpoints: one at every stage
+// boundary and one every n barrier rounds inside a stage (0 disables).
+// Enabling checkpoints also enables dirty-vertex tracking, a small
+// per-improvement cost in the process phase. Must be called before Run.
+func (p *Parallel) SetCheckpointEvery(n int) { p.ckptEvery = n }
+
+// SetCheckpointSink registers a destination for automatic checkpoints.
+// A sink error aborts the run. See Multi.SetCheckpointSink.
+func (p *Parallel) SetCheckpointSink(sink func([]byte) error) { p.ckptSink = sink }
+
+// LastCheckpoint returns the most recent automatic checkpoint, or nil.
+// It stays valid after any failure, including a worker panic: the bytes
+// were serialized on the coordinator at an earlier consistent barrier.
+func (p *Parallel) LastCheckpoint() []byte { return p.lastCkpt }
+
+// Checkpoint serializes the engine's state at its current consistent
+// point. Only valid once Run has started, and not after a failure inside
+// a worker phase (a panic or an injected phase fault leaves mid-phase
+// state torn) — use LastCheckpoint there.
+func (p *Parallel) Checkpoint() ([]byte, error) {
+	if !p.ran {
+		return nil, megaerr.Invalidf("engine: Checkpoint before Run")
+	}
+	return p.snapshotState().encode(), nil
+}
+
+// Restore primes a fresh engine to resume from checkpoint bytes, exactly
+// like Multi.Restore — checkpoints are engine-portable, so bytes written
+// by a sequential run restore into a parallel engine and vice versa.
+func (p *Parallel) Restore(data []byte) error {
+	if p.ran {
+		return megaerr.Invalidf("engine: Restore after Run")
+	}
+	st, err := DecodeCheckpoint(data)
+	if err != nil {
+		return err
+	}
+	if err := st.matchEngine(uint32(p.a.Kind()), uint32(p.src), p.w, p.windowFingerprint()); err != nil {
+		return err
+	}
+	p.resume = st
+	return nil
+}
+
+// windowFingerprint caches the content fingerprint, mirroring
+// Multi.windowFingerprint.
+func (p *Parallel) windowFingerprint() []ckptBatch {
+	if p.winFP == nil {
+		p.winFP = fingerprintWindow(p.w)
+	}
+	return p.winFP
+}
+
+// snapshotState captures the run state at a coordinator-side consistent
+// point. Mid-stage, the pending set for the upcoming round is split
+// across shard pending matrices and undelivered mailbox chunks; both are
+// dumped (restore re-coalesces, which is order-independent under the
+// algorithm's strict Better order).
+func (p *Parallel) snapshotState() *checkpointState {
+	events := p.evTotal
+	for _, sh := range p.shards {
+		events += sh.events
+	}
+	st := &checkpointState{
+		algoKind:   uint32(p.a.Kind()),
+		source:     uint32(p.src),
+		numVerts:   uint32(p.w.NumVertices()),
+		numCtx:     uint32(len(p.vals)),
+		batches:    p.windowFingerprint(),
+		schedHash:  p.schedHash,
+		stageStart: uint32(p.curStage),
+		inRounds:   p.inRounds,
+		events:     events,
+		baseVals:   p.base,
+		vals:       p.vals,
+		applied:    p.applied,
+	}
+	if p.inRounds {
+		st.round = uint32(p.curRound)
+		st.queue = p.dumpPending()
+		st.dirty = p.dumpDirty()
+	}
+	return st
+}
+
+// dumpPending lists every live pending candidate: coalesced matrix slots
+// of touched vertices plus undelivered inbox events. The parallel engine
+// does not track batch tags (they only feed the sequential engine's
+// fetch-sharing probe accounting), so entries carry tag −1.
+func (p *Parallel) dumpPending() []ckptEntry {
+	var out []ckptEntry
+	for _, sh := range p.shards {
+		for _, v := range sh.touched {
+			idx := int(v - sh.lo)
+			mbase, pbase := idx*p.ctxWords, idx*p.numCtx
+			for w := 0; w < p.ctxWords; w++ {
+				m := sh.ctxMask[mbase+w]
+				for m != 0 {
+					c := w<<6 + bits.TrailingZeros64(m)
+					m &= m - 1
+					out = append(out, ckptEntry{ctx: int32(c), v: v, val: sh.pending[pbase+c], tag: -1})
+				}
+			}
+		}
+		for _, ck := range sh.inbox {
+			for i := 0; i < ck.n; i++ {
+				ev := &ck.ev[i]
+				out = append(out, ckptEntry{ctx: ev.ctx, v: ev.dst, val: ev.val, tag: -1})
+			}
+		}
+	}
+	return out
+}
+
+// dumpDirty concatenates the shards' per-stage dirty lists.
+func (p *Parallel) dumpDirty() []graph.VertexID {
+	var out []graph.VertexID
+	for _, sh := range p.shards {
+		out = append(out, sh.dirty...)
+	}
+	return out
+}
+
+// takeCheckpoint encodes the current state, retains it, and forwards it
+// to the sink when one is registered.
+func (p *Parallel) takeCheckpoint() error {
+	data := p.snapshotState().encode()
+	p.lastCkpt = data
+	if p.ckptSink != nil {
+		return p.ckptSink(data)
+	}
+	return nil
+}
+
+// notePhaseErr records the first injected phase fault; like the panic
+// trap, it is drained at the next barrier.
+func (p *Parallel) notePhaseErr(err error) {
+	p.phaseMu.Lock()
+	if p.phaseErr == nil {
+		p.phaseErr = err
+	}
+	p.phaseMu.Unlock()
+}
+
+// phaseFailure returns the first worker panic or injected phase fault.
+func (p *Parallel) phaseFailure() error {
+	if err := p.trap.tripped(); err != nil {
+		return err
+	}
+	p.phaseMu.Lock()
+	defer p.phaseMu.Unlock()
+	return p.phaseErr
 }
 
 // Run executes the schedule and returns nothing; use Values afterwards.
@@ -200,19 +384,34 @@ func (p *Parallel) RunContext(ctx context.Context, s *sched.Schedule, lim Limits
 	}
 	p.ran = true
 	p.ctx = ctx
+	p.fp = fault.From(ctx)
 	p.limits = lim.withDefaults(p.w.NumVertices(), s.NumContexts)
 	if err := checkCtx(ctx, "parallel start"); err != nil {
 		return err
 	}
+	st := p.resume
+	p.resume = nil
+	if st != nil {
+		if err := st.matchSchedule(s); err != nil {
+			return err
+		}
+	}
+	p.schedHash = hashSchedule(s)
 	n := p.w.NumVertices()
 	p.numCtx = s.NumContexts
 	p.ctxWords = (s.NumContexts + 63) / 64
 	p.vals = make([][]float64, s.NumContexts)
 	p.applied = make([]batchSet, s.NumContexts)
+	p.trackDirty = p.ckptEvery > 0
 
-	base, err := SolveContext(ctx, p.w.CommonCSR(), p.a, p.src, NopProbe{}, p.limits)
-	if err != nil {
-		return err
+	if st != nil && st.baseVals != nil {
+		p.base = st.baseVals
+	} else {
+		base, err := SolveContext(ctx, p.w.CommonCSR(), p.a, p.src, NopProbe{}, p.limits)
+		if err != nil {
+			return err
+		}
+		p.base = base
 	}
 
 	p.shards = make([]*shard, p.workers)
@@ -227,6 +426,36 @@ func (p *Parallel) RunContext(ctx context.Context, s *sched.Schedule, lim Limits
 			outbox:  make([][]*pChunk, p.workers),
 			open:    make([]*pChunk, p.workers),
 		}
+		if p.trackDirty {
+			p.shards[i].dirtyMark = make([]bool, size)
+		}
+	}
+	if st != nil {
+		// Install the checkpointed state. Queue entries re-coalesce into
+		// the owning shards' pending matrices; the first deliver of the
+		// resumed round loop is then a no-op and processing picks up
+		// exactly the checkpointed round's pending set.
+		p.evTotal = st.events
+		for c := range st.vals {
+			if st.vals[c] != nil {
+				p.vals[c] = st.vals[c]
+				p.applied[c] = st.applied[c]
+			}
+		}
+		for _, e := range st.queue {
+			sh := p.shards[p.ownerTab[e.v]]
+			p.push(sh, pEvent{ctx: e.ctx, dst: e.v, val: e.val})
+		}
+		if p.trackDirty {
+			for _, v := range st.dirty {
+				sh := p.shards[p.ownerTab[v]]
+				idx := int(v - sh.lo)
+				if !sh.dirtyMark[idx] {
+					sh.dirtyMark[idx] = true
+					sh.dirty = append(sh.dirty, v)
+				}
+			}
+		}
 	}
 	p.startWorkers()
 	defer p.stopWorkers()
@@ -235,17 +464,49 @@ func (p *Parallel) RunContext(ctx context.Context, s *sched.Schedule, lim Limits
 		if err := checkCtx(ctx, "parallel stage"); err != nil {
 			return err
 		}
+		stageFirst := i
 		stage := s.Ops[i].Stage
-		var applies []sched.Op
+		var books, applies []sched.Op
 		for ; i < len(s.Ops) && s.Ops[i].Stage == stage; i++ {
 			op := s.Ops[i]
+			if op.Kind == sched.OpApply {
+				applies = append(applies, op)
+			} else {
+				books = append(books, op)
+			}
+		}
+		if st != nil {
+			if i <= int(st.stageStart) {
+				continue // stage completed before the checkpoint
+			}
+			if stageFirst != int(st.stageStart) {
+				return megaerr.Checkpointf("cursor op %d is not a stage boundary (stage starts at op %d)", st.stageStart, stageFirst)
+			}
+			if st.inRounds {
+				round := int(st.round)
+				st = nil
+				p.curStage = stageFirst
+				if err := p.resumeApplies(applies, round); err != nil {
+					return err
+				}
+				continue
+			}
+			st = nil // stage-boundary checkpoint: run this stage normally
+		}
+		p.curStage = stageFirst
+		if p.ckptEvery > 0 {
+			if err := p.takeCheckpoint(); err != nil {
+				return err
+			}
+		}
+		for _, op := range books {
 			switch op.Kind {
 			case sched.OpInit:
 				if p.vals[op.Ctx] == nil {
 					p.vals[op.Ctx] = make([]float64, n)
 					p.applied[op.Ctx] = newBatchSet(len(p.w.Batches()))
 				}
-				copy(p.vals[op.Ctx], base)
+				copy(p.vals[op.Ctx], p.base)
 				p.applied[op.Ctx].clear()
 			case sched.OpCopy:
 				if p.vals[op.From] == nil {
@@ -257,8 +518,6 @@ func (p *Parallel) RunContext(ctx context.Context, s *sched.Schedule, lim Limits
 				}
 				copy(p.vals[op.Ctx], p.vals[op.From])
 				p.applied[op.Ctx].copyFrom(p.applied[op.From])
-			case sched.OpApply:
-				applies = append(applies, op)
 			}
 		}
 		if len(applies) > 0 {
@@ -267,6 +526,7 @@ func (p *Parallel) RunContext(ctx context.Context, s *sched.Schedule, lim Limits
 			}
 		}
 	}
+	p.curStage = len(s.Ops)
 	return nil
 }
 
@@ -361,6 +621,16 @@ func (p *Parallel) phaseOn(si, ph int) {
 			p.trap.capture(si, r)
 		}
 	}()
+	if p.fp != nil {
+		// Per-shard visit counting keeps shard-targeted injections
+		// deterministic under phase interleaving. A transient fault skips
+		// the phase's work and aborts the run at the barrier; a panic
+		// exercises the trap's normal containment path.
+		if err := p.fp.CheckShard(fault.SiteParallelPhase, si); err != nil {
+			p.notePhaseErr(err)
+			return
+		}
+	}
 	sh := p.shards[si]
 	switch ph {
 	case phaseSeed:
@@ -383,20 +653,20 @@ func (p *Parallel) phaseOn(si, ph int) {
 // if any.
 func (p *Parallel) runPhase(live []int, ph, units int) error {
 	if len(live) == 0 {
-		return p.trap.tripped()
+		return p.phaseFailure()
 	}
 	if p.procs == 1 || len(live) == 1 || units < inlinePhaseUnits {
 		for _, si := range live {
 			p.phaseOn(si, ph)
 		}
-		return p.trap.tripped()
+		return p.phaseFailure()
 	}
 	p.wg.Add(len(live))
 	for _, si := range live {
 		p.cmd[si] <- ph
 	}
 	p.wg.Wait()
-	return p.trap.tripped()
+	return p.phaseFailure()
 }
 
 // allShards returns the scratch live list filled with every shard index.
@@ -438,6 +708,14 @@ func (p *Parallel) runApplies(ops []sched.Op) (err error) {
 		}
 		seedUnits += len(op.Batch.Edges) * len(compute)
 	}
+	if p.trackDirty {
+		for _, sh := range p.shards {
+			for _, v := range sh.dirty {
+				sh.dirtyMark[v-sh.lo] = false
+			}
+			sh.dirty = sh.dirty[:0]
+		}
+	}
 
 	// Seed: workers split each batch's edge list evenly and route the
 	// resulting candidates to the owning shards through the mailboxes.
@@ -447,20 +725,53 @@ func (p *Parallel) runApplies(ops []sched.Op) (err error) {
 	}
 	p.exchange()
 
-	// Each barrier round: deliver, process, exchange. Phase work runs on
-	// the persistent workers (or inline when small); every phase recovers
-	// its own panics into the trap so the barrier can never deadlock.
-	round := 0
+	return p.finishApplies(ops, 0)
+}
+
+// resumeApplies re-enters an interrupted stage at a round-boundary
+// checkpoint: batch marking and seeding already happened before the
+// checkpoint (their effects — applied bits, shard pending matrices, dirty
+// lists — were restored by RunContext), so execution continues straight
+// into the barrier-round loop.
+func (p *Parallel) resumeApplies(ops []sched.Op, round int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.trap.capture(-1, r)
+			err = p.trap.tripped()
+		}
+	}()
+	p.trap.round = round
+	p.curOps = ops
+	return p.finishApplies(ops, round)
+}
+
+// finishApplies drives barrier rounds from startRound to quiescence, then
+// replays shared-compute broadcasts. Each round: deliver, process,
+// exchange. Phase work runs on the persistent workers (or inline when
+// small); every phase recovers its own panics into the trap so the
+// barrier can never deadlock.
+func (p *Parallel) finishApplies(ops []sched.Op, startRound int) error {
+	p.inRounds = true
+	round := startRound
 	events := p.evTotal
 	for _, sh := range p.shards {
 		events += sh.events
 	}
 	for {
+		p.curRound = round
 		if cerr := checkCtx(p.ctx, "parallel barrier"); cerr != nil {
 			return cerr
 		}
 		if p.limits.roundsExceeded(round) || p.limits.eventsExceeded(events) {
 			return p.divergence(round, events)
+		}
+		if p.ckptEvery > 0 && round%p.ckptEvery == 0 {
+			if err := p.takeCheckpoint(); err != nil {
+				return err
+			}
+		}
+		if err := p.fp.Check(fault.SiteParallelRound); err != nil {
+			return err
 		}
 		p.trap.round = round
 
@@ -494,6 +805,7 @@ func (p *Parallel) runApplies(ops []sched.Op) (err error) {
 		p.evTotal += sh.events
 		sh.events = 0
 	}
+	p.inRounds = false
 
 	// Shared-compute broadcasts: values are settled, so each shard copies
 	// its own vertex range of the source context into the targets.
@@ -746,6 +1058,10 @@ func (p *Parallel) processShard(sh *shard) {
 		sh.updCtx, sh.updVal = upd[:0], updVal[:0]
 		if len(upd) == 0 {
 			continue
+		}
+		if sh.dirtyMark != nil && !sh.dirtyMark[idx] {
+			sh.dirtyMark[idx] = true
+			sh.dirty = append(sh.dirty, v)
 		}
 		lo, _ := p.union.EdgeRange(v)
 		dsts, ws := p.union.OutEdges(v)

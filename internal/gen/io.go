@@ -2,12 +2,14 @@ package gen
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
 
+	"mega/internal/fault"
 	"mega/internal/graph"
 	"mega/internal/megaerr"
 )
@@ -47,6 +49,18 @@ func (ev *Evolution) Save(dir string) error {
 
 // Load reads an evolution previously written by Save.
 func Load(dir string) (*Evolution, error) {
+	return LoadContext(context.Background(), dir)
+}
+
+// LoadContext is Load under a lifecycle: any fault plan carried by ctx is
+// consulted at the fault.SiteGenIO site once per file read, so I/O-layer
+// faults (transient read errors, latency spikes) are injectable
+// deterministically by file index.
+func LoadContext(ctx context.Context, dir string) (*Evolution, error) {
+	fp := fault.From(ctx)
+	if err := fp.Check(fault.SiteGenIO); err != nil {
+		return nil, err
+	}
 	metaBytes, err := os.ReadFile(filepath.Join(dir, "meta.txt"))
 	if err != nil {
 		return nil, fmt.Errorf("gen: reading meta: %w", err)
@@ -59,10 +73,16 @@ func Load(dir string) (*Evolution, error) {
 		return nil, megaerr.Invalidf("gen: meta declares %d snapshots", snapshots)
 	}
 	ev := &Evolution{NumVertices: vertices}
+	if err := fp.Check(fault.SiteGenIO); err != nil {
+		return nil, err
+	}
 	if ev.Initial, err = readEdges(filepath.Join(dir, "initial.txt"), vertices); err != nil {
 		return nil, err
 	}
 	for j := 0; j < snapshots-1; j++ {
+		if err := fp.Check(fault.SiteGenIO); err != nil {
+			return nil, err
+		}
 		adds, err := readEdges(filepath.Join(dir, fmt.Sprintf("add_%02d.txt", j)), vertices)
 		if err != nil {
 			return nil, err

@@ -1,9 +1,14 @@
 package gen
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
+
+	"mega/internal/fault"
+	"mega/internal/megaerr"
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
@@ -54,5 +59,40 @@ func TestLoadRejectsOutOfRangeEdge(t *testing.T) {
 	os.WriteFile(filepath.Join(dir, "initial.txt"), []byte("0 9 1\n"), 0o644)
 	if _, err := Load(dir); err == nil {
 		t.Fatal("out-of-range edge accepted")
+	}
+}
+
+func TestLoadContextFaultInjection(t *testing.T) {
+	dir := t.TempDir()
+	ev, err := Evolve(TestGraph, EvolutionSpec{Snapshots: 4, BatchFraction: 0.02, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Visit 3 is the second hop-batch read: meta, initial, then per-hop.
+	plan := fault.NewPlan(1).Add(fault.Op{
+		Site: fault.SiteGenIO, Shard: fault.AnyShard,
+		Kind: fault.KindTransient, Visit: 3,
+	})
+	ctx := fault.Inject(context.Background(), plan)
+	if _, err := LoadContext(ctx, dir); !megaerr.IsTransient(err) {
+		t.Fatalf("LoadContext = %v, want a transient fault", err)
+	}
+	// A latency op delays but does not fail the load.
+	slow := fault.NewPlan(1).Add(fault.Op{
+		Site: fault.SiteGenIO, Shard: fault.AnyShard,
+		Kind: fault.KindLatency, Visit: 1, Latency: time.Millisecond,
+	})
+	got, err := LoadContext(fault.Inject(context.Background(), slow), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Initial.Equal(ev.Initial) {
+		t.Error("latency fault corrupted the load")
+	}
+	if len(slow.Fired()) != 1 {
+		t.Fatalf("Fired = %v, want one latency firing", slow.Fired())
 	}
 }

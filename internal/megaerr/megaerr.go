@@ -33,6 +33,16 @@ var (
 	// lists, inconsistent window parts, out-of-range sources, invalid
 	// schedules or configurations.
 	ErrInvalidInput = errors.New("mega: invalid input")
+
+	// ErrTransient marks a failure that a retry may survive: an injected
+	// fault, a flaky I/O layer, a lost worker. Retry policy dispatches on
+	// IsTransient instead of enumerating causes.
+	ErrTransient = errors.New("mega: transient fault")
+
+	// ErrCheckpoint marks a checkpoint that cannot be restored: truncated
+	// or corrupted bytes, a checksum mismatch, or a checkpoint taken from
+	// a different window/algorithm/schedule than the restoring engine's.
+	ErrCheckpoint = errors.New("mega: bad checkpoint")
 )
 
 // CanceledError wraps the context error observed at a lifecycle
@@ -124,6 +134,75 @@ func (e *WorkerPanicError) Error() string {
 		who = "seeding loop"
 	}
 	return fmt.Sprintf("mega: panic in %s (round %d): %v", who, e.Round, e.Value)
+}
+
+// TransientError marks a retryable failure. It matches ErrTransient
+// under errors.Is and also matches its cause, when one was wrapped.
+type TransientError struct {
+	// Op names what was being attempted when the fault struck,
+	// e.g. "fault engine.round visit 12" or "gen: reading meta".
+	Op string
+	// Err is the underlying cause; nil for synthetic (injected) faults.
+	Err error
+}
+
+// Error implements error.
+func (e *TransientError) Error() string {
+	if e.Err == nil {
+		return fmt.Sprintf("mega: transient fault: %s", e.Op)
+	}
+	return fmt.Sprintf("mega: transient fault: %s: %v", e.Op, e.Err)
+}
+
+// Unwrap lets errors.Is match ErrTransient and the cause.
+func (e *TransientError) Unwrap() []error {
+	if e.Err == nil {
+		return []error{ErrTransient}
+	}
+	return []error{ErrTransient, e.Err}
+}
+
+// Transientf builds an ErrTransient-matching error with a formatted
+// operation description. Use for synthetic faults with no underlying cause.
+func Transientf(format string, args ...any) error {
+	return &TransientError{Op: fmt.Sprintf(format, args...)}
+}
+
+// MarkTransient wraps err as retryable; the result matches both
+// ErrTransient and err. A nil err returns nil.
+func MarkTransient(op string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &TransientError{Op: op, Err: err}
+}
+
+// IsTransient reports whether err is retryable — whether restarting the
+// failed operation (possibly from a checkpoint) can plausibly succeed.
+// Cancellation, divergence, invalid input and checkpoint corruption are
+// never transient: retrying them repeats the failure.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// CheckpointError reports an unrestorable checkpoint. It matches
+// ErrCheckpoint under errors.Is.
+type CheckpointError struct {
+	// Reason describes the rejection, e.g. "checksum mismatch" or
+	// "checkpoint for 1024 vertices, engine has 2048".
+	Reason string
+}
+
+// Error implements error.
+func (e *CheckpointError) Error() string {
+	return fmt.Sprintf("mega: bad checkpoint: %s", e.Reason)
+}
+
+// Unwrap lets errors.Is match ErrCheckpoint.
+func (e *CheckpointError) Unwrap() error { return ErrCheckpoint }
+
+// Checkpointf builds an ErrCheckpoint-matching error with a formatted
+// reason.
+func Checkpointf(format string, args ...any) error {
+	return &CheckpointError{Reason: fmt.Sprintf(format, args...)}
 }
 
 // invalidError carries a descriptive message and matches ErrInvalidInput.

@@ -67,6 +67,71 @@ func TestWorkerPanicErrorMessage(t *testing.T) {
 	}
 }
 
+func TestTransientClassification(t *testing.T) {
+	inj := Transientf("fault %s visit %d", "engine.round", 12)
+	if !IsTransient(inj) {
+		t.Error("Transientf result is not IsTransient")
+	}
+	if !errors.Is(inj, ErrTransient) {
+		t.Error("does not match ErrTransient")
+	}
+	var te *TransientError
+	if !errors.As(inj, &te) || te.Op != "fault engine.round visit 12" {
+		t.Errorf("As/Op failed: %+v", te)
+	}
+	if !strings.Contains(inj.Error(), "transient fault") {
+		t.Errorf("message %q lacks classification", inj.Error())
+	}
+
+	cause := errors.New("connection reset")
+	wrapped := MarkTransient("gen: reading meta", cause)
+	if !IsTransient(wrapped) {
+		t.Error("MarkTransient result is not IsTransient")
+	}
+	if !errors.Is(wrapped, cause) {
+		t.Error("wrapped transient does not match its cause")
+	}
+	if !strings.Contains(wrapped.Error(), "gen: reading meta") ||
+		!strings.Contains(wrapped.Error(), "connection reset") {
+		t.Errorf("message %q lacks op or cause", wrapped.Error())
+	}
+	if MarkTransient("noop", nil) != nil {
+		t.Error("MarkTransient(nil) should be nil")
+	}
+
+	// The non-retryable classes must stay non-transient: retry policy
+	// lives entirely in IsTransient, so a misclassification here would
+	// make the retry layer spin on permanent failures.
+	for _, err := range []error{
+		Canceled("engine round", context.Canceled),
+		Invalidf("bad input"),
+		Checkpointf("checksum mismatch"),
+		&DivergenceError{Engine: "engine", Limit: "MaxRounds"},
+		&WorkerPanicError{Shard: 1, Value: "boom"},
+	} {
+		if IsTransient(err) {
+			t.Errorf("%T %q classified transient", err, err.Error())
+		}
+	}
+}
+
+func TestCheckpointf(t *testing.T) {
+	err := Checkpointf("checkpoint for %d vertices, engine has %d", 1024, 2048)
+	if !errors.Is(err, ErrCheckpoint) {
+		t.Error("does not match ErrCheckpoint")
+	}
+	if errors.Is(err, ErrInvalidInput) {
+		t.Error("checkpoint corruption must stay a distinct class from invalid input")
+	}
+	var ce *CheckpointError
+	if !errors.As(err, &ce) || !strings.Contains(ce.Reason, "1024 vertices") {
+		t.Errorf("As/Reason failed: %+v", ce)
+	}
+	if IsTransient(err) {
+		t.Error("checkpoint corruption classified transient")
+	}
+}
+
 func TestInvalidf(t *testing.T) {
 	err := Invalidf("gen: line %d: bad token %q", 3, "x")
 	if !errors.Is(err, ErrInvalidInput) {

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"mega/internal/algo"
+	"mega/internal/fault"
+	"mega/internal/megaerr"
+	"mega/internal/sched"
+	"mega/internal/testutil"
+)
+
+func TestRecomputeFaultInjection(t *testing.T) {
+	testutil.NoGoroutineLeak(t)
+	_, w := testEvolution(t, 5, 0.02)
+	plan := fault.NewPlan(1).Add(fault.Op{
+		Site: fault.SiteSimHop, Shard: fault.AnyShard,
+		Kind: fault.KindTransient, Visit: 3,
+	})
+	ctx := fault.Inject(context.Background(), plan)
+	if _, err := RunRecomputeContext(ctx, w, algo.SSSP, 0, DefaultConfig()); !megaerr.IsTransient(err) {
+		t.Fatalf("RunRecomputeContext = %v, want a transient fault", err)
+	}
+	if got := plan.Visits(fault.SiteSimHop, fault.AnyShard); got != 3 {
+		t.Fatalf("hop visits = %d, want 3 (fault should stop the sweep)", got)
+	}
+}
+
+func TestJetStreamHopFaultInjection(t *testing.T) {
+	testutil.NoGoroutineLeak(t)
+	ev, _ := testEvolution(t, 5, 0.02)
+	plan := fault.NewPlan(1).Add(fault.Op{
+		Site: fault.SiteSimHop, Shard: fault.AnyShard,
+		Kind: fault.KindTransient, Visit: 2,
+	})
+	ctx := fault.Inject(context.Background(), plan)
+	if _, err := RunJetStreamContext(ctx, ev, algo.SSSP, 0, DefaultConfig()); !megaerr.IsTransient(err) {
+		t.Fatalf("RunJetStreamContext = %v, want a transient fault", err)
+	}
+}
+
+func TestMEGAFaultFlowsThroughEngine(t *testing.T) {
+	// A plan injected at the sim entry point reaches the engine's round
+	// boundaries through the shared context.
+	_, w := testEvolution(t, 5, 0.02)
+	plan := fault.NewPlan(1).Add(fault.Op{
+		Site: fault.SiteEngineRound, Shard: fault.AnyShard,
+		Kind: fault.KindTransient, Visit: 2,
+	})
+	ctx := fault.Inject(context.Background(), plan)
+	for _, mode := range []sched.Mode{sched.DirectHop, sched.WorkSharing, sched.BOE} {
+		if _, err := RunMEGAContext(ctx, w, algo.SSSP, 0, mode, DefaultConfig()); !megaerr.IsTransient(err) {
+			t.Fatalf("%v: RunMEGAContext = %v, want a transient fault", mode, err)
+		}
+		// Re-arm for the next mode: the one-shot already fired, so add an
+		// op at the next unvisited round boundary.
+		plan.Add(fault.Op{
+			Site: fault.SiteEngineRound, Shard: fault.AnyShard,
+			Kind: fault.KindTransient, Visit: plan.Visits(fault.SiteEngineRound, fault.AnyShard) + 2,
+		})
+	}
+}
+
+func TestFaultFreeContextRunsClean(t *testing.T) {
+	// An injected plan with no matching ops must not perturb results.
+	_, w := testEvolution(t, 5, 0.02)
+	plain, err := RunMEGA(w, algo.SSSP, 0, sched.BOE, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := fault.Inject(context.Background(), fault.NewPlan(9))
+	faulted, err := RunMEGAContext(ctx, w, algo.SSSP, 0, sched.BOE, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cycles != faulted.Cycles || plain.Counts.Events != faulted.Counts.Events {
+		t.Fatalf("empty plan changed the run: %d/%d cycles, %d/%d events",
+			plain.Cycles, faulted.Cycles, plain.Counts.Events, faulted.Counts.Events)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"mega/internal/algo"
 	"mega/internal/engine"
 	"mega/internal/evolve"
+	"mega/internal/fault"
 	"mega/internal/gen"
 	"mega/internal/graph"
 	"mega/internal/sched"
@@ -175,9 +176,13 @@ func RunRecomputeContext(ctx context.Context, w *evolve.Window, kind algo.Kind, 
 	m := newMachine(cfg, part, state, false)
 	stats := &engine.Stats{}
 	probe := engine.NewMultiProbe(stats, m)
+	fp := fault.From(ctx)
 	res := &Result{}
 	for snap := 0; snap < w.NumSnapshots(); snap++ {
 		if err := engine.CheckContext(ctx, "recompute snapshot"); err != nil {
+			return nil, err
+		}
+		if err := fp.Check(fault.SiteSimHop); err != nil {
 			return nil, err
 		}
 		g, err := graph.NewCSR(w.NumVertices(), w.SnapshotEdges(snap))
@@ -281,10 +286,14 @@ func RunJetStreamOnContext(ctx context.Context, ev *gen.Evolution, hg *HopGraphs
 		return nil, err
 	}
 
+	fp := fault.From(ctx)
 	var values [][]float64
 	values = append(values, append([]float64(nil), st.Values()...))
 	for j := range ev.Adds {
 		if err := engine.CheckContext(ctx, "jetstream hop"); err != nil {
+			return nil, err
+		}
+		if err := fp.Check(fault.SiteSimHop); err != nil {
 			return nil, err
 		}
 		st.ApplyDeletions(hg.Mid[j], ev.Dels[j])

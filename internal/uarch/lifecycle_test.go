@@ -8,8 +8,11 @@ import (
 
 	"mega/internal/algo"
 	"mega/internal/evolve"
+	"mega/internal/fault"
+	"mega/internal/gen"
 	"mega/internal/graph"
 	"mega/internal/megaerr"
+	"mega/internal/testutil"
 )
 
 // flipFlop is the same non-monotone Algorithm the engine lifecycle tests
@@ -64,7 +67,8 @@ func TestUarchDivergenceWatchdog(t *testing.T) {
 }
 
 func TestUarchRunContextCanceled(t *testing.T) {
-	w := testWindow(t, 4, 57)
+	testutil.NoGoroutineLeak(t)
+	_, w := faultWindow(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	_, err := RunContext(ctx, w, algo.SSSP, 0, DefaultConfig())
@@ -83,5 +87,70 @@ func TestUarchWatchdogSparesConvergingRuns(t *testing.T) {
 	}
 	if res.Cycles <= 0 {
 		t.Fatalf("cycles = %d", res.Cycles)
+	}
+}
+
+// faultWindow is big enough that runs last well past the first amortized
+// lifecycle check at cycle ctxCheckCycles (small test windows quiesce in
+// a few hundred cycles, before any fault site is ever visited).
+func faultWindow(t *testing.T) (*gen.Evolution, *evolve.Window) {
+	t.Helper()
+	spec := gen.GraphSpec{
+		Name: "fault", Vertices: 4096, Edges: 65536,
+		A: 0.45, B: 0.22, C: 0.22, MaxWeight: 16, Seed: 7,
+	}
+	ev, err := gen.Evolve(spec, gen.EvolutionSpec{Snapshots: 4, BatchFraction: 0.01, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := evolve.NewWindow(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev, w
+}
+
+func TestUarchCycleFaultInjection(t *testing.T) {
+	_, w := faultWindow(t)
+	plan := fault.NewPlan(1).Add(fault.Op{
+		Site: fault.SiteUarchCycle, Shard: fault.AnyShard,
+		Kind: fault.KindTransient, Visit: 1,
+	})
+	ctx := fault.Inject(context.Background(), plan)
+	if _, err := RunContext(ctx, w, algo.SSSP, 0, DefaultConfig()); !megaerr.IsTransient(err) {
+		t.Fatalf("RunContext = %v, want a transient fault", err)
+	}
+	if len(plan.Fired()) != 1 {
+		t.Fatalf("Fired = %v, want one firing", plan.Fired())
+	}
+}
+
+func TestUarchStreamCycleFaultInjection(t *testing.T) {
+	ev, _ := faultWindow(t)
+	plan := fault.NewPlan(1).Add(fault.Op{
+		Site: fault.SiteUarchCycle, Shard: fault.AnyShard,
+		Kind: fault.KindTransient, Visit: 1,
+	})
+	ctx := fault.Inject(context.Background(), plan)
+	if _, err := RunStreamContext(ctx, ev, algo.SSSP, 0, DefaultConfig()); !megaerr.IsTransient(err) {
+		t.Fatalf("RunStreamContext = %v, want a transient fault", err)
+	}
+}
+
+func TestUarchCancelFaultInjection(t *testing.T) {
+	// A cancel-kind fault invokes the bound CancelFunc; the run then dies
+	// at its next context check with the usual typed cancellation.
+	testutil.NoGoroutineLeak(t)
+	_, w := faultWindow(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	plan := fault.NewPlan(1).Add(fault.Op{
+		Site: fault.SiteUarchCycle, Shard: fault.AnyShard,
+		Kind: fault.KindCancel, Visit: 1,
+	})
+	plan.BindCancel(cancel)
+	_, err := RunContext(fault.Inject(ctx, plan), w, algo.SSSP, 0, DefaultConfig())
+	if !errors.Is(err, megaerr.ErrCanceled) {
+		t.Fatalf("RunContext = %v, want ErrCanceled", err)
 	}
 }

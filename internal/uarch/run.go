@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"mega/internal/engine"
+	"mega/internal/fault"
 	"mega/internal/graph"
 	"mega/internal/megaerr"
 	"mega/internal/sched"
@@ -73,12 +74,18 @@ func (m *machine) run(ctx context.Context, s *sched.Schedule) error {
 		m.bins[b] = bb
 	}
 
+	fp := fault.From(ctx)
 	m.startStage(0)
 	for !m.done() {
 		m.tick()
-		// Lifecycle checks, amortized: the context every ctxCheckCycles
-		// cycles, the divergence watchdog every cycle (a compare).
+		// Lifecycle checks, amortized: the fault plan and context every
+		// ctxCheckCycles cycles, the divergence watchdog every cycle (a
+		// compare). The fault check runs first so an injected cancellation
+		// is observed by the context check in the same cycle.
 		if m.now%ctxCheckCycles == 0 {
+			if err := fp.Check(fault.SiteUarchCycle); err != nil {
+				return err
+			}
 			if err := engine.CheckContext(ctx, "uarch cycle"); err != nil {
 				return err
 			}

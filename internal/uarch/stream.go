@@ -5,6 +5,7 @@ import (
 
 	"mega/internal/algo"
 	"mega/internal/engine"
+	"mega/internal/fault"
 	"mega/internal/gen"
 	"mega/internal/graph"
 	"mega/internal/megaerr"
@@ -75,6 +76,7 @@ func RunStreamContext(ctx context.Context, ev *gen.Evolution, kind algo.Kind, sr
 	}
 	m := &streamMachine{
 		ctx:    ctx,
+		fp:     fault.From(ctx),
 		cfg:    cfg,
 		a:      algo.New(kind),
 		src:    src,
@@ -141,6 +143,7 @@ type streamPE struct {
 
 type streamMachine struct {
 	ctx    context.Context
+	fp     *fault.Plan
 	cfg    Config
 	a      algo.Algorithm
 	src    graph.VertexID
@@ -265,6 +268,10 @@ func (m *streamMachine) drain(cfg Config) error {
 		}
 		m.tick()
 		if m.now%ctxCheckCycles == 0 {
+			// Fault check first: see the run-loop comment in run.go.
+			if err := m.fp.Check(fault.SiteUarchCycle); err != nil {
+				return err
+			}
 			if err := engine.CheckContext(m.ctx, "uarch-stream cycle"); err != nil {
 				return err
 			}

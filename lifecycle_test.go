@@ -3,11 +3,11 @@ package mega_test
 import (
 	"context"
 	"errors"
-	"runtime"
 	"testing"
 	"time"
 
 	"mega"
+	"mega/internal/testutil"
 )
 
 func eightSnapshotWindow(t testing.TB) *mega.Window {
@@ -33,7 +33,7 @@ func eightSnapshotWindow(t testing.TB) *mega.Window {
 // worker goroutine joined before it returns.
 func TestEvaluateParallelContextCanceled(t *testing.T) {
 	w := eightSnapshotWindow(t)
-	before := runtime.NumGoroutine()
+	testutil.NoGoroutineLeak(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	_, err := mega.EvaluateParallelContext(ctx, w, mega.SSSP, 0, 4)
@@ -46,13 +46,6 @@ func TestEvaluateParallelContextCanceled(t *testing.T) {
 	var ce *mega.CanceledError
 	if !errors.As(err, &ce) {
 		t.Fatalf("err %v is not a *mega.CanceledError", err)
-	}
-	deadline := time.Now().Add(2 * time.Second)
-	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
-		time.Sleep(10 * time.Millisecond)
-	}
-	if after := runtime.NumGoroutine(); after > before+2 {
-		t.Fatalf("goroutines: %d before, %d after — canceled run leaked workers", before, after)
 	}
 }
 

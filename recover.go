@@ -1,0 +1,234 @@
+package mega
+
+import (
+	"context"
+	"errors"
+	"runtime/debug"
+	"time"
+
+	"mega/internal/algo"
+	"mega/internal/engine"
+	"mega/internal/fault"
+	"mega/internal/gen"
+	"mega/internal/megaerr"
+	"mega/internal/sched"
+)
+
+// Fault-injection surface (internal/fault re-exported). A FaultPlan is a
+// deterministic, seeded schedule of injectable failures — transient
+// errors, panics, cancellations, latency spikes — that fire at named
+// execution sites on exact visit counts. Carry one into any Context
+// variant with WithFaultPlan; runs without a plan pay a single nil check
+// per site.
+type (
+	// FaultPlan is a deterministic fault-injection schedule.
+	FaultPlan = fault.Plan
+	// FaultOp is one injectable fault of a plan.
+	FaultOp = fault.Op
+)
+
+// NewFaultPlan returns an empty plan whose probabilistic ops draw from
+// the given seed.
+func NewFaultPlan(seed int64) *FaultPlan { return fault.NewPlan(seed) }
+
+// WithFaultPlan attaches a fault plan to a context; every Context variant
+// of this package consults it at its execution sites.
+func WithFaultPlan(ctx context.Context, p *FaultPlan) context.Context {
+	return fault.Inject(ctx, p)
+}
+
+// ParseFaultOp parses the "site[#shard]:kind[=latency]@visit[xevery]"
+// grammar, e.g. "engine.round:transient@120" or "parallel.phase#2:panic@3".
+func ParseFaultOp(spec string) (FaultOp, error) { return fault.ParseOp(spec) }
+
+// Transient/checkpoint error contract (see the package error contract).
+var (
+	// ErrTransient marks retryable faults; a run aborted by one can be
+	// resumed from its last checkpoint.
+	ErrTransient = megaerr.ErrTransient
+	// ErrCheckpoint reports corrupt or mismatched checkpoint bytes.
+	ErrCheckpoint = megaerr.ErrCheckpoint
+)
+
+type (
+	// TransientError carries the site and cause of a retryable fault.
+	TransientError = megaerr.TransientError
+	// CheckpointError carries the reason checkpoint bytes were rejected.
+	CheckpointError = megaerr.CheckpointError
+)
+
+// IsTransient reports whether err is worth retrying — equivalent to
+// errors.Is(err, ErrTransient).
+func IsTransient(err error) bool { return megaerr.IsTransient(err) }
+
+// LoadEvolutionContext is LoadEvolution under a lifecycle: a fault plan
+// carried by ctx is consulted once per dataset file.
+func LoadEvolutionContext(ctx context.Context, dir string) (*Evolution, error) {
+	return gen.LoadContext(ctx, dir)
+}
+
+// RecoverOptions configures EvaluateRecover's engine and retry policy.
+// The zero value evaluates sequentially with checkpoints every 32 rounds
+// and up to 3 restarts.
+type RecoverOptions struct {
+	// Parallel selects the sharded parallel engine; Workers <= 0 uses
+	// GOMAXPROCS. After a contained worker panic the retry loop falls
+	// back to the sequential engine automatically.
+	Parallel bool
+	Workers  int
+
+	// CheckpointEvery is the round interval between automatic
+	// checkpoints (0 = every 32 rounds). Checkpoints are also taken at
+	// every batch boundary.
+	CheckpointEvery int
+
+	// MaxRetries bounds how many times a failed attempt is restarted
+	// (0 = 3). Non-transient, non-panic failures are never retried.
+	MaxRetries int
+	// Backoff is the base delay before a retry; attempt n waits
+	// (n+1)×Backoff (0 = 5ms). The wait respects ctx cancellation.
+	Backoff time.Duration
+
+	// Limits configures the divergence watchdog (zero = safe defaults).
+	Limits Limits
+
+	// Checkpoint, when non-nil, resumes the first attempt from these
+	// checkpoint bytes instead of starting fresh.
+	Checkpoint []byte
+	// Sink, when non-nil, receives every automatic checkpoint (e.g. to
+	// persist it atomically to disk). A sink error aborts the run.
+	Sink func([]byte) error
+}
+
+// Recovery reports what EvaluateRecover's retry loop did.
+type Recovery struct {
+	// Attempts counts engine runs, including the successful one.
+	Attempts int
+	// Resumes counts attempts that restored a checkpoint (rather than
+	// restarting from scratch).
+	Resumes int
+	// FellBack is true when a worker panic demoted the run from the
+	// parallel engine to the sequential one.
+	FellBack bool
+	// Faults records the error of every failed attempt, in order.
+	Faults []string
+}
+
+// resumableEngine is the checkpoint surface shared by both engines.
+type resumableEngine interface {
+	RunContext(ctx context.Context, s *Schedule, lim Limits) error
+	SnapshotValues(s *Schedule, snap int) []float64
+	SetCheckpointEvery(n int)
+	SetCheckpointSink(sink func([]byte) error)
+	Restore(data []byte) error
+	LastCheckpoint() []byte
+}
+
+// EvaluateRecover evaluates the query like EvaluateContext but survives
+// transient faults and worker panics: the run checkpoints automatically
+// (every CheckpointEvery rounds and at batch boundaries), and on a
+// retryable failure a fresh engine resumes from the last checkpoint after
+// a short backoff. A panic inside the parallel engine demotes the retry
+// to the sequential engine, resuming from the same checkpoint —
+// checkpoints are engine-portable. The returned Recovery describes what
+// happened; it is non-nil even on error.
+func EvaluateRecover(ctx context.Context, w *Window, k AlgorithmKind, source VertexID, mode ScheduleMode, opt RecoverOptions) ([][]float64, *Recovery, error) {
+	every := opt.CheckpointEvery
+	if every <= 0 {
+		every = 32
+	}
+	retries := opt.MaxRetries
+	if retries <= 0 {
+		retries = 3
+	}
+	backoff := opt.Backoff
+	if backoff <= 0 {
+		backoff = 5 * time.Millisecond
+	}
+
+	s, err := sched.New(sched.Mode(mode), w)
+	if err != nil {
+		return nil, &Recovery{}, err
+	}
+	a := algo.New(k)
+	parallel := opt.Parallel
+	lastCkpt := opt.Checkpoint
+	rec := &Recovery{}
+
+	for {
+		rec.Attempts++
+		var eng resumableEngine
+		if parallel {
+			eng, err = engine.NewParallel(w, a, source, opt.Workers)
+		} else {
+			eng, err = engine.NewMulti(w, a, source, nil)
+		}
+		if err != nil {
+			return nil, rec, err
+		}
+		eng.SetCheckpointEvery(every)
+		if opt.Sink != nil {
+			eng.SetCheckpointSink(opt.Sink)
+		}
+		if lastCkpt != nil {
+			if err := eng.Restore(lastCkpt); err != nil {
+				// Corrupt or mismatched checkpoint: unrecoverable input.
+				return nil, rec, err
+			}
+			if rec.Attempts > 1 {
+				rec.Resumes++
+			}
+		}
+
+		err = runContained(ctx, eng, s, opt.Limits)
+		if err == nil {
+			out := make([][]float64, w.NumSnapshots())
+			for snap := range out {
+				out[snap] = eng.SnapshotValues(s, snap)
+			}
+			return out, rec, nil
+		}
+		rec.Faults = append(rec.Faults, err.Error())
+
+		// The retained auto-checkpoint was serialized at an earlier
+		// consistent barrier, so it is safe even after a mid-phase panic;
+		// the engine's live state is not (never call Checkpoint here).
+		if ckpt := eng.LastCheckpoint(); ckpt != nil {
+			lastCkpt = ckpt
+		}
+
+		var wp *WorkerPanicError
+		switch {
+		case parallel && errors.As(err, &wp):
+			// Contained worker panic: demote to the sequential engine and
+			// resume. The demotion itself consumes a retry.
+			parallel = false
+			rec.FellBack = true
+		case IsTransient(err):
+			// Retryable; fall through to the backoff below.
+		default:
+			return nil, rec, err
+		}
+		if rec.Attempts > retries {
+			return nil, rec, err
+		}
+		wait := time.Duration(rec.Attempts) * backoff
+		select {
+		case <-ctx.Done():
+			return nil, rec, &megaerr.CanceledError{Phase: "recovery backoff", Err: ctx.Err()}
+		case <-time.After(wait):
+		}
+	}
+}
+
+// runContained runs the engine, converting any panic that escapes it into
+// a *WorkerPanicError so the retry loop can treat sequential-engine
+// panics (e.g. injected ones) like contained parallel worker panics.
+func runContained(ctx context.Context, eng resumableEngine, s *Schedule, lim Limits) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &megaerr.WorkerPanicError{Shard: -1, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return eng.RunContext(ctx, s, lim)
+}

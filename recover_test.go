@@ -1,0 +1,223 @@
+package mega_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mega"
+	"mega/internal/testutil"
+)
+
+// countRounds runs the query once under an empty fault plan and returns
+// how many engine round boundaries a sequential run visits — the basis
+// for placing injected faults mid-run.
+func countRounds(t *testing.T, w *mega.Window) uint64 {
+	t.Helper()
+	counter := mega.NewFaultPlan(1)
+	ctx := mega.WithFaultPlan(context.Background(), counter)
+	if _, err := mega.EvaluateContext(ctx, w, mega.SSSP, 0); err != nil {
+		t.Fatal(err)
+	}
+	rounds := counter.Visits("engine.round", -1)
+	if rounds < 2 {
+		t.Fatalf("baseline visited only %d rounds; window too small for fault placement", rounds)
+	}
+	return rounds
+}
+
+func sameValues(t *testing.T, want, got [][]float64) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("snapshot counts differ: %d vs %d", len(want), len(got))
+	}
+	for s := range want {
+		for v := range want[s] {
+			if want[s][v] != got[s][v] {
+				t.Fatalf("snapshot %d vertex %d: %v vs %v", s, v, got[s][v], want[s][v])
+			}
+		}
+	}
+}
+
+// TestEvaluateRecoverTransient injects a one-shot transient fault halfway
+// through the run and checks EvaluateRecover resumes from a checkpoint
+// and produces results identical to a clean run.
+func TestEvaluateRecoverTransient(t *testing.T) {
+	w := eightSnapshotWindow(t)
+	clean, err := mega.Evaluate(w, mega.SSSP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kill := countRounds(t, w) / 2
+
+	op, err := mega.ParseFaultOp("engine.round:transient@" + itoa(kill))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := mega.NewFaultPlan(2).Add(op)
+	ctx := mega.WithFaultPlan(context.Background(), plan)
+
+	got, rec, err := mega.EvaluateRecover(ctx, w, mega.SSSP, 0, mega.BOE, mega.RecoverOptions{
+		CheckpointEvery: 1,
+		Backoff:         1, // nanoseconds; keep the test fast
+	})
+	if err != nil {
+		t.Fatalf("EvaluateRecover = %v, want recovery", err)
+	}
+	if rec.Attempts != 2 || rec.Resumes != 1 {
+		t.Errorf("recovery = %+v, want 2 attempts with 1 resume", rec)
+	}
+	if len(rec.Faults) != 1 {
+		t.Errorf("faults = %q, want exactly the injected one", rec.Faults)
+	}
+	sameValues(t, clean, got)
+}
+
+// TestEvaluateRecoverParallelPanicFallsBack injects a panic into a
+// parallel worker phase and checks the retry loop demotes to the
+// sequential engine, resumes from the parallel engine's checkpoint, and
+// still matches a clean run — checkpoints are engine-portable.
+func TestEvaluateRecoverParallelPanicFallsBack(t *testing.T) {
+	testutil.NoGoroutineLeak(t)
+	w := eightSnapshotWindow(t)
+	clean, err := mega.Evaluate(w, mega.SSSP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	op, err := mega.ParseFaultOp("parallel.phase#1:panic@4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := mega.NewFaultPlan(3).Add(op)
+	ctx := mega.WithFaultPlan(context.Background(), plan)
+
+	got, rec, err := mega.EvaluateRecover(ctx, w, mega.SSSP, 0, mega.BOE, mega.RecoverOptions{
+		Parallel:        true,
+		Workers:         4,
+		CheckpointEvery: 1,
+		Backoff:         1,
+	})
+	if err != nil {
+		t.Fatalf("EvaluateRecover = %v, want fallback recovery", err)
+	}
+	if !rec.FellBack {
+		t.Errorf("recovery = %+v, want FellBack after a worker panic", rec)
+	}
+	if rec.Attempts < 2 {
+		t.Errorf("attempts = %d, want at least 2", rec.Attempts)
+	}
+	if len(rec.Faults) == 0 {
+		t.Error("no fault recorded for the contained panic")
+	}
+	sameValues(t, clean, got)
+}
+
+// TestEvaluateRecoverRetriesExhausted uses a periodic transient fault that
+// fires at every round boundary, so every attempt dies; the loop must give
+// up after MaxRetries and surface the transient error.
+func TestEvaluateRecoverRetriesExhausted(t *testing.T) {
+	w := eightSnapshotWindow(t)
+	op, err := mega.ParseFaultOp("engine.round:transient@1x1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := mega.NewFaultPlan(4).Add(op)
+	ctx := mega.WithFaultPlan(context.Background(), plan)
+
+	_, rec, err := mega.EvaluateRecover(ctx, w, mega.SSSP, 0, mega.BOE, mega.RecoverOptions{
+		MaxRetries: 2,
+		Backoff:    1,
+	})
+	if !mega.IsTransient(err) {
+		t.Fatalf("EvaluateRecover = %v, want the transient fault after exhaustion", err)
+	}
+	if rec.Attempts != 3 {
+		t.Errorf("attempts = %d, want MaxRetries+1 = 3", rec.Attempts)
+	}
+	if len(rec.Faults) != 3 {
+		t.Errorf("faults = %d, want one per attempt", len(rec.Faults))
+	}
+}
+
+// TestEvaluateRecoverSinkAndExternalResume checks the Sink/Checkpoint
+// pair: a first process persists checkpoints through Sink and dies on an
+// injected fault; a second process resumes from the persisted bytes and
+// finishes with clean-run results.
+func TestEvaluateRecoverSinkAndExternalResume(t *testing.T) {
+	w := eightSnapshotWindow(t)
+	clean, err := mega.Evaluate(w, mega.SSWP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var persisted []byte
+	sink := func(b []byte) error {
+		persisted = append(persisted[:0], b...)
+		return nil
+	}
+
+	// Process one: a periodic fault fires at every round boundary from
+	// visit 5 on, so every attempt dies and the process "crashes" with
+	// only the sink-persisted checkpoint surviving.
+	op, err := mega.ParseFaultOp("engine.round:transient@5x1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := mega.NewFaultPlan(5).Add(op)
+	ctx := mega.WithFaultPlan(context.Background(), plan)
+	_, _, err = mega.EvaluateRecover(ctx, w, mega.SSWP, 0, mega.BOE, mega.RecoverOptions{
+		CheckpointEvery: 1,
+		MaxRetries:      1,
+		Backoff:         1,
+		Sink:            sink,
+	})
+	if !mega.IsTransient(err) {
+		t.Fatalf("process one = %v, want to die on the periodic transient fault", err)
+	}
+	if len(persisted) == 0 {
+		t.Fatal("sink never received a checkpoint")
+	}
+
+	// Process two: fresh context, resume purely from the persisted bytes.
+	got, rec, err := mega.EvaluateRecover(context.Background(), w, mega.SSWP, 0, mega.BOE, mega.RecoverOptions{
+		Checkpoint: persisted,
+	})
+	if err != nil {
+		t.Fatalf("resume from persisted checkpoint = %v", err)
+	}
+	if rec.Attempts != 1 {
+		t.Errorf("attempts = %d, want a single clean resumed run", rec.Attempts)
+	}
+	sameValues(t, clean, got)
+}
+
+// TestEvaluateRecoverRejectsCorruptCheckpoint checks a corrupted resume
+// blob fails fast with ErrCheckpoint instead of being retried.
+func TestEvaluateRecoverRejectsCorruptCheckpoint(t *testing.T) {
+	w := eightSnapshotWindow(t)
+	_, rec, err := mega.EvaluateRecover(context.Background(), w, mega.SSSP, 0, mega.BOE, mega.RecoverOptions{
+		Checkpoint: []byte("definitely not a checkpoint"),
+	})
+	if !errors.Is(err, mega.ErrCheckpoint) {
+		t.Fatalf("EvaluateRecover = %v, want ErrCheckpoint", err)
+	}
+	if rec.Attempts != 1 {
+		t.Errorf("attempts = %d, want no retries for corrupt input", rec.Attempts)
+	}
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
