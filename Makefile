@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test vet race fuzz chaos bench-smoke bench-json ci
+.PHONY: all build test vet race fuzz audit chaos bench-smoke bench-json ci
 
 all: build
 
@@ -27,11 +27,21 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzNewWindowFromParts -fuzztime=$(FUZZTIME) ./internal/evolve/
 	$(GO) test -run='^$$' -fuzz=FuzzCheckpointDecode -fuzztime=$(FUZZTIME) ./internal/engine/
 
+# Invariant-audit sweep: every audit-tagged test (conservation laws,
+# stale-size regressions, attribution properties) across the layers that
+# record audits, with strict mode forced on.
+audit:
+	MEGA_AUDIT=1 $(GO) test -race -run 'Audit|Attribution|StatsMatchMetrics|Conservation' \
+		./internal/metrics/ ./internal/engine/ ./internal/sim/ ./internal/uarch/
+
 # Crash-equivalence chaos sweep: kill the run at every round boundary,
 # resume from the last checkpoint, and demand bit-identical results, for
 # both engines and all three schedule modes, under the race detector.
+# Audits run strict inside the sweep (MEGA_CHAOS implies strict mode),
+# so every resumed run also re-proves the conservation laws.
 chaos:
-	MEGA_CHAOS=full $(GO) test -race -run 'CrashEquivalence' ./internal/engine/
+	MEGA_CHAOS=full $(GO) test -race -run 'CrashEquivalence|Audit|Attribution' \
+		./internal/engine/ ./internal/sim/ ./internal/uarch/
 
 # Compile and execute every benchmark for a single iteration — catches
 # benchmarks that no longer build or crash, without measuring anything.
@@ -42,4 +52,4 @@ bench-smoke:
 bench-json:
 	$(GO) run ./cmd/megabench -perf -v -perfout BENCH_parallel.json
 
-ci: vet build race bench-smoke chaos fuzz
+ci: vet build race bench-smoke audit chaos fuzz

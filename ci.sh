@@ -14,7 +14,19 @@ go test -bench=. -benchtime=1x -run='^$' ./...
 go test -run='^$' -fuzz=FuzzLoadEdgeList -fuzztime="$FUZZTIME" ./internal/gen/
 go test -run='^$' -fuzz=FuzzNewWindowFromParts -fuzztime="$FUZZTIME" ./internal/evolve/
 go test -run='^$' -fuzz=FuzzCheckpointDecode -fuzztime="$FUZZTIME" ./internal/engine/
+# Metrics smoke: a snapshot written by megasim must round-trip through
+# its own validator — required families present, every audit passed.
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+go run ./cmd/megasim -snapshots 4 -metrics "$tmpdir/metrics.json" >/dev/null
+go run ./cmd/megasim -verify-metrics "$tmpdir/metrics.json"
+# Invariant-audit sweep with strict mode forced on.
+MEGA_AUDIT=1 go test -race -run 'Audit|Attribution|StatsMatchMetrics|Conservation' \
+	./internal/metrics/ ./internal/engine/ ./internal/sim/ ./internal/uarch/
 # Chaos gate: the full crash-equivalence sweep — kill the run at EVERY
 # round boundary, resume from the checkpoint, demand bit-identical
 # results — for both engines and all three schedule modes, under -race.
-MEGA_CHAOS=full go test -race -run 'CrashEquivalence' ./internal/engine/
+# MEGA_CHAOS also forces strict audits, so resumed runs re-prove the
+# conservation laws too.
+MEGA_CHAOS=full go test -race -run 'CrashEquivalence|Audit|Attribution' \
+	./internal/engine/ ./internal/sim/ ./internal/uarch/

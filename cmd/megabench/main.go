@@ -12,6 +12,11 @@
 // With -perf the paper experiments are skipped and the engine throughput
 // regression harness runs instead, writing BENCH_parallel.json (override
 // with -perfout, or "-" for stdout only).
+//
+// With -metrics FILE every freshly simulated configuration's instrument
+// families and invariant-audit outcomes accumulate into one registry,
+// written as a JSON snapshot after the selected experiments finish. The
+// snapshot is validated by `megasim -verify-metrics`.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"mega/internal/algo"
 	"mega/internal/bench"
 	"mega/internal/gen"
+	"mega/internal/metrics"
 )
 
 // logWriter avoids handing RunPerfBench a non-nil interface wrapping a nil
@@ -45,6 +51,7 @@ func main() {
 	perf := flag.Bool("perf", false, "run the engine throughput regression harness instead of experiments")
 	perfOut := flag.String("perfout", "BENCH_parallel.json", "perf harness JSON output path (- for stdout only)")
 	perfRounds := flag.Int("perfrounds", 3, "perf harness repetitions per configuration (best-of)")
+	metricsPath := flag.String("metrics", "", "write a JSON metrics snapshot of the simulated runs to this file")
 	flag.Parse()
 
 	if *format != "text" && *format != "csv" {
@@ -94,6 +101,9 @@ func main() {
 	if *verbose {
 		c.Log = os.Stderr
 	}
+	if *metricsPath != "" {
+		c.Metrics = metrics.New()
+	}
 	if *quick {
 		c.Graphs = []gen.GraphSpec{
 			{Name: "PK", Vertices: 1_024, Edges: 19_200, A: 0.45, B: 0.15, C: 0.15, MaxWeight: 16, Seed: 101},
@@ -133,5 +143,22 @@ func main() {
 	}
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "[total %.1fs]\n", time.Since(start).Seconds())
+	}
+	if c.Metrics != nil {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "megabench: metrics: %v\n", err)
+			os.Exit(1)
+		}
+		if err := c.Metrics.WriteJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "megabench: metrics: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "megabench: metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "megabench: wrote %s\n", *metricsPath)
 	}
 }

@@ -21,9 +21,15 @@
 // the "site[#shard]:kind[=latency]@visit[xevery]" grammar, e.g.
 // -fault engine.round:transient@100 or -fault parallel.phase#2:panic@7.
 //
+// Observability: -metrics FILE writes a JSON snapshot of the run's metric
+// families (cache, per-channel DRAM traffic, queue traffic, engine event
+// counts) and invariant-audit outcomes. -verify-metrics FILE validates a
+// previously written snapshot — required families present (see -require)
+// and every audit passed — and exits without simulating.
+//
 // Exit codes: 0 success, 1 generic failure, 2 invalid input, 3 canceled
 // (signal or -timeout), 4 query divergence, 5 checkpoint corruption or
-// mismatch.
+// mismatch, 6 invariant-audit violation.
 package main
 
 import (
@@ -48,6 +54,7 @@ const (
 	exitCanceled   = 3
 	exitDivergence = 4
 	exitCheckpoint = 5
+	exitAudit      = 6
 )
 
 // faultList collects repeatable -fault flags.
@@ -90,9 +97,21 @@ func main() {
 	resume := flag.Bool("resume", false, "eval: resume from the -checkpoint file")
 	retries := flag.Int("retries", 0, "eval: max restarts after transient faults (0 = default 3)")
 	faultSeed := flag.Int64("fault-seed", 42, "seed for probabilistic fault ops")
+	metricsPath := flag.String("metrics", "", "write a JSON metrics snapshot (instruments + audits) to this file")
+	verifyPath := flag.String("verify-metrics", "", "validate a metrics snapshot file and exit (no simulation)")
+	require := flag.String("require", "cache_hits,dram_channel_bytes,queue_pushed,engine_events_processed",
+		"comma-separated metric families -verify-metrics must find (empty = audits only)")
 	var faults faultList
 	flag.Var(&faults, "fault", "inject a deterministic fault (repeatable): site[#shard]:kind[=latency]@visit[xevery]")
 	flag.Parse()
+
+	if *verifyPath != "" {
+		if err := verifyMetrics(*verifyPath, *require); err != nil {
+			exitWith(err)
+		}
+		fmt.Printf("metrics snapshot %s: ok\n", *verifyPath)
+		return
+	}
 
 	// SIGINT/SIGTERM cancel the run cooperatively: the engines observe the
 	// context at their next round/cycle boundary and unwind cleanly.
@@ -116,43 +135,81 @@ func main() {
 		engine: *engineFlag, workers: *workers,
 		ckptFile: *ckptFile, ckptEvery: *ckptEvery,
 		resume: *resume, retries: *retries,
+		metricsPath: *metricsPath,
 	}
 	if err := run(ctx, *graphName, *algoName, *mode, *snapshots, *batch, *imbalance, *onchip, *source, *load, *edgeList, opts); err != nil {
-		code := exitGeneric
-		switch {
-		case errors.Is(err, mega.ErrInvalidInput):
-			fmt.Fprintln(os.Stderr, "megasim: invalid input:", err)
-			code = exitInvalid
-		case errors.Is(err, mega.ErrCheckpoint):
-			fmt.Fprintln(os.Stderr, "megasim: checkpoint:", err)
-			code = exitCheckpoint
-		case errors.Is(err, mega.ErrCanceled):
-			fmt.Fprintln(os.Stderr, "megasim: canceled:", err)
-			code = exitCanceled
-		case errors.Is(err, mega.ErrDivergence):
-			fmt.Fprintln(os.Stderr, "megasim: query diverged:", err)
-			code = exitDivergence
-		default:
-			fmt.Fprintln(os.Stderr, "megasim:", err)
-		}
-		os.Exit(code)
+		exitWith(err)
 	}
+}
+
+// exitWith maps a typed error to the documented exit codes and terminates.
+func exitWith(err error) {
+	code := exitGeneric
+	switch {
+	case errors.Is(err, mega.ErrInvalidInput):
+		fmt.Fprintln(os.Stderr, "megasim: invalid input:", err)
+		code = exitInvalid
+	case errors.Is(err, mega.ErrCheckpoint):
+		fmt.Fprintln(os.Stderr, "megasim: checkpoint:", err)
+		code = exitCheckpoint
+	case errors.Is(err, mega.ErrCanceled):
+		fmt.Fprintln(os.Stderr, "megasim: canceled:", err)
+		code = exitCanceled
+	case errors.Is(err, mega.ErrDivergence):
+		fmt.Fprintln(os.Stderr, "megasim: query diverged:", err)
+		code = exitDivergence
+	case errors.Is(err, mega.ErrAudit):
+		fmt.Fprintln(os.Stderr, "megasim: invariant audit failed:", err)
+		code = exitAudit
+	default:
+		fmt.Fprintln(os.Stderr, "megasim:", err)
+	}
+	os.Exit(code)
+}
+
+// verifyMetrics validates a snapshot file against the required families.
+func verifyMetrics(path, require string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("%w: reading metrics snapshot: %v", mega.ErrInvalidInput, err)
+	}
+	var fams []string
+	for _, f := range strings.Split(require, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			fams = append(fams, f)
+		}
+	}
+	return mega.ValidateMetricsJSON(data, fams...)
+}
+
+// writeMetrics snapshots reg to path (atomically, like checkpoints).
+func writeMetrics(path string, reg *mega.MetricsRegistry) error {
+	var buf strings.Builder
+	if err := reg.WriteJSON(&buf); err != nil {
+		return err
+	}
+	return writeFileAtomic(path, []byte(buf.String()))
 }
 
 // evalOptions carries the eval-mode flags through run.
 type evalOptions struct {
-	engine    string
-	workers   int
-	ckptFile  string
-	ckptEvery int
-	resume    bool
-	retries   int
+	engine      string
+	workers     int
+	ckptFile    string
+	ckptEvery   int
+	resume      bool
+	retries     int
+	metricsPath string
 }
 
 func run(ctx context.Context, graphName, algoName, mode string, snapshots int, batch, imbalance float64, onchip int64, source int, load, edgeList string, opts evalOptions) error {
 	kind, err := mega.ParseAlgorithm(algoName)
 	if err != nil {
 		return err
+	}
+	var reg *mega.MetricsRegistry
+	if opts.metricsPath != "" {
+		reg = mega.NewMetricsRegistry()
 	}
 
 	var ev *mega.Evolution
@@ -199,7 +256,7 @@ func run(ctx context.Context, graphName, algoName, mode string, snapshots int, b
 		if werr != nil {
 			return werr
 		}
-		return runEval(ctx, w, kind, src, opts)
+		return runEval(ctx, w, kind, src, opts, reg)
 	case "jetstream":
 		cfg := mega.JetStreamSimConfig()
 		if onchip > 0 {
@@ -234,6 +291,10 @@ func run(ctx context.Context, graphName, algoName, mode string, snapshots int, b
 			r.Fetches, r.CacheHits, mb(r.DRAMBytes))
 		fmt.Printf("PE utilization:  %.0f%%, max live events %d\n",
 			r.Utilization(mega.DefaultUarchConfig())*100, r.MaxLiveEvents)
+		if reg != nil {
+			r.RecordMetrics(reg)
+			return writeMetrics(opts.metricsPath, reg)
+		}
 		return nil
 	case "jetstream-cycle":
 		r, uerr := mega.SimulateStreamCycleLevelContext(ctx, ev, kind, src, mega.DefaultUarchConfig())
@@ -248,6 +309,10 @@ func run(ctx context.Context, graphName, algoName, mode string, snapshots int, b
 		fmt.Printf("events:          %d processed, %d generated\n", r.Events, r.Generated)
 		fmt.Printf("edge unit:       %d fetches, %d cache hits, %.2f MB DRAM\n",
 			r.Fetches, r.CacheHits, mb(r.DRAMBytes))
+		if reg != nil {
+			r.RecordMetrics(reg)
+			return writeMetrics(opts.metricsPath, reg)
+		}
 		return nil
 	case "boe", "ws", "dh":
 		w, werr := mega.NewWindow(ev)
@@ -287,17 +352,22 @@ func run(ctx context.Context, graphName, algoName, mode string, snapshots int, b
 				p.Kind, p.BatchEdges, p.Contexts, p.Rounds, p.Events, p.Cycles)
 		}
 	}
+	if reg != nil {
+		res.RecordMetrics(reg)
+		return writeMetrics(opts.metricsPath, reg)
+	}
 	return nil
 }
 
 // runEval answers the query through the fault-tolerant evaluator and
 // prints a recovery report alongside a functional summary.
-func runEval(ctx context.Context, w *mega.Window, kind mega.AlgorithmKind, src mega.VertexID, opts evalOptions) error {
+func runEval(ctx context.Context, w *mega.Window, kind mega.AlgorithmKind, src mega.VertexID, opts evalOptions, reg *mega.MetricsRegistry) error {
 	ropt := mega.RecoverOptions{
 		Parallel:        opts.engine == "par",
 		Workers:         opts.workers,
 		CheckpointEvery: opts.ckptEvery,
 		MaxRetries:      opts.retries,
+		Metrics:         reg,
 	}
 	switch opts.engine {
 	case "seq", "par":
@@ -341,6 +411,9 @@ func runEval(ctx context.Context, w *mega.Window, kind mega.AlgorithmKind, src m
 			}
 		}
 		fmt.Printf("  snapshot %2d:   %d/%d vertices reached\n", s, reached, len(vals))
+	}
+	if reg != nil {
+		return writeMetrics(opts.metricsPath, reg)
 	}
 	return nil
 }

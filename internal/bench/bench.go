@@ -15,6 +15,7 @@ import (
 	"mega/internal/evolve"
 	"mega/internal/gen"
 	"mega/internal/graph"
+	"mega/internal/metrics"
 	"mega/internal/sched"
 	"mega/internal/sim"
 )
@@ -92,6 +93,11 @@ type Context struct {
 	Algos []algo.Kind
 	// Log receives progress lines; nil silences them.
 	Log io.Writer
+	// Metrics, when non-nil, accumulates every freshly simulated
+	// configuration's instrument families and audit outcomes (cache hits
+	// are not re-recorded), so a whole experiment sweep snapshots into
+	// one registry.
+	Metrics *metrics.Registry
 
 	workloads map[string]*workload
 	results   map[string]*sim.Result
@@ -207,6 +213,9 @@ func (c *Context) run(wl *workload, k algo.Kind, mode string, cfg sim.Config, ke
 		return nil, err
 	}
 	c.results[key] = r
+	if c.Metrics != nil {
+		r.RecordMetrics(c.Metrics)
+	}
 	c.logf("  %s %s %s: %.3f ms", wl.spec.Name, k, mode, r.TimeMs)
 	return r, nil
 }

@@ -9,6 +9,7 @@ import (
 	"mega/internal/fault"
 	"mega/internal/graph"
 	"mega/internal/megaerr"
+	"mega/internal/metrics"
 	"mega/internal/sched"
 )
 
@@ -67,6 +68,19 @@ type Multi struct {
 	// the datapath had no prefetch reuse between snapshots.
 	noFetchShare bool
 
+	// Observability. qPushed/qCoalesced/qTaken count this engine's queue
+	// traffic post-construction: every push call, the subset that merged
+	// into an occupied slot, and every take. Restored checkpoint entries
+	// are re-pushed through the counted path, so the conservation law
+	// pushed − coalesced == taken holds across resume. Coalesced merges
+	// are invisible to the Probe (Generated only fires on new-slot
+	// pushes), which is why these live on the engine, not the probe.
+	qPushed, qCoalesced, qTaken int64
+	rounds                      int64
+	ckptTaken, ckptRestored     int64
+	auditOn                     bool
+	reg                         *metrics.Registry
+
 	// scratch state reused across ops.
 	updating  []int
 	updBatch  []int32
@@ -122,6 +136,7 @@ func (m *Multi) Restore(data []byte) error {
 		return err
 	}
 	m.resume = st
+	m.ckptRestored++
 	return nil
 }
 
@@ -180,6 +195,7 @@ func dumpRoundQueue(q *roundQueue) []ckptEntry {
 func (m *Multi) takeCheckpoint() error {
 	data := m.snapshotState().encode()
 	m.lastCkpt = data
+	m.ckptTaken++
 	if m.ckptSink != nil {
 		return m.ckptSink(data)
 	}
@@ -245,7 +261,72 @@ func NewMulti(w *evolve.Window, a algo.Algorithm, src graph.VertexID, probe Prob
 		batchOf:   batchOf,
 		updating:  make([]int, 0, 8),
 		dirtyMark: make([]bool, w.NumVertices()),
+		auditOn:   metrics.Strict(),
 	}, nil
+}
+
+// countPush records one queue push attempt: ok means the event landed in a
+// new slot, !ok that it coalesced into an occupied one. Returns ok so push
+// sites stay one-line.
+func (m *Multi) countPush(ok bool) bool {
+	m.qPushed++
+	if !ok {
+		m.qCoalesced++
+	}
+	return ok
+}
+
+// SetMetrics attaches a registry; RecordMetrics is called automatically at
+// the end of a successful RunContext. May be nil (the default) to disable.
+func (m *Multi) SetMetrics(reg *metrics.Registry) { m.reg = reg }
+
+// QueueCounters exposes the engine's post-construction queue traffic:
+// pushes attempted, pushes that coalesced, and takes.
+func (m *Multi) QueueCounters() (pushed, coalesced, taken int64) {
+	return m.qPushed, m.qCoalesced, m.qTaken
+}
+
+// AuditQueues checks the engine's event-conservation law at quiescence:
+// every push attempt either merged or was eventually taken, and no events
+// remain queued. Restored checkpoint entries re-enter through the counted
+// push path, so the law holds across crash/resume. Only meaningful after a
+// completed run (mid-run, in-flight events make the imbalance legitimate).
+func (m *Multi) AuditQueues() []metrics.AuditResult {
+	out := make([]metrics.AuditResult, 0, 2)
+	live := 0
+	if m.cur != nil {
+		live += m.cur.count
+	}
+	if m.next != nil {
+		live += m.next.count
+	}
+	ok := m.qPushed-m.qCoalesced == m.qTaken
+	detail := fmt.Sprintf("pushed %d - coalesced %d = %d, taken %d",
+		m.qPushed, m.qCoalesced, m.qPushed-m.qCoalesced, m.qTaken)
+	out = append(out, metrics.AuditResult{Name: "engine.queue_conservation", OK: ok, Detail: detail})
+	out = append(out, metrics.AuditResult{
+		Name: "engine.queue_drained", OK: live == 0,
+		Detail: fmt.Sprintf("%d events still queued at quiescence", live),
+	})
+	return out
+}
+
+// RecordMetrics writes the engine's counters into reg under the shared
+// metric taxonomy (DESIGN.md §10) and records its audits.
+func (m *Multi) RecordMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("engine_rounds", "engine", "multi").Add(m.rounds)
+	reg.Counter("engine_events_processed", "engine", "multi").Add(m.qTaken)
+	reg.Counter("queue_pushed", "engine", "multi").Add(m.qPushed)
+	reg.Counter("queue_coalesced", "engine", "multi").Add(m.qCoalesced)
+	reg.Counter("queue_taken", "engine", "multi").Add(m.qTaken)
+	reg.Counter("checkpoint_taken", "engine", "multi").Add(m.ckptTaken)
+	reg.Counter("checkpoint_restored", "engine", "multi").Add(m.ckptRestored)
+	for _, ar := range m.AuditQueues() {
+		reg.RecordAudit(ar)
+	}
 }
 
 // BatchOf exposes the union-edge-index → batch-ID map (-1 for CommonGraph
@@ -324,7 +405,7 @@ func (m *Multi) RunContext(ctx context.Context, s *sched.Schedule, lim Limits) e
 			}
 		}
 		for _, e := range st.queue {
-			m.cur.push(m.a, int(e.ctx), e.v, e.val, e.tag)
+			m.countPush(m.cur.push(m.a, int(e.ctx), e.v, e.val, e.tag))
 		}
 		m.dirty = append(m.dirty[:0], st.dirty...)
 		for _, v := range st.dirty {
@@ -393,6 +474,16 @@ func (m *Multi) RunContext(ctx context.Context, s *sched.Schedule, lim Limits) e
 		}
 	}
 	m.curStage = len(s.Ops)
+	if m.reg != nil {
+		m.RecordMetrics(m.reg)
+	}
+	if m.auditOn {
+		for _, ar := range m.AuditQueues() {
+			if err := ar.Err(); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 
@@ -491,7 +582,7 @@ func (m *Multi) runApplies(ops []sched.Op) error {
 				if srcVal == m.a.Identity() {
 					continue
 				}
-				if m.cur.push(m.a, c, e.Dst, m.a.EdgeFunc(srcVal, e.Weight), int32(op.Batch.ID)) {
+				if m.countPush(m.cur.push(m.a, c, e.Dst, m.a.EdgeFunc(srcVal, e.Weight), int32(op.Batch.ID))) {
 					m.probe.Generated(e.Dst, c)
 				}
 			}
@@ -623,6 +714,7 @@ func (m *Multi) runRounds(compute []int, startRound int) error {
 				}
 				applied := m.a.Better(cand, m.vals[c][v])
 				m.events++
+				m.qTaken++
 				m.probe.Event(v, c, applied)
 				if applied {
 					m.vals[c][v] = cand
@@ -676,7 +768,7 @@ func (m *Multi) runRounds(compute []int, startRound int) error {
 					}
 					cand := m.a.EdgeFunc(m.vals[c][v], ws[i])
 					if m.a.Better(cand, m.vals[c][d]) {
-						if m.next.push(m.a, c, d, cand, m.updBatch[ui]) {
+						if m.countPush(m.next.push(m.a, c, d, cand, m.updBatch[ui])) {
 							m.probe.Generated(d, c)
 						}
 					}
@@ -687,6 +779,7 @@ func (m *Multi) runRounds(compute []int, startRound int) error {
 		m.probe.RoundEnd(m.next.count)
 		m.cur, m.next = m.next, m.cur
 		round++
+		m.rounds++
 	}
 	for _, v := range m.dirty {
 		m.dirtyMark[v] = false

@@ -2,16 +2,21 @@ package engine
 
 import (
 	"context"
+	"fmt"
 	"math/bits"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"mega/internal/algo"
 	"mega/internal/evolve"
 	"mega/internal/fault"
 	"mega/internal/graph"
 	"mega/internal/megaerr"
+	"mega/internal/metrics"
 	"mega/internal/sched"
 )
 
@@ -109,6 +114,20 @@ type Parallel struct {
 	// worker phase; checked at every barrier alongside the panic trap.
 	phaseMu  sync.Mutex
 	phaseErr error
+
+	// Observability. Queue-traffic counters live on the shards (each
+	// written only by the goroutine that owns the coalesce decision, so
+	// they need no atomics); these engine-level fields cover the
+	// coordinator-side facts. chunkAllocs counts pool misses — sync.Pool
+	// may call New concurrently, hence the atomic. phaseNanos accumulates
+	// per-phase coordinator wall time (barrier-inclusive), collected only
+	// when a registry is attached so unobserved runs skip the clock reads.
+	chunkAllocs             atomic.Int64
+	phaseNanos              [4]int64
+	rounds                  int64
+	ckptTaken, ckptRestored int64
+	auditOn                 bool
+	reg                     *metrics.Registry
 }
 
 // NewParallel builds a parallel engine with the given worker count
@@ -134,9 +153,13 @@ func NewParallel(w *evolve.Window, a algo.Algorithm, src graph.VertexID, workers
 		w: w, u: w.Unified(), union: union, a: a, ident: a.Identity(),
 		src: src, workers: workers, procs: runtime.GOMAXPROCS(0),
 		batchOf: seq.batchOf, part: part,
-		trap: &panicTrap{},
+		trap:    &panicTrap{},
+		auditOn: metrics.Strict(),
 	}
-	p.chunkPool.New = func() any { return new(pChunk) }
+	p.chunkPool.New = func() any {
+		p.chunkAllocs.Add(1)
+		return new(pChunk)
+	}
 	p.ownerTab = make([]int32, w.NumVertices())
 	for v := range p.ownerTab {
 		p.ownerTab[v] = int32(part.PartOf(graph.VertexID(v)))
@@ -207,6 +230,13 @@ type shard struct {
 
 	events int64
 
+	// Cumulative queue-traffic counters, never reset (unlike events, which
+	// drains into evTotal per stage). Each is written only by the goroutine
+	// owning the coalesce decision: pushed/coalesced at push/deliver on the
+	// destination shard (cross-shard writes happen only on the single-P
+	// direct path or the single-threaded restore path), taken at process.
+	pushed, coalesced, taken int64
+
 	// dirty lists the shard's vertices whose values changed during the
 	// current stage, maintained only when the engine tracks dirt for
 	// checkpoints (dirtyMark is nil otherwise).
@@ -255,6 +285,7 @@ func (p *Parallel) Restore(data []byte) error {
 		return err
 	}
 	p.resume = st
+	p.ckptRestored++
 	return nil
 }
 
@@ -342,6 +373,7 @@ func (p *Parallel) dumpDirty() []graph.VertexID {
 func (p *Parallel) takeCheckpoint() error {
 	data := p.snapshotState().encode()
 	p.lastCkpt = data
+	p.ckptTaken++
 	if p.ckptSink != nil {
 		return p.ckptSink(data)
 	}
@@ -527,7 +559,97 @@ func (p *Parallel) RunContext(ctx context.Context, s *sched.Schedule, lim Limits
 		}
 	}
 	p.curStage = len(s.Ops)
+	if p.reg != nil {
+		p.RecordMetrics(p.reg)
+	}
+	if p.auditOn {
+		for _, ar := range p.AuditQueues() {
+			if err := ar.Err(); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
+}
+
+// SetMetrics attaches a registry; RecordMetrics is called automatically at
+// the end of a successful RunContext, and per-phase wall-time collection is
+// enabled. May be nil (the default) to disable both. Must be called before
+// Run.
+func (p *Parallel) SetMetrics(reg *metrics.Registry) { p.reg = reg }
+
+// QueueCounters sums the shards' queue traffic: pushes attempted (at a
+// coalesce decision — mailbox emits count on delivery, not on emit),
+// pushes that coalesced, and takes. Valid between runs or after Run.
+func (p *Parallel) QueueCounters() (pushed, coalesced, taken int64) {
+	for _, sh := range p.shards {
+		pushed += sh.pushed
+		coalesced += sh.coalesced
+		taken += sh.taken
+	}
+	return
+}
+
+// AuditQueues checks event conservation at quiescence: every counted push
+// either coalesced or was taken, and no events remain in pending matrices,
+// inboxes, or outboxes. Restored checkpoint entries re-enter through the
+// counted push path, so the law holds across crash/resume. Only meaningful
+// after a completed run.
+func (p *Parallel) AuditQueues() []metrics.AuditResult {
+	pushed, coalesced, taken := p.QueueCounters()
+	live := 0
+	for _, sh := range p.shards {
+		live += len(sh.touched)
+		for _, ck := range sh.inbox {
+			live += ck.n
+		}
+		for _, chunks := range sh.outbox {
+			for _, ck := range chunks {
+				live += ck.n
+			}
+		}
+	}
+	return []metrics.AuditResult{
+		{
+			Name: "engine.queue_conservation", OK: pushed-coalesced == taken,
+			Detail: fmt.Sprintf("pushed %d - coalesced %d = %d, taken %d",
+				pushed, coalesced, pushed-coalesced, taken),
+		},
+		{
+			Name: "engine.queue_drained", OK: live == 0,
+			Detail: fmt.Sprintf("%d events still queued at quiescence", live),
+		},
+	}
+}
+
+// parallelPhaseNames labels phaseNanos entries in metric output.
+var parallelPhaseNames = [4]string{"seed", "deliver", "process", "broadcast"}
+
+// RecordMetrics writes the engine's counters into reg under the shared
+// metric taxonomy (DESIGN.md §10): queue traffic, per-phase wall time,
+// chunk-pool allocations, per-shard event balance, and its audits.
+func (p *Parallel) RecordMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	pushed, coalesced, taken := p.QueueCounters()
+	reg.Counter("engine_rounds", "engine", "parallel").Add(p.rounds)
+	reg.Counter("engine_events_processed", "engine", "parallel").Add(taken)
+	reg.Counter("queue_pushed", "engine", "parallel").Add(pushed)
+	reg.Counter("queue_coalesced", "engine", "parallel").Add(coalesced)
+	reg.Counter("queue_taken", "engine", "parallel").Add(taken)
+	reg.Counter("checkpoint_taken", "engine", "parallel").Add(p.ckptTaken)
+	reg.Counter("checkpoint_restored", "engine", "parallel").Add(p.ckptRestored)
+	reg.Counter("mailbox_chunk_allocs", "engine", "parallel").Add(p.chunkAllocs.Load())
+	for ph, name := range parallelPhaseNames {
+		reg.Gauge("phase_nanos", "engine", "parallel", "phase", name).Set(p.phaseNanos[ph])
+	}
+	for _, sh := range p.shards {
+		reg.Gauge("shard_events", "engine", "parallel", "shard", strconv.Itoa(sh.id)).Set(sh.taken)
+	}
+	for _, ar := range p.AuditQueues() {
+		reg.RecordAudit(ar)
+	}
 }
 
 // Values returns context ctx's value array, or nil before Run or for an
@@ -655,17 +777,24 @@ func (p *Parallel) runPhase(live []int, ph, units int) error {
 	if len(live) == 0 {
 		return p.phaseFailure()
 	}
+	var start time.Time
+	if p.reg != nil {
+		start = time.Now()
+	}
 	if p.procs == 1 || len(live) == 1 || units < inlinePhaseUnits {
 		for _, si := range live {
 			p.phaseOn(si, ph)
 		}
-		return p.phaseFailure()
+	} else {
+		p.wg.Add(len(live))
+		for _, si := range live {
+			p.cmd[si] <- ph
+		}
+		p.wg.Wait()
 	}
-	p.wg.Add(len(live))
-	for _, si := range live {
-		p.cmd[si] <- ph
+	if p.reg != nil {
+		p.phaseNanos[ph] += time.Since(start).Nanoseconds()
 	}
-	p.wg.Wait()
 	return p.phaseFailure()
 }
 
@@ -799,6 +928,7 @@ func (p *Parallel) finishApplies(ops []sched.Op, startRound int) error {
 			events += sh.events
 		}
 		round++
+		p.rounds++
 	}
 
 	for _, sh := range p.shards {
@@ -950,6 +1080,7 @@ func (p *Parallel) deliverShard(sh *shard) {
 	pending, mask, mark := sh.pending, sh.ctxMask, sh.mark
 	lo := sh.lo
 	for _, ck := range sh.inbox {
+		sh.pushed += int64(ck.n)
 		for i := 0; i < ck.n; i++ {
 			ev := &ck.ev[i]
 			idx := int(ev.dst - lo)
@@ -957,6 +1088,7 @@ func (p *Parallel) deliverShard(sh *shard) {
 			bit := uint64(1) << (uint(ev.ctx) & 63)
 			slot := idx*numCtx + int(ev.ctx)
 			if mask[word]&bit != 0 {
+				sh.coalesced++
 				if a.Better(ev.val, pending[slot]) {
 					pending[slot] = ev.val
 				}
@@ -981,7 +1113,9 @@ func (p *Parallel) push(sh *shard, ev pEvent) {
 	word := idx*p.ctxWords + int(ev.ctx)>>6
 	bit := uint64(1) << (uint(ev.ctx) & 63)
 	slot := idx*p.numCtx + int(ev.ctx)
+	sh.pushed++
 	if sh.ctxMask[word]&bit != 0 {
+		sh.coalesced++
 		if p.a.Better(ev.val, sh.pending[slot]) {
 			sh.pending[slot] = ev.val
 		}
@@ -1048,6 +1182,7 @@ func (p *Parallel) processShard(sh *shard) {
 				m &= m - 1
 				cand := pending[pbase+c]
 				sh.events++
+				sh.taken++
 				if a.Better(cand, vals[c][v]) {
 					vals[c][v] = cand
 					upd = append(upd, int32(c))

@@ -5,6 +5,7 @@ import (
 
 	"mega/internal/algo"
 	"mega/internal/graph"
+	"mega/internal/metrics"
 )
 
 // Stream is the functional model of the JetStream baseline: a streaming
@@ -31,6 +32,15 @@ type Stream struct {
 	parent []int32 // selected in-edge source per vertex; -1 = none
 
 	cur, next *streamQueue
+
+	// Queue-traffic counters (every push attempt, the coalesced subset,
+	// every take), including the initial solve's seeds: the initial solve
+	// silences the probe but still drains its queue, so the conservation
+	// law pushed − coalesced == taken holds from construction onward.
+	// Phase-1/2 deletion events bypass the queue (probe-only broadcast
+	// traffic), so they intentionally touch none of these.
+	qPushed, qCoalesced, qTaken int64
+	rounds                      int64
 }
 
 // streamQueue is a single-context coalescing queue that also carries each
@@ -95,10 +105,10 @@ func NewStream(g0 *graph.CSR, a algo.Algorithm, src graph.VertexID, probe Probe)
 	}
 	if ss, ok := a.(algo.SelfSeeding); ok {
 		for v := 0; v < g0.NumVertices(); v++ {
-			s.cur.push(a, graph.VertexID(v), ss.VertexInit(uint32(v)), -1)
+			s.countPush(s.cur.push(a, graph.VertexID(v), ss.VertexInit(uint32(v)), -1))
 		}
 	} else {
-		s.cur.push(a, src, a.SourceValue(), -1)
+		s.countPush(s.cur.push(a, src, a.SourceValue(), -1))
 	}
 	s.runRounds()
 	s.probe = probe
@@ -123,7 +133,7 @@ func (s *Stream) ApplyAdditions(newG *graph.CSR, adds graph.EdgeList) {
 		if s.vals[e.Src] == s.a.Identity() {
 			continue
 		}
-		s.cur.push(s.a, e.Dst, s.a.EdgeFunc(s.vals[e.Src], e.Weight), int32(e.Src))
+		s.countPush(s.cur.push(s.a, e.Dst, s.a.EdgeFunc(s.vals[e.Src], e.Weight), int32(e.Src)))
 		s.probe.Generated(e.Dst, 0)
 	}
 	s.runRounds()
@@ -215,7 +225,7 @@ func (s *Stream) ApplyDeletions(newG *graph.CSR, dels graph.EdgeList) {
 			}
 		}
 		if best != s.a.Identity() {
-			s.cur.push(s.a, v, best, bestFrom)
+			s.countPush(s.cur.push(s.a, v, best, bestFrom))
 			s.probe.Generated(v, 0)
 		}
 	}
@@ -235,6 +245,7 @@ func (s *Stream) runRounds() {
 			}
 			s.cur.has[v] = false
 			s.cur.count--
+			s.qTaken++
 			cand, from := s.cur.pending[v], s.cur.from[v]
 			applied := s.a.Better(cand, s.vals[v])
 			s.probe.Event(v, 0, applied)
@@ -248,7 +259,7 @@ func (s *Stream) runRounds() {
 			for i, d := range dsts {
 				c := s.a.EdgeFunc(cand, ws[i])
 				if s.a.Better(c, s.vals[d]) {
-					if s.next.push(s.a, d, c, int32(v)) {
+					if s.countPush(s.next.push(s.a, d, c, int32(v))) {
 						s.probe.Generated(d, 0)
 					}
 				}
@@ -258,5 +269,57 @@ func (s *Stream) runRounds() {
 		s.probe.RoundEnd(s.next.count)
 		s.cur, s.next = s.next, s.cur
 		round++
+		s.rounds++
+	}
+}
+
+// countPush records one queue push attempt (ok = new slot, !ok = coalesced)
+// and returns ok.
+func (s *Stream) countPush(ok bool) bool {
+	s.qPushed++
+	if !ok {
+		s.qCoalesced++
+	}
+	return ok
+}
+
+// QueueCounters exposes the engine's queue traffic since construction:
+// pushes attempted, pushes that coalesced, and takes.
+func (s *Stream) QueueCounters() (pushed, coalesced, taken int64) {
+	return s.qPushed, s.qCoalesced, s.qTaken
+}
+
+// AuditQueues checks event conservation at quiescence (the engine is
+// quiescent between Apply* calls, so this is valid any time the caller is
+// not inside one).
+func (s *Stream) AuditQueues() []metrics.AuditResult {
+	live := s.cur.count + s.next.count
+	ok := s.qPushed-s.qCoalesced == s.qTaken
+	return []metrics.AuditResult{
+		{
+			Name: "engine.queue_conservation", OK: ok,
+			Detail: fmt.Sprintf("pushed %d - coalesced %d = %d, taken %d",
+				s.qPushed, s.qCoalesced, s.qPushed-s.qCoalesced, s.qTaken),
+		},
+		{
+			Name: "engine.queue_drained", OK: live == 0,
+			Detail: fmt.Sprintf("%d events still queued at quiescence", live),
+		},
+	}
+}
+
+// RecordMetrics writes the engine's counters into reg under the shared
+// metric taxonomy (DESIGN.md §10) and records its audits.
+func (s *Stream) RecordMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("engine_rounds", "engine", "stream").Add(s.rounds)
+	reg.Counter("engine_events_processed", "engine", "stream").Add(s.qTaken)
+	reg.Counter("queue_pushed", "engine", "stream").Add(s.qPushed)
+	reg.Counter("queue_coalesced", "engine", "stream").Add(s.qCoalesced)
+	reg.Counter("queue_taken", "engine", "stream").Add(s.qTaken)
+	for _, ar := range s.AuditQueues() {
+		reg.RecordAudit(ar)
 	}
 }

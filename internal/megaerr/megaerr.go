@@ -43,6 +43,12 @@ var (
 	// or corrupted bytes, a checksum mismatch, or a checkpoint taken from
 	// a different window/algorithm/schedule than the restoring engine's.
 	ErrCheckpoint = errors.New("mega: bad checkpoint")
+
+	// ErrAudit marks a violated model invariant: an internal conservation
+	// law (byte attribution, queue push/take balance, cache residency)
+	// failed a strict-mode audit. An audit failure is a modeling bug, not
+	// bad input — it is never transient and never caller-fixable.
+	ErrAudit = errors.New("mega: invariant audit failed")
 )
 
 // CanceledError wraps the context error observed at a lifecycle
@@ -203,6 +209,30 @@ func (e *CheckpointError) Unwrap() error { return ErrCheckpoint }
 // reason.
 func Checkpointf(format string, args ...any) error {
 	return &CheckpointError{Reason: fmt.Sprintf(format, args...)}
+}
+
+// AuditError reports a violated model invariant. It matches ErrAudit
+// under errors.Is.
+type AuditError struct {
+	// Invariant names the conservation law that failed, e.g.
+	// "sim.dram_attribution" or "engine.queue_conservation".
+	Invariant string
+	// Detail describes the violation with the numbers that disagree.
+	Detail string
+}
+
+// Error implements error.
+func (e *AuditError) Error() string {
+	return fmt.Sprintf("mega: audit %s failed: %s", e.Invariant, e.Detail)
+}
+
+// Unwrap lets errors.Is match ErrAudit.
+func (e *AuditError) Unwrap() error { return ErrAudit }
+
+// Auditf builds an ErrAudit-matching error for the named invariant with a
+// formatted detail message.
+func Auditf(invariant, format string, args ...any) error {
+	return &AuditError{Invariant: invariant, Detail: fmt.Sprintf(format, args...)}
 }
 
 // invalidError carries a descriptive message and matches ErrInvalidInput.

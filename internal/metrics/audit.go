@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync/atomic"
+
+	"mega/internal/megaerr"
+)
+
+// AuditResult is the recorded outcome of one invariant audit.
+type AuditResult struct {
+	// Name identifies the invariant, e.g. "sim.dram_attribution".
+	Name string `json:"name"`
+	// OK reports whether the invariant held.
+	OK bool `json:"ok"`
+	// Detail carries the violation message when OK is false.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Err converts a failed result to its typed megaerr.ErrAudit error; a
+// passing result returns nil.
+func (a AuditResult) Err() error {
+	if a.OK {
+		return nil
+	}
+	return megaerr.Auditf(a.Name, "%s", a.Detail)
+}
+
+// namedAudit pairs an invariant name with its check function.
+type namedAudit struct {
+	name string
+	fn   func() error
+}
+
+// RegisterAudit attaches a named invariant check to the registry; every
+// Snapshot runs it and records the outcome. fn returns nil when the
+// invariant holds and a descriptive error otherwise.
+func (r *Registry) RegisterAudit(name string, fn func() error) {
+	r.mu.Lock()
+	r.audits = append(r.audits, namedAudit{name: name, fn: fn})
+	r.mu.Unlock()
+}
+
+// RecordAudit stores a completed audit outcome (one computed by a layer
+// at an op or run boundary); it appears in every subsequent Snapshot.
+func (r *Registry) RecordAudit(res AuditResult) {
+	r.mu.Lock()
+	r.results = append(r.results, res)
+	r.mu.Unlock()
+}
+
+// runAudit executes one registered audit, containing panics: a buggy
+// check must not take down the run it observes.
+func runAudit(a namedAudit) (res AuditResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = AuditResult{Name: a.name, OK: false, Detail: fmt.Sprintf("audit panicked: %v", r)}
+		}
+	}()
+	if err := a.fn(); err != nil {
+		return AuditResult{Name: a.name, OK: false, Detail: err.Error()}
+	}
+	return AuditResult{Name: a.name, OK: true}
+}
+
+// WriteJSON writes an indented JSON snapshot of the registry.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Strict-mode state: 0 = undecided (derive from the environment),
+// 1 = forced on, 2 = forced off.
+var strictOverride atomic.Int32
+
+// Strict reports whether invariant audits should run always-on and
+// failures surface as typed errors. It is true inside `go test` binaries
+// and whenever MEGA_CHAOS or MEGA_AUDIT is set, and can be forced either
+// way with SetStrict. The check is cheap enough for op boundaries but not
+// for per-event paths; layers cache it at construction.
+func Strict() bool {
+	switch strictOverride.Load() {
+	case 1:
+		return true
+	case 2:
+		return false
+	}
+	if os.Getenv("MEGA_CHAOS") != "" || os.Getenv("MEGA_AUDIT") != "" {
+		return true
+	}
+	// Test binaries end in ".test" (go test's naming convention); audits
+	// are always-on under test so modeling bugs fail loudly.
+	return strings.HasSuffix(os.Args[0], ".test")
+}
+
+// SetStrict forces strict mode on or off, overriding the environment.
+// Intended for tests that exercise the non-strict path.
+func SetStrict(on bool) {
+	if on {
+		strictOverride.Store(1)
+	} else {
+		strictOverride.Store(2)
+	}
+}
+
+// ResetStrict returns Strict to environment-derived behaviour.
+func ResetStrict() { strictOverride.Store(0) }
+
+// ValidateSnapshotJSON parses data as a Snapshot and checks that every
+// required metric family is present (as a counter, gauge, or histogram)
+// and that no recorded audit failed. It returns megaerr.ErrInvalidInput
+// for malformed or incomplete snapshots and megaerr.ErrAudit for failed
+// audits — the contract behind `megasim -verify-metrics` and the CI
+// metrics smoke step.
+func ValidateSnapshotJSON(data []byte, requiredFamilies ...string) error {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return megaerr.Invalidf("metrics: snapshot does not parse: %v", err)
+	}
+	have := make(map[string]bool)
+	for _, p := range s.Counters {
+		have[p.Name] = true
+	}
+	for _, p := range s.Gauges {
+		have[p.Name] = true
+	}
+	for _, p := range s.Histograms {
+		have[p.Name] = true
+	}
+	for _, fam := range requiredFamilies {
+		if !have[fam] {
+			return megaerr.Invalidf("metrics: snapshot is missing required family %q", fam)
+		}
+	}
+	for _, a := range s.Audits {
+		if !a.OK {
+			return megaerr.Auditf(a.Name, "%s", a.Detail)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+
+	"mega/internal/megaerr"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("events")
+	c.Add(5)
+	c.Inc()
+	c.Add(-3) // ignored: counters are monotone
+	if got := c.Value(); got != 6 {
+		t.Fatalf("counter = %d, want 6", got)
+	}
+	if r.Counter("events") != c {
+		t.Fatalf("same family+labels resolved to a different counter")
+	}
+	g := r.Gauge("resident", "component", "edge")
+	g.Set(100)
+	g.Add(-40)
+	if got := g.Value(); got != 60 {
+		t.Fatalf("gauge = %d, want 60", got)
+	}
+}
+
+func TestLabeledFamiliesAreDistinct(t *testing.T) {
+	r := New()
+	a := r.Counter("dram_bytes", "component", "spill")
+	b := r.Counter("dram_bytes", "component", "swap")
+	if a == b {
+		t.Fatalf("different labels resolved to the same counter")
+	}
+	a.Add(1)
+	b.Add(2)
+	s := r.Snapshot()
+	if len(s.Counters) != 2 {
+		t.Fatalf("snapshot has %d counters, want 2", len(s.Counters))
+	}
+	for _, p := range s.Counters {
+		if p.Name != "dram_bytes" {
+			t.Fatalf("family name %q, want dram_bytes", p.Name)
+		}
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("op_cycles")
+	for _, v := range []int64{0, 1, 2, 3, 4, 1000, -5} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	if h.Sum() != 1010 { // -5 clamps to 0
+		t.Fatalf("sum = %d, want 1010", h.Sum())
+	}
+	s := r.Snapshot()
+	if len(s.Histograms) != 1 {
+		t.Fatalf("snapshot has %d histograms, want 1", len(s.Histograms))
+	}
+	hp := s.Histograms[0]
+	// bits.Len64: 0,-5 -> bucket 0; 1 -> 1; 2,3 -> 2; 4 -> 3; 1000 -> 10.
+	want := map[int]int64{0: 2, 1: 1, 2: 2, 3: 1, 10: 1}
+	for b, n := range want {
+		if hp.Buckets[b] != n {
+			t.Fatalf("bucket %d = %d, want %d (%v)", b, hp.Buckets[b], n, hp.Buckets)
+		}
+	}
+}
+
+func TestConcurrentCounters(t *testing.T) {
+	r := New()
+	c := r.Counter("events")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				r.Counter("events").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 16000 {
+		t.Fatalf("concurrent counter = %d, want 16000", got)
+	}
+}
+
+func TestAuditsInSnapshot(t *testing.T) {
+	r := New()
+	r.Counter("x").Add(3)
+	r.RegisterAudit("pass", func() error { return nil })
+	r.RegisterAudit("fail", func() error { return errors.New("3 != 4") })
+	r.RegisterAudit("panics", func() error { panic("boom") })
+	r.RecordAudit(AuditResult{Name: "recorded", OK: true})
+	s := r.Snapshot()
+	if len(s.Audits) != 4 {
+		t.Fatalf("snapshot has %d audits, want 4", len(s.Audits))
+	}
+	byName := map[string]AuditResult{}
+	for _, a := range s.Audits {
+		byName[a.Name] = a
+	}
+	if !byName["pass"].OK || !byName["recorded"].OK {
+		t.Fatalf("passing audits reported as failed: %+v", s.Audits)
+	}
+	if byName["fail"].OK || byName["fail"].Detail == "" {
+		t.Fatalf("failing audit not reported: %+v", byName["fail"])
+	}
+	if byName["panics"].OK {
+		t.Fatalf("panicking audit reported OK")
+	}
+	if err := byName["fail"].Err(); !errors.Is(err, megaerr.ErrAudit) {
+		t.Fatalf("AuditResult.Err = %v, want ErrAudit match", err)
+	}
+}
+
+func TestWriteJSONAndValidate(t *testing.T) {
+	r := New()
+	r.Counter("cache_hits").Add(10)
+	r.Gauge("cache_resident_bytes").Set(4096)
+	r.Histogram("op_cycles").Observe(77)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := ValidateSnapshotJSON(buf.Bytes(), "cache_hits", "cache_resident_bytes", "op_cycles"); err != nil {
+		t.Fatalf("ValidateSnapshotJSON: %v", err)
+	}
+	if err := ValidateSnapshotJSON(buf.Bytes(), "missing_family"); !errors.Is(err, megaerr.ErrInvalidInput) {
+		t.Fatalf("missing family error = %v, want ErrInvalidInput", err)
+	}
+	if err := ValidateSnapshotJSON([]byte("{not json"), "x"); !errors.Is(err, megaerr.ErrInvalidInput) {
+		t.Fatalf("malformed JSON error = %v, want ErrInvalidInput", err)
+	}
+
+	// A snapshot carrying a failed audit must fail validation with ErrAudit.
+	bad := Snapshot{
+		Counters: []MetricPoint{{Name: "cache_hits", Value: 1}},
+		Audits:   []AuditResult{{Name: "cache.used", OK: false, Detail: "10 != 20"}},
+	}
+	data, err := json.Marshal(&bad)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if err := ValidateSnapshotJSON(data, "cache_hits"); !errors.Is(err, megaerr.ErrAudit) {
+		t.Fatalf("failed-audit snapshot error = %v, want ErrAudit", err)
+	}
+}
+
+func TestStrictMode(t *testing.T) {
+	// Running under `go test`, the binary suffix rule makes Strict true.
+	if !Strict() {
+		t.Fatalf("Strict() = false inside a test binary")
+	}
+	SetStrict(false)
+	if Strict() {
+		t.Fatalf("SetStrict(false) did not win")
+	}
+	SetStrict(true)
+	if !Strict() {
+		t.Fatalf("SetStrict(true) did not win")
+	}
+	ResetStrict()
+	if !Strict() {
+		t.Fatalf("ResetStrict lost test-binary detection")
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	r := New()
+	r.Counter("b").Inc()
+	r.Counter("a").Inc()
+	r.Counter("a", "k", "2").Inc()
+	r.Counter("a", "k", "1").Inc()
+	s := r.Snapshot()
+	var names []string
+	for _, p := range s.Counters {
+		names = append(names, p.Name+p.Labels["k"])
+	}
+	want := []string{"a", "a1", "a2", "b"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("order %v, want %v", names, want)
+		}
+	}
+}

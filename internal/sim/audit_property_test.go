@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"mega/internal/algo"
+	"mega/internal/evolve"
+	"mega/internal/gen"
+	"mega/internal/sched"
+)
+
+// randomEvolution builds a random RMAT evolution for property tests,
+// varying graph size, snapshot count, batch fraction and imbalance.
+func randomEvolution(t testing.TB, r *rand.Rand) (*gen.Evolution, *evolve.Window) {
+	t.Helper()
+	spec := gen.TestGraph
+	spec.Vertices = 256 + r.Intn(768)
+	spec.Edges = spec.Vertices * (4 + r.Intn(10))
+	spec.Seed = r.Int63()
+	ev, err := gen.Evolve(spec, gen.EvolutionSpec{
+		Snapshots:     2 + r.Intn(6),
+		BatchFraction: 0.005 + r.Float64()*0.04,
+		Imbalance:     1 + r.Float64()*3,
+		Seed:          r.Int63(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := evolve.NewWindow(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev, w
+}
+
+// checkAttribution asserts the conservation laws a Result must satisfy:
+// DRAMBytes fully attributed to its components, channel bytes summing to
+// the edge-miss traffic they split, queue conservation, and every
+// recorded audit passing.
+func checkAttribution(t *testing.T, label string, res *Result) {
+	t.Helper()
+	sum := res.BatchBytes + res.EdgeMissBytes + res.SpillBytes + res.SwapBytes + res.CopyBytes
+	if res.DRAMBytes != sum {
+		t.Errorf("%s: DRAMBytes %d != batch %d + edge-miss %d + spill %d + swap %d + copy %d = %d",
+			label, res.DRAMBytes, res.BatchBytes, res.EdgeMissBytes, res.SpillBytes,
+			res.SwapBytes, res.CopyBytes, sum)
+	}
+	var chanSum int64
+	for _, b := range res.ChannelBytes {
+		chanSum += b
+	}
+	if chanSum != res.EdgeMissBytes {
+		t.Errorf("%s: channel bytes sum %d != edge-miss bytes %d", label, chanSum, res.EdgeMissBytes)
+	}
+	if res.CacheHitBytes+res.CacheMissBytes == 0 && res.CacheHits+res.CacheMiss > 0 {
+		t.Errorf("%s: cache accessed (%d hits, %d misses) but no bytes attributed",
+			label, res.CacheHits, res.CacheMiss)
+	}
+	if res.QueuePushed-res.QueueCoalesced != res.QueueTaken {
+		t.Errorf("%s: queue conservation violated: pushed %d − coalesced %d != taken %d",
+			label, res.QueuePushed, res.QueueCoalesced, res.QueueTaken)
+	}
+	for _, ar := range res.Audits {
+		if err := ar.Err(); err != nil {
+			t.Errorf("%s: audit %s failed: %v", label, ar.Name, err)
+		}
+	}
+}
+
+// Property: on random RMAT evolutions, every workflow's DRAM traffic is
+// fully attributed — the total equals the sum of its named components —
+// on every schedule mode, with a small on-chip budget mixed in so the
+// spill/swap components are exercised too.
+func TestDRAMAttributionProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(301))
+	modes := []sched.Mode{sched.BOE, sched.WorkSharing, sched.DirectHop}
+	for trial := 0; trial < 6; trial++ {
+		ev, w := randomEvolution(t, r)
+		cfg := DefaultConfig()
+		if trial%2 == 1 {
+			// Tiny on-chip budget: forces partitioning, spills and swaps.
+			cfg.OnChipBytes = 8 << 10
+		}
+		mode := modes[trial%len(modes)]
+		res, err := RunMEGA(w, algo.SSSP, 0, mode, cfg)
+		if err != nil {
+			t.Fatalf("trial %d: RunMEGA: %v", trial, err)
+		}
+		checkAttribution(t, mode.String(), res)
+
+		js, err := RunJetStream(ev, algo.SSSP, 0, JetStreamConfig())
+		if err != nil {
+			t.Fatalf("trial %d: RunJetStream: %v", trial, err)
+		}
+		checkAttribution(t, "JetStream", js)
+	}
+}

@@ -1,11 +1,21 @@
 package sim
 
-import "mega/internal/graph"
+import (
+	"mega/internal/graph"
+	"mega/internal/megaerr"
+)
 
 // edgeCache models the accelerator's edge cache: an LRU over per-vertex
 // adjacency blocks. A hit serves the whole adjacency on-chip; a miss
 // streams it from DRAM (and installs it, evicting least-recently-used
 // blocks until it fits). Blocks larger than the whole cache bypass it.
+//
+// Adjacency blocks change size as the graph evolves: an addition batch
+// grows a vertex's adjacency, so a resident block's recorded size can go
+// stale. access resizes the resident block on hit — charging DRAM for
+// the grown delta, updating used, and evicting (or demoting the block to
+// bypass) to fit — so used always equals the sum of resident block bytes
+// at their current sizes.
 type edgeCache struct {
 	capacity int64
 	used     int64
@@ -17,6 +27,7 @@ type edgeCache struct {
 	Misses    int64
 	HitBytes  int64
 	MissBytes int64
+	Evictions int64
 }
 
 type cacheNode struct {
@@ -33,10 +44,37 @@ func newEdgeCache(capacity int64) *edgeCache {
 }
 
 // access touches vertex v's adjacency block of the given size and reports
-// whether it was a hit. Misses return the number of bytes that must be
-// fetched from DRAM.
+// whether it was a hit. dramBytes is what must be fetched from DRAM: the
+// whole block on a miss, the grown delta on a hit whose block grew, zero
+// otherwise.
 func (c *edgeCache) access(v graph.VertexID, bytes int64) (hit bool, dramBytes int64) {
 	if n, ok := c.entries[v]; ok {
+		if bytes > c.capacity {
+			// The block grew past the whole cache: demote to bypass.
+			c.uncache(n)
+			c.Misses++
+			c.MissBytes += bytes
+			return false, bytes
+		}
+		if delta := bytes - n.bytes; delta > 0 {
+			// Grown block: the resident prefix is served on-chip, the new
+			// edges stream from DRAM and the block is resized in place.
+			c.Hits++
+			c.HitBytes += n.bytes
+			c.MissBytes += delta
+			n.bytes = bytes
+			c.used += delta
+			c.moveToFront(n)
+			for c.used > c.capacity && c.tail != n {
+				c.evict()
+			}
+			return true, delta
+		} else if delta < 0 {
+			// Shrunk block (deletion batch): still a full hit, but the
+			// freed bytes leave the budget.
+			n.bytes = bytes
+			c.used += delta
+		}
 		c.Hits++
 		c.HitBytes += bytes
 		c.moveToFront(n)
@@ -100,7 +138,60 @@ func (c *edgeCache) evict() {
 	}
 	delete(c.entries, n.v)
 	c.used -= n.bytes
+	c.Evictions++
+}
+
+// uncache removes an arbitrary resident block (demotion to bypass).
+func (c *edgeCache) uncache(n *cacheNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	delete(c.entries, n.v)
+	c.used -= n.bytes
+	c.Evictions++
 }
 
 // len returns the number of cached blocks (for tests).
 func (c *edgeCache) len() int { return len(c.entries) }
+
+// audit checks the cache's residency invariants: used equals the sum of
+// resident block bytes, the LRU list and the entry map agree, and — when
+// truth is non-nil, mapping each vertex to its most recently fetched true
+// adjacency size — every resident block's recorded size matches the
+// truth. The last check is what catches stale-size bugs: a cache that is
+// internally consistent but remembers pre-growth sizes fails it.
+func (c *edgeCache) audit(truth map[graph.VertexID]int64) error {
+	var sum int64
+	listLen := 0
+	for n := c.head; n != nil; n = n.next {
+		sum += n.bytes
+		listLen++
+		if truth != nil {
+			if want, ok := truth[n.v]; ok && want != n.bytes {
+				return megaerr.Auditf("cache.used",
+					"vertex %d resident at %d bytes, last fetched size %d (stale-size block)",
+					n.v, n.bytes, want)
+			}
+		}
+	}
+	if listLen != len(c.entries) {
+		return megaerr.Auditf("cache.used",
+			"LRU list has %d blocks, entry map has %d", listLen, len(c.entries))
+	}
+	if sum != c.used {
+		return megaerr.Auditf("cache.used",
+			"used = %d, sum of resident block bytes = %d", c.used, sum)
+	}
+	if c.used > c.capacity {
+		return megaerr.Auditf("cache.used",
+			"used = %d exceeds capacity %d", c.used, c.capacity)
+	}
+	return nil
+}

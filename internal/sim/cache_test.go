@@ -1,11 +1,13 @@
 package sim
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"mega/internal/graph"
+	"mega/internal/megaerr"
 )
 
 func TestCacheHitMiss(t *testing.T) {
@@ -46,6 +48,35 @@ func TestCacheJumboBypass(t *testing.T) {
 	}
 	if c.used > c.capacity {
 		t.Errorf("used %d > capacity %d", c.used, c.capacity)
+	}
+}
+
+// Regression for the stale-size accounting bug: before the fix, a hit on
+// a block whose adjacency had grown left the resident size (and used) at
+// the pre-growth value, so the cache silently over-admitted blocks. The
+// cache.used audit catches exactly that state.
+func TestCacheAuditCatchesStaleSize(t *testing.T) {
+	c := newEdgeCache(200)
+	c.access(1, 40)
+	// Simulate the pre-fix bug: the true adjacency grew to 60 bytes (an
+	// addition batch appended edges) but the resident block still says 40.
+	err := c.audit(map[graph.VertexID]int64{1: 60})
+	if err == nil {
+		t.Fatal("audit accepted a stale-size resident block")
+	}
+	if !errors.Is(err, megaerr.ErrAudit) {
+		t.Fatalf("audit error = %v, want ErrAudit match", err)
+	}
+	// The fixed access path resizes the block in place (charging DRAM for
+	// the delta); the same audit then passes.
+	if hit, dram := c.access(1, 60); !hit || dram != 20 {
+		t.Fatalf("grown-block access: hit=%v dram=%d, want hit with 20-byte delta", hit, dram)
+	}
+	if err := c.audit(map[graph.VertexID]int64{1: 60}); err != nil {
+		t.Fatalf("audit after resize: %v", err)
+	}
+	if c.used != 60 {
+		t.Fatalf("used = %d after resize, want 60", c.used)
 	}
 }
 

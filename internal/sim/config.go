@@ -159,6 +159,18 @@ func (c Config) Validate() error {
 		return megaerr.Invalidf("sim: DRAM bandwidth %v <= 0", c.DRAMBytesPerCycle)
 	case c.ValueBytes < 1 || c.EdgeEntryBytes < 1 || c.EventBytes < 1 || c.BatchEdgeBytes < 1:
 		return megaerr.Invalidf("sim: record sizes must be positive")
+	case c.DRAMBurstBytes < 1:
+		// ceilDiv treats a non-positive divisor as "free", so a zero burst
+		// size would silently price all edge-miss traffic at zero bursts.
+		return megaerr.Invalidf("sim: DRAM burst bytes %d < 1", c.DRAMBurstBytes)
+	case c.EdgeCacheBytes < 0:
+		return megaerr.Invalidf("sim: edge cache bytes %d < 0", c.EdgeCacheBytes)
+	case c.RoundOverheadCycles < 0 || c.PartitionSwitchCycles < 0:
+		return megaerr.Invalidf("sim: per-round/per-partition overheads must be non-negative")
+	case c.MutationBytesPerEdge < 0:
+		return megaerr.Invalidf("sim: mutation bytes per edge %d < 0", c.MutationBytesPerEdge)
+	case c.DeletionEventCycles < 0:
+		return megaerr.Invalidf("sim: deletion event cycles %d < 0", c.DeletionEventCycles)
 	}
 	return nil
 }

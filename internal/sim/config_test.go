@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"mega/internal/algo"
+	"mega/internal/megaerr"
+	"mega/internal/sched"
+)
+
+// Every field the timing model divides by (or prices traffic with) must
+// be rejected by Validate with an ErrInvalidInput error, and handing the
+// bad configuration straight to a run must fail the same way instead of
+// panicking with a divide-by-zero deep inside the model.
+func TestConfigRejectsEveryDivisor(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"PEs=0", func(c *Config) { c.PEs = 0 }},
+		{"GenStreamsPerPE=0", func(c *Config) { c.GenStreamsPerPE = 0 }},
+		{"QueueBins=0", func(c *Config) { c.QueueBins = 0 }},
+		{"NoCPorts=0", func(c *Config) { c.NoCPorts = 0 }},
+		{"ClockGHz=0", func(c *Config) { c.ClockGHz = 0 }},
+		{"ClockGHz<0", func(c *Config) { c.ClockGHz = -1 }},
+		{"OnChipBytes=0", func(c *Config) { c.OnChipBytes = 0 }},
+		{"DRAMBytesPerCycle=0", func(c *Config) { c.DRAMBytesPerCycle = 0 }},
+		{"ValueBytes=0", func(c *Config) { c.ValueBytes = 0 }},
+		{"EdgeEntryBytes=0", func(c *Config) { c.EdgeEntryBytes = 0 }},
+		{"EventBytes=0", func(c *Config) { c.EventBytes = 0 }},
+		{"BatchEdgeBytes=0", func(c *Config) { c.BatchEdgeBytes = 0 }},
+		{"DRAMBurstBytes=0", func(c *Config) { c.DRAMBurstBytes = 0 }},
+		{"EdgeCacheBytes<0", func(c *Config) { c.EdgeCacheBytes = -1 }},
+		{"RoundOverheadCycles<0", func(c *Config) { c.RoundOverheadCycles = -1 }},
+		{"PartitionSwitchCycles<0", func(c *Config) { c.PartitionSwitchCycles = -1 }},
+		{"MutationBytesPerEdge<0", func(c *Config) { c.MutationBytesPerEdge = -1 }},
+		{"DeletionEventCycles<0", func(c *Config) { c.DeletionEventCycles = -1 }},
+	}
+	_, w := testEvolution(t, 2, 0.02)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mutate(&cfg)
+			if err := cfg.Validate(); !errors.Is(err, megaerr.ErrInvalidInput) {
+				t.Fatalf("Validate() = %v, want ErrInvalidInput match", err)
+			}
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("RunMEGA panicked on invalid config: %v", r)
+				}
+			}()
+			if _, err := RunMEGA(w, algo.BFS, 0, sched.BOE, cfg); !errors.Is(err, megaerr.ErrInvalidInput) {
+				t.Fatalf("RunMEGA = %v, want ErrInvalidInput match", err)
+			}
+		})
+	}
+}

@@ -2,6 +2,8 @@ package sim
 
 import (
 	"mega/internal/graph"
+	"mega/internal/megaerr"
+	"mega/internal/metrics"
 )
 
 // OpProfile is the timing record of one schedule operation (batch
@@ -42,11 +44,19 @@ type machine struct {
 	cache         *edgeCache
 	captureSeries bool
 
-	// Totals.
-	cycles     int64
-	dramBytes  int64
-	spillBytes int64
-	swapBytes  int64
+	// Totals. dramBytes is fully attributed: it always equals
+	// batchBytes + edgeMissBytes + spillBytes + swapBytes + copyBytes
+	// (the sim.dram_attribution audit).
+	cycles        int64
+	dramBytes     int64
+	batchBytes    int64 // batch reads + adjacency-maintenance traffic
+	edgeMissBytes int64 // burst-rounded edge-cache miss traffic
+	spillBytes    int64 // cross-partition event spills
+	swapBytes     int64 // partition activation streaming
+	copyBytes     int64 // off-chip value broadcasts/clones
+	fetches       int64 // total adjacency fetches (hits + misses)
+	partSwaps     int64 // partition activations charged at op ends
+	chanBytes     []int64 // cumulative edge-miss bytes per DRAM channel
 
 	// Current op.
 	op          OpProfile
@@ -75,6 +85,16 @@ type machine struct {
 	opPartsCount int
 
 	profiles []OpProfile
+
+	// auditOn caches metrics.Strict() at construction. lastBytes is the
+	// cache audit's external truth — each vertex's most recently fetched
+	// true adjacency size, maintained only when auditing (a cache that is
+	// internally consistent but remembers stale pre-growth sizes can only
+	// be caught against it). auditErr records the first op-boundary audit
+	// failure; run wrappers surface it.
+	auditOn   bool
+	lastBytes map[graph.VertexID]int64
+	auditErr  error
 }
 
 func newMachine(cfg Config, part *graph.Partitioning, residentState int64, captureSeries bool) *machine {
@@ -88,6 +108,11 @@ func newMachine(cfg Config, part *graph.Partitioning, residentState int64, captu
 		opParts:       make([]bool, part.Parts()),
 		rBin:          make([]int64, max(cfg.QueueBins, 1)),
 		rChan:         make([]int64, max(dramChannels(cfg), 1)),
+		auditOn:       metrics.Strict(),
+	}
+	m.chanBytes = make([]int64, len(m.rChan))
+	if m.auditOn {
+		m.lastBytes = make(map[graph.VertexID]int64)
 	}
 	return m
 }
@@ -114,6 +139,7 @@ func (m *machine) OpStart(kind string, batchEdges, contexts int) {
 	if batchEdges > 0 {
 		b := int64(batchEdges) * (m.cfg.BatchEdgeBytes + m.cfg.MutationBytesPerEdge)
 		m.dramBytes += b
+		m.batchBytes += b
 		m.opExtraCyc += ceilDiv(b, int64(m.cfg.DRAMBytesPerCycle))
 	}
 	m.rEvents, m.rEventCyc, m.rGen, m.rFetches, m.rDram = 0, 0, 0, 0, 0
@@ -156,15 +182,22 @@ func (m *machine) EdgeFetch(v graph.VertexID, edges, _ int) {
 		return
 	}
 	m.rFetches++ // even a cache hit occupies an edge-cache port
+	m.fetches++
 	bytes := int64(edges) * m.cfg.EdgeEntryBytes
+	if m.auditOn {
+		m.lastBytes[v] = bytes
+	}
 	if _, dram := m.cache.access(v, bytes); dram > 0 {
 		if m.cfg.DRAMBurstBytes > 0 {
 			dram = ceilDiv(dram, m.cfg.DRAMBurstBytes) * m.cfg.DRAMBurstBytes
 		}
 		m.rDram += dram
 		m.dramBytes += dram
+		m.edgeMissBytes += dram
 		// Adjacency blocks interleave across channels by vertex block.
-		m.rChan[int(v>>3)%len(m.rChan)] += dram
+		ch := int(v>>3) % len(m.rChan)
+		m.rChan[ch] += dram
+		m.chanBytes[ch] += dram
 	}
 }
 
@@ -201,6 +234,7 @@ func (m *machine) ValueCopy(vertices, targets int) {
 			bytes *= 2
 		}
 		m.dramBytes += bytes
+		m.copyBytes += bytes
 		m.opExtraCyc += ceilDiv(bytes, int64(m.cfg.DRAMBytesPerCycle))
 	} else {
 		// On-chip block copy: wide eDRAM row, 256 B/cycle.
@@ -275,6 +309,7 @@ func (m *machine) OpEnd() {
 		b := int64(float64(actCyc) * m.cfg.DRAMBytesPerCycle)
 		m.swapBytes += b
 		m.dramBytes += b
+		m.partSwaps += int64(m.opPartsCount)
 		for p := range m.opParts {
 			m.opParts[p] = false
 		}
@@ -302,18 +337,67 @@ func (m *machine) OpEnd() {
 	}
 	m.cycles += cyc
 	m.profiles = append(m.profiles, m.op)
+	if m.auditOn && m.auditErr == nil {
+		for _, ar := range m.audit() {
+			if err := ar.Err(); err != nil {
+				m.auditErr = err
+				break
+			}
+		}
+	}
+}
+
+// audit evaluates the machine's conservation laws (run at every op
+// boundary in strict mode and at run end): full DRAM attribution,
+// channel-bytes consistency, and the edge cache's residency invariant
+// checked against the true adjacency sizes last fetched.
+func (m *machine) audit() []metrics.AuditResult {
+	toResult := func(name string, err error) metrics.AuditResult {
+		if err != nil {
+			return metrics.AuditResult{Name: name, OK: false, Detail: err.Error()}
+		}
+		return metrics.AuditResult{Name: name, OK: true}
+	}
+	var dramErr error
+	attributed := m.batchBytes + m.edgeMissBytes + m.spillBytes + m.swapBytes + m.copyBytes
+	if attributed != m.dramBytes {
+		dramErr = megaerr.Auditf("sim.dram_attribution",
+			"dramBytes %d != batch %d + edge-miss %d + spill %d + swap %d + copy %d = %d",
+			m.dramBytes, m.batchBytes, m.edgeMissBytes, m.spillBytes, m.swapBytes,
+			m.copyBytes, attributed)
+	}
+	var chanErr error
+	var chanSum int64
+	for _, b := range m.chanBytes {
+		chanSum += b
+	}
+	if chanSum != m.edgeMissBytes {
+		chanErr = megaerr.Auditf("sim.dram_channels",
+			"sum of channel bytes %d != edge-miss bytes %d", chanSum, m.edgeMissBytes)
+	}
+	return []metrics.AuditResult{
+		toResult("sim.dram_attribution", dramErr),
+		toResult("sim.dram_channels", chanErr),
+		toResult("sim.cache.used", m.cache.audit(m.lastBytes)),
+	}
 }
 
 // pipelinedCycles computes total cycles with batch pipelining: the tail of
 // each batch application overlaps the head (non-tail body) of the next.
-// Non-apply ops (init/copy) neither pipeline nor break the chain of the
-// batches around them.
+// Non-apply ops (init/copy) don't pipeline, but they do occupy the shared
+// datapath: an intervening op consumes the carried overlap by its own
+// cycles, so only whatever tail outlasts it can still overlap the next
+// batch's body.
 func pipelinedCycles(profiles []OpProfile, threshold int) int64 {
 	var total int64
 	var prevTail int64
 	for _, p := range profiles {
 		total += p.Cycles
 		if !isApplyOp(p.Kind) {
+			prevTail -= p.Cycles
+			if prevTail < 0 {
+				prevTail = 0
+			}
 			continue
 		}
 		if threshold > 0 && prevTail > 0 {

@@ -31,15 +31,46 @@ func TestPipelinedCyclesTailLargerThanBody(t *testing.T) {
 	}
 }
 
-func TestPipelinedCyclesNonApplyOpsNeutral(t *testing.T) {
+func TestPipelinedCyclesNonApplyOpsConsumeTail(t *testing.T) {
 	profiles := []OpProfile{
 		{Kind: "add", Cycles: 100, TailCycles: 30},
 		{Kind: "copy", Cycles: 7},
 		{Kind: "init", Cycles: 3},
 		{Kind: "add", Cycles: 100, TailCycles: 10},
 	}
-	// The bookkeeping ops neither pipeline nor break the apply chain:
-	// total 210, minus min(tail 30, next body 90) = 180.
+	// Bookkeeping ops occupy the shared datapath, so the carried tail of 30
+	// is consumed by their 7+3 cycles before the next apply starts: the
+	// remaining overlap is min(30-10, 100-10) = 20. Total 210 - 20 = 190.
+	// (The old model let the full 30-cycle tail overlap the second apply as
+	// if the copy and init ran on a disjoint datapath, double-counting the
+	// bookkeeping cycles as overlap capacity.)
+	if got := pipelinedCycles(profiles, 1); got != 190 {
+		t.Errorf("pipelinedCycles = %d, want 190", got)
+	}
+}
+
+func TestPipelinedCyclesTailFullyConsumed(t *testing.T) {
+	profiles := []OpProfile{
+		{Kind: "add", Cycles: 100, TailCycles: 25},
+		{Kind: "copy", Cycles: 40},
+		{Kind: "add", Cycles: 100, TailCycles: 10},
+	}
+	// The copy (40 cycles) outlasts the 25-cycle tail entirely: no overlap
+	// survives into the second apply, and the deficit must clamp at zero
+	// rather than going negative.
+	if got := pipelinedCycles(profiles, 1); got != 240 {
+		t.Errorf("pipelinedCycles = %d, want 240 (no surviving overlap)", got)
+	}
+}
+
+func TestPipelinedCyclesLeadingNonApply(t *testing.T) {
+	profiles := []OpProfile{
+		{Kind: "init", Cycles: 10},
+		{Kind: "add", Cycles: 100, TailCycles: 30},
+		{Kind: "add", Cycles: 100, TailCycles: 10},
+	}
+	// A leading bookkeeping op has no carried tail to consume; the apply
+	// chain pipelines normally afterwards: 10 + 200 - min(30, 90) = 180.
 	if got := pipelinedCycles(profiles, 1); got != 180 {
 		t.Errorf("pipelinedCycles = %d, want 180", got)
 	}

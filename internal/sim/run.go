@@ -3,6 +3,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"strconv"
 
 	"mega/internal/algo"
 	"mega/internal/engine"
@@ -10,6 +11,7 @@ import (
 	"mega/internal/fault"
 	"mega/internal/gen"
 	"mega/internal/graph"
+	"mega/internal/metrics"
 	"mega/internal/sched"
 )
 
@@ -34,12 +36,42 @@ type Result struct {
 	// capacity (1 = everything resident).
 	Partitions int
 
-	// Memory-system breakdown (bytes).
-	DRAMBytes  int64
-	SpillBytes int64
-	SwapBytes  int64
-	CacheHits  int64
-	CacheMiss  int64
+	// Memory-system breakdown (bytes). DRAMBytes is fully attributed:
+	// DRAMBytes == BatchBytes + EdgeMissBytes + SpillBytes + SwapBytes +
+	// CopyBytes (the sim.dram_attribution audit).
+	DRAMBytes     int64
+	BatchBytes    int64
+	EdgeMissBytes int64
+	SpillBytes    int64
+	SwapBytes     int64
+	CopyBytes     int64
+	// ChannelBytes is the per-DRAM-channel split of EdgeMissBytes.
+	ChannelBytes []int64
+
+	// Edge-cache behaviour.
+	CacheHits          int64
+	CacheMiss          int64
+	CacheHitBytes      int64
+	CacheMissBytes     int64
+	CacheEvictions     int64
+	CacheResidentBytes int64
+
+	// Fetches is the total adjacency fetches (cache hits + misses);
+	// PartitionSwaps counts partition activations charged at op ends.
+	Fetches        int64
+	PartitionSwaps int64
+
+	// Queue-traffic counters from the functional engine (zero for
+	// recompute runs, whose solver uses untracked local queues):
+	// QueuePushed - QueueCoalesced == QueueTaken at quiescence.
+	QueuePushed    int64
+	QueueCoalesced int64
+	QueueTaken     int64
+
+	// Audits holds the run's conservation-law checks (timing model and,
+	// when available, engine queues). Always populated; strict mode
+	// additionally fails the run on the first violated audit.
+	Audits []metrics.AuditResult
 
 	// Counts are the exact functional measures (events, vertex
 	// reads/writes, edge reads, fetch sharing, rounds).
@@ -121,7 +153,11 @@ func runMEGA(ctx context.Context, w *evolve.Window, kind algo.Kind, src graph.Ve
 	if err := eng.RunContext(ctx, s, engine.Limits{}); err != nil {
 		return nil, err
 	}
-	res := newResult(mode.String(), kind, cfg, m, stats)
+	res, err := newResult(mode.String(), kind, cfg, m, stats, eng.AuditQueues())
+	if err != nil {
+		return nil, err
+	}
+	res.QueuePushed, res.QueueCoalesced, res.QueueTaken = eng.QueueCounters()
 	for snap := 0; snap < w.NumSnapshots(); snap++ {
 		res.SnapshotValues = append(res.SnapshotValues, eng.SnapshotValues(s, snap))
 	}
@@ -150,7 +186,11 @@ func RunMEGANoFetchShare(w *evolve.Window, kind algo.Kind, src graph.VertexID, m
 	if err := eng.RunContext(context.Background(), s, engine.Limits{}); err != nil {
 		return nil, err
 	}
-	res := newResult(mode.String()+" (no fetch sharing)", kind, cfg, m, stats)
+	res, err := newResult(mode.String()+" (no fetch sharing)", kind, cfg, m, stats, eng.AuditQueues())
+	if err != nil {
+		return nil, err
+	}
+	res.QueuePushed, res.QueueCoalesced, res.QueueTaken = eng.QueueCounters()
 	for snap := 0; snap < w.NumSnapshots(); snap++ {
 		res.SnapshotValues = append(res.SnapshotValues, eng.SnapshotValues(s, snap))
 	}
@@ -195,7 +235,12 @@ func RunRecomputeContext(ctx context.Context, w *evolve.Window, kind algo.Kind, 
 		}
 		res.SnapshotValues = append(res.SnapshotValues, vals)
 	}
-	filled := newResult("Recompute", kind, cfg, m, stats)
+	// SolveContext's local queues are not traffic-counted, so recompute
+	// results carry zero queue counters and no engine queue audits.
+	filled, err := newResult("Recompute", kind, cfg, m, stats, nil)
+	if err != nil {
+		return nil, err
+	}
 	filled.SnapshotValues = res.SnapshotValues
 	return filled, nil
 }
@@ -300,13 +345,22 @@ func RunJetStreamOnContext(ctx context.Context, ev *gen.Evolution, hg *HopGraphs
 		st.ApplyAdditions(hg.New[j], ev.Adds[j])
 		values = append(values, append([]float64(nil), st.Values()...))
 	}
-	filled := newResult("JetStream", kind, cfg, m, stats)
+	filled, err := newResult("JetStream", kind, cfg, m, stats, st.AuditQueues())
+	if err != nil {
+		return nil, err
+	}
+	filled.QueuePushed, filled.QueueCoalesced, filled.QueueTaken = st.QueueCounters()
 	filled.SnapshotValues = values
 	return filled, nil
 }
 
-func newResult(workflow string, kind algo.Kind, cfg Config, m *machine, stats *engine.Stats) *Result {
-	return &Result{
+// newResult assembles a run's Result and finalizes its audits: the
+// machine's op-boundary audit error (recorded during the run under strict
+// mode) or a run-boundary audit violation surfaces as a typed
+// megaerr.ErrAudit error; otherwise the audit outcomes ride along in
+// Result.Audits for snapshot export.
+func newResult(workflow string, kind algo.Kind, cfg Config, m *machine, stats *engine.Stats, engineAudits []metrics.AuditResult) (*Result, error) {
+	res := &Result{
 		Workflow:   workflow,
 		Algo:       kind,
 		Cycles:     m.cycles,
@@ -314,13 +368,87 @@ func newResult(workflow string, kind algo.Kind, cfg Config, m *machine, stats *e
 		TimeMs:     cfg.CyclesToMs(m.cycles),
 		TimeMsBP:   cfg.CyclesToMs(pipelinedCycles(m.profiles, cfg.BPThresholdEvents)),
 		Partitions: m.partitions,
-		DRAMBytes:  m.dramBytes,
-		SpillBytes: m.spillBytes,
-		SwapBytes:  m.swapBytes,
-		CacheHits:  m.cache.Hits,
-		CacheMiss:  m.cache.Misses,
+
+		DRAMBytes:     m.dramBytes,
+		BatchBytes:    m.batchBytes,
+		EdgeMissBytes: m.edgeMissBytes,
+		SpillBytes:    m.spillBytes,
+		SwapBytes:     m.swapBytes,
+		CopyBytes:     m.copyBytes,
+		ChannelBytes:  append([]int64(nil), m.chanBytes...),
+
+		CacheHits:          m.cache.Hits,
+		CacheMiss:          m.cache.Misses,
+		CacheHitBytes:      m.cache.HitBytes,
+		CacheMissBytes:     m.cache.MissBytes,
+		CacheEvictions:     m.cache.Evictions,
+		CacheResidentBytes: m.cache.used,
+
+		Fetches:        m.fetches,
+		PartitionSwaps: m.partSwaps,
+
 		Counts:     *stats,
 		OpProfiles: m.profiles,
+	}
+	res.Audits = append(m.audit(), engineAudits...)
+	if m.auditErr != nil {
+		return res, m.auditErr
+	}
+	if m.auditOn {
+		for _, ar := range res.Audits {
+			if err := ar.Err(); err != nil {
+				return res, err
+			}
+		}
+	}
+	return res, nil
+}
+
+// RecordMetrics writes the result into reg under the shared metric
+// taxonomy (DESIGN.md §10): cache, per-component and per-channel DRAM
+// traffic, queue traffic, engine event counts, timing gauges, and the
+// run's audits.
+func (r *Result) RecordMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("cache_hits").Add(r.CacheHits)
+	reg.Counter("cache_misses").Add(r.CacheMiss)
+	reg.Counter("cache_evictions").Add(r.CacheEvictions)
+	reg.Counter("cache_hit_bytes").Add(r.CacheHitBytes)
+	reg.Counter("cache_miss_bytes").Add(r.CacheMissBytes)
+	reg.Gauge("cache_resident_bytes").Set(r.CacheResidentBytes)
+
+	reg.Counter("dram_bytes", "component", "batch").Add(r.BatchBytes)
+	reg.Counter("dram_bytes", "component", "edge_miss").Add(r.EdgeMissBytes)
+	reg.Counter("dram_bytes", "component", "spill").Add(r.SpillBytes)
+	reg.Counter("dram_bytes", "component", "swap").Add(r.SwapBytes)
+	reg.Counter("dram_bytes", "component", "copy").Add(r.CopyBytes)
+	reg.Counter("dram_bytes_total").Add(r.DRAMBytes)
+	for ch, b := range r.ChannelBytes {
+		reg.Counter("dram_channel_bytes", "channel", strconv.Itoa(ch)).Add(b)
+	}
+
+	reg.Counter("engine_events_processed").Add(r.Counts.Events)
+	reg.Counter("engine_events_applied").Add(r.Counts.Applied)
+	reg.Counter("engine_events_generated").Add(r.Counts.GeneratedEvents)
+	reg.Counter("engine_edge_fetches").Add(r.Counts.EdgeFetches)
+	reg.Counter("engine_shared_fetches_served").Add(r.Counts.SharedServed)
+	reg.Counter("engine_values_copied").Add(r.Counts.ValuesCopied)
+	reg.Counter("queue_pushed").Add(r.QueuePushed)
+	reg.Counter("queue_coalesced").Add(r.QueueCoalesced)
+	reg.Counter("queue_taken").Add(r.QueueTaken)
+	reg.Counter("adjacency_fetches").Add(r.Fetches)
+	reg.Counter("partition_swaps").Add(r.PartitionSwaps)
+
+	reg.Gauge("sim_cycles").Set(r.Cycles)
+	reg.Gauge("sim_cycles_bp").Set(r.CyclesBP)
+	reg.Gauge("partitions").Set(int64(r.Partitions))
+	for _, p := range r.OpProfiles {
+		reg.Histogram("op_cycles", "kind", p.Kind).Observe(p.Cycles)
+	}
+	for _, ar := range r.Audits {
+		reg.RecordAudit(ar)
 	}
 }
 

@@ -276,8 +276,10 @@ func TestPipelinedCycles(t *testing.T) {
 		{Kind: "add", Cycles: 50, TailCycles: 50},
 	}
 	plain := int64(100 + 5 + 80 + 50)
-	// Overlaps: op0 tail 30 vs op2 body 60 → 30; op2 tail 20 vs op3 body 0 → 0.
-	want := plain - 30
+	// Overlaps: op0's 30-cycle tail is consumed down to 25 by the init's 5
+	// cycles on the shared datapath, then min(25, op2 body 60) → 25 saved;
+	// op2 tail 20 vs op3 body 0 → 0.
+	want := plain - 25
 	if got := pipelinedCycles(profiles, 10); got != want {
 		t.Errorf("pipelinedCycles = %d, want %d", got, want)
 	}

@@ -1,0 +1,48 @@
+package uarch
+
+import (
+	"errors"
+	"testing"
+
+	"mega/internal/algo"
+	"mega/internal/megaerr"
+)
+
+// Every field the cycle-level machine divides by must be rejected by
+// validate with an ErrInvalidInput error — on both the BOE machine and
+// the streaming baseline — instead of panicking mid-simulation.
+func TestUarchConfigRejectsEveryDivisor(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"PEs=0", func(c *Config) { c.PEs = 0 }},
+		{"GenStreamsPerPE=0", func(c *Config) { c.GenStreamsPerPE = 0 }},
+		{"QueueBins=0", func(c *Config) { c.QueueBins = 0 }},
+		{"DRAMChannels=0", func(c *Config) { c.DRAMChannels = 0 }},
+		{"DRAMChannelBytesPerCycle=0", func(c *Config) { c.DRAMChannelBytesPerCycle = 0 }},
+		{"BatchEdgesPerCycle=0", func(c *Config) { c.BatchEdgesPerCycle = 0 }},
+		{"EdgeEntryBytes=0", func(c *Config) { c.EdgeEntryBytes = 0 }},
+		{"EdgeCacheBytes<0", func(c *Config) { c.EdgeCacheBytes = -1 }},
+		{"DRAMLatencyCycles<0", func(c *Config) { c.DRAMLatencyCycles = -1 }},
+	}
+	w := testWindow(t, 2, 91)
+	ev := testEvolution(t, 2, 92)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mutate(&cfg)
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("run panicked on invalid config: %v", r)
+				}
+			}()
+			if _, err := Run(w, algo.BFS, 0, cfg); !errors.Is(err, megaerr.ErrInvalidInput) {
+				t.Fatalf("Run = %v, want ErrInvalidInput match", err)
+			}
+			if _, err := RunStream(ev, algo.BFS, 0, cfg); !errors.Is(err, megaerr.ErrInvalidInput) {
+				t.Fatalf("RunStream = %v, want ErrInvalidInput match", err)
+			}
+		})
+	}
+}

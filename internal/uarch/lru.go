@@ -1,14 +1,22 @@
 package uarch
 
+import "mega/internal/megaerr"
+
 // lru is a byte-budgeted LRU over per-vertex adjacency blocks, the edge
 // unit's cache. (internal/sim has its own; this one is deliberately
 // independent so the two fidelity levels share no modeling code.)
+//
+// Blocks are resized in place when an access arrives with a different
+// size — evolving graphs grow and shrink adjacencies between batches —
+// so used always equals the sum of resident block bytes at their current
+// sizes.
 type lru struct {
-	capacity int64
-	used     int64
-	nodes    map[uint32]*lruNode
-	head     *lruNode // most recently used
-	tail     *lruNode
+	capacity  int64
+	used      int64
+	nodes     map[uint32]*lruNode
+	head      *lruNode // most recently used
+	tail      *lruNode
+	evictions int64
 }
 
 type lruNode struct {
@@ -21,28 +29,55 @@ func newLRU(capacity int64) *lru {
 	return &lru{capacity: capacity, nodes: make(map[uint32]*lruNode)}
 }
 
-// access touches the block and reports whether it was cached. Misses
-// install the block, evicting least-recently-used entries; blocks larger
-// than the cache bypass it.
-func (c *lru) access(key uint32, bytes int64) bool {
+// access touches the block and reports whether it was cached. dramBytes
+// is what must stream from DRAM: the whole block on a miss, the grown
+// delta on a hit whose block grew, zero otherwise. Misses install the
+// block, evicting least-recently-used entries; blocks larger than the
+// cache bypass it (and a resident block that grows past capacity is
+// demoted to bypass).
+func (c *lru) access(key uint32, bytes int64) (hit bool, dramBytes int64) {
 	if n, ok := c.nodes[key]; ok {
+		if bytes > c.capacity {
+			c.unlink(n)
+			delete(c.nodes, n.key)
+			c.used -= n.bytes
+			c.evictions++
+			return false, bytes
+		}
+		if delta := bytes - n.bytes; delta > 0 {
+			n.bytes = bytes
+			c.used += delta
+			c.moveToFront(n)
+			for c.used > c.capacity && c.tail != nil && c.tail != n {
+				evict := c.tail
+				c.unlink(evict)
+				delete(c.nodes, evict.key)
+				c.used -= evict.bytes
+				c.evictions++
+			}
+			return true, delta
+		} else if delta < 0 {
+			n.bytes = bytes
+			c.used += delta
+		}
 		c.moveToFront(n)
-		return true
+		return true, 0
 	}
 	if bytes > c.capacity {
-		return false
+		return false, bytes
 	}
 	for c.used+bytes > c.capacity && c.tail != nil {
 		evict := c.tail
 		c.unlink(evict)
 		delete(c.nodes, evict.key)
 		c.used -= evict.bytes
+		c.evictions++
 	}
 	n := &lruNode{key: key, bytes: bytes}
 	c.nodes[key] = n
 	c.used += bytes
 	c.pushFront(n)
-	return false
+	return false, bytes
 }
 
 func (c *lru) pushFront(n *lruNode) {
@@ -76,4 +111,37 @@ func (c *lru) moveToFront(n *lruNode) {
 	}
 	c.unlink(n)
 	c.pushFront(n)
+}
+
+// audit checks residency invariants: used equals the sum of resident
+// block bytes, the list and map agree, and (when truth is non-nil) no
+// resident block's recorded size is stale against its most recently
+// accessed true size.
+func (c *lru) audit(truth map[uint32]int64) error {
+	var sum int64
+	listLen := 0
+	for n := c.head; n != nil; n = n.next {
+		sum += n.bytes
+		listLen++
+		if truth != nil {
+			if want, ok := truth[n.key]; ok && want != n.bytes {
+				return megaerr.Auditf("uarch.cache.used",
+					"block %d resident at %d bytes, last accessed size %d (stale-size block)",
+					n.key, n.bytes, want)
+			}
+		}
+	}
+	if listLen != len(c.nodes) {
+		return megaerr.Auditf("uarch.cache.used",
+			"LRU list has %d blocks, node map has %d", listLen, len(c.nodes))
+	}
+	if sum != c.used {
+		return megaerr.Auditf("uarch.cache.used",
+			"used = %d, sum of resident block bytes = %d", c.used, sum)
+	}
+	if c.used > c.capacity {
+		return megaerr.Auditf("uarch.cache.used",
+			"used = %d exceeds capacity %d", c.used, c.capacity)
+	}
+	return nil
 }

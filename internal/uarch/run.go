@@ -171,7 +171,9 @@ func (m *machine) tick() {
 		break // one reader; it serves one stage at a time
 	}
 
-	// 2. NoC: each port delivers one event into its bin per cycle.
+	// 2. NoC: each port delivers one event into its bin per cycle. The
+	//    backlog left queued after delivery is the NoC occupancy sample.
+	var backlog int64
 	for b, port := range m.ports {
 		if len(port) == 0 {
 			continue
@@ -179,6 +181,11 @@ func (m *machine) tick() {
 		ev := port[0]
 		m.ports[b] = port[1:]
 		m.insert(m.bins[b], ev)
+		backlog += int64(len(port) - 1)
+	}
+	m.nocBacklogSum += backlog
+	if backlog > m.nocBacklogMax {
+		m.nocBacklogMax = backlog
 	}
 
 	// 3. Scheduler: pull at most one event per bin to idle PEs.
@@ -263,6 +270,7 @@ func (m *machine) emit(ev event) {
 
 // retire accounts a finished event.
 func (m *machine) retire(stage int32) {
+	m.retired++
 	m.live--
 	m.stages[stage].outstanding--
 }
@@ -330,19 +338,27 @@ func (m *machine) dispatch(p *pe, ev event) {
 	p.readyAt = m.fetch(ev.dst, int(hi-lo))
 }
 
-// fetch models the edge unit: a cache hit is ready next cycle; a miss
-// waits DRAM latency plus the (banked) transfer time on the vertex's
-// channel.
+// fetch models the edge unit: a full cache hit is ready next cycle; a
+// miss — or the grown tail of a resident block that was resized by an
+// addition batch — waits DRAM latency plus the (banked) transfer time on
+// the vertex's channel.
 func (m *machine) fetch(v graph.VertexID, edges int) int64 {
 	m.fetches++
 	bytes := int64(edges) * m.cfg.EdgeEntryBytes
-	if m.cache.access(uint32(v), bytes) {
-		m.cacheHits++
-		return m.now + 1
+	if m.auditOn {
+		m.lastBytes[uint32(v)] = bytes
 	}
-	m.dramBytes += bytes
+	hit, dram := m.cache.access(uint32(v), bytes)
+	if hit {
+		m.cacheHits++
+		if dram == 0 {
+			return m.now + 1
+		}
+	}
+	m.dramBytes += dram
 	ch := (int(v) >> 3) % m.cfg.DRAMChannels
-	transfer := ceil(bytes, m.cfg.DRAMChannelBytesPerCycle)
+	m.chanBytes[ch] += dram
+	transfer := ceil(dram, m.cfg.DRAMChannelBytesPerCycle)
 	start := maxI64(m.now, m.chanBusy[ch])
 	m.chanBusy[ch] = start + transfer
 	return start + m.cfg.DRAMLatencyCycles + transfer

@@ -2,6 +2,8 @@ package uarch
 
 import (
 	"context"
+	"fmt"
+	"strconv"
 
 	"mega/internal/algo"
 	"mega/internal/engine"
@@ -9,6 +11,7 @@ import (
 	"mega/internal/gen"
 	"mega/internal/graph"
 	"mega/internal/megaerr"
+	"mega/internal/metrics"
 	"mega/internal/sim"
 )
 
@@ -26,15 +29,18 @@ import (
 // Phases A+B are charged as deletion cycles and C as addition cycles,
 // giving the cycle-level equivalent of Figure 2.
 type StreamResult struct {
-	Cycles      int64
-	DelCycles   int64 // invalidation + recompute phases
-	AddCycles   int64 // addition phases
-	Events      int64
-	Generated   int64
-	Fetches     int64
-	CacheHits   int64
-	DRAMBytes   int64
-	FinalValues []float64
+	Cycles       int64
+	DelCycles    int64 // invalidation + recompute phases
+	AddCycles    int64 // addition phases
+	Events       int64
+	Generated    int64
+	Fetches      int64
+	CacheHits    int64
+	Evictions    int64
+	DRAMBytes    int64
+	ChannelBytes []int64 // DRAMBytes attributed per channel
+	FinalValues  []float64
+	Audits       []metrics.AuditResult
 }
 
 // streamEvent kinds.
@@ -82,13 +88,18 @@ func RunStreamContext(ctx context.Context, ev *gen.Evolution, kind algo.Kind, sr
 		src:    src,
 		vals:   make([]float64, ev.NumVertices),
 		parent: make([]int32, ev.NumVertices),
-		cache:  newLRU(cfg.EdgeCacheBytes),
-		chans:  make([]int64, cfg.DRAMChannels),
+		cache:     newLRU(cfg.EdgeCacheBytes),
+		chans:     make([]int64, cfg.DRAMChannels),
+		chanBytes: make([]int64, cfg.DRAMChannels),
+		auditOn:   metrics.Strict(),
 		ports:  make([][]streamEvent, cfg.QueueBins),
 		pes:    make([]*streamPE, cfg.PEs),
 		pend:   make([]float64, ev.NumVertices),
 		pfrom:  make([]int32, ev.NumVertices),
 		phas:   make([]bool, ev.NumVertices),
+	}
+	if m.auditOn {
+		m.lastBytes = make(map[uint32]int64)
 	}
 	for i := range m.pes {
 		m.pes[i] = &streamPE{}
@@ -125,9 +136,64 @@ func RunStreamContext(ctx context.Context, ev *gen.Evolution, kind algo.Kind, sr
 	res.Generated = m.generated
 	res.Fetches = m.fetches
 	res.CacheHits = m.cacheHits
+	res.Evictions = m.cache.evictions
 	res.DRAMBytes = m.dramBytes
+	res.ChannelBytes = append([]int64(nil), m.chanBytes...)
 	res.FinalValues = m.vals
+	res.Audits = m.audit()
+	if m.auditOn {
+		for _, ar := range res.Audits {
+			if err := ar.Err(); err != nil {
+				return nil, err
+			}
+		}
+	}
 	return res, nil
+}
+
+// RecordMetrics writes the streaming run into reg under the shared metric
+// taxonomy (DESIGN.md §10) and records its audits.
+func (r *StreamResult) RecordMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("engine_events_processed", "engine", "uarch-stream").Add(r.Events)
+	reg.Counter("engine_events_generated", "engine", "uarch-stream").Add(r.Generated)
+	reg.Counter("queue_pushed", "engine", "uarch-stream").Add(r.Generated)
+	reg.Counter("queue_taken", "engine", "uarch-stream").Add(r.Events)
+	reg.Counter("engine_edge_fetches").Add(r.Fetches)
+	reg.Counter("cache_hits").Add(r.CacheHits)
+	reg.Counter("cache_misses").Add(r.Fetches - r.CacheHits)
+	reg.Counter("cache_evictions").Add(r.Evictions)
+	reg.Counter("dram_bytes", "component", "edge_miss").Add(r.DRAMBytes)
+	for ch, b := range r.ChannelBytes {
+		reg.Counter("dram_channel_bytes", "channel", strconv.Itoa(ch)).Add(b)
+	}
+	reg.Gauge("uarch_cycles").Set(r.Cycles)
+	reg.Gauge("uarch_del_cycles").Set(r.DelCycles)
+	reg.Gauge("uarch_add_cycles").Set(r.AddCycles)
+	for _, ar := range r.Audits {
+		reg.RecordAudit(ar)
+	}
+}
+
+// audit checks the streaming machine's conservation laws at run end.
+func (m *streamMachine) audit() []metrics.AuditResult {
+	var chanSum int64
+	for _, b := range m.chanBytes {
+		chanSum += b
+	}
+	dram := metrics.AuditResult{Name: "uarch-stream.dram_attribution", OK: true}
+	if chanSum != m.dramBytes {
+		dram.OK = false
+		dram.Detail = fmt.Sprintf("dramBytes %d != sum of channel bytes %d", m.dramBytes, chanSum)
+	}
+	cache := metrics.AuditResult{Name: "uarch-stream.cache.used", OK: true}
+	if err := m.cache.audit(m.lastBytes); err != nil {
+		cache.OK = false
+		cache.Detail = err.Error()
+	}
+	return []metrics.AuditResult{dram, cache}
 }
 
 type streamPE struct {
@@ -154,8 +220,14 @@ type streamMachine struct {
 	oldG *graph.CSR // pre-deletion graph for invalidation walks
 	inG  *graph.CSR // in-edge graph for recompute
 
-	cache *lru
-	chans []int64
+	cache     *lru
+	chans     []int64
+	chanBytes []int64 // cumulative bytes transferred per channel
+
+	// auditOn caches metrics.Strict() at construction; lastBytes is each
+	// block's most recently fetched true size (audit truth).
+	auditOn   bool
+	lastBytes map[uint32]int64
 
 	// Coalescing slots for delta events (one per vertex); control events
 	// (delcheck/invalid/recompute) use per-bin FIFOs without coalescing.
@@ -474,17 +546,25 @@ func (m *streamMachine) arm(p *streamPE, kind int8, v graph.VertexID, val float6
 	p.readyAt = m.fetchCost(v, len(dsts))
 }
 
-// fetchCost models the edge unit for the streaming machine.
+// fetchCost models the edge unit for the streaming machine. Resident
+// blocks resized by the evolving graph charge only their grown delta.
 func (m *streamMachine) fetchCost(v graph.VertexID, edges int) int64 {
 	m.fetches++
 	bytes := int64(edges) * m.cfg.EdgeEntryBytes
-	if m.cache.access(uint32(v), bytes) {
-		m.cacheHits++
-		return m.now + 1
+	if m.auditOn {
+		m.lastBytes[uint32(v)] = bytes
 	}
-	m.dramBytes += bytes
+	hit, dram := m.cache.access(uint32(v), bytes)
+	if hit {
+		m.cacheHits++
+		if dram == 0 {
+			return m.now + 1
+		}
+	}
+	m.dramBytes += dram
 	ch := (int(v) >> 3) % len(m.chans)
-	transfer := ceil(bytes, m.cfg.DRAMChannelBytesPerCycle)
+	m.chanBytes[ch] += dram
+	transfer := ceil(dram, m.cfg.DRAMChannelBytesPerCycle)
 	start := m.now
 	if m.chans[ch] > start {
 		start = m.chans[ch]

@@ -23,12 +23,14 @@ package uarch
 import (
 	"context"
 	"math"
+	"strconv"
 
 	"mega/internal/algo"
 	"mega/internal/engine"
 	"mega/internal/evolve"
 	"mega/internal/graph"
 	"mega/internal/megaerr"
+	"mega/internal/metrics"
 	"mega/internal/sched"
 )
 
@@ -87,12 +89,48 @@ type Result struct {
 	Applied        int64 // events that improved their vertex
 	Generated      int64 // events injected into the NoC
 	Coalesced      int64 // events merged into occupied slots
+	Retired        int64 // events fully accounted (applied, filtered, or displaced)
 	Fetches        int64 // adjacency fetches issued
 	CacheHits      int64
+	Evictions      int64 // edge-cache blocks evicted or demoted
 	DRAMBytes      int64
-	PEBusyCycles   int64 // summed busy cycles across PEs
+	ChannelBytes   []int64 // DRAMBytes attributed per channel
+	PEBusyCycles   int64   // summed busy cycles across PEs
 	MaxLiveEvents  int64
+	NoCBacklogMax  int64 // peak events queued across all NoC ports
+	NoCBacklogSum  int64 // Σ over cycles of queued NoC events (mean = sum/cycles)
 	SnapshotValues [][]float64
+	Audits         []metrics.AuditResult // invariant checks run at the run boundary
+}
+
+// RecordMetrics publishes the result into a metrics registry under the
+// uarch family names used by `megasim -metrics` for cycle-level modes.
+func (r *Result) RecordMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("engine_events_processed").Add(r.Events)
+	reg.Counter("engine_events_applied").Add(r.Applied)
+	reg.Counter("engine_events_generated").Add(r.Generated)
+	reg.Counter("queue_pushed").Add(r.Generated)
+	reg.Counter("queue_coalesced").Add(r.Coalesced)
+	reg.Counter("queue_taken").Add(r.Events)
+	reg.Counter("engine_edge_fetches").Add(r.Fetches)
+	reg.Counter("cache_hits").Add(r.CacheHits)
+	reg.Counter("cache_misses").Add(r.Fetches - r.CacheHits)
+	reg.Counter("cache_evictions").Add(r.Evictions)
+	reg.Counter("dram_bytes", "component", "edge_miss").Add(r.DRAMBytes)
+	for ch, b := range r.ChannelBytes {
+		reg.Counter("dram_channel_bytes", "channel", strconv.Itoa(ch)).Add(b)
+	}
+	reg.Gauge("uarch_cycles").Set(r.Cycles)
+	reg.Gauge("uarch_pe_busy_cycles").Set(r.PEBusyCycles)
+	reg.Gauge("uarch_max_live_events").Set(r.MaxLiveEvents)
+	reg.Gauge("noc_backlog_max").Set(r.NoCBacklogMax)
+	reg.Gauge("noc_backlog_sum").Set(r.NoCBacklogSum)
+	for _, a := range r.Audits {
+		reg.RecordAudit(a)
+	}
 }
 
 // Utilization returns the mean PE busy fraction.
@@ -175,6 +213,14 @@ func RunAlgorithm(ctx context.Context, w *evolve.Window, a algo.Algorithm, src g
 		return nil, err
 	}
 	res := m.result()
+	res.Audits = m.audit()
+	if m.auditOn {
+		for _, ar := range res.Audits {
+			if err := ar.Err(); err != nil {
+				return nil, err
+			}
+		}
+	}
 	for snap := 0; snap < w.NumSnapshots(); snap++ {
 		res.SnapshotValues = append(res.SnapshotValues, m.vals[s.SnapshotCtx[snap]])
 	}
@@ -213,6 +259,12 @@ func validate(cfg Config) error {
 		return megaerr.Invalidf("uarch: invalid DRAM configuration")
 	case cfg.BatchEdgesPerCycle < 1:
 		return megaerr.Invalidf("uarch: batch reader rate %d < 1", cfg.BatchEdgesPerCycle)
+	case cfg.EdgeEntryBytes < 1:
+		return megaerr.Invalidf("uarch: edge entry bytes %d < 1", cfg.EdgeEntryBytes)
+	case cfg.EdgeCacheBytes < 0:
+		return megaerr.Invalidf("uarch: edge cache bytes %d < 0", cfg.EdgeCacheBytes)
+	case cfg.DRAMLatencyCycles < 0:
+		return megaerr.Invalidf("uarch: DRAM latency %d < 0", cfg.DRAMLatencyCycles)
 	}
 	return nil
 }
@@ -240,8 +292,9 @@ type machine struct {
 	ports [][]event // NoC input FIFO per bin
 	pes   []*pe
 
-	cache    *lru
-	chanBusy []int64 // per-channel busy-until cycle
+	cache     *lru
+	chanBusy  []int64 // per-channel busy-until cycle
+	chanBytes []int64 // cumulative bytes transferred per channel
 
 	stages    []*stageState
 	nextStage int
@@ -250,9 +303,16 @@ type machine struct {
 	live int64
 
 	// statistics
-	events, appliedN, generated, coalesced int64
-	fetches, cacheHits, dramBytes          int64
-	peBusy, maxLive                        int64
+	events, appliedN, generated, coalesced, retired int64
+	fetches, cacheHits, dramBytes                   int64
+	peBusy, maxLive                                 int64
+	nocBacklogMax, nocBacklogSum                    int64
+
+	// auditOn caches metrics.Strict() at construction; lastBytes is the
+	// audit's external truth — each block's most recently fetched true
+	// size — maintained only when auditing.
+	auditOn   bool
+	lastBytes map[uint32]int64
 }
 
 // appliedSet is a bitset over batch IDs.
@@ -268,16 +328,21 @@ func newMachine(w *evolve.Window, a algo.Algorithm, src graph.VertexID, cfg Conf
 		return nil, err
 	}
 	m := &machine{
-		cfg:      cfg,
-		a:        a,
-		u:        w.Unified(),
-		src:      src,
-		win:      w,
-		batchOf:  seq.BatchOf(),
-		cache:    newLRU(cfg.EdgeCacheBytes),
-		chanBusy: make([]int64, cfg.DRAMChannels),
-		ports:    make([][]event, cfg.QueueBins),
-		pes:      make([]*pe, cfg.PEs),
+		cfg:       cfg,
+		a:         a,
+		u:         w.Unified(),
+		src:       src,
+		win:       w,
+		batchOf:   seq.BatchOf(),
+		cache:     newLRU(cfg.EdgeCacheBytes),
+		chanBusy:  make([]int64, cfg.DRAMChannels),
+		chanBytes: make([]int64, cfg.DRAMChannels),
+		ports:     make([][]event, cfg.QueueBins),
+		pes:       make([]*pe, cfg.PEs),
+		auditOn:   metrics.Strict(),
+	}
+	if m.auditOn {
+		m.lastBytes = make(map[uint32]int64)
 	}
 	for i := range m.pes {
 		m.pes[i] = &pe{}
@@ -288,8 +353,43 @@ func newMachine(w *evolve.Window, a algo.Algorithm, src graph.VertexID, cfg Conf
 func (m *machine) result() *Result {
 	return &Result{
 		Cycles: m.now, Events: m.events, Applied: m.appliedN,
-		Generated: m.generated, Coalesced: m.coalesced,
-		Fetches: m.fetches, CacheHits: m.cacheHits, DRAMBytes: m.dramBytes,
+		Generated: m.generated, Coalesced: m.coalesced, Retired: m.retired,
+		Fetches: m.fetches, CacheHits: m.cacheHits, Evictions: m.cache.evictions,
+		DRAMBytes: m.dramBytes, ChannelBytes: append([]int64(nil), m.chanBytes...),
 		PEBusyCycles: m.peBusy, MaxLiveEvents: m.maxLive,
+		NoCBacklogMax: m.nocBacklogMax, NoCBacklogSum: m.nocBacklogSum,
+	}
+}
+
+// audit checks the machine's conservation laws at the run boundary:
+// every generated event was retired (none leaked), DRAM bytes are fully
+// attributed to channels, and the edge cache's residency is consistent
+// with the true adjacency sizes last fetched.
+func (m *machine) audit() []metrics.AuditResult {
+	toResult := func(name string, err error) metrics.AuditResult {
+		if err != nil {
+			return metrics.AuditResult{Name: name, OK: false, Detail: err.Error()}
+		}
+		return metrics.AuditResult{Name: name, OK: true}
+	}
+	var evErr error
+	if m.live != 0 || m.generated != m.retired {
+		evErr = megaerr.Auditf("uarch.event_conservation",
+			"generated %d, retired %d, live %d at run end",
+			m.generated, m.retired, m.live)
+	}
+	var chanSum int64
+	for _, b := range m.chanBytes {
+		chanSum += b
+	}
+	var dramErr error
+	if chanSum != m.dramBytes {
+		dramErr = megaerr.Auditf("uarch.dram_attribution",
+			"dramBytes %d != sum of channel bytes %d", m.dramBytes, chanSum)
+	}
+	return []metrics.AuditResult{
+		toResult("uarch.event_conservation", evErr),
+		toResult("uarch.dram_attribution", dramErr),
+		toResult("uarch.cache.used", m.cache.audit(m.lastBytes)),
 	}
 }

@@ -1,6 +1,7 @@
 package uarch
 
 import (
+	"errors"
 	"testing"
 
 	"mega/internal/graph"
@@ -8,6 +9,7 @@ import (
 	"mega/internal/algo"
 	"mega/internal/evolve"
 	"mega/internal/gen"
+	"mega/internal/megaerr"
 	"mega/internal/testutil"
 )
 
@@ -182,18 +184,78 @@ func TestUarchDeterministic(t *testing.T) {
 
 func TestLRU(t *testing.T) {
 	c := newLRU(100)
-	if c.access(1, 60) {
-		t.Error("cold access hit")
+	if hit, dram := c.access(1, 60); hit || dram != 60 {
+		t.Errorf("cold access: hit=%v dram=%d, want miss charging 60", hit, dram)
 	}
-	if !c.access(1, 60) {
-		t.Error("warm access missed")
+	if hit, dram := c.access(1, 60); !hit || dram != 0 {
+		t.Errorf("warm access: hit=%v dram=%d, want free hit", hit, dram)
 	}
-	c.access(2, 60) // evicts nothing yet? 120 > 100: evicts 1
-	if c.access(1, 60) {
+	c.access(2, 60) // 120 > 100: evicts 1
+	if hit, _ := c.access(1, 60); hit {
 		t.Error("evicted block still cached")
 	}
-	if c.access(3, 500) {
-		t.Error("jumbo block reported cached")
+	if hit, dram := c.access(3, 500); hit || dram != 500 {
+		t.Errorf("jumbo block: hit=%v dram=%d, want bypass charging 500", hit, dram)
+	}
+}
+
+func TestLRUResizesResidentBlocks(t *testing.T) {
+	c := newLRU(100)
+	c.access(1, 40)
+	c.access(2, 40)
+	// Block 1 grows: resident prefix hits, the delta streams, and block 2
+	// is evicted to make room (70+40 > 100).
+	if hit, dram := c.access(1, 70); !hit || dram != 30 {
+		t.Fatalf("grown block: hit=%v dram=%d, want hit charging delta 30", hit, dram)
+	}
+	if _, ok := c.nodes[2]; ok {
+		t.Fatal("LRU block survived the resize eviction")
+	}
+	if c.used != 70 {
+		t.Fatalf("used = %d after growth, want 70", c.used)
+	}
+	if err := c.audit(map[uint32]int64{1: 70}); err != nil {
+		t.Fatalf("audit after growth: %v", err)
+	}
+	// Shrink: full hit, budget shrinks with it.
+	if hit, dram := c.access(1, 24); !hit || dram != 0 {
+		t.Fatalf("shrunk block: hit=%v dram=%d, want free hit", hit, dram)
+	}
+	if err := c.audit(map[uint32]int64{1: 24}); err != nil {
+		t.Fatalf("audit after shrink: %v", err)
+	}
+	// Growth past capacity demotes to bypass.
+	if hit, dram := c.access(1, 500); hit || dram != 500 {
+		t.Fatalf("over-capacity growth: hit=%v dram=%d, want demotion to bypass", hit, dram)
+	}
+	if _, ok := c.nodes[1]; ok {
+		t.Fatal("demoted block still resident")
+	}
+	if err := c.audit(nil); err != nil {
+		t.Fatalf("audit after demotion: %v", err)
+	}
+	if c.evictions == 0 {
+		t.Fatal("evictions counter never moved")
+	}
+}
+
+// TestLRUAuditCatchesStaleSize demonstrates the audit catching the old
+// behaviour (resident block size never updated on hit): with a manually
+// staled node the truth-based audit must fail.
+func TestLRUAuditCatchesStaleSize(t *testing.T) {
+	c := newLRU(100)
+	c.access(1, 40)
+	// Simulate the pre-fix bug: the true adjacency grew to 60 bytes but
+	// the resident block still records 40.
+	if err := c.audit(map[uint32]int64{1: 60}); err == nil {
+		t.Fatal("audit accepted a stale-size resident block")
+	} else if !errors.Is(err, megaerr.ErrAudit) {
+		t.Fatalf("audit error = %v, want ErrAudit match", err)
+	}
+	// After the fixed access path resizes the block, the same audit passes.
+	c.access(1, 60)
+	if err := c.audit(map[uint32]int64{1: 60}); err != nil {
+		t.Fatalf("audit after resize: %v", err)
 	}
 }
 

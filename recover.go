@@ -11,6 +11,7 @@ import (
 	"mega/internal/fault"
 	"mega/internal/gen"
 	"mega/internal/megaerr"
+	"mega/internal/metrics"
 	"mega/internal/sched"
 )
 
@@ -98,6 +99,12 @@ type RecoverOptions struct {
 	// Sink, when non-nil, receives every automatic checkpoint (e.g. to
 	// persist it atomically to disk). A sink error aborts the run.
 	Sink func([]byte) error
+
+	// Metrics, when non-nil, receives the retry loop's counters
+	// (recover_attempts, recover_resumes, recover_backoff_waits,
+	// recover_fallbacks) and, from the successful attempt's engine, the
+	// engine-level counter families and queue audits.
+	Metrics *MetricsRegistry
 }
 
 // Recovery reports what EvaluateRecover's retry loop did.
@@ -122,6 +129,7 @@ type resumableEngine interface {
 	SetCheckpointSink(sink func([]byte) error)
 	Restore(data []byte) error
 	LastCheckpoint() []byte
+	SetMetrics(reg *metrics.Registry)
 }
 
 // EvaluateRecover evaluates the query like EvaluateContext but survives
@@ -157,6 +165,9 @@ func EvaluateRecover(ctx context.Context, w *Window, k AlgorithmKind, source Ver
 
 	for {
 		rec.Attempts++
+		if opt.Metrics != nil {
+			opt.Metrics.Counter("recover_attempts").Inc()
+		}
 		var eng resumableEngine
 		if parallel {
 			eng, err = engine.NewParallel(w, a, source, opt.Workers)
@@ -166,6 +177,10 @@ func EvaluateRecover(ctx context.Context, w *Window, k AlgorithmKind, source Ver
 		if err != nil {
 			return nil, rec, err
 		}
+		// Attach the registry to every attempt: the engines record their
+		// counter families only at successful completion, so failed
+		// attempts contribute the retry-loop counters but no engine rows.
+		eng.SetMetrics(opt.Metrics)
 		eng.SetCheckpointEvery(every)
 		if opt.Sink != nil {
 			eng.SetCheckpointSink(opt.Sink)
@@ -177,6 +192,9 @@ func EvaluateRecover(ctx context.Context, w *Window, k AlgorithmKind, source Ver
 			}
 			if rec.Attempts > 1 {
 				rec.Resumes++
+				if opt.Metrics != nil {
+					opt.Metrics.Counter("recover_resumes").Inc()
+				}
 			}
 		}
 
@@ -204,6 +222,9 @@ func EvaluateRecover(ctx context.Context, w *Window, k AlgorithmKind, source Ver
 			// resume. The demotion itself consumes a retry.
 			parallel = false
 			rec.FellBack = true
+			if opt.Metrics != nil {
+				opt.Metrics.Counter("recover_fallbacks").Inc()
+			}
 		case IsTransient(err):
 			// Retryable; fall through to the backoff below.
 		default:
@@ -213,6 +234,10 @@ func EvaluateRecover(ctx context.Context, w *Window, k AlgorithmKind, source Ver
 			return nil, rec, err
 		}
 		wait := time.Duration(rec.Attempts) * backoff
+		if opt.Metrics != nil {
+			opt.Metrics.Counter("recover_backoff_waits").Inc()
+			opt.Metrics.Histogram("recover_backoff_nanos").Observe(wait.Nanoseconds())
+		}
 		select {
 		case <-ctx.Done():
 			return nil, rec, &megaerr.CanceledError{Phase: "recovery backoff", Err: ctx.Err()}
