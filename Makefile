@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test vet race fuzz audit chaos bench-smoke bench-json ci
+.PHONY: all build test vet fmt race fuzz audit chaos soak bench-smoke bench-json ci
 
 all: build
 
@@ -13,6 +13,10 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Formatting gate: fails listing any file gofmt would rewrite.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -43,6 +47,13 @@ chaos:
 	MEGA_CHAOS=full $(GO) test -race -run 'CrashEquivalence|Audit|Attribution' \
 		./internal/engine/ ./internal/sim/ ./internal/uarch/
 
+# Query-service soak: hundreds of concurrent mixed-priority queries with
+# injected transients, worker panics, and latency spikes, under the race
+# detector. MEGA_CHAOS scales the query count up and forces strict audits,
+# so the Close-time accounting conservation law fails loudly.
+soak:
+	MEGA_CHAOS=soak $(GO) test -race -run 'QueryService|Serve' . ./internal/serve/
+
 # Compile and execute every benchmark for a single iteration — catches
 # benchmarks that no longer build or crash, without measuring anything.
 bench-smoke:
@@ -52,4 +63,4 @@ bench-smoke:
 bench-json:
 	$(GO) run ./cmd/megabench -perf -v -perfout BENCH_parallel.json
 
-ci: vet build race bench-smoke audit chaos fuzz
+ci: fmt vet build race bench-smoke audit chaos soak fuzz

@@ -5,6 +5,13 @@ set -eux
 
 FUZZTIME="${FUZZTIME:-30s}"
 
+# Formatting gate: the tree must be gofmt-clean.
+fmt_dirty="$(gofmt -l .)"
+if [ -n "$fmt_dirty" ]; then
+	echo "gofmt needed:" >&2
+	echo "$fmt_dirty" >&2
+	exit 1
+fi
 go vet ./...
 go build ./...
 go test -race ./...
@@ -30,3 +37,8 @@ MEGA_AUDIT=1 go test -race -run 'Audit|Attribution|StatsMatchMetrics|Conservatio
 # conservation laws too.
 MEGA_CHAOS=full go test -race -run 'CrashEquivalence|Audit|Attribution' \
 	./internal/engine/ ./internal/sim/ ./internal/uarch/
+# Query-service soak: hundreds of concurrent mixed-priority queries with
+# injected transients, worker panics, and latency spikes under -race, with
+# strict audits (MEGA_CHAOS) so the Close-time accounting conservation
+# law — admitted == completed + failed + canceled — fails loudly.
+MEGA_CHAOS=soak go test -race -run 'QueryService|Serve' . ./internal/serve/

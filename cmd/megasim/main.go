@@ -27,9 +27,18 @@
 // previously written snapshot — required families present (see -require)
 // and every audit passed — and exits without simulating.
 //
+// Mode "serve" runs a batch of concurrent queries through the
+// admission-controlled query service (bounded concurrency, priority wait
+// queue, load shedding, panic breaker, graceful drain). -queries FILE
+// (or "-" for stdin) supplies one query per line as key=value fields:
+// algo, source, priority (low|normal|high), deadline, queue-timeout,
+// engine (seq|par), workers, label, and repeatable fault specs. -capacity
+// and -queue-depth bound the service; -drain bounds the shutdown drain.
+//
 // Exit codes: 0 success, 1 generic failure, 2 invalid input, 3 canceled
 // (signal or -timeout), 4 query divergence, 5 checkpoint corruption or
-// mismatch, 6 invariant-audit violation.
+// mismatch, 6 invariant-audit violation, 7 service overload (admission
+// rejection or shed).
 package main
 
 import (
@@ -42,6 +51,7 @@ import (
 	"path/filepath"
 	"strings"
 	"syscall"
+	"time"
 
 	"mega"
 )
@@ -55,6 +65,7 @@ const (
 	exitDivergence = 4
 	exitCheckpoint = 5
 	exitAudit      = 6
+	exitOverload   = 7
 )
 
 // faultList collects repeatable -fault flags.
@@ -80,7 +91,7 @@ func (f *faultList) Set(spec string) error {
 func main() {
 	graphName := flag.String("graph", "PK", "paper stand-in graph name")
 	algoName := flag.String("algo", "SSSP", "algorithm: BFS SSSP SSWP SSNP Viterbi")
-	mode := flag.String("mode", "boe", "workflow: boe, ws, dh, jetstream, recompute, eval")
+	mode := flag.String("mode", "boe", "workflow: boe, ws, dh, jetstream, recompute, eval, serve")
 	snapshots := flag.Int("snapshots", 16, "snapshot window size")
 	batch := flag.Float64("batch", 0.01, "per-hop batch fraction of edges")
 	imbalance := flag.Float64("imbalance", 1, "largest/smallest batch ratio")
@@ -96,6 +107,10 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 0, "eval: checkpoint every N rounds (0 = default 32)")
 	resume := flag.Bool("resume", false, "eval: resume from the -checkpoint file")
 	retries := flag.Int("retries", 0, "eval: max restarts after transient faults (0 = default 3)")
+	queries := flag.String("queries", "", "serve: query-spec file, one query per line (- = stdin)")
+	capacity := flag.Int("capacity", 0, "serve: max concurrently running queries (0 = default 4)")
+	queueDepth := flag.Int("queue-depth", 0, "serve: max queued queries (0 = default 64)")
+	drain := flag.Duration("drain", 0, "serve: graceful-drain deadline at shutdown (0 = 10s)")
 	faultSeed := flag.Int64("fault-seed", 42, "seed for probabilistic fault ops")
 	metricsPath := flag.String("metrics", "", "write a JSON metrics snapshot (instruments + audits) to this file")
 	verifyPath := flag.String("verify-metrics", "", "validate a metrics snapshot file and exit (no simulation)")
@@ -136,32 +151,46 @@ func main() {
 		ckptFile: *ckptFile, ckptEvery: *ckptEvery,
 		resume: *resume, retries: *retries,
 		metricsPath: *metricsPath,
+		queries:     *queries,
+		capacity:    *capacity, queueDepth: *queueDepth,
+		drain: *drain, faultSeed: *faultSeed,
 	}
 	if err := run(ctx, *graphName, *algoName, *mode, *snapshots, *batch, *imbalance, *onchip, *source, *load, *edgeList, opts); err != nil {
 		exitWith(err)
 	}
 }
 
+// classify maps a typed error to its documented exit code and stderr
+// prefix. It is the single source of truth for the exit-code contract;
+// the table test in main_test.go keeps it in sync with the megaerr
+// sentinels.
+func classify(err error) (code int, prefix string) {
+	switch {
+	case err == nil:
+		return exitOK, ""
+	case errors.Is(err, mega.ErrInvalidInput):
+		return exitInvalid, "invalid input"
+	case errors.Is(err, mega.ErrCheckpoint):
+		return exitCheckpoint, "checkpoint"
+	case errors.Is(err, mega.ErrOverload):
+		return exitOverload, "overloaded"
+	case errors.Is(err, mega.ErrCanceled):
+		return exitCanceled, "canceled"
+	case errors.Is(err, mega.ErrDivergence):
+		return exitDivergence, "query diverged"
+	case errors.Is(err, mega.ErrAudit):
+		return exitAudit, "invariant audit failed"
+	default:
+		return exitGeneric, ""
+	}
+}
+
 // exitWith maps a typed error to the documented exit codes and terminates.
 func exitWith(err error) {
-	code := exitGeneric
-	switch {
-	case errors.Is(err, mega.ErrInvalidInput):
-		fmt.Fprintln(os.Stderr, "megasim: invalid input:", err)
-		code = exitInvalid
-	case errors.Is(err, mega.ErrCheckpoint):
-		fmt.Fprintln(os.Stderr, "megasim: checkpoint:", err)
-		code = exitCheckpoint
-	case errors.Is(err, mega.ErrCanceled):
-		fmt.Fprintln(os.Stderr, "megasim: canceled:", err)
-		code = exitCanceled
-	case errors.Is(err, mega.ErrDivergence):
-		fmt.Fprintln(os.Stderr, "megasim: query diverged:", err)
-		code = exitDivergence
-	case errors.Is(err, mega.ErrAudit):
-		fmt.Fprintln(os.Stderr, "megasim: invariant audit failed:", err)
-		code = exitAudit
-	default:
+	code, prefix := classify(err)
+	if prefix != "" {
+		fmt.Fprintf(os.Stderr, "megasim: %s: %v\n", prefix, err)
+	} else {
 		fmt.Fprintln(os.Stderr, "megasim:", err)
 	}
 	os.Exit(code)
@@ -191,7 +220,7 @@ func writeMetrics(path string, reg *mega.MetricsRegistry) error {
 	return writeFileAtomic(path, []byte(buf.String()))
 }
 
-// evalOptions carries the eval-mode flags through run.
+// evalOptions carries the eval- and serve-mode flags through run.
 type evalOptions struct {
 	engine      string
 	workers     int
@@ -200,6 +229,13 @@ type evalOptions struct {
 	resume      bool
 	retries     int
 	metricsPath string
+
+	// serve-mode knobs.
+	queries    string
+	capacity   int
+	queueDepth int
+	drain      time.Duration
+	faultSeed  int64
 }
 
 func run(ctx context.Context, graphName, algoName, mode string, snapshots int, batch, imbalance float64, onchip int64, source int, load, edgeList string, opts evalOptions) error {
@@ -257,6 +293,12 @@ func run(ctx context.Context, graphName, algoName, mode string, snapshots int, b
 			return werr
 		}
 		return runEval(ctx, w, kind, src, opts, reg)
+	case "serve":
+		w, werr := mega.NewWindow(ev)
+		if werr != nil {
+			return werr
+		}
+		return runServe(ctx, w, kind, src, opts, reg)
 	case "jetstream":
 		cfg := mega.JetStreamSimConfig()
 		if onchip > 0 {

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"mega"
+)
+
+// TestClassifyExitCodes pins the full exit-code contract — one row per
+// documented code — so the mapping cannot drift from the megaerr
+// sentinels without this table noticing.
+func TestClassifyExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		code int
+	}{
+		{"success", nil, exitOK},
+		{"generic", errors.New("unclassified failure"), exitGeneric},
+		{"invalid", fmt.Errorf("bad flag: %w", mega.ErrInvalidInput), exitInvalid},
+		{"canceled-sentinel", fmt.Errorf("stopped: %w", mega.ErrCanceled), exitCanceled},
+		{"canceled-typed", &mega.CanceledError{Phase: "round 3", Err: context.Canceled}, exitCanceled},
+		{"divergence", fmt.Errorf("runaway: %w", mega.ErrDivergence), exitDivergence},
+		{"checkpoint", fmt.Errorf("corrupt: %w", mega.ErrCheckpoint), exitCheckpoint},
+		{"audit", fmt.Errorf("violated: %w", mega.ErrAudit), exitAudit},
+		{"overload-sentinel", fmt.Errorf("full: %w", mega.ErrOverload), exitOverload},
+		{"overload-typed", &mega.OverloadError{Reason: "queue full", Capacity: 4, Queued: 64}, exitOverload},
+		// A worker panic is contained into a generic failure unless the
+		// retry loop re-types it.
+		{"worker-panic", &mega.WorkerPanicError{Shard: 2, Value: "boom"}, exitGeneric},
+	}
+	seen := map[int]bool{}
+	for _, c := range cases {
+		code, _ := classify(c.err)
+		if code != c.code {
+			t.Errorf("classify(%s) = %d, want %d", c.name, code, c.code)
+		}
+		seen[c.code] = true
+	}
+	// Every documented code must be exercised by at least one row.
+	for code := exitOK; code <= exitOverload; code++ {
+		if !seen[code] {
+			t.Errorf("exit code %d has no covering table row", code)
+		}
+	}
+}
+
+// TestParseQuerySpec pins the serve-mode query line grammar.
+func TestParseQuerySpec(t *testing.T) {
+	defaults := querySpec{req: mega.QueryRequest{Algo: mega.SSSP, Source: 3}}
+	spec, err := parseQuerySpec(
+		"algo=SSWP source=7 priority=high deadline=2s queue-timeout=150ms engine=par workers=3 label=q7 fault=engine.round:transient@5",
+		defaults, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := spec.req
+	if r.Algo != mega.SSWP || r.Source != 7 || r.Priority != mega.QueryPriorityHigh {
+		t.Errorf("parsed request = %+v, want SSWP from 7 at high priority", r)
+	}
+	if r.Deadline != 2*time.Second || r.QueueTimeout != 150*time.Millisecond {
+		t.Errorf("timeouts = %v/%v, want 2s/150ms", r.Deadline, r.QueueTimeout)
+	}
+	if !r.Parallel || r.Workers != 3 || spec.label != "q7" {
+		t.Errorf("engine/label = %+v %q, want par/3/q7", r, spec.label)
+	}
+	if spec.plan == nil {
+		t.Error("fault= did not build a plan")
+	}
+
+	// Defaults flow through untouched fields.
+	spec, err = parseQuerySpec("priority=low", defaults, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.req.Algo != mega.SSSP || spec.req.Source != 3 || spec.req.Priority != mega.QueryPriorityLow {
+		t.Errorf("defaulted request = %+v, want the defaults with low priority", spec.req)
+	}
+
+	// Malformed lines are invalid input.
+	for _, bad := range []string{
+		"nonsense",
+		"engine=gpu",
+		"priority=urgent",
+		"deadline=fast",
+		"source=-2",
+		"bogus=1",
+	} {
+		if _, err := parseQuerySpec(bad, defaults, 1); !errors.Is(err, mega.ErrInvalidInput) {
+			t.Errorf("parseQuerySpec(%q) = %v, want ErrInvalidInput", bad, err)
+		}
+	}
+}

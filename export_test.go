@@ -1,0 +1,15 @@
+package mega
+
+import (
+	"context"
+	"time"
+)
+
+// SetRetrySleep replaces EvaluateRecover's backoff wait with fn and
+// returns a restore func. Test-only: lets retry tests observe the exact
+// backoff schedule and run without real sleeps.
+func SetRetrySleep(fn func(context.Context, time.Duration) error) (restore func()) {
+	prev := sleepRetry
+	sleepRetry = fn
+	return func() { sleepRetry = prev }
+}

@@ -32,7 +32,7 @@ type PerfResult struct {
 	// Workers is the parallel worker count; 0 for the sequential engine.
 	Workers int `json:"workers"`
 	// Iterations is the b.N the benchmark settled on.
-	Iterations int `json:"iterations"`
+	Iterations int   `json:"iterations"`
 	NsPerOp    int64 `json:"ns_per_op"`
 	// EventsPerOp is the engine's processed-event count for one full run.
 	EventsPerOp int64 `json:"events_per_op"`

@@ -444,8 +444,8 @@ func TestCheckpointDecodeRejectsCorruption(t *testing.T) {
 func FuzzCheckpointDecode(f *testing.F) {
 	st := &checkpointState{
 		algoKind: 1, source: 0, numVerts: 4, numCtx: 2,
-		batches:    []ckptBatch{{id: 0, edges: 3}, {id: 1, edges: 2}},
-		schedHash:  0xfeedbeef, stageStart: 2, inRounds: true, round: 3, events: 17,
+		batches:   []ckptBatch{{id: 0, edges: 3}, {id: 1, edges: 2}},
+		schedHash: 0xfeedbeef, stageStart: 2, inRounds: true, round: 3, events: 17,
 		baseVals: []float64{0, 1, 2, 3},
 		vals:     [][]float64{{0, 1, 2, 3}, nil},
 		applied:  []batchSet{newBatchSet(2), nil},

@@ -454,7 +454,7 @@ func (m *Multi) RunContext(ctx context.Context, s *sched.Schedule, lim Limits) e
 			st = nil // stage-boundary checkpoint: run this stage normally
 		}
 		m.curStage = stageFirst
-		if err := m.fp.Check(fault.SiteEngineOp); err != nil {
+		if err := m.fp.CheckCtx(m.ctx, fault.SiteEngineOp); err != nil {
 			return err
 		}
 		if m.ckptEvery > 0 {
@@ -700,7 +700,7 @@ func (m *Multi) runRounds(compute []int, startRound int) error {
 				return err
 			}
 		}
-		if err := m.fp.Check(fault.SiteEngineRound); err != nil {
+		if err := m.fp.CheckCtx(m.ctx, fault.SiteEngineRound); err != nil {
 			return err
 		}
 		m.probe.RoundStart(round)
@@ -874,7 +874,7 @@ func SolveContext(ctx context.Context, g *graph.CSR, a algo.Algorithm, src graph
 				Events: events, LiveEvents: int64(cur.count), SampleVertex: sample,
 			}
 		}
-		if err := fp.Check(fault.SiteSolveRound); err != nil {
+		if err := fp.CheckCtx(ctx, fault.SiteSolveRound); err != nil {
 			probe.OpEnd()
 			return nil, err
 		}
@@ -955,7 +955,7 @@ func solveNoProbe(ctx context.Context, g *graph.CSR, a algo.Algorithm, src graph
 				Events: events, LiveEvents: int64(cur.count), SampleVertex: sample,
 			}
 		}
-		if err := fp.Check(fault.SiteSolveRound); err != nil {
+		if err := fp.CheckCtx(ctx, fault.SiteSolveRound); err != nil {
 			return nil, err
 		}
 		has, pending := cur.has[0], cur.pending[0]

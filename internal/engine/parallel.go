@@ -748,7 +748,7 @@ func (p *Parallel) phaseOn(si, ph int) {
 		// deterministic under phase interleaving. A transient fault skips
 		// the phase's work and aborts the run at the barrier; a panic
 		// exercises the trap's normal containment path.
-		if err := p.fp.CheckShard(fault.SiteParallelPhase, si); err != nil {
+		if err := p.fp.CheckShardCtx(p.ctx, fault.SiteParallelPhase, si); err != nil {
 			p.notePhaseErr(err)
 			return
 		}
@@ -899,7 +899,7 @@ func (p *Parallel) finishApplies(ops []sched.Op, startRound int) error {
 				return err
 			}
 		}
-		if err := p.fp.Check(fault.SiteParallelRound); err != nil {
+		if err := p.fp.CheckCtx(p.ctx, fault.SiteParallelRound); err != nil {
 			return err
 		}
 		p.trap.round = round

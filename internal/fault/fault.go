@@ -227,10 +227,24 @@ func (p *Plan) BindCancel(cancel context.CancelFunc) {
 // plan returns nil without counting.
 func (p *Plan) Check(site Site) error { return p.CheckShard(site, AnyShard) }
 
+// CheckCtx is Check with a lifecycle: a fired KindLatency op waits on a
+// timer AND ctx.Done(), so an injected latency spike cannot outlive a
+// canceled query — cancellation interrupts the stall and surfaces as a
+// megaerr.ErrCanceled-matching error. Execution layers that hold a
+// context should prefer this over Check.
+func (p *Plan) CheckCtx(ctx context.Context, site Site) error {
+	return p.CheckShardCtx(ctx, site, AnyShard)
+}
+
 // CheckShard is Check for sites visited concurrently by identified shards;
 // visits are counted per (site, shard) so each shard's sequence stays
 // deterministic under interleaving.
 func (p *Plan) CheckShard(site Site, shard int) error {
+	return p.CheckShardCtx(context.Background(), site, shard)
+}
+
+// CheckShardCtx is CheckShard with a lifecycle (see CheckCtx).
+func (p *Plan) CheckShardCtx(ctx context.Context, site Site, shard int) error {
 	if p == nil {
 		return nil
 	}
@@ -277,7 +291,13 @@ func (p *Plan) CheckShard(site Site, shard int) error {
 		return megaerr.Transientf("fault %s visit %d: cancel injection with no bound CancelFunc", site, visit)
 	case KindLatency:
 		if op.Latency > 0 {
-			time.Sleep(op.Latency)
+			t := time.NewTimer(op.Latency)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return megaerr.Canceled(fmt.Sprintf("fault latency at %s visit %d", site, visit), ctx.Err())
+			}
 		}
 		return nil
 	default: // KindTransient

@@ -247,17 +247,17 @@ func TestParseOp(t *testing.T) {
 func TestParseOpRejects(t *testing.T) {
 	for _, spec := range []string{
 		"",
-		"engine.round",              // no kind
-		"engine.round:transient",    // no visit
-		":transient@1",              // empty site
-		"engine.round:explode@1",    // unknown kind
-		"engine.round:transient@0",  // zero visit
-		"engine.round:transient@x",  // non-numeric visit
-		"engine.round:transient@1x0",// zero period
-		"engine.round#-1:panic@1",   // negative shard
-		"engine.round#abc:panic@1",  // non-numeric shard
-		"gen.io:transient=5ms@1",    // duration on non-latency
-		"gen.io:latency=banana@1",   // bad duration
+		"engine.round",               // no kind
+		"engine.round:transient",     // no visit
+		":transient@1",               // empty site
+		"engine.round:explode@1",     // unknown kind
+		"engine.round:transient@0",   // zero visit
+		"engine.round:transient@x",   // non-numeric visit
+		"engine.round:transient@1x0", // zero period
+		"engine.round#-1:panic@1",    // negative shard
+		"engine.round#abc:panic@1",   // non-numeric shard
+		"gen.io:transient=5ms@1",     // duration on non-latency
+		"gen.io:latency=banana@1",    // bad duration
 	} {
 		if _, err := ParseOp(spec); !errors.Is(err, megaerr.ErrInvalidInput) {
 			t.Fatalf("ParseOp(%q) = %v, want ErrInvalidInput", spec, err)
@@ -277,5 +277,48 @@ func TestSitesListed(t *testing.T) {
 		if !seen[s] {
 			t.Fatalf("site %q missing from Sites()", s)
 		}
+	}
+}
+
+// TestLatencyInjectionHonorsCancel is the regression test for the
+// cancellable latency wait: an injected latency spike must not outlive a
+// canceled query. A 1-minute stall checked under an already-canceled
+// context has to return immediately with an ErrCanceled-matching error
+// instead of sleeping.
+func TestLatencyInjectionHonorsCancel(t *testing.T) {
+	p := NewPlan(1).Add(Op{Site: SiteEngineRound, Shard: AnyShard, Kind: KindLatency, Latency: time.Minute, Visit: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	err := p.CheckCtx(ctx, SiteEngineRound)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("canceled latency injection stalled for %v", elapsed)
+	}
+	if !errors.Is(err, megaerr.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("CheckCtx = %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+}
+
+// TestLatencyInjectionCancelMidSleep cancels the context while the
+// injected stall is in progress and checks the wait unblocks promptly.
+func TestLatencyInjectionCancelMidSleep(t *testing.T) {
+	p := NewPlan(1).Add(Op{Site: SiteSimHop, Shard: AnyShard, Kind: KindLatency, Latency: time.Minute, Visit: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := p.CheckCtx(ctx, SiteSimHop)
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("latency injection ignored mid-sleep cancel (stalled %v)", elapsed)
+	}
+	if !errors.Is(err, megaerr.ErrCanceled) {
+		t.Fatalf("CheckCtx = %v, want ErrCanceled", err)
+	}
+	// The uninterrupted path still stalls and returns nil.
+	p2 := NewPlan(1).Add(Op{Site: SiteSimHop, Shard: AnyShard, Kind: KindLatency, Latency: time.Millisecond, Visit: 1})
+	if err := p2.CheckCtx(context.Background(), SiteSimHop); err != nil {
+		t.Fatalf("uncanceled latency injection = %v, want nil", err)
 	}
 }

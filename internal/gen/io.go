@@ -58,7 +58,7 @@ func Load(dir string) (*Evolution, error) {
 // deterministically by file index.
 func LoadContext(ctx context.Context, dir string) (*Evolution, error) {
 	fp := fault.From(ctx)
-	if err := fp.Check(fault.SiteGenIO); err != nil {
+	if err := fp.CheckCtx(ctx, fault.SiteGenIO); err != nil {
 		return nil, err
 	}
 	metaBytes, err := os.ReadFile(filepath.Join(dir, "meta.txt"))
@@ -73,14 +73,14 @@ func LoadContext(ctx context.Context, dir string) (*Evolution, error) {
 		return nil, megaerr.Invalidf("gen: meta declares %d snapshots", snapshots)
 	}
 	ev := &Evolution{NumVertices: vertices}
-	if err := fp.Check(fault.SiteGenIO); err != nil {
+	if err := fp.CheckCtx(ctx, fault.SiteGenIO); err != nil {
 		return nil, err
 	}
 	if ev.Initial, err = readEdges(filepath.Join(dir, "initial.txt"), vertices); err != nil {
 		return nil, err
 	}
 	for j := 0; j < snapshots-1; j++ {
-		if err := fp.Check(fault.SiteGenIO); err != nil {
+		if err := fp.CheckCtx(ctx, fault.SiteGenIO); err != nil {
 			return nil, err
 		}
 		adds, err := readEdges(filepath.Join(dir, fmt.Sprintf("add_%02d.txt", j)), vertices)

@@ -49,6 +49,13 @@ var (
 	// failed a strict-mode audit. An audit failure is a modeling bug, not
 	// bad input — it is never transient and never caller-fixable.
 	ErrAudit = errors.New("mega: invariant audit failed")
+
+	// ErrOverload marks a request the query service refused to take on:
+	// its run semaphore and wait queue were both full (or the service was
+	// draining), and admitting the request would have queued it
+	// unboundedly. Overload is a load-shedding decision, not a fault in
+	// the request — the same request can succeed when offered load drops.
+	ErrOverload = errors.New("mega: service overloaded")
 )
 
 // CanceledError wraps the context error observed at a lifecycle
@@ -233,6 +240,32 @@ func (e *AuditError) Unwrap() error { return ErrAudit }
 // formatted detail message.
 func Auditf(invariant, format string, args ...any) error {
 	return &AuditError{Invariant: invariant, Detail: fmt.Sprintf(format, args...)}
+}
+
+// OverloadError reports a request rejected (or a queued request shed) by
+// the query service's admission control. It matches ErrOverload under
+// errors.Is.
+type OverloadError struct {
+	// Reason describes the rejection: "queue full", "shed by
+	// higher-priority request", "service draining", "service closed".
+	Reason string
+	// Capacity is the service's concurrent-run bound at rejection time.
+	Capacity int
+	// Queued is how many requests were already waiting.
+	Queued int
+}
+
+// Error implements error.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("mega: overloaded (%s): %d running allowed, %d queued", e.Reason, e.Capacity, e.Queued)
+}
+
+// Unwrap lets errors.Is match ErrOverload.
+func (e *OverloadError) Unwrap() error { return ErrOverload }
+
+// Overloadf builds an ErrOverload-matching error with a formatted reason.
+func Overloadf(capacity, queued int, format string, args ...any) error {
+	return &OverloadError{Reason: fmt.Sprintf(format, args...), Capacity: capacity, Queued: queued}
 }
 
 // invalidError carries a descriptive message and matches ErrInvalidInput.

@@ -141,3 +141,23 @@ func TestInvalidf(t *testing.T) {
 		t.Errorf("message = %q", got)
 	}
 }
+
+func TestOverloadErrorContract(t *testing.T) {
+	err := Overloadf(4, 16, "queue full")
+	if !errors.Is(err, ErrOverload) {
+		t.Error("does not match ErrOverload")
+	}
+	if IsTransient(err) {
+		t.Error("overload must not be classified transient")
+	}
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Capacity != 4 || oe.Queued != 16 {
+		t.Errorf("As failed: %+v", oe)
+	}
+	msg := err.Error()
+	for _, want := range []string{"overloaded", "queue full", "4 running", "16 queued"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("message %q lacks %q", msg, want)
+		}
+	}
+}

@@ -1,0 +1,760 @@
+// Package serve is the concurrent query service: a long-lived admission
+// layer that runs many evolving-graph evaluations over shared Windows
+// while keeping hard robustness guarantees under load.
+//
+// The service is a bounded system, by construction:
+//
+//   - Admission control. At most Capacity queries run concurrently and at
+//     most QueueDepth wait; a request that fits neither is rejected
+//     immediately with a megaerr.ErrOverload-matching error instead of
+//     queueing unboundedly.
+//   - Per-query lifecycle. Every query runs under its caller's context
+//     plus an optional per-request deadline covering queue time and run
+//     time; queued requests whose deadline or queue-timeout expires fail
+//     with a deadline error without ever starting.
+//   - Load shedding. When the queue is full, an arriving request may
+//     displace ("shed") a strictly lower-priority queued request — the
+//     lowest-priority, youngest waiter goes first — so high-priority work
+//     is never locked out by a backlog of low-priority work.
+//   - Graceful degradation. A breaker watches worker panics: after
+//     PanicThreshold consecutive panic outcomes on the parallel engine,
+//     new queries are demoted to the sequential engine; after
+//     DemotionPeriod one probe query re-tries the parallel engine and its
+//     outcome re-opens or closes the breaker.
+//   - Graceful shutdown. Close stops admission, fails queued requests,
+//     drains in-flight queries up to the caller's deadline, then cancels
+//     stragglers and joins them — goroutine-leak-free.
+//
+// The service is engine-agnostic: the actual evaluation is a RunFunc
+// supplied at construction (the root mega package wires EvaluateRecover,
+// tests wire stubs). Accounting is a checked invariant: every admitted
+// request terminates in exactly one of completed/failed/canceled, and
+// Close records (and in strict mode enforces) the conservation law
+// admitted == completed + failed + canceled.
+package serve
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"sync"
+
+	"mega/internal/algo"
+	"mega/internal/evolve"
+	"mega/internal/graph"
+	"mega/internal/megaerr"
+	"mega/internal/metrics"
+)
+
+// Priority orders queued requests and drives the shed policy. Higher
+// values are served first and shed last.
+type Priority uint8
+
+const (
+	// PriorityLow is sacrificed first under load.
+	PriorityLow Priority = iota
+	// PriorityNormal is the default.
+	PriorityNormal
+	// PriorityHigh is served first and can displace queued lower-priority
+	// requests when the queue is full.
+	PriorityHigh
+)
+
+// String names the priority as ParsePriority spells it.
+func (p Priority) String() string {
+	switch p {
+	case PriorityLow:
+		return "low"
+	case PriorityNormal:
+		return "normal"
+	case PriorityHigh:
+		return "high"
+	default:
+		return fmt.Sprintf("Priority(%d)", uint8(p))
+	}
+}
+
+// ParsePriority converts "low", "normal", or "high" to its Priority.
+func ParsePriority(s string) (Priority, error) {
+	switch s {
+	case "low":
+		return PriorityLow, nil
+	case "normal", "":
+		return PriorityNormal, nil
+	case "high":
+		return PriorityHigh, nil
+	default:
+		return PriorityNormal, megaerr.Invalidf("serve: unknown priority %q (want low, normal, or high)", s)
+	}
+}
+
+// Request describes one evolving-graph query submitted to the service.
+type Request struct {
+	// Window is the shared evolving-graph window to answer over. Windows
+	// are immutable after construction, so many concurrent queries may
+	// share one.
+	Window *evolve.Window
+	// Algo selects the query algorithm.
+	Algo algo.Kind
+	// Source is the query's source vertex.
+	Source graph.VertexID
+	// Priority orders the wait queue and the shed policy.
+	Priority Priority
+	// Deadline, when nonzero, bounds the query's total time in the
+	// service — queue wait plus run time. A queued request past its
+	// deadline fails without ever starting.
+	Deadline time.Duration
+	// QueueTimeout, when nonzero, bounds only the time spent waiting for
+	// a run slot.
+	QueueTimeout time.Duration
+	// Parallel asks for the goroutine-parallel engine; the breaker may
+	// demote the query to the sequential engine after repeated worker
+	// panics. Workers <= 0 selects GOMAXPROCS.
+	Parallel bool
+	Workers  int
+	// Label tags the request in reports; the service does not interpret it.
+	Label string
+}
+
+// RunReport is what a RunFunc tells the service about one evaluation.
+type RunReport struct {
+	// Attempts counts engine runs inside the evaluation (retries included).
+	Attempts int
+	// FellBack is true when a contained worker panic demoted the
+	// evaluation from the parallel to the sequential engine mid-flight.
+	FellBack bool
+}
+
+// RunFunc evaluates one query. parallel is the service's engine decision
+// (the request's wish filtered through the breaker). Implementations must
+// honor ctx and return typed megaerr errors; panics are contained by the
+// service and surface as *megaerr.WorkerPanicError.
+type RunFunc func(ctx context.Context, req *Request, parallel bool) ([][]float64, RunReport, error)
+
+// Report describes how the service executed one admitted query.
+type Report struct {
+	// Engine is the engine that produced the result: "parallel" or
+	// "sequential".
+	Engine string
+	// Demoted is true when the breaker overrode a Parallel request.
+	Demoted bool
+	// Probe is true when this query was the breaker's re-promotion probe.
+	Probe bool
+	// Attempts and FellBack come from the evaluation's RunReport.
+	Attempts int
+	FellBack bool
+	// QueueWait is the time spent waiting for a run slot.
+	QueueWait time.Duration
+	// RunTime is the evaluation's wall time.
+	RunTime time.Duration
+}
+
+// Result is a successful query's values and execution report.
+type Result struct {
+	// Values holds one value array per snapshot of the window.
+	Values [][]float64
+	// Report describes how the query was executed.
+	Report Report
+}
+
+// Config parameterizes a Service. The zero value of every field selects a
+// safe default; Run is required.
+type Config struct {
+	// Run evaluates one query (required).
+	Run RunFunc
+	// Capacity bounds concurrently running queries (0 = 4).
+	Capacity int
+	// QueueDepth bounds waiting queries (0 = 64).
+	QueueDepth int
+	// DefaultDeadline applies to requests with Deadline == 0 (0 = none).
+	DefaultDeadline time.Duration
+	// DefaultQueueTimeout applies to requests with QueueTimeout == 0
+	// (0 = none).
+	DefaultQueueTimeout time.Duration
+	// PanicThreshold is how many consecutive parallel-engine panic
+	// outcomes open the breaker (0 = 3).
+	PanicThreshold int
+	// DemotionPeriod is how long the breaker stays open before a probe
+	// query re-tries the parallel engine (0 = 5s).
+	DemotionPeriod time.Duration
+	// Metrics, when non-nil, receives the service's gauges, counters,
+	// histograms, and the Close-time accounting audit.
+	Metrics *metrics.Registry
+}
+
+// Service states.
+const (
+	stateServing = iota
+	stateDraining
+	stateClosed
+)
+
+// Breaker states.
+const (
+	brkClosed = iota // parallel allowed
+	brkOpen          // demoted: new queries run sequentially
+	brkProbe         // one probe is re-trying the parallel engine
+)
+
+// Service is a concurrent query service. Construct with New; Submit is
+// safe for concurrent use; Close drains and shuts down.
+type Service struct {
+	run    RunFunc
+	cfg    Config
+	reg    *metrics.Registry
+	strict bool
+	now    func() time.Time // injectable clock (breaker re-promotion tests)
+
+	mu      sync.Mutex
+	state   int
+	running int
+	queue   waiterHeap
+	seq     uint64
+	active  map[*waiter]context.CancelFunc
+	drained chan struct{}
+
+	brk         int
+	brkPanics   int
+	brkOpenedAt time.Time
+
+	// Accounting. Terminal states are counted by whichever goroutine
+	// removes the request from the service, always under mu, so the
+	// conservation law admitted == completed + failed + canceled is
+	// checkable at any quiescent point.
+	admitted, completed, failed, canceled uint64
+	rejected, shed, deadlineExceeded      uint64
+	demotions, probes                     uint64
+
+	mQueued, mRunning, mDraining, mBreaker *metrics.Gauge
+	cAdmitted, cRejected, cShed, cDeadline *metrics.Counter
+	cDemotions, cProbes                    *metrics.Counter
+	cCompleted, cFailed, cCanceled         *metrics.Counter
+	hQueueWait, hRunTime                   *metrics.Histogram
+}
+
+// New builds a Service from cfg. It returns an error when cfg.Run is nil
+// or a bound is negative.
+func New(cfg Config) (*Service, error) {
+	if cfg.Run == nil {
+		return nil, megaerr.Invalidf("serve: Config.Run is required")
+	}
+	if cfg.Capacity < 0 || cfg.QueueDepth < 0 {
+		return nil, megaerr.Invalidf("serve: negative Capacity (%d) or QueueDepth (%d)", cfg.Capacity, cfg.QueueDepth)
+	}
+	if cfg.Capacity == 0 {
+		cfg.Capacity = 4
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.PanicThreshold <= 0 {
+		cfg.PanicThreshold = 3
+	}
+	if cfg.DemotionPeriod <= 0 {
+		cfg.DemotionPeriod = 5 * time.Second
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.New() // private registry: instruments always resolvable
+	}
+	s := &Service{
+		run:    cfg.Run,
+		cfg:    cfg,
+		reg:    reg,
+		strict: metrics.Strict(),
+		now:    time.Now,
+		active: make(map[*waiter]context.CancelFunc),
+
+		mQueued:    reg.Gauge("serve_queued"),
+		mRunning:   reg.Gauge("serve_running"),
+		mDraining:  reg.Gauge("serve_draining"),
+		mBreaker:   reg.Gauge("serve_breaker_open"),
+		cAdmitted:  reg.Counter("serve_admitted"),
+		cRejected:  reg.Counter("serve_rejected"),
+		cShed:      reg.Counter("serve_shed"),
+		cDeadline:  reg.Counter("serve_deadline_exceeded"),
+		cDemotions: reg.Counter("serve_demotions"),
+		cProbes:    reg.Counter("serve_probes"),
+		cCompleted: reg.Counter("serve_queries", "state", "completed"),
+		cFailed:    reg.Counter("serve_queries", "state", "failed"),
+		cCanceled:  reg.Counter("serve_queries", "state", "canceled"),
+		hQueueWait: reg.Histogram("serve_queue_wait_nanos"),
+		hRunTime:   reg.Histogram("serve_run_nanos"),
+	}
+	return s, nil
+}
+
+// waiter is one admitted request waiting for (or holding) a run slot.
+type waiter struct {
+	prio   Priority
+	seq    uint64
+	index  int // heap index; -1 once off the queue
+	grant  chan error
+	cancel context.CancelFunc
+}
+
+// waiterHeap orders waiters by priority (high first), FIFO within one
+// priority.
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int { return len(h) }
+func (h waiterHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio > h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h waiterHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *waiterHeap) Push(x any) {
+	w := x.(*waiter)
+	w.index = len(*h)
+	*h = append(*h, w)
+}
+func (h *waiterHeap) Pop() any {
+	old := *h
+	n := len(old) - 1
+	w := old[n]
+	old[n] = nil
+	*h = old[:n]
+	w.index = -1
+	return w
+}
+
+// Submit runs one query through the service and blocks until it resolves:
+// a successful Result, a typed error (ErrOverload on rejection or shed,
+// ErrCanceled on deadline/cancellation, or the evaluation's own failure).
+// Safe for concurrent use from any number of goroutines.
+func (s *Service) Submit(ctx context.Context, req Request) (*Result, error) {
+	if req.Priority > PriorityHigh {
+		return nil, megaerr.Invalidf("serve: priority %d out of range", req.Priority)
+	}
+	submitted := s.now()
+	deadline := req.Deadline
+	if deadline == 0 {
+		deadline = s.cfg.DefaultDeadline
+	}
+	var cancel context.CancelFunc
+	if deadline > 0 {
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+
+	w, err := s.admit(&req, cancel)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.awaitSlot(ctx, &req, w); err != nil {
+		return nil, err
+	}
+	queueWait := s.now().Sub(submitted)
+	s.hQueueWait.Observe(queueWait.Nanoseconds())
+
+	parallel, probe := s.engineFor(&req)
+	start := s.now()
+	vals, rep, runErr := s.runContained(ctx, &req, parallel)
+	runTime := s.now().Sub(start)
+	s.hRunTime.Observe(runTime.Nanoseconds())
+	s.noteBreaker(parallel, probe, panicOutcome(rep, runErr))
+	s.finish(w, runErr)
+	if runErr != nil {
+		return nil, runErr
+	}
+	engine := "sequential"
+	if parallel && !rep.FellBack {
+		engine = "parallel"
+	}
+	return &Result{
+		Values: vals,
+		Report: Report{
+			Engine:    engine,
+			Demoted:   req.Parallel && !parallel,
+			Probe:     probe,
+			Attempts:  rep.Attempts,
+			FellBack:  rep.FellBack,
+			QueueWait: queueWait,
+			RunTime:   runTime,
+		},
+	}, nil
+}
+
+// admit either grants a run slot immediately, enqueues the request, sheds
+// a lower-priority waiter to make room, or rejects with ErrOverload. The
+// returned waiter always resolves through its grant channel.
+func (s *Service) admit(req *Request, cancel context.CancelFunc) (*waiter, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != stateServing {
+		reason := "service draining"
+		if s.state == stateClosed {
+			reason = "service closed"
+		}
+		s.rejected++
+		s.cRejected.Inc()
+		return nil, &megaerr.OverloadError{Reason: reason, Capacity: s.cfg.Capacity, Queued: s.queue.Len()}
+	}
+	s.seq++
+	w := &waiter{prio: req.Priority, seq: s.seq, index: -1, grant: make(chan error, 1), cancel: cancel}
+	if s.running < s.cfg.Capacity && s.queue.Len() == 0 {
+		s.admitted++
+		s.cAdmitted.Inc()
+		s.grantLocked(w)
+		return w, nil
+	}
+	if s.queue.Len() < s.cfg.QueueDepth {
+		s.admitted++
+		s.cAdmitted.Inc()
+		heap.Push(&s.queue, w)
+		s.mQueued.Set(int64(s.queue.Len()))
+		return w, nil
+	}
+	// Queue full: shed the lowest-priority, youngest waiter if the new
+	// request strictly outranks it; otherwise reject the newcomer.
+	if victim := s.shedVictimLocked(req.Priority); victim != nil {
+		heap.Remove(&s.queue, victim.index)
+		shedErr := &megaerr.OverloadError{
+			Reason: "shed by higher-priority request", Capacity: s.cfg.Capacity, Queued: s.queue.Len(),
+		}
+		s.shed++
+		s.cShed.Inc()
+		s.accountTerminalLocked(shedErr)
+		victim.grant <- shedErr
+		s.admitted++
+		s.cAdmitted.Inc()
+		heap.Push(&s.queue, w)
+		s.mQueued.Set(int64(s.queue.Len()))
+		return w, nil
+	}
+	s.rejected++
+	s.cRejected.Inc()
+	return nil, &megaerr.OverloadError{Reason: "queue full", Capacity: s.cfg.Capacity, Queued: s.queue.Len()}
+}
+
+// shedVictimLocked returns the queued waiter the shed policy would drop
+// for an arrival of priority prio: the lowest-priority waiter (youngest
+// within that priority), and only if it is strictly below prio.
+func (s *Service) shedVictimLocked(prio Priority) *waiter {
+	var victim *waiter
+	for _, w := range s.queue {
+		if victim == nil || w.prio < victim.prio || (w.prio == victim.prio && w.seq > victim.seq) {
+			victim = w
+		}
+	}
+	if victim == nil || victim.prio >= prio {
+		return nil
+	}
+	return victim
+}
+
+// grantLocked hands w a run slot. Caller holds mu.
+func (s *Service) grantLocked(w *waiter) {
+	s.running++
+	s.mRunning.Set(int64(s.running))
+	s.active[w] = w.cancel
+	w.grant <- nil
+}
+
+// awaitSlot blocks until the admitted request owns a run slot, or resolves
+// it as canceled/timed-out/shed. A non-nil return has already been
+// accounted.
+func (s *Service) awaitSlot(ctx context.Context, req *Request, w *waiter) error {
+	qt := req.QueueTimeout
+	if qt == 0 {
+		qt = s.cfg.DefaultQueueTimeout
+	}
+	var timeoutC <-chan time.Time
+	if qt > 0 {
+		timer := time.NewTimer(qt)
+		defer timer.Stop()
+		timeoutC = timer.C
+	}
+	select {
+	case err := <-w.grant:
+		return err // nil = slot owned; non-nil = shed or drained (accounted by remover)
+	case <-ctx.Done():
+		return s.abandon(w, megaerr.Canceled("serve: canceled while queued", ctx.Err()))
+	case <-timeoutC:
+		return s.abandon(w, megaerr.Canceled("serve: queue timeout", context.DeadlineExceeded))
+	}
+}
+
+// abandon resolves a waiter whose wait was interrupted. If the waiter is
+// still queued it is removed and accounted with cause; if a grant or shed
+// raced ahead, the grant is consumed — a won slot is released unused.
+func (s *Service) abandon(w *waiter, cause error) error {
+	s.mu.Lock()
+	if w.index >= 0 {
+		heap.Remove(&s.queue, w.index)
+		s.mQueued.Set(int64(s.queue.Len()))
+		s.accountTerminalLocked(cause)
+		s.mu.Unlock()
+		return cause
+	}
+	s.mu.Unlock()
+	err := <-w.grant // buffered: the popper has sent or is about to send
+	if err != nil {
+		return err // shed/drained; already accounted
+	}
+	s.finish(w, cause) // slot won after interruption: release it unused
+	return cause
+}
+
+// finish releases w's run slot, accounts the terminal outcome, grants the
+// next waiter, and signals the drain when the service empties.
+func (s *Service) finish(w *waiter, outcome error) {
+	s.mu.Lock()
+	delete(s.active, w)
+	s.running--
+	s.accountTerminalLocked(outcome)
+	for s.state == stateServing && s.running < s.cfg.Capacity && s.queue.Len() > 0 {
+		next := heap.Pop(&s.queue).(*waiter)
+		s.mQueued.Set(int64(s.queue.Len()))
+		s.grantLocked(next)
+	}
+	s.mRunning.Set(int64(s.running))
+	if s.state == stateDraining && s.running == 0 && s.drained != nil {
+		close(s.drained)
+		s.drained = nil
+	}
+	s.mu.Unlock()
+}
+
+// accountTerminalLocked classifies one admitted request's terminal
+// outcome. Caller holds mu. Every admitted request reaches exactly one
+// terminal state: completed, canceled (deadline/cancellation, including
+// while queued), or failed (evaluation errors, sheds).
+func (s *Service) accountTerminalLocked(err error) {
+	switch {
+	case err == nil:
+		s.completed++
+		s.cCompleted.Inc()
+	case errors.Is(err, megaerr.ErrCanceled):
+		s.canceled++
+		s.cCanceled.Inc()
+	default:
+		s.failed++
+		s.cFailed.Inc()
+	}
+	if err != nil && errors.Is(err, context.DeadlineExceeded) {
+		s.deadlineExceeded++
+		s.cDeadline.Inc()
+	}
+}
+
+// runContained invokes the RunFunc, converting an escaping panic into a
+// *megaerr.WorkerPanicError so one poisoned query cannot take down the
+// service.
+func (s *Service) runContained(ctx context.Context, req *Request, parallel bool) (vals [][]float64, rep RunReport, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &megaerr.WorkerPanicError{Shard: -1, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return s.run(ctx, req, parallel)
+}
+
+// engineFor applies the breaker to the request's engine wish. It returns
+// the engine decision and whether this query is the breaker's
+// re-promotion probe.
+func (s *Service) engineFor(req *Request) (parallel, probe bool) {
+	if !req.Parallel {
+		return false, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.brk {
+	case brkClosed:
+		return true, false
+	case brkOpen:
+		if s.now().Sub(s.brkOpenedAt) >= s.cfg.DemotionPeriod {
+			s.brk = brkProbe
+			s.probes++
+			s.cProbes.Inc()
+			return true, true
+		}
+		return false, false
+	default: // brkProbe: a probe is in flight; stay demoted until it reports
+		return false, false
+	}
+}
+
+// noteBreaker feeds one query's outcome back into the breaker.
+func (s *Service) noteBreaker(wasParallel, wasProbe, panicked bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if wasProbe {
+		if panicked {
+			s.openBreakerLocked()
+		} else {
+			s.brk = brkClosed
+			s.brkPanics = 0
+			s.mBreaker.Set(0)
+		}
+		return
+	}
+	if !wasParallel {
+		return
+	}
+	if panicked {
+		s.brkPanics++
+		if s.brk == brkClosed && s.brkPanics >= s.cfg.PanicThreshold {
+			s.openBreakerLocked()
+		}
+	} else if s.brk == brkClosed {
+		s.brkPanics = 0 // the threshold counts consecutive panics
+	}
+}
+
+// openBreakerLocked demotes new queries to the sequential engine. Caller
+// holds mu.
+func (s *Service) openBreakerLocked() {
+	s.brk = brkOpen
+	s.brkOpenedAt = s.now()
+	s.brkPanics = 0
+	s.demotions++
+	s.cDemotions.Inc()
+	s.mBreaker.Set(1)
+}
+
+// panicOutcome reports whether an evaluation's outcome counts as a worker
+// panic for the breaker: either the retry layer contained one and fell
+// back mid-flight, or the final error is a contained panic.
+func panicOutcome(rep RunReport, err error) bool {
+	if rep.FellBack {
+		return true
+	}
+	var wp *megaerr.WorkerPanicError
+	return errors.As(err, &wp)
+}
+
+// Close stops admission, fails every queued request, drains in-flight
+// queries until ctx expires, then cancels stragglers and joins them. It
+// records the accounting audit (admitted == completed + failed +
+// canceled) in the metrics registry and, in strict mode, returns it as an
+// ErrAudit error if violated. Close is idempotent; Submit after Close
+// fails with ErrOverload.
+func (s *Service) Close(ctx context.Context) error {
+	s.mu.Lock()
+	if s.state == stateClosed {
+		s.mu.Unlock()
+		return nil
+	}
+	var drained chan struct{}
+	if s.state == stateServing {
+		s.state = stateDraining
+		s.mDraining.Set(1)
+		for s.queue.Len() > 0 {
+			w := heap.Pop(&s.queue).(*waiter)
+			derr := megaerr.Canceled("serve: drained while queued", context.Canceled)
+			s.accountTerminalLocked(derr)
+			w.grant <- derr
+		}
+		s.mQueued.Set(0)
+		if s.running > 0 {
+			s.drained = make(chan struct{})
+		}
+	}
+	drained = s.drained
+	s.mu.Unlock()
+
+	if drained != nil {
+		select {
+		case <-drained:
+		case <-ctx.Done():
+			// Drain deadline expired: cancel the stragglers and join them.
+			// The engines observe cancellation at their next round
+			// boundary, so this wait is short and leak-free.
+			s.mu.Lock()
+			for _, cancel := range s.active {
+				cancel()
+			}
+			s.mu.Unlock()
+			<-drained
+		}
+	}
+
+	s.mu.Lock()
+	s.state = stateClosed
+	s.mDraining.Set(0)
+	audit := s.auditLocked()
+	s.reg.RecordAudit(audit)
+	strict := s.strict
+	s.mu.Unlock()
+	if strict {
+		return audit.Err()
+	}
+	return nil
+}
+
+// auditLocked computes the accounting conservation audit. Caller holds mu.
+func (s *Service) auditLocked() metrics.AuditResult {
+	terminal := s.completed + s.failed + s.canceled
+	res := metrics.AuditResult{Name: "serve.accounting", OK: s.admitted == terminal}
+	if !res.OK {
+		res.Detail = fmt.Sprintf("admitted=%d != completed=%d + failed=%d + canceled=%d (=%d)",
+			s.admitted, s.completed, s.failed, s.canceled, terminal)
+	}
+	return res
+}
+
+// Stats is a point-in-time snapshot of the service's accounting.
+type Stats struct {
+	// State is "serving", "draining", or "closed".
+	State string
+	// Running and Queued are the live occupancy.
+	Running, Queued int
+	// Admitted counts requests that entered the service; every one
+	// terminates as exactly one of Completed, Failed, or Canceled.
+	Admitted, Completed, Failed, Canceled uint64
+	// Rejected counts requests refused at admission (never admitted).
+	Rejected uint64
+	// Shed counts queued requests displaced by higher-priority arrivals.
+	Shed uint64
+	// DeadlineExceeded counts terminals caused by a deadline.
+	DeadlineExceeded uint64
+	// Demotions counts breaker openings; Probes counts re-promotion
+	// probes dispatched.
+	Demotions, Probes uint64
+	// BreakerOpen is true while new parallel requests are being demoted.
+	BreakerOpen bool
+}
+
+// Stats returns the service's current accounting snapshot.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Running: s.running, Queued: s.queue.Len(),
+		Admitted: s.admitted, Completed: s.completed, Failed: s.failed, Canceled: s.canceled,
+		Rejected: s.rejected, Shed: s.shed, DeadlineExceeded: s.deadlineExceeded,
+		Demotions: s.demotions, Probes: s.probes,
+		BreakerOpen: s.brk != brkClosed,
+	}
+	switch s.state {
+	case stateServing:
+		st.State = "serving"
+	case stateDraining:
+		st.State = "draining"
+	default:
+		st.State = "closed"
+	}
+	return st
+}
+
+// Audit returns the accounting conservation audit at this instant; it is
+// guaranteed to pass at any quiescent point (no queued or running
+// queries) and always checked at Close.
+func (s *Service) Audit() metrics.AuditResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.auditLocked()
+}

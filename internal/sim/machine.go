@@ -49,13 +49,13 @@ type machine struct {
 	// (the sim.dram_attribution audit).
 	cycles        int64
 	dramBytes     int64
-	batchBytes    int64 // batch reads + adjacency-maintenance traffic
-	edgeMissBytes int64 // burst-rounded edge-cache miss traffic
-	spillBytes    int64 // cross-partition event spills
-	swapBytes     int64 // partition activation streaming
-	copyBytes     int64 // off-chip value broadcasts/clones
-	fetches       int64 // total adjacency fetches (hits + misses)
-	partSwaps     int64 // partition activations charged at op ends
+	batchBytes    int64   // batch reads + adjacency-maintenance traffic
+	edgeMissBytes int64   // burst-rounded edge-cache miss traffic
+	spillBytes    int64   // cross-partition event spills
+	swapBytes     int64   // partition activation streaming
+	copyBytes     int64   // off-chip value broadcasts/clones
+	fetches       int64   // total adjacency fetches (hits + misses)
+	partSwaps     int64   // partition activations charged at op ends
 	chanBytes     []int64 // cumulative edge-miss bytes per DRAM channel
 
 	// Current op.

@@ -222,7 +222,7 @@ func RunRecomputeContext(ctx context.Context, w *evolve.Window, kind algo.Kind, 
 		if err := engine.CheckContext(ctx, "recompute snapshot"); err != nil {
 			return nil, err
 		}
-		if err := fp.Check(fault.SiteSimHop); err != nil {
+		if err := fp.CheckCtx(ctx, fault.SiteSimHop); err != nil {
 			return nil, err
 		}
 		g, err := graph.NewCSR(w.NumVertices(), w.SnapshotEdges(snap))
@@ -338,7 +338,7 @@ func RunJetStreamOnContext(ctx context.Context, ev *gen.Evolution, hg *HopGraphs
 		if err := engine.CheckContext(ctx, "jetstream hop"); err != nil {
 			return nil, err
 		}
-		if err := fp.Check(fault.SiteSimHop); err != nil {
+		if err := fp.CheckCtx(ctx, fault.SiteSimHop); err != nil {
 			return nil, err
 		}
 		st.ApplyDeletions(hg.Mid[j], ev.Dels[j])

@@ -83,7 +83,7 @@ func (m *machine) run(ctx context.Context, s *sched.Schedule) error {
 		// compare). The fault check runs first so an injected cancellation
 		// is observed by the context check in the same cycle.
 		if m.now%ctxCheckCycles == 0 {
-			if err := fp.Check(fault.SiteUarchCycle); err != nil {
+			if err := fp.CheckCtx(ctx, fault.SiteUarchCycle); err != nil {
 				return err
 			}
 			if err := engine.CheckContext(ctx, "uarch cycle"); err != nil {

@@ -81,22 +81,22 @@ func RunStreamContext(ctx context.Context, ev *gen.Evolution, kind algo.Kind, sr
 		return nil, err
 	}
 	m := &streamMachine{
-		ctx:    ctx,
-		fp:     fault.From(ctx),
-		cfg:    cfg,
-		a:      algo.New(kind),
-		src:    src,
-		vals:   make([]float64, ev.NumVertices),
-		parent: make([]int32, ev.NumVertices),
+		ctx:       ctx,
+		fp:        fault.From(ctx),
+		cfg:       cfg,
+		a:         algo.New(kind),
+		src:       src,
+		vals:      make([]float64, ev.NumVertices),
+		parent:    make([]int32, ev.NumVertices),
 		cache:     newLRU(cfg.EdgeCacheBytes),
 		chans:     make([]int64, cfg.DRAMChannels),
 		chanBytes: make([]int64, cfg.DRAMChannels),
 		auditOn:   metrics.Strict(),
-		ports:  make([][]streamEvent, cfg.QueueBins),
-		pes:    make([]*streamPE, cfg.PEs),
-		pend:   make([]float64, ev.NumVertices),
-		pfrom:  make([]int32, ev.NumVertices),
-		phas:   make([]bool, ev.NumVertices),
+		ports:     make([][]streamEvent, cfg.QueueBins),
+		pes:       make([]*streamPE, cfg.PEs),
+		pend:      make([]float64, ev.NumVertices),
+		pfrom:     make([]int32, ev.NumVertices),
+		phas:      make([]bool, ev.NumVertices),
 	}
 	if m.auditOn {
 		m.lastBytes = make(map[uint32]int64)
@@ -341,7 +341,7 @@ func (m *streamMachine) drain(cfg Config) error {
 		m.tick()
 		if m.now%ctxCheckCycles == 0 {
 			// Fault check first: see the run-loop comment in run.go.
-			if err := m.fp.Check(fault.SiteUarchCycle); err != nil {
+			if err := m.fp.CheckCtx(m.ctx, fault.SiteUarchCycle); err != nil {
 				return err
 			}
 			if err := engine.CheckContext(m.ctx, "uarch-stream cycle"); err != nil {

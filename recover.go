@@ -121,6 +121,21 @@ type Recovery struct {
 	Faults []string
 }
 
+// sleepRetry waits for the backoff duration or until ctx is done,
+// returning the context's error on cancellation. It is a package-private
+// hook so retry tests can replace the real clock with a recorder and run
+// instantly; the default is the real timer.
+var sleepRetry = func(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
 // resumableEngine is the checkpoint surface shared by both engines.
 type resumableEngine interface {
 	RunContext(ctx context.Context, s *Schedule, lim Limits) error
@@ -238,10 +253,8 @@ func EvaluateRecover(ctx context.Context, w *Window, k AlgorithmKind, source Ver
 			opt.Metrics.Counter("recover_backoff_waits").Inc()
 			opt.Metrics.Histogram("recover_backoff_nanos").Observe(wait.Nanoseconds())
 		}
-		select {
-		case <-ctx.Done():
-			return nil, rec, &megaerr.CanceledError{Phase: "recovery backoff", Err: ctx.Err()}
-		case <-time.After(wait):
+		if serr := sleepRetry(ctx, wait); serr != nil {
+			return nil, rec, &megaerr.CanceledError{Phase: "recovery backoff", Err: serr}
 		}
 	}
 }

@@ -4,10 +4,28 @@ import (
 	"context"
 	"errors"
 	"testing"
+	"time"
 
 	"mega"
 	"mega/internal/testutil"
 )
+
+// instantBackoff replaces EvaluateRecover's real backoff clock with a
+// recorder: waits return immediately (still honoring ctx) and the waited
+// durations are captured, so retry tests are fast and timing-independent.
+func instantBackoff(t *testing.T) *[]time.Duration {
+	t.Helper()
+	var waits []time.Duration
+	restore := mega.SetRetrySleep(func(ctx context.Context, d time.Duration) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		waits = append(waits, d)
+		return nil
+	})
+	t.Cleanup(restore)
+	return &waits
+}
 
 // countRounds runs the query once under an empty fault plan and returns
 // how many engine round boundaries a sequential run visits — the basis
@@ -58,15 +76,18 @@ func TestEvaluateRecoverTransient(t *testing.T) {
 	plan := mega.NewFaultPlan(2).Add(op)
 	ctx := mega.WithFaultPlan(context.Background(), plan)
 
+	waits := instantBackoff(t)
 	got, rec, err := mega.EvaluateRecover(ctx, w, mega.SSSP, 0, mega.BOE, mega.RecoverOptions{
 		CheckpointEvery: 1,
-		Backoff:         1, // nanoseconds; keep the test fast
 	})
 	if err != nil {
 		t.Fatalf("EvaluateRecover = %v, want recovery", err)
 	}
 	if rec.Attempts != 2 || rec.Resumes != 1 {
 		t.Errorf("recovery = %+v, want 2 attempts with 1 resume", rec)
+	}
+	if len(*waits) != 1 {
+		t.Errorf("backoff waits = %v, want exactly one before the retry", *waits)
 	}
 	if len(rec.Faults) != 1 {
 		t.Errorf("faults = %q, want exactly the injected one", rec.Faults)
@@ -93,11 +114,11 @@ func TestEvaluateRecoverParallelPanicFallsBack(t *testing.T) {
 	plan := mega.NewFaultPlan(3).Add(op)
 	ctx := mega.WithFaultPlan(context.Background(), plan)
 
+	instantBackoff(t)
 	got, rec, err := mega.EvaluateRecover(ctx, w, mega.SSSP, 0, mega.BOE, mega.RecoverOptions{
 		Parallel:        true,
 		Workers:         4,
 		CheckpointEvery: 1,
-		Backoff:         1,
 	})
 	if err != nil {
 		t.Fatalf("EvaluateRecover = %v, want fallback recovery", err)
@@ -116,7 +137,9 @@ func TestEvaluateRecoverParallelPanicFallsBack(t *testing.T) {
 
 // TestEvaluateRecoverRetriesExhausted uses a periodic transient fault that
 // fires at every round boundary, so every attempt dies; the loop must give
-// up after MaxRetries and surface the transient error.
+// up after MaxRetries with Attempts = retries+1, surfacing the LAST
+// attempt's transient error alongside the full Recovery.Faults trail, and
+// waiting the documented linear-backoff schedule between attempts.
 func TestEvaluateRecoverRetriesExhausted(t *testing.T) {
 	w := eightSnapshotWindow(t)
 	op, err := mega.ParseFaultOp("engine.round:transient@1x1")
@@ -126,9 +149,11 @@ func TestEvaluateRecoverRetriesExhausted(t *testing.T) {
 	plan := mega.NewFaultPlan(4).Add(op)
 	ctx := mega.WithFaultPlan(context.Background(), plan)
 
+	waits := instantBackoff(t)
+	backoff := 7 * time.Millisecond
 	_, rec, err := mega.EvaluateRecover(ctx, w, mega.SSSP, 0, mega.BOE, mega.RecoverOptions{
 		MaxRetries: 2,
-		Backoff:    1,
+		Backoff:    backoff,
 	})
 	if !mega.IsTransient(err) {
 		t.Fatalf("EvaluateRecover = %v, want the transient fault after exhaustion", err)
@@ -138,6 +163,44 @@ func TestEvaluateRecoverRetriesExhausted(t *testing.T) {
 	}
 	if len(rec.Faults) != 3 {
 		t.Errorf("faults = %d, want one per attempt", len(rec.Faults))
+	}
+	// The returned error is the last attempt's fault, and the trail keeps
+	// every attempt's error in order.
+	if len(rec.Faults) == 3 && rec.Faults[2] != err.Error() {
+		t.Errorf("returned error %q is not the last recorded fault %q", err, rec.Faults[2])
+	}
+	// Attempt n waits (n+1)×Backoff; the exhausted attempt never waits.
+	if len(*waits) != 2 || (*waits)[0] != 1*backoff || (*waits)[1] != 2*backoff {
+		t.Errorf("backoff schedule = %v, want [%v %v]", *waits, 1*backoff, 2*backoff)
+	}
+}
+
+// TestEvaluateRecoverBackoffHonorsCancel checks a context canceled during
+// the backoff wait aborts the retry loop with an ErrCanceled error instead
+// of attempting again.
+func TestEvaluateRecoverBackoffHonorsCancel(t *testing.T) {
+	w := eightSnapshotWindow(t)
+	op, err := mega.ParseFaultOp("engine.round:transient@1x1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := mega.NewFaultPlan(4).Add(op)
+	ctx, cancel := context.WithCancel(mega.WithFaultPlan(context.Background(), plan))
+
+	restore := mega.SetRetrySleep(func(ctx context.Context, d time.Duration) error {
+		cancel() // cancellation arrives mid-backoff
+		return ctx.Err()
+	})
+	t.Cleanup(restore)
+
+	_, rec, err := mega.EvaluateRecover(ctx, w, mega.SSSP, 0, mega.BOE, mega.RecoverOptions{
+		MaxRetries: 3,
+	})
+	if !errors.Is(err, mega.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("EvaluateRecover = %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+	if rec.Attempts != 1 {
+		t.Errorf("attempts = %d, want the canceled backoff to stop the loop after 1", rec.Attempts)
 	}
 }
 
@@ -167,10 +230,10 @@ func TestEvaluateRecoverSinkAndExternalResume(t *testing.T) {
 	}
 	plan := mega.NewFaultPlan(5).Add(op)
 	ctx := mega.WithFaultPlan(context.Background(), plan)
+	instantBackoff(t)
 	_, _, err = mega.EvaluateRecover(ctx, w, mega.SSWP, 0, mega.BOE, mega.RecoverOptions{
 		CheckpointEvery: 1,
 		MaxRetries:      1,
-		Backoff:         1,
 		Sink:            sink,
 	})
 	if !mega.IsTransient(err) {

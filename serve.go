@@ -1,0 +1,122 @@
+package mega
+
+import (
+	"context"
+	"time"
+
+	"mega/internal/megaerr"
+	"mega/internal/serve"
+)
+
+// Concurrent query service (internal/serve re-exported). A QueryService
+// is a long-lived front door for many concurrent evaluations over shared
+// Windows: bounded admission with a priority wait queue, per-query
+// deadlines and cancellation, load shedding, a panic breaker that demotes
+// queries from the parallel to the sequential engine, and a graceful
+// drain on Close. Every admitted query runs through EvaluateRecover, so
+// transient faults retry from checkpoints and worker panics are contained.
+type (
+	// QueryService is the concurrent query service; construct with
+	// NewQueryService.
+	QueryService = serve.Service
+	// QueryRequest describes one query submitted to the service.
+	QueryRequest = serve.Request
+	// QueryResult is a successful query's values and execution report.
+	QueryResult = serve.Result
+	// QueryReport describes how the service executed one query.
+	QueryReport = serve.Report
+	// QueryPriority orders the wait queue and the shed policy.
+	QueryPriority = serve.Priority
+	// QueryServiceStats is a point-in-time accounting snapshot.
+	QueryServiceStats = serve.Stats
+)
+
+// Query priorities.
+const (
+	// QueryPriorityLow is sacrificed first under load.
+	QueryPriorityLow = serve.PriorityLow
+	// QueryPriorityNormal is the default.
+	QueryPriorityNormal = serve.PriorityNormal
+	// QueryPriorityHigh is served first and can shed queued lower-priority
+	// requests when the queue is full.
+	QueryPriorityHigh = serve.PriorityHigh
+)
+
+// Overload contract: requests refused by admission control match
+// ErrOverload under errors.Is; errors.As recovers the *OverloadError
+// detail (reason, capacity, queue length).
+var ErrOverload = megaerr.ErrOverload
+
+// OverloadError carries the admission-control rejection detail.
+type OverloadError = megaerr.OverloadError
+
+// ParseQueryPriority converts "low", "normal", or "high" (or "") to its
+// QueryPriority.
+func ParseQueryPriority(s string) (QueryPriority, error) { return serve.ParsePriority(s) }
+
+// ServeOptions configures NewQueryService. The zero value serves with
+// safe defaults: 4 concurrent runs, a 64-deep wait queue, no default
+// deadlines, checkpointed retries per RecoverOptions defaults.
+type ServeOptions struct {
+	// Capacity bounds concurrently running queries (0 = 4).
+	Capacity int
+	// QueueDepth bounds waiting queries (0 = 64).
+	QueueDepth int
+	// DefaultDeadline applies to requests with Deadline == 0 (0 = none).
+	DefaultDeadline time.Duration
+	// DefaultQueueTimeout applies to requests with QueueTimeout == 0
+	// (0 = none).
+	DefaultQueueTimeout time.Duration
+	// PanicThreshold is how many consecutive parallel-engine panic
+	// outcomes demote new queries to the sequential engine (0 = 3).
+	PanicThreshold int
+	// DemotionPeriod is how long demotion lasts before a probe query
+	// re-tries the parallel engine (0 = 5s).
+	DemotionPeriod time.Duration
+
+	// CheckpointEvery, MaxRetries, Backoff, and Limits parameterize each
+	// query's EvaluateRecover run (zero values = RecoverOptions defaults).
+	CheckpointEvery int
+	MaxRetries      int
+	Backoff         time.Duration
+	Limits          Limits
+
+	// Metrics, when non-nil, receives the service's gauges, counters, and
+	// histograms, each query's recovery counters, and the Close-time
+	// accounting audit.
+	Metrics *MetricsRegistry
+}
+
+// NewQueryService builds a QueryService whose queries evaluate through
+// EvaluateRecover on BOE schedules: checkpointed retries for transient
+// faults, automatic parallel-to-sequential fallback on worker panics.
+// Close(ctx) drains it; see the serve package for the full lifecycle.
+func NewQueryService(opt ServeOptions) (*QueryService, error) {
+	run := func(ctx context.Context, req *QueryRequest, parallel bool) ([][]float64, serve.RunReport, error) {
+		vals, rec, err := EvaluateRecover(ctx, req.Window, req.Algo, req.Source, BOE, RecoverOptions{
+			Parallel:        parallel,
+			Workers:         req.Workers,
+			CheckpointEvery: opt.CheckpointEvery,
+			MaxRetries:      opt.MaxRetries,
+			Backoff:         opt.Backoff,
+			Limits:          opt.Limits,
+			Metrics:         opt.Metrics,
+		})
+		var rep serve.RunReport
+		if rec != nil {
+			rep.Attempts = rec.Attempts
+			rep.FellBack = rec.FellBack
+		}
+		return vals, rep, err
+	}
+	return serve.New(serve.Config{
+		Run:                 run,
+		Capacity:            opt.Capacity,
+		QueueDepth:          opt.QueueDepth,
+		DefaultDeadline:     opt.DefaultDeadline,
+		DefaultQueueTimeout: opt.DefaultQueueTimeout,
+		PanicThreshold:      opt.PanicThreshold,
+		DemotionPeriod:      opt.DemotionPeriod,
+		Metrics:             opt.Metrics,
+	})
+}
