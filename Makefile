@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test vet fmt race fuzz audit chaos soak bench-smoke bench-json ci
+.PHONY: all build test vet fmt race fuzz audit chaos soak serve-soak bench-smoke bench-json ci
 
 all: build
 
@@ -54,6 +54,15 @@ chaos:
 soak:
 	MEGA_CHAOS=soak $(GO) test -race -run 'QueryService|Serve' . ./internal/serve/
 
+# HTTP front-end soak: the same chaos classes driven over loopback HTTP —
+# concurrent queries through megaserve's handler stack with injected
+# faults and a graceful drain fired mid-flight, under the race detector.
+# Asserts no request is lost, results stay bit-identical, accounting is
+# conserved, and shutdown leaks no goroutines.
+serve-soak:
+	MEGA_CHAOS=soak $(GO) test -race -run 'HTTPFront' .
+	MEGA_CHAOS=soak $(GO) test -race ./internal/httpfront/
+
 # Compile and execute every benchmark for a single iteration — catches
 # benchmarks that no longer build or crash, without measuring anything.
 bench-smoke:
@@ -63,4 +72,4 @@ bench-smoke:
 bench-json:
 	$(GO) run ./cmd/megabench -perf -v -perfout BENCH_parallel.json
 
-ci: fmt vet build race bench-smoke audit chaos soak fuzz
+ci: fmt vet build race bench-smoke audit chaos soak serve-soak fuzz

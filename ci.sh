@@ -40,5 +40,31 @@ MEGA_CHAOS=full go test -race -run 'CrashEquivalence|Audit|Attribution' \
 # Query-service soak: hundreds of concurrent mixed-priority queries with
 # injected transients, worker panics, and latency spikes under -race, with
 # strict audits (MEGA_CHAOS) so the Close-time accounting conservation
-# law — admitted == completed + failed + canceled — fails loudly.
-MEGA_CHAOS=soak go test -race -run 'QueryService|Serve' . ./internal/serve/
+# law — admitted == completed + failed + canceled — fails loudly. The
+# HTTPFront variants re-run the same chaos through the loopback HTTP
+# stack, including a mid-flight graceful drain.
+MEGA_CHAOS=soak go test -race -run 'QueryService|Serve|HTTPFront' .
+MEGA_CHAOS=soak go test -race -count=1 ./internal/serve/ ./internal/httpfront/
+# HTTP end-to-end smoke: build megaserve, start it on an ephemeral port,
+# run one real query through the retrying client binary, then SIGTERM the
+# server and require a clean drained exit (code 0).
+go build -o "$tmpdir/megaserve" ./cmd/megaserve
+"$tmpdir/megaserve" -listen 127.0.0.1:0 -addr-file "$tmpdir/addr" \
+	-snapshots 4 >/dev/null 2>"$tmpdir/serve.log" &
+serve_pid=$!
+i=0
+while [ ! -s "$tmpdir/addr" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "megaserve never wrote its addr file" >&2
+		cat "$tmpdir/serve.log" >&2
+		kill "$serve_pid" 2>/dev/null || true
+		exit 1
+	fi
+	sleep 0.1
+done
+addr="$(cat "$tmpdir/addr")"
+"$tmpdir/megaserve" -server "http://$addr" -algo SSSP -source 0 >/dev/null
+"$tmpdir/megaserve" -server "http://$addr" -stats >/dev/null
+kill -TERM "$serve_pid"
+wait "$serve_pid"

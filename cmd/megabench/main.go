@@ -11,7 +11,12 @@
 //
 // With -perf the paper experiments are skipped and the engine throughput
 // regression harness runs instead, writing BENCH_parallel.json (override
-// with -perfout, or "-" for stdout only).
+// with -perfout, or "-" for stdout only). The harness also records the
+// worker-count × GOMAXPROCS scaling trajectory — each point runs the
+// parallel engine with N workers under GOMAXPROCS=N — alongside the
+// machine's real core count, so committed numbers stay honest about the
+// hardware that produced them. -perfprocs overrides the swept values
+// ("1,2,4"), and -perfprocs none skips the trajectory.
 //
 // With -metrics FILE every freshly simulated configuration's instrument
 // families and invariant-audit outcomes accumulate into one registry,
@@ -42,6 +47,29 @@ func logWriter(f *os.File) io.Writer {
 	return f
 }
 
+// parseProcs parses the -perfprocs list; "" selects the default sweep.
+func parseProcs(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var procs []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var p int
+		if _, err := fmt.Sscanf(part, "%d", &p); err != nil || p < 1 {
+			return nil, fmt.Errorf("bad -perfprocs value %q", part)
+		}
+		procs = append(procs, p)
+	}
+	if len(procs) == 0 {
+		return nil, fmt.Errorf("empty -perfprocs list")
+	}
+	return procs, nil
+}
+
 func main() {
 	exp := flag.String("exp", "", "comma-separated experiment IDs (default: all)")
 	quick := flag.Bool("quick", false, "use smaller graphs and fewer algorithms")
@@ -51,6 +79,7 @@ func main() {
 	perf := flag.Bool("perf", false, "run the engine throughput regression harness instead of experiments")
 	perfOut := flag.String("perfout", "BENCH_parallel.json", "perf harness JSON output path (- for stdout only)")
 	perfRounds := flag.Int("perfrounds", 3, "perf harness repetitions per configuration (best-of)")
+	perfProcs := flag.String("perfprocs", "", "perf trajectory GOMAXPROCS values, comma-separated (empty = powers of 2 up to NumCPU plus 2x oversubscription; none = skip)")
 	metricsPath := flag.String("metrics", "", "write a JSON metrics snapshot of the simulated runs to this file")
 	flag.Parse()
 
@@ -75,6 +104,19 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "megabench: perf: %v\n", err)
 			os.Exit(1)
+		}
+		if *perfProcs != "none" {
+			procs, err := parseProcs(*perfProcs)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "megabench: perf: %v\n", err)
+				os.Exit(2)
+			}
+			traj, err := bench.RunPerfTrajectory(*quick, procs, *perfRounds, logWriter(log))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "megabench: perf: %v\n", err)
+				os.Exit(1)
+			}
+			rep.Trajectory = traj
 		}
 		rep.Fprint(os.Stdout)
 		if *perfOut != "-" {

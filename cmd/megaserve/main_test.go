@@ -1,0 +1,73 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mega"
+)
+
+// TestClassifyExitCodes pins the full exit-code contract — one row per
+// documented code, the same table megasim enforces — so a remote query's
+// exit code matches the in-process run's for every failure class.
+func TestClassifyExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		code int
+	}{
+		{"success", nil, exitOK},
+		{"generic", errors.New("unclassified failure"), exitGeneric},
+		{"invalid", fmt.Errorf("bad flag: %w", mega.ErrInvalidInput), exitInvalid},
+		{"canceled-sentinel", fmt.Errorf("stopped: %w", mega.ErrCanceled), exitCanceled},
+		{"canceled-typed", &mega.CanceledError{Phase: "round 3", Err: context.Canceled}, exitCanceled},
+		{"divergence", fmt.Errorf("runaway: %w", mega.ErrDivergence), exitDivergence},
+		{"checkpoint", fmt.Errorf("corrupt: %w", mega.ErrCheckpoint), exitCheckpoint},
+		{"audit", fmt.Errorf("violated: %w", mega.ErrAudit), exitAudit},
+		{"overload-sentinel", fmt.Errorf("full: %w", mega.ErrOverload), exitOverload},
+		{"overload-typed", &mega.OverloadError{Reason: "queue full", Capacity: 4, Queued: 64}, exitOverload},
+		{"worker-panic", &mega.WorkerPanicError{Shard: 2, Value: "boom"}, exitGeneric},
+	}
+	seen := map[int]bool{}
+	for _, c := range cases {
+		code, _ := classify(c.err)
+		if code != c.code {
+			t.Errorf("classify(%s) = %d, want %d", c.name, code, c.code)
+		}
+		seen[c.code] = true
+	}
+	for code := exitOK; code <= exitOverload; code++ {
+		if !seen[code] {
+			t.Errorf("exit code %d has no covering table row", code)
+		}
+	}
+}
+
+func TestBuildWindowUnknownGraph(t *testing.T) {
+	_, err := buildWindow(context.Background(), serverOptions{graph: "NoSuchGraph", snapshots: 2, batch: 0.01, imbalance: 1})
+	if !errors.Is(err, mega.ErrInvalidInput) {
+		t.Errorf("buildWindow = %v, want ErrInvalidInput", err)
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "addr")
+	if err := writeFileAtomic(path, []byte("127.0.0.1:1234\n")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil || string(b) != "127.0.0.1:1234\n" {
+		t.Fatalf("ReadFile = %q, %v", b, err)
+	}
+	// Overwrite must go through the same atomic rename.
+	if err := writeFileAtomic(path, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ = os.ReadFile(path); string(b) != "x" {
+		t.Errorf("after overwrite = %q", b)
+	}
+}

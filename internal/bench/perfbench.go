@@ -43,6 +43,23 @@ type PerfResult struct {
 	BytesPerOp   int64   `json:"bytes_per_op"`
 }
 
+// ProcsResult is one point of the worker-count × GOMAXPROCS scaling
+// trajectory: the parallel engine with Workers == Procs, measured with
+// GOMAXPROCS pinned to Procs for the duration of the measurement.
+type ProcsResult struct {
+	// Procs is both the worker count and the GOMAXPROCS value.
+	Procs   int   `json:"procs"`
+	NsPerOp int64 `json:"ns_per_op"`
+	// EventsPerOp is the engine's processed-event count for one run at
+	// this worker count (parallel engines process more events than the
+	// sequential Multi engine — redundant work is the price of no locks).
+	EventsPerOp  int64   `json:"events_per_op"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Speedup is wall-clock relative to the trajectory's Procs=1 point
+	// (ns1 / nsN). Points past NumCPU measure oversubscription.
+	Speedup float64 `json:"speedup"`
+}
+
 // PerfReport is the full regression record emitted as BENCH_parallel.json.
 type PerfReport struct {
 	// Workload pins the measured configuration so future runs compare
@@ -50,9 +67,15 @@ type PerfReport struct {
 	Workload string `json:"workload"`
 	// GoMaxProcs records the parallelism available when measuring —
 	// worker scaling numbers are meaningless without it.
-	GoMaxProcs int          `json:"gomaxprocs"`
-	Timestamp  string       `json:"timestamp,omitempty"`
-	Results    []PerfResult `json:"results"`
+	GoMaxProcs int `json:"gomaxprocs"`
+	// NumCPU records the machine's real core count. Trajectory points at
+	// or below it measure scaling; points above it measure
+	// oversubscription. Committed numbers are only honest alongside it.
+	NumCPU    int          `json:"num_cpu"`
+	Timestamp string       `json:"timestamp,omitempty"`
+	Results   []PerfResult `json:"results"`
+	// Trajectory is the worker-count × GOMAXPROCS sweep (optional).
+	Trajectory []ProcsResult `json:"trajectory,omitempty"`
 }
 
 // perfWorkload mirrors the root bench_test.go workload: a 2k-vertex RMAT
@@ -156,6 +179,7 @@ func RunPerfBench(quick bool, workerCounts []int, rounds int, log io.Writer) (*P
 		Workload: fmt.Sprintf("rmat v=%d snapshots=%d batch=1%% algo=SSSP sched=BOE",
 			w.NumVertices(), w.NumSnapshots()),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 	}
 
@@ -207,6 +231,85 @@ func RunPerfBench(quick bool, workerCounts []int, rounds int, log io.Writer) (*P
 	return rep, nil
 }
 
+// DefaultTrajectoryProcs returns the GOMAXPROCS values the trajectory
+// sweeps by default: powers of two up to the machine's real core count,
+// plus one 2× oversubscription point so the committed record shows where
+// adding workers stops paying.
+func DefaultTrajectoryProcs() []int {
+	n := runtime.NumCPU()
+	var procs []int
+	for p := 1; p <= n; p *= 2 {
+		procs = append(procs, p)
+	}
+	if len(procs) == 0 || procs[len(procs)-1] != n {
+		procs = append(procs, n)
+	}
+	return append(procs, 2*n)
+}
+
+// RunPerfTrajectory measures the worker-count × GOMAXPROCS scaling
+// trajectory: for each p in procs (nil = DefaultTrajectoryProcs), the
+// parallel engine runs with p workers under GOMAXPROCS(p). The caller's
+// GOMAXPROCS is restored before returning. rounds > 1 keeps the fastest
+// ns/op per point.
+func RunPerfTrajectory(quick bool, procs []int, rounds int, log io.Writer) ([]ProcsResult, error) {
+	if procs == nil {
+		procs = DefaultTrajectoryProcs()
+	}
+	if rounds < 1 {
+		rounds = 1
+	}
+	w, src, err := perfWorkload(quick)
+	if err != nil {
+		return nil, err
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	var out []ProcsResult
+	for _, p := range procs {
+		if p < 1 {
+			return nil, fmt.Errorf("trajectory: procs value %d < 1", p)
+		}
+		events, err := countEvents(w, src, p)
+		if err != nil {
+			return nil, fmt.Errorf("trajectory procs=%d: %w", p, err)
+		}
+		runtime.GOMAXPROCS(p)
+		var best testing.BenchmarkResult
+		for round := 0; round < rounds; round++ {
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := benchOnce(w, src, p); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			if round == 0 || r.NsPerOp() < best.NsPerOp() {
+				best = r
+			}
+			if log != nil {
+				fmt.Fprintf(log, "[trajectory procs=%d round %d/%d: %s]\n", p, round+1, rounds, r.String())
+			}
+		}
+		res := ProcsResult{Procs: p, NsPerOp: best.NsPerOp(), EventsPerOp: events}
+		if res.NsPerOp > 0 {
+			res.EventsPerSec = float64(events) / (float64(res.NsPerOp) / 1e9)
+		}
+		out = append(out, res)
+	}
+	runtime.GOMAXPROCS(prev)
+	if len(out) > 0 && out[0].NsPerOp > 0 {
+		base := float64(out[0].NsPerOp)
+		for i := range out {
+			if out[i].NsPerOp > 0 {
+				out[i].Speedup = base / float64(out[i].NsPerOp)
+			}
+		}
+	}
+	return out, nil
+}
+
 // WriteJSON serializes the report with stable indentation (committed to
 // the repo, so diffs should be reviewable).
 func (r *PerfReport) WriteJSON(w io.Writer) error {
@@ -232,4 +335,21 @@ func (r *PerfReport) Fprint(w io.Writer) {
 		})
 	}
 	t.Fprint(w)
+	if len(r.Trajectory) == 0 {
+		return
+	}
+	tt := Table{
+		ID:     "perf-trajectory",
+		Title:  fmt.Sprintf("Workers × GOMAXPROCS scaling trajectory (NumCPU=%d)", r.NumCPU),
+		Header: []string{"Procs", "ns/op", "events/s", "speedup"},
+	}
+	for _, p := range r.Trajectory {
+		tt.Rows = append(tt.Rows, []string{
+			fmt.Sprintf("%d", p.Procs),
+			fmt.Sprintf("%d", p.NsPerOp),
+			fmt.Sprintf("%.3g", p.EventsPerSec),
+			fmt.Sprintf("%.2fx", p.Speedup),
+		})
+	}
+	tt.Fprint(w)
 }

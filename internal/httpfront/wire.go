@@ -1,0 +1,369 @@
+// Package httpfront is the hardened HTTP front end for the concurrent
+// query service: a thin stdlib-only protocol adapter that exposes
+// serve.Service over POST /v1/query plus health, readiness, metrics, and
+// stats endpoints — robustness-first.
+//
+// The wire contract's core promise is taxonomy fidelity: every failure
+// mode the lower layers distinguish (the internal/megaerr sentinels,
+// overload with retry hints, drain-in-progress, contained panics)
+// survives the HTTP round trip intact. The server maps typed errors to
+// status codes plus a structured JSON error body; the companion Client
+// reconstructs errors that still match the original sentinels under
+// errors.Is (and, for *megaerr.OverloadError, carry the original fields
+// under errors.As). Remote callers therefore keep the exact in-process
+// error contract.
+//
+// Status-code mapping (mirrored by the megasim/megaserve exit-code
+// table in the README):
+//
+//	400 invalid      megaerr.ErrInvalidInput (bad spec, unknown fields, oversized body)
+//	422 divergence   megaerr.ErrDivergence (non-monotone algorithm)
+//	429 overload     megaerr.ErrOverload while serving (queue full, shed); Retry-After set
+//	499 canceled     megaerr.ErrCanceled without a deadline (caller went away)
+//	503 draining     admission refused or query unwound because the service is draining/closed
+//	504 deadline     megaerr.ErrCanceled carrying context.DeadlineExceeded (deadline, queue timeout)
+//	500 transient / checkpoint / audit / panic / internal
+//
+// Result values travel as base64-encoded little-endian IEEE-754 arrays
+// (one string per snapshot) rather than JSON numbers: algorithm
+// identities include ±Inf, which JSON cannot represent, and the contract
+// demands Float64bits-identical values end to end.
+package httpfront
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"time"
+
+	"mega/internal/megaerr"
+	"mega/internal/serve"
+)
+
+// StatusClientClosedRequest is the non-standard (nginx-convention) status
+// for a request whose caller went away before the query resolved. There
+// is no stdlib constant for it.
+const StatusClientClosedRequest = 499
+
+// Duration is a time.Duration that marshals as a Go duration string
+// ("1.5s") and unmarshals from either a duration string or an integer
+// nanosecond count.
+type Duration time.Duration
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return err
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(b, &n); err != nil {
+		return err
+	}
+	*d = Duration(n)
+	return nil
+}
+
+// QuerySpec is the JSON body of POST /v1/query: one evolving-graph query
+// against the server's shared window.
+type QuerySpec struct {
+	// Algo names the query algorithm (BFS, SSSP, SSWP, SSNP, Viterbi, CC).
+	Algo string `json:"algo"`
+	// Source is the query's source vertex; must be in [0, vertices).
+	Source int64 `json:"source"`
+	// Priority is "low", "normal" (default), or "high".
+	Priority string `json:"priority,omitempty"`
+	// Deadline bounds the query's total time in the service (queue wait
+	// plus run time); zero means the server default.
+	Deadline Duration `json:"deadline,omitempty"`
+	// QueueTimeout bounds only the wait for a run slot.
+	QueueTimeout Duration `json:"queue_timeout,omitempty"`
+	// Engine is "seq" (default) or "par".
+	Engine string `json:"engine,omitempty"`
+	// Workers is the parallel worker count (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// Label tags the request in reports; defaults to the request ID.
+	Label string `json:"label,omitempty"`
+	// Faults holds deterministic fault-injection specs in the
+	// "site[#shard]:kind[=latency]@visit[xevery]" grammar. Honored only
+	// when the server was started with fault injection enabled (chaos
+	// testing); rejected as invalid otherwise.
+	Faults []string `json:"faults,omitempty"`
+	// FaultSeed seeds probabilistic fault ops (0 = server default).
+	FaultSeed int64 `json:"fault_seed,omitempty"`
+}
+
+// Report mirrors serve.Report on the wire.
+type Report struct {
+	Engine    string   `json:"engine"`
+	Demoted   bool     `json:"demoted,omitempty"`
+	Probe     bool     `json:"probe,omitempty"`
+	Attempts  int      `json:"attempts"`
+	FellBack  bool     `json:"fell_back,omitempty"`
+	QueueWait Duration `json:"queue_wait"`
+	RunTime   Duration `json:"run_time"`
+}
+
+func reportFromServe(r serve.Report) Report {
+	return Report{
+		Engine:    r.Engine,
+		Demoted:   r.Demoted,
+		Probe:     r.Probe,
+		Attempts:  r.Attempts,
+		FellBack:  r.FellBack,
+		QueueWait: Duration(r.QueueWait),
+		RunTime:   Duration(r.RunTime),
+	}
+}
+
+// queryResponse is the JSON body of a successful POST /v1/query.
+type queryResponse struct {
+	Snapshots int      `json:"snapshots"`
+	ValuesB64 []string `json:"values_b64"`
+	Report    Report   `json:"report"`
+	RequestID string   `json:"request_id,omitempty"`
+}
+
+// QueryResult is a successful remote query as the Client returns it:
+// values decoded back to float64 (bit-identical to the server's), the
+// execution report, and the request ID for correlation.
+type QueryResult struct {
+	Values    [][]float64
+	Report    Report
+	RequestID string
+}
+
+// StatsReply is the JSON body of GET /stats: the service's accounting
+// snapshot plus the current overload back-off estimate.
+type StatsReply struct {
+	serve.Stats
+	RetryAfterHintMs int64 `json:"retry_after_hint_ms"`
+}
+
+// healthReply is the JSON body of /healthz and /readyz.
+type healthReply struct {
+	OK    bool   `json:"ok"`
+	State string `json:"state,omitempty"`
+}
+
+// encodeValues packs each snapshot's values as base64 little-endian
+// Float64bits — exact for every float64 including ±Inf and NaN.
+func encodeValues(vals [][]float64) []string {
+	out := make([]string, len(vals))
+	for i, snap := range vals {
+		buf := make([]byte, 8*len(snap))
+		for j, v := range snap {
+			binary.LittleEndian.PutUint64(buf[8*j:], math.Float64bits(v))
+		}
+		out[i] = base64.StdEncoding.EncodeToString(buf)
+	}
+	return out
+}
+
+// decodeValues is encodeValues's inverse; malformed input is an
+// ErrInvalidInput error.
+func decodeValues(b64 []string) ([][]float64, error) {
+	out := make([][]float64, len(b64))
+	for i, s := range b64 {
+		buf, err := base64.StdEncoding.DecodeString(s)
+		if err != nil {
+			return nil, megaerr.Invalidf("httpfront: snapshot %d values do not decode: %v", i, err)
+		}
+		if len(buf)%8 != 0 {
+			return nil, megaerr.Invalidf("httpfront: snapshot %d values are %d bytes, not a float64 array", i, len(buf))
+		}
+		snap := make([]float64, len(buf)/8)
+		for j := range snap {
+			snap[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*j:]))
+		}
+		out[i] = snap
+	}
+	return out, nil
+}
+
+// Error kinds: the wire-level error taxonomy. The kind, not the status
+// code, is the client's primary decode key — the status is transport
+// semantics (retryability, caching), the kind is the megaerr taxonomy.
+const (
+	kindInvalid    = "invalid"
+	kindOverload   = "overload"
+	kindDraining   = "draining"
+	kindDeadline   = "deadline"
+	kindCanceled   = "canceled"
+	kindDivergence = "divergence"
+	kindTransient  = "transient"
+	kindCheckpoint = "checkpoint"
+	kindAudit      = "audit"
+	kindPanic      = "panic"
+	kindInternal   = "internal"
+)
+
+// wireError is the JSON error detail inside errorBody.
+type wireError struct {
+	Kind    string `json:"kind"`
+	Message string `json:"message"`
+	// Overload detail (kind "overload"/"draining").
+	Reason       string `json:"reason,omitempty"`
+	Capacity     int    `json:"capacity,omitempty"`
+	Queued       int    `json:"queued,omitempty"`
+	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
+	// Contained-panic detail (kind "panic").
+	Shard int `json:"shard,omitempty"`
+	Round int `json:"round,omitempty"`
+	// RequestID correlates the failure with server-side accounting.
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// errorBody is the JSON body of every non-2xx response.
+type errorBody struct {
+	Error wireError `json:"error"`
+}
+
+// encodeError classifies a typed error into its HTTP status and wire
+// detail. draining reports whether the server is shutting down, which
+// turns bare cancellations (queued requests unwound by the drain) into
+// 503s so well-behaved clients fail over instead of giving up.
+func encodeError(err error, draining bool) (int, wireError) {
+	we := wireError{Message: err.Error()}
+	var oe *megaerr.OverloadError
+	var wp *megaerr.WorkerPanicError
+	switch {
+	case errors.Is(err, megaerr.ErrInvalidInput):
+		we.Kind = kindInvalid
+		return http.StatusBadRequest, we
+	case errors.As(err, &oe):
+		we.Reason, we.Capacity, we.Queued = oe.Reason, oe.Capacity, oe.Queued
+		we.RetryAfterMs = oe.RetryAfter.Milliseconds()
+		if oe.Reason == "service draining" || oe.Reason == "service closed" {
+			we.Kind = kindDraining
+			return http.StatusServiceUnavailable, we
+		}
+		we.Kind = kindOverload
+		return http.StatusTooManyRequests, we
+	case errors.Is(err, megaerr.ErrOverload):
+		we.Kind = kindOverload
+		return http.StatusTooManyRequests, we
+	case errors.Is(err, megaerr.ErrDivergence):
+		we.Kind = kindDivergence
+		return http.StatusUnprocessableEntity, we
+	case errors.Is(err, megaerr.ErrCheckpoint):
+		we.Kind = kindCheckpoint
+		return http.StatusInternalServerError, we
+	case errors.Is(err, megaerr.ErrAudit):
+		we.Kind = kindAudit
+		return http.StatusInternalServerError, we
+	case errors.As(err, &wp):
+		we.Kind = kindPanic
+		we.Shard, we.Round = wp.Shard, wp.Round
+		return http.StatusInternalServerError, we
+	case errors.Is(err, megaerr.ErrTransient):
+		we.Kind = kindTransient
+		return http.StatusInternalServerError, we
+	case errors.Is(err, megaerr.ErrCanceled):
+		if errors.Is(err, context.DeadlineExceeded) {
+			we.Kind = kindDeadline
+			return http.StatusGatewayTimeout, we
+		}
+		we.Kind = kindCanceled
+		if draining {
+			return http.StatusServiceUnavailable, we
+		}
+		return StatusClientClosedRequest, we
+	default:
+		we.Kind = kindInternal
+		return http.StatusInternalServerError, we
+	}
+}
+
+// remoteError reconstructs a server-side typed error on the client: the
+// original message verbatim plus the sentinels errors.Is must match.
+type remoteError struct {
+	msg       string
+	sentinels []error
+}
+
+func (e *remoteError) Error() string   { return e.msg }
+func (e *remoteError) Unwrap() []error { return e.sentinels }
+
+// decodeError is encodeError's inverse: it rebuilds an error matching the
+// same megaerr sentinels from the wire detail. The kind is authoritative;
+// decodeStatusFallback covers responses whose body was lost or mangled.
+func decodeError(status int, we wireError) error {
+	msg := we.Message
+	if msg == "" {
+		msg = "httpfront: remote error " + http.StatusText(status)
+	}
+	switch we.Kind {
+	case kindInvalid:
+		return megaerr.Invalidf("%s", msg)
+	case kindOverload, kindDraining:
+		reason := we.Reason
+		if reason == "" {
+			reason = map[string]string{kindOverload: "queue full", kindDraining: "service draining"}[we.Kind]
+		}
+		return &megaerr.OverloadError{
+			Reason:     reason,
+			Capacity:   we.Capacity,
+			Queued:     we.Queued,
+			RetryAfter: time.Duration(we.RetryAfterMs) * time.Millisecond,
+		}
+	case kindDeadline:
+		return &remoteError{msg: msg, sentinels: []error{megaerr.ErrCanceled, context.DeadlineExceeded}}
+	case kindCanceled:
+		return &remoteError{msg: msg, sentinels: []error{megaerr.ErrCanceled, context.Canceled}}
+	case kindDivergence:
+		return &remoteError{msg: msg, sentinels: []error{megaerr.ErrDivergence}}
+	case kindTransient:
+		return &remoteError{msg: msg, sentinels: []error{megaerr.ErrTransient}}
+	case kindCheckpoint:
+		return &remoteError{msg: msg, sentinels: []error{megaerr.ErrCheckpoint}}
+	case kindAudit:
+		return &remoteError{msg: msg, sentinels: []error{megaerr.ErrAudit}}
+	case kindPanic:
+		return &megaerr.WorkerPanicError{Shard: we.Shard, Round: we.Round, Value: msg}
+	case kindInternal:
+		return errors.New(msg)
+	default:
+		return decodeStatusFallback(status, msg)
+	}
+}
+
+// decodeStatusFallback maps a bare status code (no parseable error body —
+// an intermediary rewrote the response, or the body was truncated) to the
+// closest sentinel, so errors.Is dispatch keeps working degraded.
+func decodeStatusFallback(status int, msg string) error {
+	switch status {
+	case http.StatusBadRequest, http.StatusMethodNotAllowed,
+		http.StatusNotFound, http.StatusRequestEntityTooLarge:
+		return megaerr.Invalidf("%s", msg)
+	case http.StatusUnprocessableEntity:
+		return &remoteError{msg: msg, sentinels: []error{megaerr.ErrDivergence}}
+	case http.StatusTooManyRequests:
+		return &megaerr.OverloadError{Reason: "queue full"}
+	case http.StatusServiceUnavailable:
+		return &megaerr.OverloadError{Reason: "service draining"}
+	case http.StatusGatewayTimeout:
+		return &remoteError{msg: msg, sentinels: []error{megaerr.ErrCanceled, context.DeadlineExceeded}}
+	case StatusClientClosedRequest:
+		return &remoteError{msg: msg, sentinels: []error{megaerr.ErrCanceled, context.Canceled}}
+	default:
+		return errors.New(msg)
+	}
+}

@@ -1,0 +1,297 @@
+package httpfront
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"testing"
+	"time"
+
+	"mega/internal/megaerr"
+)
+
+func TestDurationJSON(t *testing.T) {
+	b, err := json.Marshal(Duration(1500 * time.Millisecond))
+	if err != nil || string(b) != `"1.5s"` {
+		t.Fatalf("Marshal = %s, %v", b, err)
+	}
+	var d Duration
+	if err := json.Unmarshal([]byte(`"250ms"`), &d); err != nil || d != Duration(250*time.Millisecond) {
+		t.Errorf("Unmarshal string = %v, %v", time.Duration(d), err)
+	}
+	if err := json.Unmarshal([]byte(`1000000`), &d); err != nil || d != Duration(time.Millisecond) {
+		t.Errorf("Unmarshal int = %v, %v", time.Duration(d), err)
+	}
+	if err := json.Unmarshal([]byte(`"bogus"`), &d); err == nil {
+		t.Error("Unmarshal accepted a non-duration string")
+	}
+}
+
+func TestValuesRoundTripBitIdentical(t *testing.T) {
+	// The wire promise: every float64 — including the ±Inf identities JSON
+	// cannot carry, NaN payloads, and negative zero — survives bit-exactly.
+	in := [][]float64{
+		{0, 1, -2.5, math.Inf(1), math.Inf(-1)},
+		{math.NaN(), math.Copysign(0, -1), math.MaxFloat64, math.SmallestNonzeroFloat64},
+		{},
+	}
+	out, err := decodeValues(encodeValues(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("snapshots = %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if len(out[i]) != len(in[i]) {
+			t.Fatalf("snapshot %d: %d values, want %d", i, len(out[i]), len(in[i]))
+		}
+		for j := range in[i] {
+			if math.Float64bits(out[i][j]) != math.Float64bits(in[i][j]) {
+				t.Errorf("snapshot %d value %d: bits %x != %x", i, j,
+					math.Float64bits(out[i][j]), math.Float64bits(in[i][j]))
+			}
+		}
+	}
+	if _, err := decodeValues([]string{"!!!"}); !errors.Is(err, megaerr.ErrInvalidInput) {
+		t.Errorf("bad base64 error = %v, want ErrInvalidInput", err)
+	}
+	if _, err := decodeValues([]string{"AAAA"}); !errors.Is(err, megaerr.ErrInvalidInput) {
+		t.Errorf("non-multiple-of-8 error = %v, want ErrInvalidInput", err)
+	}
+}
+
+// TestErrorTaxonomyRoundTrip pins the full bidirectional mapping: every
+// megaerr class encodes to its documented status and kind, and the decoded
+// error still matches the original sentinels under errors.Is.
+func TestErrorTaxonomyRoundTrip(t *testing.T) {
+	cases := []struct {
+		name       string
+		err        error
+		draining   bool
+		wantStatus int
+		wantKind   string
+		sentinels  []error
+	}{
+		{
+			name:       "invalid",
+			err:        megaerr.Invalidf("bad source"),
+			wantStatus: http.StatusBadRequest,
+			wantKind:   kindInvalid,
+			sentinels:  []error{megaerr.ErrInvalidInput},
+		},
+		{
+			name:       "overload",
+			err:        &megaerr.OverloadError{Reason: "queue full", Capacity: 4, Queued: 16, RetryAfter: 1200 * time.Millisecond},
+			wantStatus: http.StatusTooManyRequests,
+			wantKind:   kindOverload,
+			sentinels:  []error{megaerr.ErrOverload},
+		},
+		{
+			name:       "overload shed",
+			err:        &megaerr.OverloadError{Reason: "shed for higher-priority request", Capacity: 2, Queued: 8},
+			wantStatus: http.StatusTooManyRequests,
+			wantKind:   kindOverload,
+			sentinels:  []error{megaerr.ErrOverload},
+		},
+		{
+			name:       "overload wrapped",
+			err:        fmt.Errorf("submit: %w", megaerr.ErrOverload),
+			wantStatus: http.StatusTooManyRequests,
+			wantKind:   kindOverload,
+			sentinels:  []error{megaerr.ErrOverload},
+		},
+		{
+			name:       "draining",
+			err:        &megaerr.OverloadError{Reason: "service draining", Capacity: 4, Queued: 2},
+			wantStatus: http.StatusServiceUnavailable,
+			wantKind:   kindDraining,
+			sentinels:  []error{megaerr.ErrOverload},
+		},
+		{
+			name:       "closed",
+			err:        &megaerr.OverloadError{Reason: "service closed"},
+			wantStatus: http.StatusServiceUnavailable,
+			wantKind:   kindDraining,
+			sentinels:  []error{megaerr.ErrOverload},
+		},
+		{
+			name:       "divergence",
+			err:        &megaerr.DivergenceError{Engine: "parallel", Limit: "MaxRounds", Rounds: 70},
+			wantStatus: http.StatusUnprocessableEntity,
+			wantKind:   kindDivergence,
+			sentinels:  []error{megaerr.ErrDivergence},
+		},
+		{
+			name:       "deadline",
+			err:        megaerr.Canceled("serve queue wait", context.DeadlineExceeded),
+			wantStatus: http.StatusGatewayTimeout,
+			wantKind:   kindDeadline,
+			sentinels:  []error{megaerr.ErrCanceled, context.DeadlineExceeded},
+		},
+		{
+			name:       "canceled",
+			err:        megaerr.Canceled("engine round", context.Canceled),
+			wantStatus: StatusClientClosedRequest,
+			wantKind:   kindCanceled,
+			sentinels:  []error{megaerr.ErrCanceled, context.Canceled},
+		},
+		{
+			name:       "canceled while draining",
+			err:        megaerr.Canceled("serve drain", context.Canceled),
+			draining:   true,
+			wantStatus: http.StatusServiceUnavailable,
+			wantKind:   kindCanceled,
+			sentinels:  []error{megaerr.ErrCanceled},
+		},
+		{
+			name:       "transient",
+			err:        megaerr.Transientf("fault engine.round visit 3"),
+			wantStatus: http.StatusInternalServerError,
+			wantKind:   kindTransient,
+			sentinels:  []error{megaerr.ErrTransient},
+		},
+		{
+			name:       "checkpoint",
+			err:        megaerr.Checkpointf("checksum mismatch"),
+			wantStatus: http.StatusInternalServerError,
+			wantKind:   kindCheckpoint,
+			sentinels:  []error{megaerr.ErrCheckpoint},
+		},
+		{
+			name:       "audit",
+			err:        megaerr.Auditf("serve.accounting", "admitted 5 != resolved 4"),
+			wantStatus: http.StatusInternalServerError,
+			wantKind:   kindAudit,
+			sentinels:  []error{megaerr.ErrAudit},
+		},
+		{
+			name:       "worker panic",
+			err:        &megaerr.WorkerPanicError{Shard: 3, Round: 7, Value: "boom"},
+			wantStatus: http.StatusInternalServerError,
+			wantKind:   kindPanic,
+			sentinels:  nil, // matched via errors.As below
+		},
+		{
+			name:       "internal",
+			err:        errors.New("unclassified"),
+			wantStatus: http.StatusInternalServerError,
+			wantKind:   kindInternal,
+			sentinels:  nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, we := encodeError(tc.err, tc.draining)
+			if status != tc.wantStatus {
+				t.Errorf("status = %d, want %d", status, tc.wantStatus)
+			}
+			if we.Kind != tc.wantKind {
+				t.Errorf("kind = %q, want %q", we.Kind, tc.wantKind)
+			}
+			if we.Message == "" {
+				t.Error("wire message is empty")
+			}
+
+			// Simulate the real wire: marshal, unmarshal, decode.
+			b, err := json.Marshal(errorBody{Error: we})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var eb errorBody
+			if err := json.Unmarshal(b, &eb); err != nil {
+				t.Fatal(err)
+			}
+			dec := decodeError(status, eb.Error)
+			for _, s := range tc.sentinels {
+				if !errors.Is(dec, s) {
+					t.Errorf("decoded %T %q does not match sentinel %v", dec, dec.Error(), s)
+				}
+			}
+			// The taxonomy must also stay *exclusive*: a decoded error must
+			// not match sentinels from other classes.
+			for _, other := range []error{
+				megaerr.ErrInvalidInput, megaerr.ErrOverload, megaerr.ErrDivergence,
+				megaerr.ErrCanceled, megaerr.ErrTransient, megaerr.ErrCheckpoint, megaerr.ErrAudit,
+			} {
+				isWanted := false
+				for _, s := range tc.sentinels {
+					if other == s {
+						isWanted = true
+					}
+				}
+				if !isWanted && errors.Is(dec, other) {
+					t.Errorf("decoded %q spuriously matches %v", dec.Error(), other)
+				}
+			}
+		})
+	}
+}
+
+func TestOverloadFieldFidelity(t *testing.T) {
+	orig := &megaerr.OverloadError{Reason: "queue full", Capacity: 4, Queued: 16, RetryAfter: 1200 * time.Millisecond}
+	status, we := encodeError(orig, false)
+	dec := decodeError(status, we)
+	var oe *megaerr.OverloadError
+	if !errors.As(dec, &oe) {
+		t.Fatalf("decoded %T does not As to *OverloadError", dec)
+	}
+	if oe.Reason != orig.Reason || oe.Capacity != orig.Capacity || oe.Queued != orig.Queued {
+		t.Errorf("fields = %+v, want %+v", oe, orig)
+	}
+	if oe.RetryAfter != orig.RetryAfter {
+		t.Errorf("RetryAfter = %s, want %s", oe.RetryAfter, orig.RetryAfter)
+	}
+}
+
+func TestWorkerPanicFieldFidelity(t *testing.T) {
+	orig := &megaerr.WorkerPanicError{Shard: 3, Round: 7, Value: "boom"}
+	status, we := encodeError(orig, false)
+	if we.Shard != 3 || we.Round != 7 {
+		t.Fatalf("wire shard/round = %d/%d", we.Shard, we.Round)
+	}
+	dec := decodeError(status, we)
+	var wp *megaerr.WorkerPanicError
+	if !errors.As(dec, &wp) {
+		t.Fatalf("decoded %T does not As to *WorkerPanicError", dec)
+	}
+	if wp.Shard != 3 || wp.Round != 7 {
+		t.Errorf("decoded shard/round = %d/%d, want 3/7", wp.Shard, wp.Round)
+	}
+}
+
+func TestDecodeStatusFallback(t *testing.T) {
+	cases := []struct {
+		status   int
+		sentinel error
+	}{
+		{http.StatusBadRequest, megaerr.ErrInvalidInput},
+		{http.StatusNotFound, megaerr.ErrInvalidInput},
+		{http.StatusMethodNotAllowed, megaerr.ErrInvalidInput},
+		{http.StatusRequestEntityTooLarge, megaerr.ErrInvalidInput},
+		{http.StatusUnprocessableEntity, megaerr.ErrDivergence},
+		{http.StatusTooManyRequests, megaerr.ErrOverload},
+		{http.StatusServiceUnavailable, megaerr.ErrOverload},
+		{http.StatusGatewayTimeout, megaerr.ErrCanceled},
+		{StatusClientClosedRequest, megaerr.ErrCanceled},
+	}
+	for _, tc := range cases {
+		err := decodeStatusFallback(tc.status, "mangled")
+		if !errors.Is(err, tc.sentinel) {
+			t.Errorf("fallback(%d) = %v, does not match %v", tc.status, err, tc.sentinel)
+		}
+	}
+	if err := decodeStatusFallback(http.StatusGatewayTimeout, "x"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Error("504 fallback should carry DeadlineExceeded")
+	}
+	if err := decodeStatusFallback(http.StatusTeapot, "odd"); err == nil || err.Error() != "odd" {
+		t.Errorf("unknown status fallback = %v", err)
+	}
+	// An unknown kind in the body also routes through the fallback.
+	if err := decodeError(http.StatusTooManyRequests, wireError{Kind: "mystery", Message: "m"}); !errors.Is(err, megaerr.ErrOverload) {
+		t.Errorf("unknown-kind decode = %v, want overload fallback", err)
+	}
+}

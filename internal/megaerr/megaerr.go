@@ -13,6 +13,7 @@ package megaerr
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // Sentinel errors. Match with errors.Is.
@@ -253,11 +254,21 @@ type OverloadError struct {
 	Capacity int
 	// Queued is how many requests were already waiting.
 	Queued int
+	// RetryAfter, when nonzero, is the service's estimate of how long the
+	// caller should wait before retrying (see serve.RetryAfterHint). HTTP
+	// front ends surface it as a Retry-After header.
+	RetryAfter time.Duration
 }
 
-// Error implements error.
+// Error implements error. The message is self-describing: it names the
+// rejection reason, the capacity and queue occupancy that forced it, and
+// the retry hint when one was computed.
 func (e *OverloadError) Error() string {
-	return fmt.Sprintf("mega: overloaded (%s): %d running allowed, %d queued", e.Reason, e.Capacity, e.Queued)
+	msg := fmt.Sprintf("mega: overloaded (%s): %d running allowed, %d queued", e.Reason, e.Capacity, e.Queued)
+	if e.RetryAfter > 0 {
+		msg += fmt.Sprintf("; retry after ~%s", e.RetryAfter)
+	}
+	return msg
 }
 
 // Unwrap lets errors.Is match ErrOverload.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestCanceledMatchesBothSentinels(t *testing.T) {
@@ -159,5 +160,24 @@ func TestOverloadErrorContract(t *testing.T) {
 		if !strings.Contains(msg, want) {
 			t.Errorf("message %q lacks %q", msg, want)
 		}
+	}
+}
+
+func TestOverloadRetryAfterMessage(t *testing.T) {
+	// Without a hint the message stays in its classic shape; with one it
+	// becomes fully self-describing (reason, occupancy, and back-off).
+	bare := &OverloadError{Reason: "queue full", Capacity: 4, Queued: 9}
+	if strings.Contains(bare.Error(), "retry after") {
+		t.Errorf("hintless message %q mentions retry after", bare.Error())
+	}
+	hinted := &OverloadError{Reason: "queue full", Capacity: 4, Queued: 9, RetryAfter: 1500 * time.Millisecond}
+	msg := hinted.Error()
+	for _, want := range []string{"queue full", "4 running allowed", "9 queued", "retry after ~1.5s"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("message %q lacks %q", msg, want)
+		}
+	}
+	if !errors.Is(hinted, ErrOverload) {
+		t.Error("hinted overload does not match ErrOverload")
 	}
 }

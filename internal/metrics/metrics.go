@@ -26,6 +26,7 @@
 package metrics
 
 import (
+	"math"
 	"math/bits"
 	"sort"
 	"strings"
@@ -93,6 +94,40 @@ func (h *Histogram) Observe(v int64) {
 
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Quantile returns an upper bound on the q-quantile of the recorded
+// observations: the upper edge of the power-of-two bucket the quantile
+// falls in (bucket i holds v with bits.Len64(v) == i, i.e. v < 2^i).
+// The bound is at most 2× the true quantile — good enough for backlog
+// estimates like serve.RetryAfterHint, where the histogram's zero
+// allocation on the hot path matters more than sub-bucket precision.
+// An empty histogram returns 0. q is clamped to [0, 1].
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(total-1)) // 0-based rank of the quantile observation
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum > rank {
+			if i == 0 {
+				return 0
+			}
+			if i >= 63 {
+				return math.MaxInt64
+			}
+			return int64(1) << i
+		}
+	}
+	return math.MaxInt64
+}
 
 // Sum returns the sum of all observations.
 func (h *Histogram) Sum() int64 { return h.sum.Load() }

@@ -195,3 +195,36 @@ func TestSnapshotDeterministicOrder(t *testing.T) {
 		}
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat")
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram Quantile = %d, want 0", got)
+	}
+	// 100 observations around 1000ns: bits.Len64(1000) == 10, so the p50
+	// bucket's upper bound is 1<<10 = 1024.
+	for i := 0; i < 100; i++ {
+		h.Observe(1000)
+	}
+	if got := h.Quantile(0.5); got != 1024 {
+		t.Fatalf("Quantile(0.5) = %d, want 1024", got)
+	}
+	// One huge outlier must not move the median, but must own the tail.
+	h.Observe(1 << 40)
+	if got := h.Quantile(0.5); got != 1024 {
+		t.Fatalf("Quantile(0.5) with outlier = %d, want 1024", got)
+	}
+	if got := h.Quantile(1); got != 1<<41 {
+		t.Fatalf("Quantile(1) = %d, want %d", got, int64(1)<<41)
+	}
+	// Out-of-range q clamps instead of panicking; zeros land in bucket 0.
+	h2 := r.Histogram("zeros")
+	h2.Observe(0)
+	if got := h2.Quantile(-3); got != 0 {
+		t.Fatalf("Quantile(-3) = %d, want 0", got)
+	}
+	if got := h2.Quantile(7); got != 0 {
+		t.Fatalf("Quantile(7) on zeros = %d, want 0", got)
+	}
+}

@@ -245,16 +245,23 @@ func New(cfg Config) (*Service, error) {
 	if cfg.Capacity < 0 || cfg.QueueDepth < 0 {
 		return nil, megaerr.Invalidf("serve: negative Capacity (%d) or QueueDepth (%d)", cfg.Capacity, cfg.QueueDepth)
 	}
+	if cfg.PanicThreshold < 0 {
+		return nil, megaerr.Invalidf("serve: negative PanicThreshold (%d)", cfg.PanicThreshold)
+	}
+	if cfg.DemotionPeriod < 0 || cfg.DefaultDeadline < 0 || cfg.DefaultQueueTimeout < 0 {
+		return nil, megaerr.Invalidf("serve: negative duration (DemotionPeriod=%s DefaultDeadline=%s DefaultQueueTimeout=%s)",
+			cfg.DemotionPeriod, cfg.DefaultDeadline, cfg.DefaultQueueTimeout)
+	}
 	if cfg.Capacity == 0 {
 		cfg.Capacity = 4
 	}
 	if cfg.QueueDepth == 0 {
 		cfg.QueueDepth = 64
 	}
-	if cfg.PanicThreshold <= 0 {
+	if cfg.PanicThreshold == 0 {
 		cfg.PanicThreshold = 3
 	}
-	if cfg.DemotionPeriod <= 0 {
+	if cfg.DemotionPeriod == 0 {
 		cfg.DemotionPeriod = 5 * time.Second
 	}
 	reg := cfg.Metrics
@@ -400,7 +407,10 @@ func (s *Service) admit(req *Request, cancel context.CancelFunc) (*waiter, error
 		}
 		s.rejected++
 		s.cRejected.Inc()
-		return nil, &megaerr.OverloadError{Reason: reason, Capacity: s.cfg.Capacity, Queued: s.queue.Len()}
+		return nil, &megaerr.OverloadError{
+			Reason: reason, Capacity: s.cfg.Capacity, Queued: s.queue.Len(),
+			RetryAfter: s.retryHintLocked(),
+		}
 	}
 	s.seq++
 	w := &waiter{prio: req.Priority, seq: s.seq, index: -1, grant: make(chan error, 1), cancel: cancel}
@@ -423,6 +433,7 @@ func (s *Service) admit(req *Request, cancel context.CancelFunc) (*waiter, error
 		heap.Remove(&s.queue, victim.index)
 		shedErr := &megaerr.OverloadError{
 			Reason: "shed by higher-priority request", Capacity: s.cfg.Capacity, Queued: s.queue.Len(),
+			RetryAfter: s.retryHintLocked(),
 		}
 		s.shed++
 		s.cShed.Inc()
@@ -436,7 +447,10 @@ func (s *Service) admit(req *Request, cancel context.CancelFunc) (*waiter, error
 	}
 	s.rejected++
 	s.cRejected.Inc()
-	return nil, &megaerr.OverloadError{Reason: "queue full", Capacity: s.cfg.Capacity, Queued: s.queue.Len()}
+	return nil, &megaerr.OverloadError{
+		Reason: "queue full", Capacity: s.cfg.Capacity, Queued: s.queue.Len(),
+		RetryAfter: s.retryHintLocked(),
+	}
 }
 
 // shedVictimLocked returns the queued waiter the shed policy would drop
@@ -710,8 +724,14 @@ func (s *Service) auditLocked() metrics.AuditResult {
 type Stats struct {
 	// State is "serving", "draining", or "closed".
 	State string
+	// Capacity is the concurrent-run bound the service admits against.
+	Capacity int
 	// Running and Queued are the live occupancy.
 	Running, Queued int
+	// RunP50 is the (bucketed, upper-bound) median evaluation wall time
+	// observed so far; zero before any query completes. RetryAfterHint
+	// turns it into an overload back-off estimate.
+	RunP50 time.Duration
 	// Admitted counts requests that entered the service; every one
 	// terminates as exactly one of Completed, Failed, or Canceled.
 	Admitted, Completed, Failed, Canceled uint64
@@ -733,7 +753,9 @@ func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := Stats{
-		Running: s.running, Queued: s.queue.Len(),
+		Capacity: s.cfg.Capacity,
+		Running:  s.running, Queued: s.queue.Len(),
+		RunP50:   time.Duration(s.hRunTime.Quantile(0.5)),
 		Admitted: s.admitted, Completed: s.completed, Failed: s.failed, Canceled: s.canceled,
 		Rejected: s.rejected, Shed: s.shed, DeadlineExceeded: s.deadlineExceeded,
 		Demotions: s.demotions, Probes: s.probes,
@@ -757,4 +779,50 @@ func (s *Service) Audit() metrics.AuditResult {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.auditLocked()
+}
+
+// Retry-hint clamp bounds: even an empty service suggests waiting a
+// beat before retrying, and even a deeply backlogged one never asks a
+// caller to stay away for more than half a minute.
+const (
+	retryAfterMin = 100 * time.Millisecond
+	retryAfterMax = 30 * time.Second
+)
+
+// RetryAfterHint estimates how long a rejected caller should wait before
+// retrying: long enough for the backlog ahead of it to drain — one run
+// "wave" per Capacity queued requests (plus the retry itself), each wave
+// costing the observed median run time — clamped to [100ms, 30s]. With no
+// run history yet (RunP50 == 0) a wave is assumed to cost one second.
+// OverloadError.RetryAfter carries the same estimate, and the HTTP front
+// end surfaces it as a 429 Retry-After header.
+func RetryAfterHint(st Stats) time.Duration {
+	capacity := st.Capacity
+	if capacity <= 0 {
+		capacity = 1
+	}
+	p50 := st.RunP50
+	if p50 <= 0 {
+		p50 = time.Second
+	}
+	waves := (st.Queued + capacity) / capacity // ceil((queued+1)/capacity)
+	d := time.Duration(waves) * p50
+	if d < retryAfterMin {
+		return retryAfterMin
+	}
+	if d > retryAfterMax {
+		return retryAfterMax
+	}
+	return d
+}
+
+// retryHintLocked computes the RetryAfterHint for the service's current
+// occupancy. Caller holds mu (the histogram itself is atomic, but Queued
+// must be read consistently with the rejection being built).
+func (s *Service) retryHintLocked() time.Duration {
+	return RetryAfterHint(Stats{
+		Capacity: s.cfg.Capacity,
+		Queued:   s.queue.Len(),
+		RunP50:   time.Duration(s.hRunTime.Quantile(0.5)),
+	})
 }

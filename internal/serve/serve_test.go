@@ -649,3 +649,105 @@ func TestServeParsePriority(t *testing.T) {
 		}
 	}
 }
+
+// TestConfigRejectsNegatives: every negative bound or duration must fail
+// construction with ErrInvalidInput instead of silently defaulting — a
+// negative Capacity would otherwise admit nothing, a negative
+// DemotionPeriod would make every breaker demotion instantly probed.
+func TestConfigRejectsNegatives(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"capacity", Config{Run: okRun, Capacity: -1}},
+		{"queue-depth", Config{Run: okRun, QueueDepth: -2}},
+		{"panic-threshold", Config{Run: okRun, PanicThreshold: -1}},
+		{"demotion-period", Config{Run: okRun, DemotionPeriod: -time.Second}},
+		{"default-deadline", Config{Run: okRun, DefaultDeadline: -time.Millisecond}},
+		{"default-queue-timeout", Config{Run: okRun, DefaultQueueTimeout: -time.Minute}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.cfg); !errors.Is(err, megaerr.ErrInvalidInput) {
+			t.Errorf("%s: New = %v, want ErrInvalidInput", tc.name, err)
+		}
+	}
+	// Zero values still select the documented defaults.
+	s, err := New(Config{Run: okRun})
+	if err != nil {
+		t.Fatalf("zero config = %v", err)
+	}
+	if s.cfg.Capacity != 4 || s.cfg.QueueDepth != 64 || s.cfg.PanicThreshold != 3 || s.cfg.DemotionPeriod != 5*time.Second {
+		t.Errorf("defaults = %+v", s.cfg)
+	}
+}
+
+// TestRetryAfterHint pins the back-off formula: one median run per
+// capacity-sized wave of backlog, clamped to [100ms, 30s].
+func TestRetryAfterHint(t *testing.T) {
+	cases := []struct {
+		name string
+		st   Stats
+		want time.Duration
+	}{
+		{"empty service, no history", Stats{Capacity: 4}, time.Second},
+		{"no history defaults to 1s waves", Stats{Capacity: 2, Queued: 3}, 2 * time.Second},
+		{"one wave of backlog", Stats{Capacity: 4, Queued: 3, RunP50: 500 * time.Millisecond}, 500 * time.Millisecond},
+		{"two waves", Stats{Capacity: 4, Queued: 4, RunP50: 500 * time.Millisecond}, time.Second},
+		{"fast runs clamp up", Stats{Capacity: 4, Queued: 0, RunP50: time.Microsecond}, retryAfterMin},
+		{"deep backlog clamps down", Stats{Capacity: 1, Queued: 1000, RunP50: time.Second}, retryAfterMax},
+		{"zero capacity treated as one", Stats{Capacity: 0, Queued: 2, RunP50: time.Second}, 3 * time.Second},
+	}
+	for _, tc := range cases {
+		if got := RetryAfterHint(tc.st); got != tc.want {
+			t.Errorf("%s: RetryAfterHint = %s, want %s", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestOverloadCarriesRetryAfter: rejections at a saturated service must
+// carry a usable retry hint alongside the capacity/queue detail.
+func TestOverloadCarriesRetryAfter(t *testing.T) {
+	testutil.NoGoroutineLeak(t)
+	started := make(chan struct{}, 4)
+	release := make(chan struct{})
+	run, _ := blockingRun(started, release)
+	s, err := New(Config{Run: run, Capacity: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			defer wg.Done()
+			s.Submit(context.Background(), Request{})
+		}()
+	}
+	waitFor(t, "saturation", func() bool {
+		st := s.Stats()
+		return st.Running == 1 && st.Queued == 1
+	})
+	_, err = s.Submit(context.Background(), Request{})
+	var oe *megaerr.OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("Submit = %v, want *OverloadError", err)
+	}
+	if oe.RetryAfter <= 0 {
+		t.Errorf("overload RetryAfter = %s, want > 0", oe.RetryAfter)
+	}
+	if oe.Capacity != 1 || oe.Queued != 1 {
+		t.Errorf("overload detail = %+v", oe)
+	}
+	close(release)
+	wg.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("Close = %v", err)
+	}
+	// Post-run the stats expose capacity and a median for hint callers.
+	st := s.Stats()
+	if st.Capacity != 1 || st.RunP50 <= 0 {
+		t.Errorf("Stats = %+v, want Capacity 1 and RunP50 > 0", st)
+	}
+}

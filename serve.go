@@ -92,6 +92,15 @@ type ServeOptions struct {
 // faults, automatic parallel-to-sequential fallback on worker panics.
 // Close(ctx) drains it; see the serve package for the full lifecycle.
 func NewQueryService(opt ServeOptions) (*QueryService, error) {
+	// The admission-layer bounds (Capacity, QueueDepth, PanicThreshold,
+	// durations) are validated by serve.New; the per-query recovery knobs
+	// are consumed here, so negative values must be refused here too
+	// instead of silently misbehaving inside every evaluation.
+	if opt.CheckpointEvery < 0 || opt.MaxRetries < 0 || opt.Backoff < 0 {
+		return nil, megaerr.Invalidf(
+			"mega: negative ServeOptions (CheckpointEvery=%d MaxRetries=%d Backoff=%s)",
+			opt.CheckpointEvery, opt.MaxRetries, opt.Backoff)
+	}
 	run := func(ctx context.Context, req *QueryRequest, parallel bool) ([][]float64, serve.RunReport, error) {
 		vals, rec, err := EvaluateRecover(ctx, req.Window, req.Algo, req.Source, BOE, RecoverOptions{
 			Parallel:        parallel,

@@ -78,6 +78,35 @@ func TestQueryServiceMatchesEvaluateContext(t *testing.T) {
 	}
 }
 
+// TestQueryServiceRejectsNegativeOptions pins the root-level constructor
+// contract: negative engine knobs are refused up front with a typed
+// ErrInvalidInput instead of surfacing as a confusing per-query failure.
+func TestQueryServiceRejectsNegativeOptions(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  mega.ServeOptions
+	}{
+		{"checkpoint-every", mega.ServeOptions{CheckpointEvery: -1}},
+		{"max-retries", mega.ServeOptions{MaxRetries: -2}},
+		{"backoff", mega.ServeOptions{Backoff: -time.Millisecond}},
+		{"capacity", mega.ServeOptions{Capacity: -1}},
+		{"queue-depth", mega.ServeOptions{QueueDepth: -4}},
+		{"default-deadline", mega.ServeOptions{DefaultDeadline: -time.Second}},
+		{"default-queue-timeout", mega.ServeOptions{DefaultQueueTimeout: -time.Second}},
+	}
+	for _, c := range cases {
+		s, err := mega.NewQueryService(c.opt)
+		if s != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			s.Close(ctx)
+			cancel()
+		}
+		if !errors.Is(err, mega.ErrInvalidInput) {
+			t.Errorf("%s: NewQueryService(%+v) err = %v, want ErrInvalidInput", c.name, c.opt, err)
+		}
+	}
+}
+
 // TestQueryServiceOverloadContract checks the root-level re-exports: a
 // saturated service rejects with an error matching mega.ErrOverload and
 // carrying *mega.OverloadError detail.
