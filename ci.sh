@@ -18,6 +18,14 @@ go test -race ./...
 # Benchmark smoke: one iteration of every benchmark, so a broken or
 # crashing benchmark fails CI even though nothing is being measured.
 go test -bench=. -benchtime=1x -run='^$' ./...
+# Event-inflation gate: the parallel engine's events/op relative to the
+# sequential engine, measured deterministically (no timing, safe on a
+# loaded box) at worker counts 1/2/4/8 under GOMAXPROCS 1 and 2. The
+# threshold sits just above the value measured when sender-side
+# coalescing landed (worst point: 8 workers under GOMAXPROCS=2 at
+# 2.045x); the pre-coalescing engine measured 3.34x at every worker
+# count, so a regression that reopens the gap fails loudly.
+go run ./cmd/megabench -inflation-gate "${INFLATION_MAX:-2.10}"
 go test -run='^$' -fuzz=FuzzLoadEdgeList -fuzztime="$FUZZTIME" ./internal/gen/
 go test -run='^$' -fuzz=FuzzNewWindowFromParts -fuzztime="$FUZZTIME" ./internal/evolve/
 go test -run='^$' -fuzz=FuzzCheckpointDecode -fuzztime="$FUZZTIME" ./internal/engine/

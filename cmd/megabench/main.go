@@ -18,6 +18,13 @@
 // hardware that produced them. -perfprocs overrides the swept values
 // ("1,2,4"), and -perfprocs none skips the trajectory.
 //
+// With -inflation-gate RATIO the experiments are skipped and the
+// deterministic event-inflation gate runs instead: the parallel engine's
+// events/op is measured (no timing) at worker counts 1/2/4/8 under both
+// GOMAXPROCS=1 and GOMAXPROCS=2, divided by the sequential engine's
+// events/op, and the process exits 1 if any point exceeds RATIO. CI uses
+// this to keep the event-inflation gap closed.
+//
 // With -metrics FILE every freshly simulated configuration's instrument
 // families and invariant-audit outcomes accumulate into one registry,
 // written as a JSON snapshot after the selected experiments finish. The
@@ -81,6 +88,7 @@ func main() {
 	perfRounds := flag.Int("perfrounds", 3, "perf harness repetitions per configuration (best-of)")
 	perfProcs := flag.String("perfprocs", "", "perf trajectory GOMAXPROCS values, comma-separated (empty = powers of 2 up to NumCPU plus 2x oversubscription; none = skip)")
 	metricsPath := flag.String("metrics", "", "write a JSON metrics snapshot of the simulated runs to this file")
+	inflationGate := flag.Float64("inflation-gate", 0, "fail (exit 1) if parallel/sequential events_per_op exceeds this ratio at any worker count (0 = off)")
 	flag.Parse()
 
 	if *format != "text" && *format != "csv" {
@@ -92,6 +100,42 @@ func main() {
 		for _, e := range bench.Experiments {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
+		return
+	}
+
+	if *inflationGate > 0 {
+		var log *os.File
+		if *verbose {
+			log = os.Stderr
+		}
+		results, seq, err := bench.RunInflationGate(*quick, nil, logWriter(log))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "megabench: inflation-gate: %v\n", err)
+			os.Exit(1)
+		}
+		t := bench.Table{
+			ID:     "inflation",
+			Title:  fmt.Sprintf("Event inflation vs sequential (%d events/op), gate %.2fx", seq, *inflationGate),
+			Header: []string{"Workers", "GOMAXPROCS", "events/op", "inflation"},
+		}
+		worst := 0.0
+		for _, r := range results {
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", r.Workers),
+				fmt.Sprintf("%d", r.Procs),
+				fmt.Sprintf("%d", r.EventsPerOp),
+				fmt.Sprintf("%.3fx", r.Inflation),
+			})
+			if r.Inflation > worst {
+				worst = r.Inflation
+			}
+		}
+		t.Fprint(os.Stdout)
+		if worst > *inflationGate {
+			fmt.Fprintf(os.Stderr, "megabench: event inflation %.3fx exceeds gate %.2fx\n", worst, *inflationGate)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "megabench: inflation gate passed (worst %.3fx ≤ %.2fx)\n", worst, *inflationGate)
 		return
 	}
 

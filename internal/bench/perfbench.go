@@ -39,8 +39,14 @@ type PerfResult struct {
 	// EventsPerSec is the throughput headline: events processed per
 	// wall-clock second.
 	EventsPerSec float64 `json:"events_per_sec"`
-	AllocsPerOp  int64   `json:"allocs_per_op"`
-	BytesPerOp   int64   `json:"bytes_per_op"`
+	// EventsInflation is EventsPerOp divided by the sequential engine's
+	// EventsPerOp: how much redundant work this configuration performs to
+	// avoid locks. 1.0 for the sequential row by construction. The ideal
+	// is 1.0; sender-side coalescing and generation filtering exist to
+	// push it there.
+	EventsInflation float64 `json:"events_inflation,omitempty"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	BytesPerOp      int64   `json:"bytes_per_op"`
 }
 
 // ProcsResult is one point of the worker-count × GOMAXPROCS scaling
@@ -228,7 +234,78 @@ func RunPerfBench(quick bool, workerCounts []int, rounds int, log io.Writer) (*P
 	sort.SliceStable(rep.Results, func(i, j int) bool {
 		return rep.Results[i].Workers < rep.Results[j].Workers
 	})
+	// The sequential row (Workers == 0) sorts first and anchors the
+	// inflation column.
+	if len(rep.Results) > 0 && rep.Results[0].Workers == 0 && rep.Results[0].EventsPerOp > 0 {
+		seq := float64(rep.Results[0].EventsPerOp)
+		for i := range rep.Results {
+			rep.Results[i].EventsInflation = float64(rep.Results[i].EventsPerOp) / seq
+		}
+	}
 	return rep, nil
+}
+
+// InflationResult is one deterministic event-inflation measurement: the
+// parallel engine's processed-event count at one worker count and
+// GOMAXPROCS setting, relative to the sequential Multi engine on the same
+// workload.
+type InflationResult struct {
+	// Workers is the parallel engine's worker (shard) count.
+	Workers int `json:"workers"`
+	// Procs is the GOMAXPROCS value the engine ran under. 1 exercises
+	// the lock-free direct path; ≥2 exercises real mailbox delivery
+	// through the sender-side coalescing table. The two paths suppress
+	// redundant events by different mechanisms, so CI gates both.
+	Procs       int   `json:"procs"`
+	EventsPerOp int64 `json:"events_per_op"`
+	// Inflation is EventsPerOp divided by the sequential engine's count.
+	Inflation float64 `json:"events_inflation"`
+}
+
+// RunInflationGate measures the parallel engine's event inflation —
+// events per op divided by the sequential engine's events per op on the
+// perf workload — with no timing involved, so the numbers are exact and
+// reproducible on a loaded CI box. Every worker count (nil means 1/2/4/8)
+// is measured under GOMAXPROCS=1 and GOMAXPROCS=2. Returns the per-point
+// results and the sequential baseline count. The caller's GOMAXPROCS is
+// restored before returning.
+func RunInflationGate(quick bool, workerCounts []int, log io.Writer) ([]InflationResult, int64, error) {
+	if workerCounts == nil {
+		workerCounts = []int{1, 2, 4, 8}
+	}
+	w, src, err := perfWorkload(quick)
+	if err != nil {
+		return nil, 0, err
+	}
+	seq, err := countEvents(w, src, 0)
+	if err != nil {
+		return nil, 0, fmt.Errorf("sequential: %w", err)
+	}
+	if seq == 0 {
+		return nil, 0, fmt.Errorf("sequential engine processed no events")
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	var out []InflationResult
+	for _, procs := range []int{1, 2} {
+		runtime.GOMAXPROCS(procs)
+		for _, workers := range workerCounts {
+			ev, err := countEvents(w, src, workers)
+			if err != nil {
+				return nil, 0, fmt.Errorf("parallel-%d procs=%d: %w", workers, procs, err)
+			}
+			r := InflationResult{
+				Workers: workers, Procs: procs, EventsPerOp: ev,
+				Inflation: float64(ev) / float64(seq),
+			}
+			out = append(out, r)
+			if log != nil {
+				fmt.Fprintf(log, "[inflation workers=%d procs=%d: %d events/op, %.3fx]\n",
+					workers, procs, ev, r.Inflation)
+			}
+		}
+	}
+	return out, seq, nil
 }
 
 // DefaultTrajectoryProcs returns the GOMAXPROCS values the trajectory
@@ -323,13 +400,18 @@ func (r *PerfReport) Fprint(w io.Writer) {
 	t := Table{
 		ID:     "perf",
 		Title:  fmt.Sprintf("Engine throughput (%s, GOMAXPROCS=%d)", r.Workload, r.GoMaxProcs),
-		Header: []string{"Engine", "ns/op", "events/s", "allocs/op", "B/op"},
+		Header: []string{"Engine", "ns/op", "events/s", "inflation", "allocs/op", "B/op"},
 	}
 	for _, res := range r.Results {
+		infl := "-"
+		if res.EventsInflation > 0 {
+			infl = fmt.Sprintf("%.2fx", res.EventsInflation)
+		}
 		t.Rows = append(t.Rows, []string{
 			res.Name,
 			fmt.Sprintf("%d", res.NsPerOp),
 			fmt.Sprintf("%.3g", res.EventsPerSec),
+			infl,
 			fmt.Sprintf("%d", res.AllocsPerOp),
 			fmt.Sprintf("%d", res.BytesPerOp),
 		})

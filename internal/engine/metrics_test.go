@@ -140,6 +140,22 @@ func TestStatsMatchMetricsCountsParallel(t *testing.T) {
 		if got := counterValue(snap, "queue_taken", lbl); got != taken {
 			t.Fatalf("trial %d: metrics queue_taken = %d, engine taken = %d", trial, got, taken)
 		}
+		// The sender-side share is part of the folded coalesced total and
+		// must be surfaced as its own counter family.
+		sender := p.CoalescedAtSender()
+		if sender < 0 || sender > coalesced {
+			t.Fatalf("trial %d: sender-coalesced %d outside [0, coalesced %d]", trial, sender, coalesced)
+		}
+		if got := counterValue(snap, "queue_coalesced_at_sender", lbl); got != sender {
+			t.Fatalf("trial %d: metrics queue_coalesced_at_sender = %d, engine = %d", trial, got, sender)
+		}
+		stealRanges, stealVertices := p.StealCounters()
+		if got := counterValue(snap, "steal_ranges", lbl); got != stealRanges {
+			t.Fatalf("trial %d: metrics steal_ranges = %d, engine = %d", trial, got, stealRanges)
+		}
+		if got := counterValue(snap, "steal_vertices", lbl); got != stealVertices {
+			t.Fatalf("trial %d: metrics steal_vertices = %d, engine = %d", trial, got, stealVertices)
+		}
 		for _, ar := range p.AuditQueues() {
 			if err := ar.Err(); err != nil {
 				t.Fatalf("trial %d: audit %s failed: %v", trial, ar.Name, err)

@@ -42,6 +42,16 @@ import (
 //   - Mailboxes are fixed-size event chunks recycled through a sync.Pool;
 //     pending matrices use per-vertex context bitmasks. After warm-up, an
 //     apply executes with zero steady-state heap allocations.
+//   - Events are filtered at generation like the sequential engine's
+//     queue: candidates for a worker's own vertices (and all candidates
+//     on race-free paths) are dropped unless they improve the current
+//     value, and cross-shard emits dedup through a per-shard sender-side
+//     coalescing table (senderTable, queue.go) so a hot vertex crosses
+//     the shard boundary as one event per round instead of dozens.
+//   - Rounds with heavy load imbalance hand touched-list tails from
+//     overloaded shards to idle ones at the deliver→process barrier
+//     (planSteal); donated segments are processed by the stealer but all
+//     resulting events still travel the owner's delivery path.
 //   - Phases whose total work is below inlinePhaseUnits run inline on the
 //     coordinator: a barrier hand-off costs microseconds, which dominates
 //     the short convergence-tail rounds.
@@ -86,6 +96,14 @@ type Parallel struct {
 	curOps []sched.Op
 
 	live []int // scratch list of shard indexes with work
+
+	// Work-stealing coordinator state. stealRound is true for the current
+	// process phase when planSteal handed off any segment (set before the
+	// phase barrier, so workers read it race-free); the slices are planning
+	// scratch reused across rounds.
+	stealRound bool
+	stealLoad  []int
+	stealOrder []int
 
 	// lifecycle state, set for the duration of RunContext.
 	ran    bool
@@ -232,10 +250,30 @@ type shard struct {
 
 	// Cumulative queue-traffic counters, never reset (unlike events, which
 	// drains into evTotal per stage). Each is written only by the goroutine
-	// owning the coalesce decision: pushed/coalesced at push/deliver on the
-	// destination shard (cross-shard writes happen only on the single-P
-	// direct path or the single-threaded restore path), taken at process.
+	// owning the coalesce decision: pushed at the generating shard's emit
+	// (or at push on the destination for own-vertex, single-P direct, and
+	// restore pushes), coalesced at owner-side merges, senderCoalesced at
+	// sender-side drops and in-place merges, taken at process. The
+	// conservation law is pushed − coalesced − senderCoalesced == taken.
 	pushed, coalesced, taken int64
+
+	// sender is the sender-side coalescing table for this shard's mailbox
+	// emits; nil until the first emit (the single-P direct path never
+	// allocates one). senderCoalesced counts events it absorbed.
+	sender          *senderTable
+	senderCoalesced int64
+
+	// Work-stealing state, all written by the coordinator at the
+	// deliver→process barrier (planSteal) and read by workers during the
+	// process phase — barrier ordering makes that race-free. steals lists
+	// the touched-vertex segments this shard processes on behalf of
+	// victims this round; victim marks a shard that donated (it must route
+	// every generated event through the mailboxes, since stealers
+	// concurrently read its pending matrix and write its value rows).
+	steals        []stealSeg
+	victim        bool
+	stealRanges   int64
+	stealVertices int64
 
 	// dirty lists the shard's vertices whose values changed during the
 	// current stage, maintained only when the engine tracks dirt for
@@ -243,6 +281,25 @@ type shard struct {
 	dirty     []graph.VertexID
 	dirtyMark []bool
 }
+
+// stealSeg is a contiguous tail of a victim shard's touched list, handed
+// to another shard for one process phase. The segment sub-slices the
+// victim's touched array directly: the hand-off happens at a barrier, the
+// victim's retained prefix and the donated tail are disjoint, and the
+// segment is fully consumed before the next round mutates the array.
+type stealSeg struct {
+	victim int
+	verts  []graph.VertexID
+}
+
+// Work-stealing thresholds. Stealing engages only when the process
+// phase is big enough to dwarf the hand-off bookkeeping (stealMinUnits)
+// and moves only segments large enough to matter (stealMinSeg) from
+// shards above the ideal share to shards below it.
+const (
+	stealMinUnits = 2 * inlinePhaseUnits
+	stealMinSeg   = 64
+)
 
 // SetCheckpointEvery enables automatic checkpoints: one at every stage
 // boundary and one every n barrier rounds inside a stage (0 disables).
@@ -578,14 +635,36 @@ func (p *Parallel) RunContext(ctx context.Context, s *sched.Schedule, lim Limits
 // Run.
 func (p *Parallel) SetMetrics(reg *metrics.Registry) { p.reg = reg }
 
-// QueueCounters sums the shards' queue traffic: pushes attempted (at a
-// coalesce decision — mailbox emits count on delivery, not on emit),
-// pushes that coalesced, and takes. Valid between runs or after Run.
+// QueueCounters sums the shards' queue traffic: pushes attempted (counted
+// where the generating shard makes its first coalesce decision — at emit
+// for mailbox traffic, at push for own-vertex, direct, and restore
+// traffic), pushes that coalesced anywhere (owner-side merges plus
+// sender-side drops and in-place merges), and takes. Valid between runs
+// or after Run.
 func (p *Parallel) QueueCounters() (pushed, coalesced, taken int64) {
 	for _, sh := range p.shards {
 		pushed += sh.pushed
-		coalesced += sh.coalesced
+		coalesced += sh.coalesced + sh.senderCoalesced
 		taken += sh.taken
+	}
+	return
+}
+
+// StealCounters sums the work-stealing traffic: segments handed off and
+// vertices processed on behalf of other shards. Valid after Run.
+func (p *Parallel) StealCounters() (ranges, vertices int64) {
+	for _, sh := range p.shards {
+		ranges += sh.stealRanges
+		vertices += sh.stealVertices
+	}
+	return
+}
+
+// CoalescedAtSender sums the events absorbed by the shards' sender-side
+// coalescing tables before reaching a mailbox. Valid after Run.
+func (p *Parallel) CoalescedAtSender() (n int64) {
+	for _, sh := range p.shards {
+		n += sh.senderCoalesced
 	}
 	return
 }
@@ -609,11 +688,12 @@ func (p *Parallel) AuditQueues() []metrics.AuditResult {
 			}
 		}
 	}
+	sender := p.CoalescedAtSender()
 	return []metrics.AuditResult{
 		{
 			Name: "engine.queue_conservation", OK: pushed-coalesced == taken,
-			Detail: fmt.Sprintf("pushed %d - coalesced %d = %d, taken %d",
-				pushed, coalesced, pushed-coalesced, taken),
+			Detail: fmt.Sprintf("pushed %d - coalesced %d (owner %d + sender %d) = %d, taken %d",
+				pushed, coalesced, coalesced-sender, sender, pushed-coalesced, taken),
 		},
 		{
 			Name: "engine.queue_drained", OK: live == 0,
@@ -637,7 +717,11 @@ func (p *Parallel) RecordMetrics(reg *metrics.Registry) {
 	reg.Counter("engine_events_processed", "engine", "parallel").Add(taken)
 	reg.Counter("queue_pushed", "engine", "parallel").Add(pushed)
 	reg.Counter("queue_coalesced", "engine", "parallel").Add(coalesced)
+	reg.Counter("queue_coalesced_at_sender", "engine", "parallel").Add(p.CoalescedAtSender())
 	reg.Counter("queue_taken", "engine", "parallel").Add(taken)
+	stealRanges, stealVertices := p.StealCounters()
+	reg.Counter("steal_ranges", "engine", "parallel").Add(stealRanges)
+	reg.Counter("steal_vertices", "engine", "parallel").Add(stealVertices)
 	reg.Counter("checkpoint_taken", "engine", "parallel").Add(p.ckptTaken)
 	reg.Counter("checkpoint_restored", "engine", "parallel").Add(p.ckptRestored)
 	reg.Counter("mailbox_chunk_allocs", "engine", "parallel").Add(p.chunkAllocs.Load())
@@ -839,10 +923,21 @@ func (p *Parallel) runApplies(ops []sched.Op) (err error) {
 	}
 	if p.trackDirty {
 		for _, sh := range p.shards {
+			// A shard's dirty list may name vertices it stole from another
+			// shard, so the mark always resets through the owner.
 			for _, v := range sh.dirty {
-				sh.dirtyMark[v-sh.lo] = false
+				own := p.shards[p.ownerTab[v]]
+				own.dirtyMark[v-own.lo] = false
 			}
 			sh.dirty = sh.dirty[:0]
+		}
+	}
+	// Values reset non-monotonically across stages (OpInit/OpCopy), so
+	// best-sent caches from the previous stage are meaningless now.
+	p.stealRound = false
+	for _, sh := range p.shards {
+		if sh.sender != nil {
+			sh.sender.nextStage()
 		}
 	}
 
@@ -916,7 +1011,13 @@ func (p *Parallel) finishApplies(ops []sched.Op, startRound int) error {
 			break
 		}
 
-		// Process each live shard's touched vertices.
+		// Rebalance a skewed round: hand touched-list tails from
+		// overloaded shards to idle ones for this process phase.
+		if p.planSteal(units) {
+			live = p.liveProcess()
+		}
+
+		// Process each live shard's touched vertices and stolen segments.
 		if err := p.runPhase(live, phaseProcess, units); err != nil {
 			return err
 		}
@@ -987,11 +1088,99 @@ func (p *Parallel) liveTouched() ([]int, int) {
 	return p.live, units
 }
 
+// planSteal runs on the coordinator at the deliver→process barrier. When
+// the round is large and skewed it hands contiguous tails of overloaded
+// shards' touched lists to underloaded shards: donors above the ideal
+// per-shard share give to recipients below it, largest imbalances first.
+// Ownership of a donated segment transfers for exactly one process phase
+// — the barrier orders the hand-off, donor and recipient touch disjoint
+// per-vertex slots, and donors are flagged as victims so they (and the
+// disabled direct path) never write state a stealer is draining. It
+// returns whether any segment moved; stale assignments from earlier
+// rounds are cleared unconditionally.
+func (p *Parallel) planSteal(units int) bool {
+	p.stealRound = false
+	for _, sh := range p.shards {
+		sh.steals = sh.steals[:0]
+		sh.victim = false
+	}
+	n := len(p.shards)
+	// With one P the phase runs sequentially anyway, so stealing would
+	// only add mailbox round-trips for events the direct path handles.
+	if n < 2 || p.procs == 1 || units < stealMinUnits {
+		return false
+	}
+	load := p.stealLoad[:0]
+	order := p.stealOrder[:0]
+	for si, sh := range p.shards {
+		load = append(load, len(sh.touched))
+		order = append(order, si)
+	}
+	p.stealLoad, p.stealOrder = load, order
+	// Insertion sort by load, descending: n is the worker count.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && load[order[j]] > load[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	target := units / n
+	stole := false
+	di, ri := 0, n-1
+	for di < ri {
+		d := order[di]
+		surplus := load[d] - target
+		if surplus < stealMinSeg {
+			break // heaviest remaining donor is near the ideal share
+		}
+		r := order[ri]
+		deficit := target - load[r]
+		if deficit < stealMinSeg {
+			break // lightest remaining recipient is near the ideal share
+		}
+		k := surplus
+		if deficit < k {
+			k = deficit
+		}
+		sd, sr := p.shards[d], p.shards[r]
+		cut := len(sd.touched) - k
+		sr.steals = append(sr.steals, stealSeg{victim: d, verts: sd.touched[cut:]})
+		sd.touched = sd.touched[:cut]
+		sd.victim = true
+		sr.stealRanges++
+		sr.stealVertices += int64(k)
+		load[d] -= k
+		load[r] += k
+		stole = true
+		if load[d]-target < stealMinSeg {
+			di++
+		}
+		if target-load[r] < stealMinSeg {
+			ri--
+		}
+	}
+	p.stealRound = stole
+	return stole
+}
+
+// liveProcess lists shards with touched vertices or stolen segments,
+// used after planSteal moved work onto otherwise-idle shards.
+func (p *Parallel) liveProcess() []int {
+	p.live = p.live[:0]
+	for si, sh := range p.shards {
+		if len(sh.touched) > 0 || len(sh.steals) > 0 {
+			p.live = append(p.live, si)
+		}
+	}
+	return p.live
+}
+
 // exchange moves outbox chunk pointers to their destination inboxes. It
 // runs on the coordinator between barriers, so no locking is needed, and
-// it moves chunk pointers — never event payloads.
+// it moves chunk pointers — never event payloads. Moving a shard's chunks
+// invalidates its sender table's in-flight merge references.
 func (p *Parallel) exchange() {
 	for _, sh := range p.shards {
+		moved := false
 		for di, chunks := range sh.outbox {
 			if len(chunks) == 0 {
 				continue
@@ -1000,6 +1189,10 @@ func (p *Parallel) exchange() {
 			dst.inbox = append(dst.inbox, chunks...)
 			sh.outbox[di] = sh.outbox[di][:0]
 			sh.open[di] = nil
+			moved = true
+		}
+		if moved && sh.sender != nil {
+			sh.sender.nextFlight()
 		}
 	}
 }
@@ -1055,15 +1248,23 @@ func (p *Parallel) seedShard(si int, sh *shard) {
 				if srcVal == p.ident {
 					continue
 				}
-				ev := pEvent{
-					ctx: int32(c), dst: e.Dst, val: p.a.EdgeFunc(srcVal, e.Weight),
+				cand := p.a.EdgeFunc(srcVal, e.Weight)
+				// Generation filter (mirrors Multi.runRounds): during the
+				// seed phase no worker writes values, so reading any
+				// destination's current value is race-free, and a candidate
+				// that doesn't improve it can never survive the coalescing
+				// take either. Filtered candidates are never counted, same
+				// as the sequential engine.
+				if !p.a.Better(cand, p.vals[c][e.Dst]) {
+					continue
 				}
+				ev := pEvent{ctx: int32(c), dst: e.Dst, val: cand}
 				if owner == sh.id {
 					p.push(sh, ev) // own vertex: skip the mailbox round-trip
 				} else if direct {
 					p.push(p.shards[owner], ev)
 				} else {
-					p.emit(sh, owner, ev)
+					p.emitCoalesced(sh, owner, ev)
 				}
 			}
 		}
@@ -1080,7 +1281,6 @@ func (p *Parallel) deliverShard(sh *shard) {
 	pending, mask, mark := sh.pending, sh.ctxMask, sh.mark
 	lo := sh.lo
 	for _, ck := range sh.inbox {
-		sh.pushed += int64(ck.n)
 		for i := 0; i < ck.n; i++ {
 			ev := &ck.ev[i]
 			idx := int(ev.dst - lo)
@@ -1130,26 +1330,96 @@ func (p *Parallel) push(sh *shard, ev pEvent) {
 }
 
 // emit appends an event to the open chunk of sh's outbox for the owning
-// shard, starting a fresh pooled chunk when the open one is full.
-func (p *Parallel) emit(sh *shard, owner int, ev pEvent) {
+// shard, starting a fresh pooled chunk when the open one is full. It
+// returns the chunk and event index so the sender table can merge later
+// improvements in place while the chunk is still in this outbox.
+func (p *Parallel) emit(sh *shard, owner int, ev pEvent) (*pChunk, int32) {
 	ck := sh.open[owner]
 	if ck == nil || ck.n == pChunkLen {
 		ck = p.chunkPool.Get().(*pChunk)
 		sh.outbox[owner] = append(sh.outbox[owner], ck)
 		sh.open[owner] = ck
 	}
+	pos := int32(ck.n)
 	ck.ev[ck.n] = ev
 	ck.n++
+	return ck, pos
 }
 
-// processShard drains the shard's touched vertices, updating owned values
-// and emitting generated events into outboxes. The per-vertex context
-// bitmask walks only contexts with live candidates, and one adjacency
-// fetch serves every improved context of a vertex.
+// emitCoalesced routes an event into the owner's mailbox through the
+// sender-side coalescing table. A candidate no better than the best value
+// already sent to its (vertex, ctx) this stage is dropped: the sent value
+// was appended to a chunk the owner is guaranteed to coalesce-and-apply
+// within the stage, and Better is a strict total order, so the owner
+// would discard this candidate anyway. An improving candidate overwrites
+// the sent event's chunk slot in place when the chunk is still in this
+// shard's outbox (no exchange since it was appended), otherwise it is
+// re-emitted. Either way the cache records the best value in flight, so a
+// vertex hammered many times in one round crosses the shard boundary as
+// one event.
+func (p *Parallel) emitCoalesced(sh *shard, owner int, ev pEvent) {
+	sh.pushed++
+	t := sh.sender
+	if t == nil {
+		t = newSenderTable()
+		sh.sender = t
+	}
+	t.maybeGrow()
+	key := uint64(ev.dst)<<32 | uint64(uint32(ev.ctx))
+	s := t.find(key)
+	if s.gen == t.gen && s.key == key {
+		if !p.a.Better(ev.val, s.val) {
+			sh.senderCoalesced++
+			return
+		}
+		s.val = ev.val
+		if s.fly == t.fly && s.ck != nil {
+			s.ck.ev[s.pos].val = ev.val
+			sh.senderCoalesced++
+			return
+		}
+	} else {
+		s.key, s.gen, s.val = key, t.gen, ev.val
+		t.n++
+	}
+	s.ck, s.pos = p.emit(sh, owner, ev)
+	s.fly = t.fly
+}
+
+// processShard drains the shard's touched vertices, then any stolen
+// segments assigned by planSteal. The per-vertex context bitmask walks
+// only contexts with live candidates, and one adjacency fetch serves
+// every improved context of a vertex.
 func (p *Parallel) processShard(sh *shard) {
+	// Swap in the spare touched buffer: self-delivered events re-mark
+	// vertices for the NEXT round by appending to sh.touched, which must
+	// not alias the list being drained.
+	touched := sh.touched
+	sh.touched = sh.spare[:0]
+	// A victim must not self-push either: stealers are concurrently
+	// reading its pending matrix and marks for the stolen range, so every
+	// event it generates goes through the mailboxes instead.
+	p.processVerts(sh, sh, touched, p.stealRound && sh.victim)
+	sh.spare = touched[:0]
+	for _, seg := range sh.steals {
+		p.processVerts(sh, p.shards[seg.victim], seg.verts, false)
+	}
+}
+
+// processVerts takes the pending candidates of verts — owned by own,
+// which is sh itself except when processing a stolen segment — applies
+// improvements to the global value rows, and routes generated events.
+// Ownership of stolen vertices was handed off at the deliver→process
+// barrier and the per-vertex state slots of distinct vertices are
+// disjoint, so the stealer reads/clears the victim's pending, mask, and
+// dirty state and writes values race-free; everything it generates still
+// reaches destination shards via the owner's delivery path (push for its
+// own vertices, mailboxes otherwise). mailboxOnly forces every generated
+// event through emitCoalesced (used by victims).
+func (p *Parallel) processVerts(sh, own *shard, verts []graph.VertexID, mailboxOnly bool) {
 	a := p.a
 	numCtx, ctxWords := p.numCtx, p.ctxWords
-	ctxMask, pending := sh.ctxMask, sh.pending
+	ctxMask, pending := own.ctxMask, own.pending
 	vals, batchOf, ownerTab := p.vals, p.batchOf, p.ownerTab
 	// On a single-P runtime every phase runs inline on the coordinator, so
 	// shards are processed strictly sequentially and cross-shard events can
@@ -1157,16 +1427,14 @@ func (p *Parallel) processShard(sh *shard) {
 	// chunked mailboxes only exist to keep concurrent workers race-free.
 	// Direct pushes may be consumed later in the same round (if the target
 	// shard processes after this one), which is safe for a monotone
-	// coalescing fixpoint and only accelerates convergence.
-	direct := p.procs == 1
-	// Swap in the spare touched buffer: self-delivered events re-mark
-	// vertices for the NEXT round by appending to sh.touched, which must
-	// not alias the list being drained.
-	touched := sh.touched
-	sh.touched = sh.spare[:0]
-	for _, v := range touched {
-		idx := int(v - sh.lo)
-		sh.mark[idx] = false
+	// coalescing fixpoint and only accelerates convergence. Steal rounds
+	// disable the direct path: a destination may be a victim whose pending
+	// matrix is being drained by its stealer.
+	direct := p.procs == 1 && !p.stealRound
+	shardLo := own.lo
+	for _, v := range verts {
+		idx := int(v - shardLo)
+		own.mark[idx] = false
 		upd := sh.updCtx[:0]
 		updVal := sh.updVal[:0]
 		mbase := idx * ctxWords
@@ -1194,8 +1462,8 @@ func (p *Parallel) processShard(sh *shard) {
 		if len(upd) == 0 {
 			continue
 		}
-		if sh.dirtyMark != nil && !sh.dirtyMark[idx] {
-			sh.dirtyMark[idx] = true
+		if own.dirtyMark != nil && !own.dirtyMark[idx] {
+			own.dirtyMark[idx] = true
 			sh.dirty = append(sh.dirty, v)
 		}
 		lo, _ := p.union.EdgeRange(v)
@@ -1205,17 +1473,26 @@ func (p *Parallel) processShard(sh *shard) {
 			// improved, so hoist its state out of the edge loop.
 			c, srcVal := upd[0], updVal[0]
 			appliedC := p.applied[c]
+			valsC := vals[c]
 			for i, d := range dsts {
 				if b := batchOf[lo+uint32(i)]; b >= 0 && !appliedC.has(int(b)) {
 					continue
 				}
 				ev := pEvent{ctx: c, dst: d, val: a.EdgeFunc(srcVal, ws[i])}
-				if owner := int(ownerTab[d]); owner == sh.id {
-					p.push(sh, ev) // own vertex: next round, no mailbox trip
+				if owner := int(ownerTab[d]); owner == sh.id && !mailboxOnly {
+					// Generation filter (mirrors Multi.runRounds): only this
+					// goroutine writes its own vertices' values, so the read
+					// is race-free and a non-improving candidate can be
+					// dropped before it ever occupies a queue slot.
+					if a.Better(ev.val, valsC[d]) {
+						p.push(sh, ev) // own vertex: next round, no mailbox trip
+					}
 				} else if direct {
-					p.push(p.shards[owner], ev)
+					if a.Better(ev.val, valsC[d]) {
+						p.push(p.shards[owner], ev)
+					}
 				} else {
-					p.emit(sh, owner, ev)
+					p.emitCoalesced(sh, owner, ev)
 				}
 			}
 			continue
@@ -1230,17 +1507,20 @@ func (p *Parallel) processShard(sh *shard) {
 				ev := pEvent{
 					ctx: c, dst: d, val: a.EdgeFunc(updVal[k], ws[i]),
 				}
-				if owner == sh.id {
-					p.push(sh, ev)
+				if owner == sh.id && !mailboxOnly {
+					if a.Better(ev.val, vals[c][d]) {
+						p.push(sh, ev)
+					}
 				} else if direct {
-					p.push(p.shards[owner], ev)
+					if a.Better(ev.val, vals[c][d]) {
+						p.push(p.shards[owner], ev)
+					}
 				} else {
-					p.emit(sh, owner, ev)
+					p.emitCoalesced(sh, owner, ev)
 				}
 			}
 		}
 	}
-	sh.spare = touched[:0]
 }
 
 // broadcastShard replays shared-compute results: for each broadcasting op

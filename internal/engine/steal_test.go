@@ -1,0 +1,227 @@
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"testing"
+
+	"mega/internal/algo"
+	"mega/internal/evolve"
+	"mega/internal/fault"
+	"mega/internal/gen"
+	"mega/internal/graph"
+	"mega/internal/megaerr"
+	"mega/internal/sched"
+	"mega/internal/testutil"
+)
+
+// stealWindow builds a window big enough that individual rounds clear the
+// stealMinUnits engagement threshold: the hub-heavy RMAT shape plus large
+// snapshot deltas produce process rounds touching ~2k vertices, ~80% of
+// them inside the pathological partition's fat shard.
+func stealWindow(t testing.TB, verts, edges, snaps int, frac float64) *evolve.Window {
+	t.Helper()
+	spec := gen.GraphSpec{
+		Name: "steal", Vertices: verts, Edges: edges,
+		A: 0.62, B: 0.18, C: 0.12, MaxWeight: 10, Seed: 99,
+	}
+	ev, err := gen.Evolve(spec, gen.EvolutionSpec{Snapshots: snaps, BatchFraction: frac, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := evolve.NewWindow(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// pathologicalBounds builds an explicit partition layout where shard 0
+// owns ~90% of the union CSR's edges (on the hub-heavy RMAT windows the
+// low-ID vertices carry the mass, so a prefix cut does it); the remaining
+// shards split the leftover tail uniformly. This is the worst case the
+// edge-balanced partitioning exists to avoid — used to prove the engine
+// stays correct, and work stealing engages, when the split is hostile.
+func pathologicalBounds(w *evolve.Window, parts int) []graph.VertexID {
+	offsets := w.Unified().Union().Offsets()
+	n := len(offsets) - 1
+	bounds := make([]graph.VertexID, parts+1)
+	bounds[parts] = graph.VertexID(n)
+	if parts == 1 {
+		return bounds
+	}
+	target := uint64(offsets[n]) * 9 / 10
+	cut := sort.Search(n, func(v int) bool { return uint64(offsets[v]) >= target })
+	if cut < 1 {
+		cut = 1
+	}
+	if cut > n {
+		cut = n
+	}
+	bounds[1] = graph.VertexID(cut)
+	for i := 2; i < parts; i++ {
+		bounds[i] = graph.VertexID(cut + (n-cut)*(i-1)/(parts-1))
+	}
+	return bounds
+}
+
+// pathologicalParallel builds a parallel engine and replaces its
+// edge-balanced partitioning with the hostile explicit layout.
+func pathologicalParallel(t *testing.T, w *evolve.Window, a algo.Algorithm, workers int) *Parallel {
+	t.Helper()
+	par, err := NewParallel(w, a, 0, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := graph.NewExplicitPartitioning(pathologicalBounds(w, workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par.part = part
+	for v := range par.ownerTab {
+		par.ownerTab[v] = int32(part.PartOf(graph.VertexID(v)))
+	}
+	return par
+}
+
+// Parallel must stay bit-identical to Multi even on a deliberately
+// pathological partition (one shard owning ~90% of the edges) across
+// worker counts, with the conservation audit holding and — since the
+// load imbalance is extreme — work stealing actually engaging. GOMAXPROCS
+// is raised so workers really run concurrently; with -race this validates
+// the steal hand-off discipline (disjoint per-vertex slots, mailbox-only
+// victims).
+func TestParallelPathologicalSkewEquivalence(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	w := stealWindow(t, 8192, 65536, 6, 0.15)
+	stealSeen := false
+	for _, k := range []algo.Kind{algo.SSSP, algo.SSWP} {
+		s, err := sched.New(sched.BOE, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := NewMulti(w, algo.New(k), 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := seq.Run(s); err != nil {
+			t.Fatal(err)
+		}
+		want := collectSnapshots(seq, s, w.NumSnapshots())
+		for _, workers := range []int{1, 2, 4, 8} {
+			par := pathologicalParallel(t, w, algo.New(k), workers)
+			if err := par.Run(s); err != nil {
+				t.Fatalf("%v/%d workers: %v", k, workers, err)
+			}
+			sameBits(t, k.String()+"/pathological", collectSnapshots(par, s, w.NumSnapshots()), want)
+			for _, ar := range par.AuditQueues() {
+				if err := ar.Err(); err != nil {
+					t.Errorf("%v/%d workers: audit %s failed: %v", k, workers, ar.Name, err)
+				}
+			}
+			ranges, verts := par.StealCounters()
+			if workers == 1 && ranges != 0 {
+				t.Errorf("%v/1 worker: stole %d ranges from itself", k, ranges)
+			}
+			if verts > 0 {
+				stealSeen = true
+			}
+		}
+	}
+	if !stealSeen {
+		t.Error("work stealing never engaged on a pathologically skewed partition")
+	}
+}
+
+// Sender-side coalescing must absorb cross-shard traffic on a concurrent
+// run: with real mailbox delivery in play (GOMAXPROCS > 1 disables the
+// direct path), the hub-heavy window hammers remote vertices repeatedly
+// per round and the sender table must catch some of it.
+func TestParallelSenderCoalescingEngages(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	w := skewedWindow(t)
+	s, err := sched.New(sched.BOE, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewParallel(w, algo.New(algo.SSSP), 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := par.Run(s); err != nil {
+		t.Fatal(err)
+	}
+	if got := par.CoalescedAtSender(); got == 0 {
+		t.Error("sender-side coalescing absorbed no events on a hub-heavy concurrent run")
+	}
+	pushed, coalesced, taken := par.QueueCounters()
+	if pushed-coalesced != taken {
+		t.Errorf("conservation violated: pushed %d − coalesced %d != taken %d", pushed, coalesced, taken)
+	}
+}
+
+// TestCrashEquivalenceUnderSteal extends the crash-equivalence sweep to
+// runs where work stealing is engaged (pathological partition, concurrent
+// workers): a run killed at round K and resumed from its last checkpoint
+// must still reproduce the uninterrupted values bit-identically, proving
+// the consistency point captures stolen-range pending state — donated
+// segments never live across a round boundary, so the checkpointed
+// pending set is exactly the owners' matrices plus undelivered mailboxes.
+// Under MEGA_CHAOS the sweep kills at every round.
+func TestCrashEquivalenceUnderSteal(t *testing.T) {
+	testutil.NoGoroutineLeak(t)
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	w := stealWindow(t, 4096, 65536, 3, 0.25)
+	a := algo.New(algo.SSSP)
+	const workers = 4
+	s, err := sched.New(sched.BOE, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	counter := fault.NewPlan(1)
+	base := pathologicalParallel(t, w, a, workers)
+	if err := base.RunContext(fault.Inject(context.Background(), counter), s, Limits{}); err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	if _, verts := base.StealCounters(); verts == 0 {
+		t.Fatal("baseline never engaged work stealing; the sweep would not test the steal path")
+	}
+	want := collectSnapshots(base, s, w.NumSnapshots())
+	total := counter.Visits(fault.SiteParallelRound, fault.AnyShard)
+	if total == 0 {
+		t.Fatal("baseline visited no round boundaries")
+	}
+
+	for _, kill := range killVisits(total) {
+		plan := fault.NewPlan(1).Add(fault.Op{
+			Site: fault.SiteParallelRound, Shard: fault.AnyShard,
+			Kind: fault.KindTransient, Visit: kill,
+		})
+		victim := pathologicalParallel(t, w, a, workers)
+		victim.SetCheckpointEvery(1)
+		err := victim.RunContext(fault.Inject(context.Background(), plan), s, Limits{})
+		if !megaerr.IsTransient(err) {
+			t.Fatalf("kill@%d: run returned %v, want a transient fault", kill, err)
+		}
+		ckpt := victim.LastCheckpoint()
+		if ckpt == nil {
+			t.Fatalf("kill@%d: no checkpoint was taken", kill)
+		}
+		resumed := pathologicalParallel(t, w, a, workers)
+		if err := resumed.Restore(ckpt); err != nil {
+			t.Fatalf("kill@%d: Restore: %v", kill, err)
+		}
+		if err := resumed.RunContext(context.Background(), s, Limits{}); err != nil {
+			t.Fatalf("kill@%d: resumed run: %v", kill, err)
+		}
+		sameBits(t, "steal", collectSnapshots(resumed, s, w.NumSnapshots()), want)
+	}
+}

@@ -88,6 +88,38 @@ func NewBalancedPartitioning(offsets []uint32, parts int) (*Partitioning, error)
 	return p, nil
 }
 
+// NewExplicitPartitioning creates a partitioning with caller-chosen range
+// boundaries: part p covers [bounds[p], bounds[p+1]). bounds must start
+// at 0, be non-decreasing, and its last element is the vertex count.
+// Unlike the uniform and balanced constructors this places no fairness
+// guarantee on the split — it exists for callers that need a specific
+// (possibly pathologically skewed) layout, e.g. load-imbalance tests.
+func NewExplicitPartitioning(bounds []VertexID) (*Partitioning, error) {
+	if len(bounds) < 2 {
+		return nil, fmt.Errorf("graph: explicit partitioning needs at least 2 bounds, got %d", len(bounds))
+	}
+	if bounds[0] != 0 {
+		return nil, fmt.Errorf("graph: explicit partitioning bounds must start at 0, got %d", bounds[0])
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] < bounds[i-1] {
+			return nil, fmt.Errorf("graph: explicit partitioning bounds decrease at %d: %d < %d", i, bounds[i], bounds[i-1])
+		}
+	}
+	numVertices := int(bounds[len(bounds)-1])
+	p := &Partitioning{
+		numVertices: numVertices,
+		bounds:      append([]VertexID(nil), bounds...),
+		owner:       make([]int32, numVertices),
+	}
+	for i := 0; i < p.Parts(); i++ {
+		for v := p.bounds[i]; v < p.bounds[i+1]; v++ {
+			p.owner[v] = int32(i)
+		}
+	}
+	return p, nil
+}
+
 // Parts returns the number of partitions.
 func (p *Partitioning) Parts() int { return len(p.bounds) - 1 }
 
