@@ -50,9 +50,12 @@ chaos:
 # Query-service soak: hundreds of concurrent mixed-priority queries with
 # injected transients, worker panics, and latency spikes, under the race
 # detector. MEGA_CHAOS scales the query count up and forces strict audits,
-# so the Close-time accounting conservation law fails loudly.
+# so the Close-time accounting conservation law — per tenant and in
+# aggregate — fails loudly. Includes the tenant-isolation soak: one
+# tenant floods with chaos queries while the well-behaved tenant must
+# keep its goodput.
 soak:
-	MEGA_CHAOS=soak $(GO) test -race -run 'QueryService|Serve' . ./internal/serve/
+	MEGA_CHAOS=soak $(GO) test -race -run 'QueryService|Serve|Tenant' . ./internal/serve/
 
 # HTTP front-end soak: the same chaos classes driven over loopback HTTP —
 # concurrent queries through megaserve's handler stack with injected

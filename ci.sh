@@ -14,7 +14,9 @@ if [ -n "$fmt_dirty" ]; then
 fi
 go vet ./...
 go build ./...
-go test -race ./...
+# -shuffle=on randomizes test order so inter-test state dependencies
+# (shared registries, leaked globals) fail loudly instead of by luck.
+go test -race -shuffle=on ./...
 # Benchmark smoke: one iteration of every benchmark, so a broken or
 # crashing benchmark fails CI even though nothing is being measured.
 go test -bench=. -benchtime=1x -run='^$' ./...
@@ -29,6 +31,7 @@ go run ./cmd/megabench -inflation-gate "${INFLATION_MAX:-2.10}"
 go test -run='^$' -fuzz=FuzzLoadEdgeList -fuzztime="$FUZZTIME" ./internal/gen/
 go test -run='^$' -fuzz=FuzzNewWindowFromParts -fuzztime="$FUZZTIME" ./internal/evolve/
 go test -run='^$' -fuzz=FuzzCheckpointDecode -fuzztime="$FUZZTIME" ./internal/engine/
+go test -run='^$' -fuzz=FuzzParseTenantSpec -fuzztime="$FUZZTIME" ./internal/serve/
 # Metrics smoke: a snapshot written by megasim must round-trip through
 # its own validator — required families present, every audit passed.
 tmpdir="$(mktemp -d)"
@@ -48,10 +51,12 @@ MEGA_CHAOS=full go test -race -run 'CrashEquivalence|Audit|Attribution' \
 # Query-service soak: hundreds of concurrent mixed-priority queries with
 # injected transients, worker panics, and latency spikes under -race, with
 # strict audits (MEGA_CHAOS) so the Close-time accounting conservation
-# law — admitted == completed + failed + canceled — fails loudly. The
+# law — admitted == completed + failed + canceled + shed — fails loudly,
+# per tenant and in aggregate. The Tenant soak floods one tenant with
+# chaos queries and proves the well-behaved tenant keeps its goodput; the
 # HTTPFront variants re-run the same chaos through the loopback HTTP
 # stack, including a mid-flight graceful drain.
-MEGA_CHAOS=soak go test -race -run 'QueryService|Serve|HTTPFront' .
+MEGA_CHAOS=soak go test -race -run 'QueryService|Serve|Tenant|HTTPFront' .
 MEGA_CHAOS=soak go test -race -count=1 ./internal/serve/ ./internal/httpfront/
 # HTTP end-to-end smoke: build megaserve, start it on an ephemeral port,
 # run one real query through the retrying client binary, then SIGTERM the

@@ -6,6 +6,7 @@
 //	megaserve [-listen 127.0.0.1:8080] [-addr-file FILE]
 //	          [-graph PK|LJ|OR|DL|UK|Wen] [-snapshots 16] [-batch 0.01] [-load dir]
 //	          [-capacity 4] [-queue-depth 64] [-default-deadline D] [-default-queue-timeout D]
+//	          [-tenants name:weight[:maxrun[:maxqueue[:burst]]]]... [-tenants @FILE]
 //	          [-drain 10s] [-allow-faults] [-fault-seed 42]
 //
 // It synthesizes (or loads) an evolving-graph window, stands up the
@@ -27,13 +28,22 @@
 // the HTTP layer stops accepting and finishes in-flight requests, then
 // the query service drains within -drain. A clean drain exits 0.
 //
+// Tenant QoS: each -tenants spec registers one tenant's contract —
+// scheduling weight, then optional max-running, max-queued, and burst
+// caps. The flag repeats, and "-tenants @FILE" reads one spec per line
+// (blank lines and #-comments ignored). Requests select their tenant
+// via the X-Mega-Tenant header; untagged requests bill to "default".
+//
 // Client mode (-server URL): submit one query (or fetch -stats) against a
 // running megaserve, with typed-error reconstruction and bounded retries
 // on 429/503/connection failures:
 //
 //	megaserve -server http://127.0.0.1:8080 [-algo SSSP] [-source 0]
 //	          [-priority high] [-deadline 2s] [-engine par] [-workers 4]
-//	          [-retries 3] [-stats]
+//	          [-tenant NAME] [-retries 3] [-stats]
+//
+// -stats prints the aggregate accounting line followed by one
+// "tenant=" line per tenant the service has seen.
 //
 // Exit codes (same contract as megasim): 0 success, 1 generic failure,
 // 2 invalid input, 3 canceled, 4 query divergence, 5 checkpoint
@@ -93,6 +103,61 @@ func classify(err error) (code int, prefix string) {
 	}
 }
 
+// tenantSpecsFlag collects repeated -tenants values verbatim; parsing
+// happens in parseTenantSpecs so the grammar errors carry the taxonomy.
+type tenantSpecsFlag []string
+
+func (f *tenantSpecsFlag) String() string { return strings.Join(*f, ",") }
+func (f *tenantSpecsFlag) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
+
+// parseTenantSpecs expands and parses the -tenants values into a tenant
+// table. A value starting with '@' names a file holding one spec per
+// line; blank lines and lines starting with '#' are skipped. Duplicate
+// tenant names are refused.
+func parseTenantSpecs(specs []string) (map[string]mega.TenantConfig, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	tenants := make(map[string]mega.TenantConfig)
+	add := func(spec string) error {
+		name, cfg, err := mega.ParseTenantSpec(spec)
+		if err != nil {
+			return err
+		}
+		if _, dup := tenants[name]; dup {
+			return fmt.Errorf("%w: -tenants: duplicate tenant %q", mega.ErrInvalidInput, name)
+		}
+		tenants[name] = cfg
+		return nil
+	}
+	for _, spec := range specs {
+		if !strings.HasPrefix(spec, "@") {
+			if err := add(spec); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		path := spec[1:]
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("%w: -tenants %s: %v", mega.ErrInvalidInput, spec, err)
+		}
+		for _, line := range strings.Split(string(raw), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			if err := add(line); err != nil {
+				return nil, fmt.Errorf("%s: %w", path, err)
+			}
+		}
+	}
+	return tenants, nil
+}
+
 func exitWith(err error) {
 	code, prefix := classify(err)
 	if prefix != "" {
@@ -120,6 +185,8 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "server: graceful-drain deadline at shutdown")
 	allowFaults := flag.Bool("allow-faults", false, "server: honor fault-injection specs in query bodies (chaos testing)")
 	faultSeed := flag.Int64("fault-seed", 42, "server: seed for probabilistic fault ops")
+	var tenantSpecs tenantSpecsFlag
+	flag.Var(&tenantSpecs, "tenants", "server: tenant contract name:weight[:maxrun[:maxqueue[:burst]]], repeatable; @FILE reads one per line")
 
 	// Client-mode flags.
 	server := flag.String("server", "", "client: server base URL; presence selects client mode")
@@ -130,6 +197,7 @@ func main() {
 	queueTimeout := flag.Duration("queue-timeout", 0, "client: queue-wait bound (0 = server default)")
 	engine := flag.String("engine", "", "client: seq or par")
 	workers := flag.Int("workers", 0, "client: parallel workers (0 = server GOMAXPROCS)")
+	tenant := flag.String("tenant", "", "client: tenant to bill the query to (X-Mega-Tenant header)")
 	retries := flag.Int("retries", 0, "client: max retries on overload/draining (0 = default 3, negative = none)")
 	stats := flag.Bool("stats", false, "client: fetch /stats instead of querying")
 	flag.Parse()
@@ -142,7 +210,7 @@ func main() {
 		err = runClient(ctx, clientOptions{
 			server: *server, algo: *algoName, source: *source, priority: *priority,
 			deadline: *deadline, queueTimeout: *queueTimeout, engine: *engine,
-			workers: *workers, retries: *retries, stats: *stats,
+			workers: *workers, tenant: *tenant, retries: *retries, stats: *stats,
 		})
 	} else {
 		err = runServer(ctx, serverOptions{
@@ -151,7 +219,8 @@ func main() {
 			load: *load, edgeList: *edgeList,
 			capacity: *capacity, queueDepth: *queueDepth,
 			defDeadline: *defDeadline, defQueueTimeout: *defQueueTimeout,
-			drain: *drain, allowFaults: *allowFaults, faultSeed: *faultSeed,
+			tenantSpecs: tenantSpecs,
+			drain:       *drain, allowFaults: *allowFaults, faultSeed: *faultSeed,
 		})
 	}
 	if err != nil {
@@ -167,6 +236,7 @@ type serverOptions struct {
 	load, edgeList               string
 	capacity, queueDepth         int
 	defDeadline, defQueueTimeout time.Duration
+	tenantSpecs                  []string
 	drain                        time.Duration
 	allowFaults                  bool
 	faultSeed                    int64
@@ -215,12 +285,17 @@ func runServer(ctx context.Context, opt serverOptions) error {
 	if err != nil {
 		return err
 	}
+	tenants, err := parseTenantSpecs(opt.tenantSpecs)
+	if err != nil {
+		return err
+	}
 	reg := mega.NewMetricsRegistry()
 	svc, err := mega.NewQueryService(mega.ServeOptions{
 		Capacity:            opt.capacity,
 		QueueDepth:          opt.queueDepth,
 		DefaultDeadline:     opt.defDeadline,
 		DefaultQueueTimeout: opt.defQueueTimeout,
+		Tenants:             tenants,
 		Metrics:             reg,
 	})
 	if err != nil {
@@ -296,6 +371,7 @@ type clientOptions struct {
 	queueTimeout time.Duration
 	engine       string
 	workers      int
+	tenant       string
 	retries      int
 	stats        bool
 }
@@ -319,6 +395,12 @@ func runClient(ctx context.Context, opt clientOptions) error {
 			st.State, st.Admitted, st.Completed, st.Failed, st.Canceled,
 			st.Rejected, st.Shed, st.Running, st.Queued,
 			time.Duration(st.RetryAfterHintMs)*time.Millisecond)
+		for _, tn := range st.Tenants {
+			fmt.Printf("tenant=%s weight=%d admitted=%d completed=%d failed=%d canceled=%d rejected=%d shed=%d running=%d queued=%d retry_after_hint=%s\n",
+				tn.Name, tn.Weight, tn.Admitted, tn.Completed, tn.Failed,
+				tn.Canceled, tn.Rejected, tn.Shed, tn.Running, tn.Queued,
+				time.Duration(tn.RetryAfterHintMs)*time.Millisecond)
+		}
 		return nil
 	}
 
@@ -330,6 +412,7 @@ func runClient(ctx context.Context, opt clientOptions) error {
 		QueueTimeout: httpfront.Duration(opt.queueTimeout),
 		Engine:       opt.engine,
 		Workers:      opt.workers,
+		Tenant:       opt.tenant,
 	})
 	if err != nil {
 		return err

@@ -54,6 +54,54 @@ func TestBuildWindowUnknownGraph(t *testing.T) {
 	}
 }
 
+// TestParseTenantSpecs covers the -tenants flag surface: repeated
+// inline specs, @file expansion with comments and blanks, and the
+// rejection paths (bad grammar, duplicate names, missing file) — all
+// ErrInvalidInput so the process exits 2.
+func TestParseTenantSpecs(t *testing.T) {
+	if m, err := parseTenantSpecs(nil); err != nil || m != nil {
+		t.Errorf("parseTenantSpecs(nil) = %v, %v, want nil table", m, err)
+	}
+
+	m, err := parseTenantSpecs([]string{"gold:4:8:32:8", "bronze:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]mega.TenantConfig{
+		"gold":   {Weight: 4, MaxRunning: 8, MaxQueued: 32, Burst: 8},
+		"bronze": {Weight: 1},
+	}
+	if len(m) != len(want) || m["gold"] != want["gold"] || m["bronze"] != want["bronze"] {
+		t.Errorf("parseTenantSpecs = %+v, want %+v", m, want)
+	}
+
+	path := filepath.Join(t.TempDir(), "tenants.conf")
+	file := "# fleet contracts\ngold:4:8:32:8\n\nbronze:1\n"
+	if err := os.WriteFile(path, []byte(file), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fm, err := parseTenantSpecs([]string{"@" + path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fm) != len(want) || fm["gold"] != want["gold"] || fm["bronze"] != want["bronze"] {
+		t.Errorf("@file table = %+v, want %+v", fm, want)
+	}
+
+	for _, bad := range [][]string{
+		{"noweight"},
+		{"gold:0"},
+		{"gold:4", "gold:2"},   // duplicate inline
+		{"@" + path, "gold:2"}, // duplicate across file and inline
+		{"@" + filepath.Join(t.TempDir(), "absent")}, // missing file
+		{":4"},
+	} {
+		if _, err := parseTenantSpecs(bad); !errors.Is(err, mega.ErrInvalidInput) {
+			t.Errorf("parseTenantSpecs(%q) = %v, want ErrInvalidInput", bad, err)
+		}
+	}
+}
+
 func TestWriteFileAtomic(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "addr")
 	if err := writeFileAtomic(path, []byte("127.0.0.1:1234\n")); err != nil {

@@ -25,11 +25,12 @@ type querySpec struct {
 // whitespace-separated key=value pairs:
 //
 //	algo=SSSP source=7 priority=high deadline=2s queue-timeout=100ms \
-//	    engine=par workers=4 label=q7 fault=engine.round:transient@3
+//	    engine=par workers=4 label=q7 tenant=team-a fault=engine.round:transient@3
 //
 // Every key is optional; algo, source, and engine default to the
-// corresponding megasim flags. fault is repeatable and builds a per-query
-// deterministic fault plan seeded by seed.
+// corresponding megasim flags. tenant bills the query to that tenant's
+// admission quota (absent = the default tenant). fault is repeatable and
+// builds a per-query deterministic fault plan seeded by seed.
 func parseQuerySpec(line string, defaults querySpec, seed int64) (querySpec, error) {
 	spec := defaults
 	var plan *mega.FaultPlan
@@ -86,6 +87,11 @@ func parseQuerySpec(line string, defaults querySpec, seed int64) (querySpec, err
 			spec.req.Workers = v
 		case "label":
 			spec.label = val
+		case "tenant":
+			if err := mega.ValidateQueryTenant(val); err != nil {
+				return spec, err
+			}
+			spec.req.Tenant = val
 		case "fault":
 			op, err := mega.ParseFaultOp(val)
 			if err != nil {
@@ -223,8 +229,17 @@ func runServe(ctx context.Context, w *mega.Window, kind mega.AlgorithmKind, src 
 	}
 	st := svc.Stats()
 	fmt.Printf("queries:         %d ok, %d failed\n", len(specs)-failed, failed)
-	fmt.Printf("accounting:      %d admitted = %d completed + %d failed + %d canceled; %d rejected, %d shed\n",
-		st.Admitted, st.Completed, st.Failed, st.Canceled, st.Rejected, st.Shed)
+	fmt.Printf("accounting:      %d admitted = %d completed + %d failed + %d canceled + %d shed; %d rejected\n",
+		st.Admitted, st.Completed, st.Failed, st.Canceled, st.Shed, st.Rejected)
+	// A single default tenant reproduces the aggregate exactly; only a
+	// genuinely multi-tenant run earns the per-tenant breakdown.
+	if len(st.Tenants) > 1 {
+		for _, tn := range st.Tenants {
+			fmt.Printf("  tenant %-12s weight=%d admitted=%d completed=%d failed=%d canceled=%d shed=%d rejected=%d\n",
+				tn.Name+":", tn.Weight, tn.Admitted, tn.Completed, tn.Failed,
+				tn.Canceled, tn.Shed, tn.Rejected)
+		}
+	}
 	if st.Demotions > 0 {
 		fmt.Printf("breaker:         %d demotions, %d probes\n", st.Demotions, st.Probes)
 	}

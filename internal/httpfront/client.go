@@ -147,7 +147,7 @@ func (c *Client) Query(ctx context.Context, spec QuerySpec) (*QueryResult, error
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		c.cAttempts.Inc()
-		res, retryable, err := c.queryOnce(ctx, body, reqID, attempt)
+		res, retryable, err := c.queryOnce(ctx, body, spec.Tenant, reqID, attempt)
 		if err == nil {
 			return res, nil
 		}
@@ -190,13 +190,16 @@ func (c *Client) backoff(ctx context.Context, attempt int, err error) error {
 
 // queryOnce performs one HTTP attempt. retryable reports whether the
 // failure class is safe to retry.
-func (c *Client) queryOnce(ctx context.Context, body []byte, reqID string, attempt int) (*QueryResult, bool, error) {
+func (c *Client) queryOnce(ctx context.Context, body []byte, tenant, reqID string, attempt int) (*QueryResult, bool, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/query", bytes.NewReader(body))
 	if err != nil {
 		return nil, false, megaerr.Invalidf("httpfront: building request: %v", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("X-Request-Id", reqID+"-a"+strconv.Itoa(attempt))
+	if tenant != "" {
+		req.Header.Set(TenantHeader, tenant)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		// Transport failure. Context cancellation/deadline surfaces inside

@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -315,6 +316,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, megaerr.Invalidf("httpfront: bad query body: %v", err))
 		return
 	}
+	tenant, err := tenantFromHeader(r)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	spec.Tenant = tenant
+	tlabel := tenant
+	if tlabel == "" {
+		tlabel = serve.DefaultTenantName
+	}
+	s.reg.Counter("http_query_requests", "tenant", tlabel).Inc()
 	req, plan, err := s.buildRequest(r.Context(), &spec)
 	if err != nil {
 		s.writeError(w, r, err)
@@ -335,6 +347,29 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Report:    reportFromServe(res.Report),
 		RequestID: requestIDFrom(r.Context()),
 	})
+}
+
+// tenantFromHeader reads and validates the X-Mega-Tenant header. An
+// absent header selects the default tenant; a header that is present but
+// empty after trimming, over-length, or carrying control characters is
+// ErrInvalidInput (the serve-layer tenant grammar, checked here so the
+// failure is a 400 before any admission accounting happens).
+func tenantFromHeader(r *http.Request) (string, error) {
+	vals := r.Header.Values(TenantHeader)
+	if len(vals) == 0 {
+		return "", nil
+	}
+	if len(vals) > 1 {
+		return "", megaerr.Invalidf("httpfront: %s header repeated %d times", TenantHeader, len(vals))
+	}
+	tenant := strings.TrimSpace(vals[0])
+	if tenant == "" {
+		return "", megaerr.Invalidf("httpfront: %s header is present but empty", TenantHeader)
+	}
+	if err := serve.ValidateTenant(tenant); err != nil {
+		return "", err
+	}
+	return tenant, nil
 }
 
 // buildRequest validates the wire spec against the server's window and
@@ -395,6 +430,7 @@ func (s *Server) buildRequest(ctx context.Context, spec *QuerySpec) (serve.Reque
 		Window:       s.win,
 		Algo:         kind,
 		Source:       graph.VertexID(spec.Source),
+		Tenant:       spec.Tenant,
 		Priority:     prio,
 		Deadline:     time.Duration(spec.Deadline),
 		QueueTimeout: time.Duration(spec.QueueTimeout),

@@ -49,6 +49,13 @@ import (
 // is no stdlib constant for it.
 const StatusClientClosedRequest = 499
 
+// TenantHeader carries the caller's tenant identity. It rides as a
+// header, not a body field, because tenancy is transport-level identity
+// (in a production deployment the auth layer would stamp it), and the
+// server validates it before the body is even decoded. Absent header =
+// the default tenant; a present-but-malformed value is a 400.
+const TenantHeader = "X-Mega-Tenant"
+
 // Duration is a time.Duration that marshals as a Go duration string
 // ("1.5s") and unmarshals from either a duration string or an integer
 // nanosecond count.
@@ -101,6 +108,11 @@ type QuerySpec struct {
 	Workers int `json:"workers,omitempty"`
 	// Label tags the request in reports; defaults to the request ID.
 	Label string `json:"label,omitempty"`
+	// Tenant names the principal the query is accounted against (empty =
+	// default tenant). It travels as the X-Mega-Tenant header rather than
+	// a body field — the Client sets the header from this value, and the
+	// server fills it back in from the header before validation.
+	Tenant string `json:"-"`
 	// Faults holds deterministic fault-injection specs in the
 	// "site[#shard]:kind[=latency]@visit[xevery]" grammar. Honored only
 	// when the server was started with fault injection enabled (chaos
@@ -219,8 +231,10 @@ const (
 type wireError struct {
 	Kind    string `json:"kind"`
 	Message string `json:"message"`
-	// Overload detail (kind "overload"/"draining").
+	// Overload detail (kind "overload"/"draining"). Tenant names the
+	// tenant whose quota or queue drove a tenant-scoped decision.
 	Reason       string `json:"reason,omitempty"`
+	Tenant       string `json:"tenant,omitempty"`
 	Capacity     int    `json:"capacity,omitempty"`
 	Queued       int    `json:"queued,omitempty"`
 	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
@@ -249,7 +263,7 @@ func encodeError(err error, draining bool) (int, wireError) {
 		we.Kind = kindInvalid
 		return http.StatusBadRequest, we
 	case errors.As(err, &oe):
-		we.Reason, we.Capacity, we.Queued = oe.Reason, oe.Capacity, oe.Queued
+		we.Reason, we.Tenant, we.Capacity, we.Queued = oe.Reason, oe.Tenant, oe.Capacity, oe.Queued
 		we.RetryAfterMs = oe.RetryAfter.Milliseconds()
 		if oe.Reason == "service draining" || oe.Reason == "service closed" {
 			we.Kind = kindDraining
@@ -320,6 +334,7 @@ func decodeError(status int, we wireError) error {
 		}
 		return &megaerr.OverloadError{
 			Reason:     reason,
+			Tenant:     we.Tenant,
 			Capacity:   we.Capacity,
 			Queued:     we.Queued,
 			RetryAfter: time.Duration(we.RetryAfterMs) * time.Millisecond,

@@ -247,9 +247,15 @@ func Auditf(invariant, format string, args ...any) error {
 // the query service's admission control. It matches ErrOverload under
 // errors.Is.
 type OverloadError struct {
-	// Reason describes the rejection: "queue full", "shed by
-	// higher-priority request", "service draining", "service closed".
+	// Reason describes the rejection: "queue full", "tenant queue full",
+	// "shed by higher-priority request", "shed over tenant quota",
+	// "service draining", "service closed".
 	Reason string
+	// Tenant, when non-empty, names the tenant whose quota or queue drove
+	// the decision — overload is tenant-scoped under multi-tenant
+	// admission, and a well-behaved tenant should never see another
+	// tenant's name here.
+	Tenant string
 	// Capacity is the service's concurrent-run bound at rejection time.
 	Capacity int
 	// Queued is how many requests were already waiting.
@@ -261,10 +267,14 @@ type OverloadError struct {
 }
 
 // Error implements error. The message is self-describing: it names the
-// rejection reason, the capacity and queue occupancy that forced it, and
-// the retry hint when one was computed.
+// rejection reason, the capacity and queue occupancy that forced it, the
+// tenant when the decision was tenant-scoped, and the retry hint when
+// one was computed.
 func (e *OverloadError) Error() string {
 	msg := fmt.Sprintf("mega: overloaded (%s): %d running allowed, %d queued", e.Reason, e.Capacity, e.Queued)
+	if e.Tenant != "" {
+		msg += fmt.Sprintf("; tenant %s", e.Tenant)
+	}
 	if e.RetryAfter > 0 {
 		msg += fmt.Sprintf("; retry after ~%s", e.RetryAfter)
 	}

@@ -13,9 +13,16 @@
 //     time; queued requests whose deadline or queue-timeout expires fail
 //     with a deadline error without ever starting.
 //   - Load shedding. When the queue is full, an arriving request may
-//     displace ("shed") a strictly lower-priority queued request — the
-//     lowest-priority, youngest waiter goes first — so high-priority work
-//     is never locked out by a backlog of low-priority work.
+//     displace ("shed") a queued request — waiters of tenants over their
+//     own quota go first, then strictly lower-priority waiters (the
+//     lowest-priority, youngest first) — so high-priority work is never
+//     locked out by a backlog of low-priority work and no tenant loses
+//     work to another tenant's burst while under its own quota.
+//   - Tenant isolation. Every request carries a tenant identity (empty =
+//     "default"); run slots are granted by weighted-fair scheduling
+//     across per-tenant queues (priority preserved within a tenant), and
+//     per-tenant MaxRunning/MaxQueued caps bound what any one tenant can
+//     occupy regardless of offered load.
 //   - Graceful degradation. A breaker watches worker panics: after
 //     PanicThreshold consecutive panic outcomes on the parallel engine,
 //     new queries are demoted to the sequential engine; after
@@ -28,9 +35,10 @@
 // The service is engine-agnostic: the actual evaluation is a RunFunc
 // supplied at construction (the root mega package wires EvaluateRecover,
 // tests wire stubs). Accounting is a checked invariant: every admitted
-// request terminates in exactly one of completed/failed/canceled, and
-// Close records (and in strict mode enforces) the conservation law
-// admitted == completed + failed + canceled.
+// request terminates in exactly one of completed/failed/canceled/shed,
+// and Close records (and in strict mode enforces) the conservation law
+// admitted == completed + failed + canceled + shed — in aggregate and
+// per tenant.
 package serve
 
 import (
@@ -102,7 +110,13 @@ type Request struct {
 	Algo algo.Kind
 	// Source is the query's source vertex.
 	Source graph.VertexID
-	// Priority orders the wait queue and the shed policy.
+	// Tenant names the principal the query is accounted against; empty
+	// selects DefaultTenantName. Admission, scheduling weight, quotas,
+	// and shed decisions are tenant-scoped.
+	Tenant string
+	// Priority orders the tenant's wait queue and the shed policy.
+	// Priority never crosses tenants: a tenant's high-priority flood
+	// cannot starve another tenant's low-priority work.
 	Priority Priority
 	// Deadline, when nonzero, bounds the query's total time in the
 	// service — queue wait plus run time. A queued request past its
@@ -181,8 +195,16 @@ type Config struct {
 	// DemotionPeriod is how long the breaker stays open before a probe
 	// query re-tries the parallel engine (0 = 5s).
 	DemotionPeriod time.Duration
+	// Tenants maps tenant names to their QoS contracts. Tenants absent
+	// from the table (and the "default" tenant itself, unless listed) get
+	// DefaultTenant. A nil map is a single-tenant service that behaves
+	// exactly like the pre-tenancy one.
+	Tenants map[string]TenantConfig
+	// DefaultTenant is the contract applied to tenants not in Tenants.
+	// Its zero value is weight 1 with no per-tenant caps.
+	DefaultTenant TenantConfig
 	// Metrics, when non-nil, receives the service's gauges, counters,
-	// histograms, and the Close-time accounting audit.
+	// histograms, and the Close-time accounting audits.
 	Metrics *metrics.Registry
 }
 
@@ -209,13 +231,15 @@ type Service struct {
 	strict bool
 	now    func() time.Time // injectable clock (breaker re-promotion tests)
 
-	mu      sync.Mutex
-	state   int
-	running int
-	queue   waiterHeap
-	seq     uint64
-	active  map[*waiter]context.CancelFunc
-	drained chan struct{}
+	mu          sync.Mutex
+	state       int
+	running     int
+	queuedTotal int // waiters across every tenant queue; bounded by QueueDepth
+	tenants     map[string]*tenantState
+	vnow        uint64 // weighted-fair virtual clock (see chargeGrantLocked)
+	seq         uint64
+	active      map[*waiter]context.CancelFunc
+	drained     chan struct{}
 
 	brk         int
 	brkPanics   int
@@ -223,8 +247,9 @@ type Service struct {
 
 	// Accounting. Terminal states are counted by whichever goroutine
 	// removes the request from the service, always under mu, so the
-	// conservation law admitted == completed + failed + canceled is
-	// checkable at any quiescent point.
+	// conservation law admitted == completed + failed + canceled + shed
+	// is checkable at any quiescent point — in aggregate here and per
+	// tenant in each tenantState.
 	admitted, completed, failed, canceled uint64
 	rejected, shed, deadlineExceeded      uint64
 	demotions, probes                     uint64
@@ -252,6 +277,20 @@ func New(cfg Config) (*Service, error) {
 		return nil, megaerr.Invalidf("serve: negative duration (DemotionPeriod=%s DefaultDeadline=%s DefaultQueueTimeout=%s)",
 			cfg.DemotionPeriod, cfg.DefaultDeadline, cfg.DefaultQueueTimeout)
 	}
+	if err := validTenantConfig("DefaultTenant", cfg.DefaultTenant); err != nil {
+		return nil, err
+	}
+	for name, tc := range cfg.Tenants {
+		if name == "" {
+			return nil, megaerr.Invalidf("serve: Tenants has an empty name (use DefaultTenant or %q)", DefaultTenantName)
+		}
+		if err := ValidateTenant(name); err != nil {
+			return nil, err
+		}
+		if err := validTenantConfig(name, tc); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.Capacity == 0 {
 		cfg.Capacity = 4
 	}
@@ -269,12 +308,13 @@ func New(cfg Config) (*Service, error) {
 		reg = metrics.New() // private registry: instruments always resolvable
 	}
 	s := &Service{
-		run:    cfg.Run,
-		cfg:    cfg,
-		reg:    reg,
-		strict: metrics.Strict(),
-		now:    time.Now,
-		active: make(map[*waiter]context.CancelFunc),
+		run:     cfg.Run,
+		cfg:     cfg,
+		reg:     reg,
+		strict:  metrics.Strict(),
+		now:     time.Now,
+		active:  make(map[*waiter]context.CancelFunc),
+		tenants: make(map[string]*tenantState),
 
 		mQueued:    reg.Gauge("serve_queued"),
 		mRunning:   reg.Gauge("serve_running"),
@@ -292,11 +332,31 @@ func New(cfg Config) (*Service, error) {
 		hQueueWait: reg.Histogram("serve_queue_wait_nanos"),
 		hRunTime:   reg.Histogram("serve_run_nanos"),
 	}
+	// Materialize configured tenants eagerly so per-tenant stats and
+	// metrics are visible before their first request. No concurrency yet:
+	// the service has not been published.
+	for name := range cfg.Tenants {
+		s.tenantLocked(name)
+	}
 	return s, nil
+}
+
+// validTenantConfig rejects negative tenant bounds; zero always means
+// "default" (weight 1, no cap).
+func validTenantConfig(name string, tc TenantConfig) error {
+	if tc.Weight < 0 || tc.MaxRunning < 0 || tc.MaxQueued < 0 || tc.Burst < 0 {
+		return megaerr.Invalidf("serve: tenant %s: negative bound (Weight=%d MaxRunning=%d MaxQueued=%d Burst=%d)",
+			name, tc.Weight, tc.MaxRunning, tc.MaxQueued, tc.Burst)
+	}
+	if tc.Burst > 0 && tc.MaxQueued == 0 {
+		return megaerr.Invalidf("serve: tenant %s: Burst=%d without MaxQueued (burst extends an explicit queue cap)", name, tc.Burst)
+	}
+	return nil
 }
 
 // waiter is one admitted request waiting for (or holding) a run slot.
 type waiter struct {
+	tenant *tenantState
 	prio   Priority
 	seq    uint64
 	index  int // heap index; -1 once off the queue
@@ -342,6 +402,9 @@ func (h *waiterHeap) Pop() any {
 func (s *Service) Submit(ctx context.Context, req Request) (*Result, error) {
 	if req.Priority > PriorityHigh {
 		return nil, megaerr.Invalidf("serve: priority %d out of range", req.Priority)
+	}
+	if err := ValidateTenant(req.Tenant); err != nil {
+		return nil, err
 	}
 	submitted := s.now()
 	deadline := req.Deadline
@@ -394,8 +457,9 @@ func (s *Service) Submit(ctx context.Context, req Request) (*Result, error) {
 	}, nil
 }
 
-// admit either grants a run slot immediately, enqueues the request, sheds
-// a lower-priority waiter to make room, or rejects with ErrOverload. The
+// admit either grants a run slot immediately, enqueues the request on its
+// tenant's queue, sheds a queued waiter to make room (over-quota tenants
+// first, then strictly lower priority), or rejects with ErrOverload. The
 // returned waiter always resolves through its grant channel.
 func (s *Service) admit(req *Request, cancel context.CancelFunc) (*waiter, error) {
 	s.mu.Lock()
@@ -408,71 +472,201 @@ func (s *Service) admit(req *Request, cancel context.CancelFunc) (*waiter, error
 		s.rejected++
 		s.cRejected.Inc()
 		return nil, &megaerr.OverloadError{
-			Reason: reason, Capacity: s.cfg.Capacity, Queued: s.queue.Len(),
-			RetryAfter: s.retryHintLocked(),
+			Reason: reason, Capacity: s.cfg.Capacity, Queued: s.queuedTotal,
+			RetryAfter: retryAfterEstimate(s.cfg.Capacity, s.queuedTotal, time.Duration(s.hRunTime.Quantile(0.5))),
 		}
 	}
+	t := s.tenantLocked(req.Tenant)
+	// A tenant re-entering after idleness joins at the current virtual
+	// time: no banked credit from its quiet past, no penalty either.
+	if t.running == 0 && t.queue.Len() == 0 && t.vtime < s.vnow {
+		t.vtime = s.vnow
+	}
 	s.seq++
-	w := &waiter{prio: req.Priority, seq: s.seq, index: -1, grant: make(chan error, 1), cancel: cancel}
-	if s.running < s.cfg.Capacity && s.queue.Len() == 0 {
+	w := &waiter{tenant: t, prio: req.Priority, seq: s.seq, index: -1, grant: make(chan error, 1), cancel: cancel}
+
+	// Direct grant. dispatchLocked keeps the invariant that whenever mu
+	// is released, either the service is at Capacity or every tenant with
+	// queued work is at its own run cap — so a free global slot plus a
+	// free tenant slot means no queued waiter outranks this arrival.
+	if s.running < s.cfg.Capacity && t.running < t.runCap(s.cfg.Capacity) {
 		s.admitted++
+		t.admitted++
 		s.cAdmitted.Inc()
+		t.cAdmitted.Inc()
+		s.chargeGrantLocked(t)
 		s.grantLocked(w)
 		return w, nil
 	}
-	if s.queue.Len() < s.cfg.QueueDepth {
-		s.admitted++
-		s.cAdmitted.Inc()
-		heap.Push(&s.queue, w)
-		s.mQueued.Set(int64(s.queue.Len()))
-		return w, nil
-	}
-	// Queue full: shed the lowest-priority, youngest waiter if the new
-	// request strictly outranks it; otherwise reject the newcomer.
-	if victim := s.shedVictimLocked(req.Priority); victim != nil {
-		heap.Remove(&s.queue, victim.index)
-		shedErr := &megaerr.OverloadError{
-			Reason: "shed by higher-priority request", Capacity: s.cfg.Capacity, Queued: s.queue.Len(),
-			RetryAfter: s.retryHintLocked(),
+
+	// Per-tenant queue cap (explicit contracts only; implicit quotas are
+	// enforced by the shed passes below, never by rejecting under-quota
+	// tenants while the global queue has room).
+	if t.cfg.MaxQueued > 0 && t.queue.Len() >= s.allowedQueueLocked(t) {
+		victim := lowestWaiter(t.queue)
+		if victim == nil || victim.prio >= req.Priority {
+			s.rejected++
+			t.rejected++
+			s.cRejected.Inc()
+			t.cRejected.Inc()
+			return nil, &megaerr.OverloadError{
+				Reason: "tenant queue full", Tenant: t.name,
+				Capacity: s.cfg.Capacity, Queued: t.queue.Len(),
+				RetryAfter: s.retryHintLocked(t),
+			}
 		}
-		s.shed++
-		s.cShed.Inc()
-		s.accountTerminalLocked(shedErr)
-		victim.grant <- shedErr
-		s.admitted++
-		s.cAdmitted.Inc()
-		heap.Push(&s.queue, w)
-		s.mQueued.Set(int64(s.queue.Len()))
-		return w, nil
+		s.shedLocked(victim, "shed by same-tenant higher-priority request")
 	}
-	s.rejected++
-	s.cRejected.Inc()
-	return nil, &megaerr.OverloadError{
-		Reason: "queue full", Capacity: s.cfg.Capacity, Queued: s.queue.Len(),
-		RetryAfter: s.retryHintLocked(),
+	if s.queuedTotal >= s.cfg.QueueDepth && !s.makeRoomLocked(t, req.Priority) {
+		s.rejected++
+		t.rejected++
+		s.cRejected.Inc()
+		t.cRejected.Inc()
+		return nil, &megaerr.OverloadError{
+			Reason: "queue full", Tenant: tenantLabel(t),
+			Capacity: s.cfg.Capacity, Queued: s.queuedTotal,
+			RetryAfter: s.retryHintLocked(t),
+		}
 	}
+	s.admitted++
+	t.admitted++
+	s.cAdmitted.Inc()
+	t.cAdmitted.Inc()
+	heap.Push(&t.queue, w)
+	s.queuedTotal++
+	t.mQueued.Set(int64(t.queue.Len()))
+	s.mQueued.Set(int64(s.queuedTotal))
+	s.dispatchLocked()
+	return w, nil
 }
 
-// shedVictimLocked returns the queued waiter the shed policy would drop
-// for an arrival of priority prio: the lowest-priority waiter (youngest
-// within that priority), and only if it is strictly below prio.
-func (s *Service) shedVictimLocked(prio Priority) *waiter {
+// tenantLabel is the tenant name carried on errors: explicit tenants by
+// name, the implicit default tenant as "" so single-tenant deployments
+// keep the pre-tenancy error messages.
+func tenantLabel(t *tenantState) string {
+	if t.name == DefaultTenantName {
+		return ""
+	}
+	return t.name
+}
+
+// lowestWaiter returns h's lowest-priority, youngest waiter (nil when h
+// is empty) — the shed policy's victim order within one tenant.
+func lowestWaiter(h waiterHeap) *waiter {
 	var victim *waiter
-	for _, w := range s.queue {
+	for _, w := range h {
 		if victim == nil || w.prio < victim.prio || (w.prio == victim.prio && w.seq > victim.seq) {
 			victim = w
 		}
 	}
-	if victim == nil || victim.prio >= prio {
-		return nil
-	}
 	return victim
+}
+
+// makeRoomLocked frees one global queue slot for an arrival of the given
+// tenant and priority, or reports that it cannot. Victims are chosen in
+// isolation order:
+//
+//  1. a tenant other than the arrival's that is over its own quota — the
+//     one with the most queued work (tie-break by name) loses its
+//     lowest-priority, youngest waiter regardless of the arrival's
+//     priority (quota enforcement, not priority preemption);
+//  2. the arrival's own tenant when over quota, but only a strictly
+//     lower-priority waiter (a tenant never sheds its own equal-priority
+//     work to admit more);
+//  3. legacy global shed: the lowest-priority, youngest waiter anywhere,
+//     only if strictly below the arrival's priority.
+//
+// Caller holds mu.
+func (s *Service) makeRoomLocked(t *tenantState, prio Priority) bool {
+	aw := s.activeWeightLocked(t)
+	var overQuota *tenantState
+	for _, o := range s.tenants {
+		if o == t || o.queue.Len() == 0 || !s.overQuotaLocked(o, aw) {
+			continue
+		}
+		if overQuota == nil || o.queue.Len() > overQuota.queue.Len() ||
+			(o.queue.Len() == overQuota.queue.Len() && o.name < overQuota.name) {
+			overQuota = o
+		}
+	}
+	if overQuota != nil {
+		s.shedLocked(lowestWaiter(overQuota.queue), "shed over tenant quota")
+		return true
+	}
+	if s.overQuotaLocked(t, aw) {
+		if v := lowestWaiter(t.queue); v != nil && v.prio < prio {
+			s.shedLocked(v, "shed by same-tenant higher-priority request")
+			return true
+		}
+		return false
+	}
+	var victim *waiter
+	for _, o := range s.tenants {
+		w := lowestWaiter(o.queue)
+		if w == nil {
+			continue
+		}
+		if victim == nil || w.prio < victim.prio || (w.prio == victim.prio && w.seq > victim.seq) {
+			victim = w
+		}
+	}
+	if victim != nil && victim.prio < prio {
+		s.shedLocked(victim, "shed by higher-priority request")
+		return true
+	}
+	return false
+}
+
+// shedLocked removes victim from its tenant's queue and resolves it with
+// a tenant-labeled overload error. Shed is a terminal accounting class of
+// its own: the victim was admitted, so it must land in exactly one of
+// completed/failed/canceled/shed — this is the shed. Caller holds mu.
+func (s *Service) shedLocked(victim *waiter, reason string) {
+	vt := victim.tenant
+	heap.Remove(&vt.queue, victim.index)
+	s.queuedTotal--
+	vt.mQueued.Set(int64(vt.queue.Len()))
+	s.mQueued.Set(int64(s.queuedTotal))
+	s.shed++
+	vt.shed++
+	s.cShed.Inc()
+	vt.cShed.Inc()
+	victim.grant <- &megaerr.OverloadError{
+		Reason: reason, Tenant: tenantLabel(vt),
+		Capacity: s.cfg.Capacity, Queued: s.queuedTotal,
+		RetryAfter: s.retryHintLocked(vt),
+	}
+}
+
+// dispatchLocked grants free run slots to queued waiters in weighted-fair
+// order: while capacity remains, the eligible tenant with the smallest
+// virtual time gives up its top-priority waiter. On return, either the
+// service is at Capacity or every tenant with queued work is at its own
+// run cap. Caller holds mu.
+func (s *Service) dispatchLocked() {
+	if s.state != stateServing {
+		return
+	}
+	for s.running < s.cfg.Capacity {
+		t := s.nextTenantLocked()
+		if t == nil {
+			return
+		}
+		w := heap.Pop(&t.queue).(*waiter)
+		s.queuedTotal--
+		t.mQueued.Set(int64(t.queue.Len()))
+		s.mQueued.Set(int64(s.queuedTotal))
+		s.chargeGrantLocked(t)
+		s.grantLocked(w)
+	}
 }
 
 // grantLocked hands w a run slot. Caller holds mu.
 func (s *Service) grantLocked(w *waiter) {
 	s.running++
+	w.tenant.running++
 	s.mRunning.Set(int64(s.running))
+	w.tenant.mRunning.Set(int64(w.tenant.running))
 	s.active[w] = w.cancel
 	w.grant <- nil
 }
@@ -507,9 +701,11 @@ func (s *Service) awaitSlot(ctx context.Context, req *Request, w *waiter) error 
 func (s *Service) abandon(w *waiter, cause error) error {
 	s.mu.Lock()
 	if w.index >= 0 {
-		heap.Remove(&s.queue, w.index)
-		s.mQueued.Set(int64(s.queue.Len()))
-		s.accountTerminalLocked(cause)
+		heap.Remove(&w.tenant.queue, w.index)
+		s.queuedTotal--
+		w.tenant.mQueued.Set(int64(w.tenant.queue.Len()))
+		s.mQueued.Set(int64(s.queuedTotal))
+		s.accountTerminalLocked(w.tenant, cause)
 		s.mu.Unlock()
 		return cause
 	}
@@ -523,17 +719,15 @@ func (s *Service) abandon(w *waiter, cause error) error {
 }
 
 // finish releases w's run slot, accounts the terminal outcome, grants the
-// next waiter, and signals the drain when the service empties.
+// next waiters, and signals the drain when the service empties.
 func (s *Service) finish(w *waiter, outcome error) {
 	s.mu.Lock()
 	delete(s.active, w)
 	s.running--
-	s.accountTerminalLocked(outcome)
-	for s.state == stateServing && s.running < s.cfg.Capacity && s.queue.Len() > 0 {
-		next := heap.Pop(&s.queue).(*waiter)
-		s.mQueued.Set(int64(s.queue.Len()))
-		s.grantLocked(next)
-	}
+	w.tenant.running--
+	w.tenant.mRunning.Set(int64(w.tenant.running))
+	s.accountTerminalLocked(w.tenant, outcome)
+	s.dispatchLocked()
 	s.mRunning.Set(int64(s.running))
 	if s.state == stateDraining && s.running == 0 && s.drained != nil {
 		close(s.drained)
@@ -543,20 +737,27 @@ func (s *Service) finish(w *waiter, outcome error) {
 }
 
 // accountTerminalLocked classifies one admitted request's terminal
-// outcome. Caller holds mu. Every admitted request reaches exactly one
-// terminal state: completed, canceled (deadline/cancellation, including
-// while queued), or failed (evaluation errors, sheds).
-func (s *Service) accountTerminalLocked(err error) {
+// outcome against its tenant and the aggregate. Caller holds mu. Every
+// admitted request reaches exactly one terminal state: completed,
+// canceled (deadline/cancellation, including while queued), failed
+// (evaluation errors), or shed (counted by shedLocked, not here).
+func (s *Service) accountTerminalLocked(t *tenantState, err error) {
 	switch {
 	case err == nil:
 		s.completed++
+		t.completed++
 		s.cCompleted.Inc()
+		t.cCompleted.Inc()
 	case errors.Is(err, megaerr.ErrCanceled):
 		s.canceled++
+		t.canceled++
 		s.cCanceled.Inc()
+		t.cCanceled.Inc()
 	default:
 		s.failed++
+		t.failed++
 		s.cFailed.Inc()
+		t.cFailed.Inc()
 	}
 	if err != nil && errors.Is(err, context.DeadlineExceeded) {
 		s.deadlineExceeded++
@@ -652,10 +853,10 @@ func panicOutcome(rep RunReport, err error) bool {
 
 // Close stops admission, fails every queued request, drains in-flight
 // queries until ctx expires, then cancels stragglers and joins them. It
-// records the accounting audit (admitted == completed + failed +
-// canceled) in the metrics registry and, in strict mode, returns it as an
-// ErrAudit error if violated. Close is idempotent; Submit after Close
-// fails with ErrOverload.
+// records the accounting audits (admitted == completed + failed +
+// canceled + shed, aggregate and per tenant) in the metrics registry and,
+// in strict mode, returns them as an ErrAudit error if violated. Close is
+// idempotent; Submit after Close fails with ErrOverload.
 func (s *Service) Close(ctx context.Context) error {
 	s.mu.Lock()
 	if s.state == stateClosed {
@@ -666,11 +867,15 @@ func (s *Service) Close(ctx context.Context) error {
 	if s.state == stateServing {
 		s.state = stateDraining
 		s.mDraining.Set(1)
-		for s.queue.Len() > 0 {
-			w := heap.Pop(&s.queue).(*waiter)
-			derr := megaerr.Canceled("serve: drained while queued", context.Canceled)
-			s.accountTerminalLocked(derr)
-			w.grant <- derr
+		for _, t := range s.tenants {
+			for t.queue.Len() > 0 {
+				w := heap.Pop(&t.queue).(*waiter)
+				s.queuedTotal--
+				derr := megaerr.Canceled("serve: drained while queued", context.Canceled)
+				s.accountTerminalLocked(t, derr)
+				w.grant <- derr
+			}
+			t.mQueued.Set(0)
 		}
 		s.mQueued.Set(0)
 		if s.running > 0 {
@@ -700,22 +905,25 @@ func (s *Service) Close(ctx context.Context) error {
 	s.state = stateClosed
 	s.mDraining.Set(0)
 	audit := s.auditLocked()
+	tenantAudit := s.tenantAuditLocked()
 	s.reg.RecordAudit(audit)
+	s.reg.RecordAudit(tenantAudit)
 	strict := s.strict
 	s.mu.Unlock()
 	if strict {
-		return audit.Err()
+		return errors.Join(audit.Err(), tenantAudit.Err())
 	}
 	return nil
 }
 
-// auditLocked computes the accounting conservation audit. Caller holds mu.
+// auditLocked computes the aggregate accounting conservation audit.
+// Caller holds mu.
 func (s *Service) auditLocked() metrics.AuditResult {
-	terminal := s.completed + s.failed + s.canceled
+	terminal := s.completed + s.failed + s.canceled + s.shed
 	res := metrics.AuditResult{Name: "serve.accounting", OK: s.admitted == terminal}
 	if !res.OK {
-		res.Detail = fmt.Sprintf("admitted=%d != completed=%d + failed=%d + canceled=%d (=%d)",
-			s.admitted, s.completed, s.failed, s.canceled, terminal)
+		res.Detail = fmt.Sprintf("admitted=%d != completed=%d + failed=%d + canceled=%d + shed=%d (=%d)",
+			s.admitted, s.completed, s.failed, s.canceled, s.shed, terminal)
 	}
 	return res
 }
@@ -733,11 +941,12 @@ type Stats struct {
 	// turns it into an overload back-off estimate.
 	RunP50 time.Duration
 	// Admitted counts requests that entered the service; every one
-	// terminates as exactly one of Completed, Failed, or Canceled.
+	// terminates as exactly one of Completed, Failed, Canceled, or Shed.
 	Admitted, Completed, Failed, Canceled uint64
 	// Rejected counts requests refused at admission (never admitted).
 	Rejected uint64
-	// Shed counts queued requests displaced by higher-priority arrivals.
+	// Shed counts queued requests displaced by higher-priority arrivals
+	// or tenant-quota enforcement — a terminal class of its own.
 	Shed uint64
 	// DeadlineExceeded counts terminals caused by a deadline.
 	DeadlineExceeded uint64
@@ -746,6 +955,9 @@ type Stats struct {
 	Demotions, Probes uint64
 	// BreakerOpen is true while new parallel requests are being demoted.
 	BreakerOpen bool
+	// Tenants is the per-tenant breakdown, sorted by name. Empty only
+	// before any request (and with no configured tenants).
+	Tenants []TenantStats
 }
 
 // Stats returns the service's current accounting snapshot.
@@ -754,12 +966,13 @@ func (s *Service) Stats() Stats {
 	defer s.mu.Unlock()
 	st := Stats{
 		Capacity: s.cfg.Capacity,
-		Running:  s.running, Queued: s.queue.Len(),
+		Running:  s.running, Queued: s.queuedTotal,
 		RunP50:   time.Duration(s.hRunTime.Quantile(0.5)),
 		Admitted: s.admitted, Completed: s.completed, Failed: s.failed, Canceled: s.canceled,
 		Rejected: s.rejected, Shed: s.shed, DeadlineExceeded: s.deadlineExceeded,
 		Demotions: s.demotions, Probes: s.probes,
 		BreakerOpen: s.brk != brkClosed,
+		Tenants:     s.tenantStatsLocked(),
 	}
 	switch s.state {
 	case stateServing:
@@ -781,6 +994,15 @@ func (s *Service) Audit() metrics.AuditResult {
 	return s.auditLocked()
 }
 
+// TenantAudit returns the per-tenant conservation audit: every tenant's
+// admitted == completed + failed + canceled + shed, and the tenant sums
+// reproduce the aggregate counters. Same quiescence guarantee as Audit.
+func (s *Service) TenantAudit() metrics.AuditResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tenantAuditLocked()
+}
+
 // Retry-hint clamp bounds: even an empty service suggests waiting a
 // beat before retrying, and even a deeply backlogged one never asks a
 // caller to stay away for more than half a minute.
@@ -797,15 +1019,20 @@ const (
 // OverloadError.RetryAfter carries the same estimate, and the HTTP front
 // end surfaces it as a 429 Retry-After header.
 func RetryAfterHint(st Stats) time.Duration {
-	capacity := st.Capacity
+	return retryAfterEstimate(st.Capacity, st.Queued, st.RunP50)
+}
+
+// retryAfterEstimate is the hint core shared by the aggregate
+// RetryAfterHint and the tenant-scoped hints, which substitute the
+// tenant's own backlog and its weighted share of capacity.
+func retryAfterEstimate(capacity, queued int, p50 time.Duration) time.Duration {
 	if capacity <= 0 {
 		capacity = 1
 	}
-	p50 := st.RunP50
 	if p50 <= 0 {
 		p50 = time.Second
 	}
-	waves := (st.Queued + capacity) / capacity // ceil((queued+1)/capacity)
+	waves := (queued + capacity) / capacity // ceil((queued+1)/capacity)
 	d := time.Duration(waves) * p50
 	if d < retryAfterMin {
 		return retryAfterMin
@@ -814,15 +1041,4 @@ func RetryAfterHint(st Stats) time.Duration {
 		return retryAfterMax
 	}
 	return d
-}
-
-// retryHintLocked computes the RetryAfterHint for the service's current
-// occupancy. Caller holds mu (the histogram itself is atomic, but Queued
-// must be read consistently with the rejection being built).
-func (s *Service) retryHintLocked() time.Duration {
-	return RetryAfterHint(Stats{
-		Capacity: s.cfg.Capacity,
-		Queued:   s.queue.Len(),
-		RunP50:   time.Duration(s.hRunTime.Quantile(0.5)),
-	})
 }

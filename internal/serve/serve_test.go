@@ -301,7 +301,7 @@ func TestServeShedPolicy(t *testing.T) {
 	if st.Shed != 1 || st.Rejected != 1 {
 		t.Errorf("stats = %+v, want 1 shed and 1 rejected", st)
 	}
-	if st.Admitted != st.Completed+st.Failed+st.Canceled {
+	if st.Admitted != st.Completed+st.Failed+st.Canceled+st.Shed {
 		t.Errorf("conservation violated: %+v", st)
 	}
 }

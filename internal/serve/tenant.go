@@ -1,0 +1,344 @@
+package serve
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"mega/internal/megaerr"
+	"mega/internal/metrics"
+)
+
+// DefaultTenantName is the tenant requests with an empty Tenant field are
+// accounted under. Old clients that predate tenancy all land here and see
+// exactly the pre-tenancy admission behavior.
+const DefaultTenantName = "default"
+
+// MaxTenantLen bounds tenant identifiers. Tenant IDs become metric labels
+// and HTTP header values, so they are kept short and printable.
+const MaxTenantLen = 64
+
+// ValidateTenant reports whether s is a well-formed tenant identifier.
+// The empty string is valid (it selects DefaultTenantName). Non-empty IDs
+// must be at most MaxTenantLen bytes of printable ASCII with no
+// whitespace and no ':' (reserved by the "name:weight:..." spec grammar).
+func ValidateTenant(s string) error {
+	if s == "" {
+		return nil
+	}
+	if len(s) > MaxTenantLen {
+		return megaerr.Invalidf("serve: tenant %q exceeds %d bytes", s[:16]+"...", MaxTenantLen)
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c <= ' ' || c >= 0x7f || c == ':' {
+			return megaerr.Invalidf("serve: tenant %q has invalid byte 0x%02x at %d (want printable ASCII, no spaces, no ':')", s, c, i)
+		}
+	}
+	return nil
+}
+
+// TenantConfig is one tenant's QoS contract. The zero value is the safe
+// default: weight 1, no per-tenant caps beyond the service-wide bounds.
+type TenantConfig struct {
+	// Weight is the tenant's share of grant bandwidth under contention:
+	// with tenants at weights 1 and 2 both saturating the service, the
+	// second completes twice the queries. 0 selects 1.
+	Weight int
+	// MaxRunning, when > 0, caps the tenant's concurrently running
+	// queries below the service Capacity. Requests beyond it queue.
+	MaxRunning int
+	// MaxQueued, when > 0, caps the tenant's queued requests below the
+	// service QueueDepth. An arrival past the cap may shed a strictly
+	// lower-priority waiter of the same tenant, else it is rejected
+	// ("tenant queue full") — it never displaces another tenant.
+	MaxQueued int
+	// Burst, with MaxQueued > 0, lets the tenant queue up to Burst
+	// requests past MaxQueued while the global queue has room. Burst
+	// waiters sit over quota: they are the first shed when any
+	// under-quota tenant needs the space.
+	Burst int
+}
+
+// ParseTenantSpec parses one "name:weight[:maxrun[:maxqueue[:burst]]]"
+// tenant spec (the cmd/megaserve -tenants grammar). Omitted trailing
+// fields select zero (no cap). Weight must be >= 1.
+func ParseTenantSpec(spec string) (string, TenantConfig, error) {
+	var cfg TenantConfig
+	parts := strings.Split(spec, ":")
+	if len(parts) < 2 || len(parts) > 5 {
+		return "", cfg, megaerr.Invalidf("serve: tenant spec %q: want name:weight[:maxrun[:maxqueue[:burst]]]", spec)
+	}
+	name := parts[0]
+	if name == "" {
+		return "", cfg, megaerr.Invalidf("serve: tenant spec %q: empty name", spec)
+	}
+	if err := ValidateTenant(name); err != nil {
+		return "", cfg, err
+	}
+	fields := []struct {
+		what string
+		dst  *int
+		min  int
+	}{
+		{"weight", &cfg.Weight, 1},
+		{"maxrun", &cfg.MaxRunning, 0},
+		{"maxqueue", &cfg.MaxQueued, 0},
+		{"burst", &cfg.Burst, 0},
+	}
+	for i, f := range fields {
+		if i+1 >= len(parts) {
+			break
+		}
+		v, err := strconv.Atoi(parts[i+1])
+		if err != nil || v < f.min {
+			return "", cfg, megaerr.Invalidf("serve: tenant spec %q: bad %s %q (want integer >= %d)", spec, f.what, parts[i+1], f.min)
+		}
+		*f.dst = v
+	}
+	return name, cfg, nil
+}
+
+// vtimeScale is the virtual-time increment of a weight-1 grant. A grant
+// advances the tenant's virtual time by vtimeScale/weight, so higher
+// weights advance slower and are scheduled more often.
+const vtimeScale = 1 << 20
+
+// tenantState is one tenant's live scheduling and accounting state. All
+// fields are guarded by Service.mu.
+type tenantState struct {
+	name   string
+	cfg    TenantConfig
+	weight int // cfg.Weight normalized to >= 1
+
+	queue   waiterHeap // priority-ordered waiters of this tenant
+	running int
+	vtime   uint64 // weighted-fair virtual time; next grant's start tag
+
+	admitted, completed, failed, canceled uint64
+	shed, rejected                        uint64
+
+	mQueued, mRunning              *metrics.Gauge
+	cAdmitted, cRejected, cShed    *metrics.Counter
+	cCompleted, cFailed, cCanceled *metrics.Counter
+}
+
+// tenantLocked resolves (creating on first use) the state for the named
+// tenant; "" selects the default tenant. Unknown tenants get the
+// DefaultTenant config. Caller holds mu.
+func (s *Service) tenantLocked(name string) *tenantState {
+	if name == "" {
+		name = DefaultTenantName
+	}
+	if t, ok := s.tenants[name]; ok {
+		return t
+	}
+	cfg, ok := s.cfg.Tenants[name]
+	if !ok {
+		cfg = s.cfg.DefaultTenant
+	}
+	t := &tenantState{
+		name:   name,
+		cfg:    cfg,
+		weight: cfg.Weight,
+
+		mQueued:    s.reg.Gauge("serve_tenant_queued", "tenant", name),
+		mRunning:   s.reg.Gauge("serve_tenant_running", "tenant", name),
+		cAdmitted:  s.reg.Counter("serve_tenant_admitted", "tenant", name),
+		cRejected:  s.reg.Counter("serve_tenant_rejected", "tenant", name),
+		cShed:      s.reg.Counter("serve_tenant_shed", "tenant", name),
+		cCompleted: s.reg.Counter("serve_tenant_queries", "tenant", name, "state", "completed"),
+		cFailed:    s.reg.Counter("serve_tenant_queries", "tenant", name, "state", "failed"),
+		cCanceled:  s.reg.Counter("serve_tenant_queries", "tenant", name, "state", "canceled"),
+	}
+	if t.weight <= 0 {
+		t.weight = 1
+	}
+	// A tenant entering the system starts at the scheduler's current
+	// virtual time: it neither inherits credit from its idle past nor
+	// jumps ahead of tenants already waiting.
+	t.vtime = s.vnow
+	s.tenants[name] = t
+	return t
+}
+
+// activeWeightLocked sums the weights of tenants currently holding work
+// (queued or running), always counting include. It is the denominator of
+// fair queue shares and capacity shares. Caller holds mu.
+func (s *Service) activeWeightLocked(include *tenantState) int {
+	sum := 0
+	for _, t := range s.tenants {
+		if t == include || t.running > 0 || t.queue.Len() > 0 {
+			sum += t.weight
+		}
+	}
+	if sum <= 0 {
+		sum = 1
+	}
+	return sum
+}
+
+// overQuotaLocked reports whether t holds more queued work than its
+// quota: the explicit MaxQueued when configured, else its weight-
+// proportional share of the global queue depth (strictly over). Caller
+// holds mu.
+func (s *Service) overQuotaLocked(t *tenantState, activeWeight int) bool {
+	if t.cfg.MaxQueued > 0 {
+		return t.queue.Len() > t.cfg.MaxQueued
+	}
+	return t.queue.Len()*activeWeight > s.cfg.QueueDepth*t.weight
+}
+
+// allowedQueueLocked is t's effective queued-request cap right now: the
+// explicit MaxQueued, plus Burst while the global queue has room. Tenants
+// without an explicit cap are bounded only by QueueDepth. Caller holds mu.
+func (s *Service) allowedQueueLocked(t *tenantState) int {
+	if t.cfg.MaxQueued <= 0 {
+		return s.cfg.QueueDepth
+	}
+	limit := t.cfg.MaxQueued
+	if s.queuedTotal < s.cfg.QueueDepth {
+		limit += t.cfg.Burst
+	}
+	if limit > s.cfg.QueueDepth {
+		limit = s.cfg.QueueDepth
+	}
+	return limit
+}
+
+// runCap is t's effective concurrent-run cap. Caller holds mu.
+func (t *tenantState) runCap(serviceCapacity int) int {
+	if t.cfg.MaxRunning > 0 && t.cfg.MaxRunning < serviceCapacity {
+		return t.cfg.MaxRunning
+	}
+	return serviceCapacity
+}
+
+// nextTenantLocked picks the tenant the weighted-fair scheduler serves
+// next: among tenants with queued work and a free per-tenant run slot,
+// the one with the smallest virtual time (ties broken by name for
+// determinism). Returns nil when no tenant is eligible. Caller holds mu.
+func (s *Service) nextTenantLocked() *tenantState {
+	var best *tenantState
+	for _, t := range s.tenants {
+		if t.queue.Len() == 0 || t.running >= t.runCap(s.cfg.Capacity) {
+			continue
+		}
+		if best == nil || t.vtime < best.vtime || (t.vtime == best.vtime && t.name < best.name) {
+			best = t
+		}
+	}
+	return best
+}
+
+// chargeGrantLocked advances the weighted-fair clock for one grant to t.
+// Caller holds mu.
+func (s *Service) chargeGrantLocked(t *tenantState) {
+	if t.vtime > s.vnow {
+		s.vnow = t.vtime
+	}
+	t.vtime += vtimeScale / uint64(t.weight)
+}
+
+// TenantStats is one tenant's slice of the service accounting: live
+// occupancy, terminal counts, and the tenant-scoped overload back-off
+// estimate.
+type TenantStats struct {
+	// Name identifies the tenant ("default" for untagged requests).
+	Name string
+	// Weight is the tenant's configured scheduling weight (normalized >= 1).
+	Weight int
+	// MaxRunning, MaxQueued, and Burst echo the tenant's configured caps
+	// (0 = unset).
+	MaxRunning, MaxQueued, Burst int
+	// Running and Queued are the tenant's live occupancy.
+	Running, Queued int
+	// Admitted terminates as exactly one of Completed, Failed, Canceled,
+	// or Shed — the per-tenant conservation law audited at Close.
+	Admitted, Completed, Failed, Canceled, Shed uint64
+	// Rejected counts this tenant's requests refused at admission.
+	Rejected uint64
+	// RetryAfterHintMs is the tenant-scoped overload back-off estimate.
+	RetryAfterHintMs int64
+}
+
+// tenantStatsLocked snapshots every known tenant, sorted by name. Caller
+// holds mu.
+func (s *Service) tenantStatsLocked() []TenantStats {
+	if len(s.tenants) == 0 {
+		return nil
+	}
+	out := make([]TenantStats, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		out = append(out, TenantStats{
+			Name:       t.name,
+			Weight:     t.weight,
+			MaxRunning: t.cfg.MaxRunning,
+			MaxQueued:  t.cfg.MaxQueued,
+			Burst:      t.cfg.Burst,
+			Running:    t.running,
+			Queued:     t.queue.Len(),
+			Admitted:   t.admitted,
+			Completed:  t.completed,
+			Failed:     t.failed,
+			Canceled:   t.canceled,
+			Shed:       t.shed,
+			Rejected:   t.rejected,
+
+			RetryAfterHintMs: s.retryHintLocked(t).Milliseconds(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// tenantAuditLocked checks the per-tenant conservation laws: for every
+// tenant, admitted == completed + failed + canceled + shed, and the
+// tenant sums reproduce the aggregate counters. Caller holds mu.
+func (s *Service) tenantAuditLocked() metrics.AuditResult {
+	res := metrics.AuditResult{Name: "serve.tenant_accounting", OK: true}
+	var sumAdmitted, sumTerminal uint64
+	names := make([]string, 0, len(s.tenants))
+	for name := range s.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := s.tenants[name]
+		terminal := t.completed + t.failed + t.canceled + t.shed
+		sumAdmitted += t.admitted
+		sumTerminal += terminal
+		if t.admitted != terminal {
+			res.OK = false
+			res.Detail = "tenant " + name + ": admitted=" + strconv.FormatUint(t.admitted, 10) +
+				" != completed=" + strconv.FormatUint(t.completed, 10) +
+				" + failed=" + strconv.FormatUint(t.failed, 10) +
+				" + canceled=" + strconv.FormatUint(t.canceled, 10) +
+				" + shed=" + strconv.FormatUint(t.shed, 10)
+			return res
+		}
+	}
+	if sumAdmitted != s.admitted || sumTerminal != s.completed+s.failed+s.canceled+s.shed {
+		res.OK = false
+		res.Detail = "tenant sums (admitted=" + strconv.FormatUint(sumAdmitted, 10) +
+			" terminal=" + strconv.FormatUint(sumTerminal, 10) +
+			") do not reproduce aggregates (admitted=" + strconv.FormatUint(s.admitted, 10) + ")"
+	}
+	return res
+}
+
+// retryHintLocked computes the tenant-scoped RetryAfterHint: the backlog
+// ahead of a retry is the tenant's own queue, drained at the tenant's
+// weighted share of Capacity (bounded by its MaxRunning), one observed
+// median run time per share-sized wave. Caller holds mu.
+func (s *Service) retryHintLocked(t *tenantState) time.Duration {
+	share := s.cfg.Capacity * t.weight / s.activeWeightLocked(t)
+	if share < 1 {
+		share = 1
+	}
+	if cap := t.runCap(s.cfg.Capacity); share > cap {
+		share = cap
+	}
+	return retryAfterEstimate(share, t.queue.Len(), time.Duration(s.hRunTime.Quantile(0.5)))
+}

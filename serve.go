@@ -29,7 +29,15 @@ type (
 	QueryPriority = serve.Priority
 	// QueryServiceStats is a point-in-time accounting snapshot.
 	QueryServiceStats = serve.Stats
+	// TenantConfig is one tenant's QoS contract: scheduling weight plus
+	// optional per-tenant running/queued caps and a burst allowance.
+	TenantConfig = serve.TenantConfig
+	// TenantStats is one tenant's slice of the service accounting.
+	TenantStats = serve.TenantStats
 )
+
+// DefaultTenantName is the tenant untagged requests are accounted under.
+const DefaultTenantName = serve.DefaultTenantName
 
 // Query priorities.
 const (
@@ -54,6 +62,14 @@ type OverloadError = megaerr.OverloadError
 // QueryPriority.
 func ParseQueryPriority(s string) (QueryPriority, error) { return serve.ParsePriority(s) }
 
+// ValidateQueryTenant reports whether s is a well-formed tenant
+// identifier ("" selects the default tenant).
+func ValidateQueryTenant(s string) error { return serve.ValidateTenant(s) }
+
+// ParseTenantSpec parses one "name:weight[:maxrun[:maxqueue[:burst]]]"
+// tenant spec (the megaserve -tenants grammar).
+func ParseTenantSpec(spec string) (string, TenantConfig, error) { return serve.ParseTenantSpec(spec) }
+
 // ServeOptions configures NewQueryService. The zero value serves with
 // safe defaults: 4 concurrent runs, a 64-deep wait queue, no default
 // deadlines, checkpointed retries per RecoverOptions defaults.
@@ -73,6 +89,12 @@ type ServeOptions struct {
 	// DemotionPeriod is how long demotion lasts before a probe query
 	// re-tries the parallel engine (0 = 5s).
 	DemotionPeriod time.Duration
+	// Tenants maps tenant names to their QoS contracts; tenants absent
+	// from the table get DefaultTenant. Nil = single-tenant service.
+	Tenants map[string]TenantConfig
+	// DefaultTenant is the contract applied to unlisted tenants (zero
+	// value = weight 1, no caps).
+	DefaultTenant TenantConfig
 
 	// CheckpointEvery, MaxRetries, Backoff, and Limits parameterize each
 	// query's EvaluateRecover run (zero values = RecoverOptions defaults).
@@ -126,6 +148,8 @@ func NewQueryService(opt ServeOptions) (*QueryService, error) {
 		DefaultQueueTimeout: opt.DefaultQueueTimeout,
 		PanicThreshold:      opt.PanicThreshold,
 		DemotionPeriod:      opt.DemotionPeriod,
+		Tenants:             opt.Tenants,
+		DefaultTenant:       opt.DefaultTenant,
 		Metrics:             opt.Metrics,
 	})
 }
