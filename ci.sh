@@ -77,7 +77,16 @@ while [ ! -s "$tmpdir/addr" ]; do
 	sleep 0.1
 done
 addr="$(cat "$tmpdir/addr")"
-"$tmpdir/megaserve" -server "http://$addr" -algo SSSP -source 0 >/dev/null
-"$tmpdir/megaserve" -server "http://$addr" -stats >/dev/null
+# Cross-query sharing smoke: the same query twice — the first is a real
+# engine run, the second must be answered from the result cache (the
+# client prints the report's cache status, and /stats must account
+# exactly one hit over exactly one engine run).
+"$tmpdir/megaserve" -server "http://$addr" -algo SSSP -source 0 \
+	| grep -q 'cache=none'
+"$tmpdir/megaserve" -server "http://$addr" -algo SSSP -source 0 \
+	| grep -q 'engine=cache cache=hit'
+"$tmpdir/megaserve" -server "http://$addr" -stats | tee "$tmpdir/stats.out"
+grep -q 'cache hits=1 misses=1 lookups=2' "$tmpdir/stats.out"
+grep -q 'engine_runs=1' "$tmpdir/stats.out"
 kill -TERM "$serve_pid"
 wait "$serve_pid"

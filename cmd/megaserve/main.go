@@ -185,8 +185,9 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "server: graceful-drain deadline at shutdown")
 	allowFaults := flag.Bool("allow-faults", false, "server: honor fault-injection specs in query bodies (chaos testing)")
 	faultSeed := flag.Int64("fault-seed", 42, "server: seed for probabilistic fault ops")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "server: cross-query result cache budget in bytes (0 disables sharing)")
 	var tenantSpecs tenantSpecsFlag
-	flag.Var(&tenantSpecs, "tenants", "server: tenant contract name:weight[:maxrun[:maxqueue[:burst]]], repeatable; @FILE reads one per line")
+	flag.Var(&tenantSpecs, "tenants", "server: tenant contract name:weight[:maxrun[:maxqueue[:burst[:cachebytes]]]], repeatable; @FILE reads one per line")
 
 	// Client-mode flags.
 	server := flag.String("server", "", "client: server base URL; presence selects client mode")
@@ -221,6 +222,7 @@ func main() {
 			defDeadline: *defDeadline, defQueueTimeout: *defQueueTimeout,
 			tenantSpecs: tenantSpecs,
 			drain:       *drain, allowFaults: *allowFaults, faultSeed: *faultSeed,
+			cacheBytes: *cacheBytes,
 		})
 	}
 	if err != nil {
@@ -240,6 +242,7 @@ type serverOptions struct {
 	drain                        time.Duration
 	allowFaults                  bool
 	faultSeed                    int64
+	cacheBytes                   int64
 }
 
 // buildWindow synthesizes or loads the evolving-graph window the server
@@ -296,6 +299,7 @@ func runServer(ctx context.Context, opt serverOptions) error {
 		DefaultDeadline:     opt.defDeadline,
 		DefaultQueueTimeout: opt.defQueueTimeout,
 		Tenants:             tenants,
+		CacheBytes:          opt.cacheBytes,
 		Metrics:             reg,
 	})
 	if err != nil {
@@ -395,6 +399,12 @@ func runClient(ctx context.Context, opt clientOptions) error {
 			st.State, st.Admitted, st.Completed, st.Failed, st.Canceled,
 			st.Rejected, st.Shed, st.Running, st.Queued,
 			time.Duration(st.RetryAfterHintMs)*time.Millisecond)
+		if st.Cache.MaxBytes > 0 {
+			fmt.Printf("cache hits=%d misses=%d lookups=%d coalesced=%d batched=%d seeded=%d engine_runs=%d entries=%d bytes=%d/%d\n",
+				st.Cache.Hits, st.Cache.Misses, st.Cache.Lookups,
+				st.CoalescedQueries, st.BatchedQueries, st.SeededQueries, st.EngineRuns,
+				st.Cache.Entries, st.Cache.Bytes, st.Cache.MaxBytes)
+		}
 		for _, tn := range st.Tenants {
 			fmt.Printf("tenant=%s weight=%d admitted=%d completed=%d failed=%d canceled=%d rejected=%d shed=%d running=%d queued=%d retry_after_hint=%s\n",
 				tn.Name, tn.Weight, tn.Admitted, tn.Completed, tn.Failed,
@@ -417,8 +427,12 @@ func runClient(ctx context.Context, opt clientOptions) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("snapshots=%d engine=%s attempts=%d queue_wait=%s run_time=%s request_id=%s\n",
-		len(res.Values), res.Report.Engine, res.Report.Attempts,
+	cache := res.Report.Cache
+	if cache == "" {
+		cache = "none"
+	}
+	fmt.Printf("snapshots=%d engine=%s cache=%s attempts=%d queue_wait=%s run_time=%s request_id=%s\n",
+		len(res.Values), res.Report.Engine, cache, res.Report.Attempts,
 		time.Duration(res.Report.QueueWait), time.Duration(res.Report.RunTime), res.RequestID)
 	for i, snap := range res.Values {
 		reached := 0

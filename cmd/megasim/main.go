@@ -110,6 +110,7 @@ func main() {
 	queries := flag.String("queries", "", "serve: query-spec file, one query per line (- = stdin)")
 	capacity := flag.Int("capacity", 0, "serve: max concurrently running queries (0 = default 4)")
 	queueDepth := flag.Int("queue-depth", 0, "serve: max queued queries (0 = default 64)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "serve: cross-query result cache budget in bytes (0 = disabled)")
 	drain := flag.Duration("drain", 0, "serve: graceful-drain deadline at shutdown (0 = 10s)")
 	faultSeed := flag.Int64("fault-seed", 42, "seed for probabilistic fault ops")
 	metricsPath := flag.String("metrics", "", "write a JSON metrics snapshot (instruments + audits) to this file")
@@ -153,7 +154,8 @@ func main() {
 		metricsPath: *metricsPath,
 		queries:     *queries,
 		capacity:    *capacity, queueDepth: *queueDepth,
-		drain: *drain, faultSeed: *faultSeed,
+		cacheBytes: *cacheBytes,
+		drain:      *drain, faultSeed: *faultSeed,
 	}
 	if err := run(ctx, *graphName, *algoName, *mode, *snapshots, *batch, *imbalance, *onchip, *source, *load, *edgeList, opts); err != nil {
 		exitWith(err)
@@ -234,6 +236,7 @@ type evalOptions struct {
 	queries    string
 	capacity   int
 	queueDepth int
+	cacheBytes int64
 	drain      time.Duration
 	faultSeed  int64
 }

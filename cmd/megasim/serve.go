@@ -171,6 +171,7 @@ func runServe(ctx context.Context, w *mega.Window, kind mega.AlgorithmKind, src 
 		QueueDepth:      opts.queueDepth,
 		CheckpointEvery: opts.ckptEvery,
 		MaxRetries:      opts.retries,
+		CacheBytes:      opts.cacheBytes,
 		Metrics:         reg,
 	})
 	if err != nil {
@@ -223,6 +224,9 @@ func runServe(ctx context.Context, w *mega.Window, kind mega.AlgorithmKind, src 
 		if r.Demoted {
 			status += " (demoted)"
 		}
+		if r.Cache != "" && r.Cache != "hit" {
+			status += " (" + r.Cache + ")"
+		}
 		fmt.Printf("  query %-12s ok engine=%s attempts=%d wait=%s run=%s\n",
 			specs[i].label+":", status, r.Attempts,
 			r.QueueWait.Round(time.Microsecond), r.RunTime.Round(time.Microsecond))
@@ -242,6 +246,11 @@ func runServe(ctx context.Context, w *mega.Window, kind mega.AlgorithmKind, src 
 	}
 	if st.Demotions > 0 {
 		fmt.Printf("breaker:         %d demotions, %d probes\n", st.Demotions, st.Probes)
+	}
+	if st.Cache.MaxBytes > 0 {
+		fmt.Printf("cache:           %d hits / %d lookups, %d coalesced, %d batched, %d seeded; %d engine runs\n",
+			st.Cache.Hits, st.Cache.Lookups, st.CoalescedQueries, st.BatchedQueries,
+			st.SeededQueries, st.EngineRuns)
 	}
 
 	if reg != nil {

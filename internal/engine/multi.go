@@ -31,6 +31,14 @@ type Multi struct {
 	src   graph.VertexID
 	probe Probe
 
+	// Multi-source batching (NewMultiSource): srcs lists every query
+	// source sharing this run; nil or length 1 is the classic single-
+	// source engine. nc is the unexpanded schedule's context count, so
+	// source k's context c lives at global context k*nc+c.
+	srcs    []graph.VertexID
+	nc      int
+	basePer [][]float64 // per-source CommonGraph solutions (index 0 aliases baseVals)
+
 	// batchOf maps each union edge index to the addition batch carrying
 	// it, or -1 for CommonGraph edges.
 	batchOf []int32
@@ -116,6 +124,9 @@ func (m *Multi) LastCheckpoint() []byte { return m.lastCkpt }
 func (m *Multi) Checkpoint() ([]byte, error) {
 	if !m.ran {
 		return nil, megaerr.Invalidf("engine: Checkpoint before Run")
+	}
+	if len(m.srcs) > 1 {
+		return nil, megaerr.Invalidf("engine: multi-source runs do not checkpoint")
 	}
 	return m.snapshotState().encode(), nil
 }
@@ -265,6 +276,110 @@ func NewMulti(w *evolve.Window, a algo.Algorithm, src graph.VertexID, probe Prob
 	}, nil
 }
 
+// NewMultiSource builds one engine that answers the same query for
+// several source vertices in a single run — the cross-query half of BOE's
+// compute sharing. The schedule's contexts are replicated once per source
+// (context c of source k lives at global context k*nc+c) and every
+// non-shared batch application becomes one op whose target list spans all
+// sources, so each batch's edge stream is read once and seeds events for
+// every query, and the round loop's adjacency-fetch sharing extends
+// across queries. Contexts of different sources never interact, so each
+// source's results are bit-identical to its own single-source run.
+// Multi-source engines refuse Restore and SetCheckpointEvery: a batched
+// run that fails is simply re-run or split by the caller.
+func NewMultiSource(w *evolve.Window, a algo.Algorithm, srcs []graph.VertexID, probe Probe) (*Multi, error) {
+	if len(srcs) == 0 {
+		return nil, megaerr.Invalidf("engine: NewMultiSource with no sources")
+	}
+	seen := make(map[graph.VertexID]bool, len(srcs))
+	for _, src := range srcs {
+		if int(src) >= w.NumVertices() {
+			return nil, megaerr.Invalidf("engine: source vertex %d outside [0,%d)", src, w.NumVertices())
+		}
+		if seen[src] {
+			return nil, megaerr.Invalidf("engine: duplicate source vertex %d", src)
+		}
+		seen[src] = true
+	}
+	m, err := NewMulti(w, a, srcs[0], probe)
+	if err != nil {
+		return nil, err
+	}
+	m.srcs = append([]graph.VertexID(nil), srcs...)
+	return m, nil
+}
+
+// SeedBase primes the engine with a precomputed CommonGraph solution so
+// Run skips the base solve (stable-vertex seeding). The values must be
+// the exact converged solution for this engine's algorithm, source, and
+// CommonGraph content — callers establish that by Fingerprint equality,
+// which makes the seed bit-identical to what the skipped solve would have
+// produced. Must precede Run; single-source engines only.
+func (m *Multi) SeedBase(base []float64) error {
+	if m.ran {
+		return megaerr.Invalidf("engine: SeedBase after Run")
+	}
+	if len(m.srcs) > 1 {
+		return megaerr.Invalidf("engine: SeedBase on a multi-source engine")
+	}
+	if len(base) != m.w.NumVertices() {
+		return megaerr.Invalidf("engine: SeedBase length %d, window has %d vertices", len(base), m.w.NumVertices())
+	}
+	m.baseVals = append([]float64(nil), base...)
+	return nil
+}
+
+// expandSchedule replicates a schedule once per source: bookkeeping ops
+// are cloned per source with remapped contexts, a non-shared apply
+// becomes ONE op targeting every source's contexts (single batch read,
+// shared fetches), and shared-compute applies stay per-source because
+// each broadcast replays only its own group's computation. Stage indices
+// are preserved, so the stage loop merges the clones exactly as it merges
+// the originals.
+func expandSchedule(s *sched.Schedule, k int) *sched.Schedule {
+	nc := s.NumContexts
+	out := &sched.Schedule{
+		Mode:        s.Mode,
+		NumContexts: nc * k,
+		SnapshotCtx: append([]int(nil), s.SnapshotCtx...),
+		Ops:         make([]sched.Op, 0, len(s.Ops)*k),
+	}
+	for _, op := range s.Ops {
+		switch {
+		case op.Kind == sched.OpApply && !op.SharedCompute:
+			c := op
+			ts := make([]int, 0, len(op.Targets)*k)
+			for i := 0; i < k; i++ {
+				for _, t := range op.Targets {
+					ts = append(ts, i*nc+t)
+				}
+			}
+			c.Targets = ts
+			out.Ops = append(out.Ops, c)
+		case op.Kind == sched.OpApply:
+			for i := 0; i < k; i++ {
+				c := op
+				ts := make([]int, len(op.Targets))
+				for j, t := range op.Targets {
+					ts[j] = i*nc + t
+				}
+				c.Targets = ts
+				out.Ops = append(out.Ops, c)
+			}
+		default: // OpInit, OpCopy
+			for i := 0; i < k; i++ {
+				c := op
+				c.Ctx = i*nc + op.Ctx
+				if op.Kind == sched.OpCopy {
+					c.From = i*nc + op.From
+				}
+				out.Ops = append(out.Ops, c)
+			}
+		}
+	}
+	return out
+}
+
 // countPush records one queue push attempt: ok means the event landed in a
 // new slot, !ok that it coalesced into an occupied one. Returns ok so push
 // sites stay one-line.
@@ -355,6 +470,26 @@ func (m *Multi) ensureBase() ([]float64, error) {
 	return m.baseVals, nil
 }
 
+// ensureBaseFor resolves source index k's CommonGraph solution (k derives
+// from the global context an OpInit targets). Index 0 is the classic
+// single-source base.
+func (m *Multi) ensureBaseFor(k int) ([]float64, error) {
+	if k == 0 {
+		return m.ensureBase()
+	}
+	if m.basePer == nil {
+		m.basePer = make([][]float64, len(m.srcs))
+	}
+	if m.basePer[k] == nil {
+		base, err := SolveContext(m.ctx, m.w.CommonCSR(), m.a, m.srcs[k], NopProbe{}, m.limits)
+		if err != nil {
+			return nil, err
+		}
+		m.basePer[k] = base
+	}
+	return m.basePer[k], nil
+}
+
 // Run executes the schedule. Afterwards Values/SnapshotValues expose the
 // per-context and per-snapshot results. Run may be called once per engine.
 func (m *Multi) Run(s *sched.Schedule) error {
@@ -371,6 +506,16 @@ func (m *Multi) RunContext(ctx context.Context, s *sched.Schedule, lim Limits) e
 		return megaerr.Invalidf("engine: Run called twice")
 	}
 	m.ran = true
+	m.nc = s.NumContexts
+	if len(m.srcs) > 1 {
+		if m.resume != nil {
+			return megaerr.Invalidf("engine: multi-source runs do not resume")
+		}
+		if m.ckptEvery > 0 {
+			return megaerr.Invalidf("engine: multi-source runs do not checkpoint")
+		}
+		s = expandSchedule(s, len(m.srcs))
+	}
 	m.ctx = ctx
 	m.fp = fault.From(ctx)
 	m.limits = lim.withDefaults(m.w.NumVertices(), s.NumContexts)
@@ -505,13 +650,34 @@ func (m *Multi) SnapshotValues(s *sched.Schedule, snap int) []float64 {
 	return m.Values(s.SnapshotCtx[snap])
 }
 
+// SnapshotValuesFor is SnapshotValues for source index srcIdx of a
+// multi-source run. s is the ORIGINAL (unexpanded) schedule the caller
+// passed to Run; srcIdx 0 matches the single-source accessor.
+func (m *Multi) SnapshotValuesFor(s *sched.Schedule, srcIdx, snap int) []float64 {
+	if snap < 0 || snap >= len(s.SnapshotCtx) || srcIdx < 0 {
+		return nil
+	}
+	n := len(m.srcs)
+	if n == 0 {
+		n = 1
+	}
+	if srcIdx >= n {
+		return nil
+	}
+	return m.Values(srcIdx*m.nc + s.SnapshotCtx[snap])
+}
+
 func (m *Multi) runOp(op sched.Op) error {
 	switch op.Kind {
 	case sched.OpInit:
 		if op.Ctx >= len(m.vals) {
 			return megaerr.Invalidf("engine: OpInit context %d out of range", op.Ctx)
 		}
-		base, err := m.ensureBase()
+		srcIdx := 0
+		if len(m.srcs) > 1 {
+			srcIdx = op.Ctx / m.nc
+		}
+		base, err := m.ensureBaseFor(srcIdx)
 		if err != nil {
 			return err
 		}

@@ -185,6 +185,26 @@ func NewParallel(w *evolve.Window, a algo.Algorithm, src graph.VertexID, workers
 	return p, nil
 }
 
+// SeedBase primes the engine with a precomputed CommonGraph solution so
+// Run skips the base solve (stable-vertex seeding). Same contract as the
+// sequential engine's SeedBase: the values must be the exact converged
+// solution for this algorithm, source, and CommonGraph content. Must
+// precede Run; a checkpoint restore overrides the seed.
+func (p *Parallel) SeedBase(base []float64) error {
+	if p.ran {
+		return megaerr.Invalidf("engine: SeedBase after Run")
+	}
+	if len(base) != p.w.NumVertices() {
+		return megaerr.Invalidf("engine: SeedBase length %d, window has %d vertices", len(base), p.w.NumVertices())
+	}
+	p.base = append([]float64(nil), base...)
+	return nil
+}
+
+// BaseValues returns the query solution on the CommonGraph (nil before
+// Run unless seeded or restored). The returned slice must not be modified.
+func (p *Parallel) BaseValues() []float64 { return p.base }
+
 // pEvent carries one candidate value from a producing worker to the
 // owning shard; entries are coalesced by the owner.
 type pEvent struct {
@@ -493,9 +513,12 @@ func (p *Parallel) RunContext(ctx context.Context, s *sched.Schedule, lim Limits
 	p.applied = make([]batchSet, s.NumContexts)
 	p.trackDirty = p.ckptEvery > 0
 
-	if st != nil && st.baseVals != nil {
+	switch {
+	case st != nil && st.baseVals != nil:
 		p.base = st.baseVals
-	} else {
+	case p.base != nil:
+		// SeedBase primed the CommonGraph solution; skip the solve.
+	default:
 		base, err := SolveContext(ctx, p.w.CommonCSR(), p.a, p.src, NopProbe{}, p.limits)
 		if err != nil {
 			return err

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -90,7 +91,13 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if reg == nil {
 		reg = metrics.New()
 	}
-	rng := rand.New(rand.NewSource(1)) // jitter quality is irrelevant here
+	// Each client seeds its jitter RNG uniquely: a fixed seed gives every
+	// client in every process the same back-off schedule, so under
+	// overload their retries arrive in synchronized waves — exactly the
+	// storm jitter exists to break. Wall clock XOR a process-wide counter
+	// keeps seeds distinct even for clients built in the same nanosecond;
+	// tests needing determinism inject c.jitter instead.
+	rng := rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(clientSeed.Add(1))<<32))
 	var mu sync.Mutex
 	return &Client{
 		cfg:  cfg,
@@ -120,6 +127,10 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		cRetries:  reg.Counter("http_client_retries"),
 	}, nil
 }
+
+// clientSeed decorrelates the jitter RNG seeds of clients created in the
+// same process (see NewClient).
+var clientSeed atomic.Uint64
 
 func trimSlash(s string) string {
 	for len(s) > 0 && s[len(s)-1] == '/' {
@@ -174,8 +185,15 @@ func (c *Client) backoff(ctx context.Context, attempt int, err error) error {
 	}
 	d = c.jitter(d)
 	var oe *megaerr.OverloadError
-	if errors.As(err, &oe) && oe.RetryAfter > d {
-		d = oe.RetryAfter
+	if errors.As(err, &oe) {
+		if oe.RetryNow {
+			// The server explicitly said retry immediately (Retry-After: 0);
+			// the retry budget still bounds the loop.
+			return nil
+		}
+		if oe.RetryAfter > d {
+			d = oe.RetryAfter
+		}
 	}
 	if d > c.cfg.MaxBackoff {
 		d = c.cfg.MaxBackoff
@@ -250,11 +268,41 @@ func (c *Client) decodeHTTPError(resp *http.Response) error {
 	}
 	var oe *megaerr.OverloadError
 	if errors.As(err, &oe) && oe.RetryAfter == 0 {
-		if secs, perr := strconv.ParseInt(resp.Header.Get("Retry-After"), 10, 64); perr == nil && secs > 0 {
-			oe.RetryAfter = time.Duration(secs) * time.Second
+		if d, ok := retryAfterHeader(resp.Header.Get("Retry-After"), time.Now()); ok {
+			if d > 0 {
+				oe.RetryAfter = d
+			} else {
+				oe.RetryNow = true
+			}
 		}
 	}
 	return err
+}
+
+// retryAfterHeader parses a Retry-After header value, which RFC 7231
+// allows in two forms: non-negative delay-seconds, or an HTTP-date. ok
+// distinguishes an explicit "retry now" (0, true — delay-seconds 0 or a
+// date already past) from an absent or malformed header (0, false);
+// callers must not collapse the two, since an explicit zero waives the
+// back-off while no header leaves it in place.
+func retryAfterHeader(h string, now time.Time) (time.Duration, bool) {
+	h = strings.TrimSpace(h)
+	if h == "" {
+		return 0, false
+	}
+	if secs, err := strconv.ParseInt(h, 10, 64); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		if d := t.Sub(now); d > 0 {
+			return d, true
+		}
+		return 0, true
+	}
+	return 0, false
 }
 
 // getJSON fetches path and decodes the response into out, returning the

@@ -373,3 +373,129 @@ func TestClientSentinelRoundTripEndToEnd(t *testing.T) {
 // Guard: the stub service used across these tests must remain compatible
 // with the real serve.RunFunc contract.
 var _ serve.RunFunc = labelRun
+
+// TestRetryAfterHeaderForms pins both RFC 7231 Retry-After forms:
+// delay-seconds and HTTP-date, including the explicit-zero case that
+// means "retry immediately" rather than "no hint".
+func TestRetryAfterHeaderForms(t *testing.T) {
+	now := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		header string
+		wantD  time.Duration
+		wantOK bool
+	}{
+		{"5", 5 * time.Second, true},
+		{"  5  ", 5 * time.Second, true},
+		{"0", 0, true}, // explicit retry-now, not "no hint"
+		{"-3", 0, false},
+		{now.Add(3 * time.Second).Format(http.TimeFormat), 3 * time.Second, true},
+		{now.Add(-time.Minute).Format(http.TimeFormat), 0, true}, // past date: retry now
+		{"soon", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		d, ok := retryAfterHeader(c.header, now)
+		if d != c.wantD || ok != c.wantOK {
+			t.Errorf("retryAfterHeader(%q) = (%v, %v), want (%v, %v)",
+				c.header, d, ok, c.wantD, c.wantOK)
+		}
+	}
+}
+
+// TestClientRetryAfterHTTPDate checks the client honors the HTTP-date
+// form of Retry-After end to end: the wait is raised to the date delta.
+func TestClientRetryAfterHTTPDate(t *testing.T) {
+	defer testutil.NoGoroutineLeak(t)
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", time.Now().Add(10*time.Second).UTC().Format(http.TimeFormat))
+			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: wireError{
+				Kind: kindOverload, Message: "busy", Capacity: 1, Queued: 1,
+			}})
+			return
+		}
+		writeJSON(w, http.StatusOK, queryResponse{
+			Snapshots: 1, ValuesB64: encodeValues([][]float64{{1}}),
+			Report: Report{Engine: "sequential", Attempts: 1},
+		})
+	}))
+	defer ts.Close()
+
+	c, slept := newTestClient(t, ts.URL, func(cfg *ClientConfig) {
+		cfg.MaxBackoff = time.Minute // the 10s date delta must not be capped away
+	})
+	if _, err := c.Query(context.Background(), QuerySpec{Algo: "BFS"}); err != nil {
+		t.Fatalf("Query = %v", err)
+	}
+	if len(*slept) != 1 {
+		t.Fatalf("backoffs = %v, want 1", *slept)
+	}
+	// The delta is measured against the client's own clock, so allow the
+	// second or so of slack HTTP-date resolution costs.
+	if d := (*slept)[0]; d < 8*time.Second || d > 10*time.Second {
+		t.Errorf("backoff = %s, want ~10s from the HTTP-date header", d)
+	}
+}
+
+// TestClientRetryAfterZeroSkipsBackoff checks "Retry-After: 0" means
+// retry immediately: the attempt budget still applies but no sleep runs.
+func TestClientRetryAfterZeroSkipsBackoff(t *testing.T) {
+	defer testutil.NoGoroutineLeak(t)
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: wireError{
+				Kind: kindOverload, Message: "busy", Capacity: 1, Queued: 0,
+			}})
+			return
+		}
+		writeJSON(w, http.StatusOK, queryResponse{
+			Snapshots: 1, ValuesB64: encodeValues([][]float64{{1}}),
+			Report: Report{Engine: "sequential", Attempts: 1},
+		})
+	}))
+	defer ts.Close()
+
+	c, slept := newTestClient(t, ts.URL, nil)
+	if _, err := c.Query(context.Background(), QuerySpec{Algo: "BFS"}); err != nil {
+		t.Fatalf("Query = %v", err)
+	}
+	if hits.Load() != 3 {
+		t.Errorf("attempts = %d, want 3 (retries still happen)", hits.Load())
+	}
+	if len(*slept) != 0 {
+		t.Errorf("backoffs = %v, want none (Retry-After: 0 skips the sleep)", *slept)
+	}
+}
+
+// TestClientJitterSeedsDecorrelated is the regression for the fixed
+// jitter seed: clients created back-to-back must not draw identical
+// jitter sequences, or synchronized callers retry in lockstep waves.
+func TestClientJitterSeedsDecorrelated(t *testing.T) {
+	defer testutil.NoGoroutineLeak(t)
+	a, err := NewClient(ClientConfig{BaseURL: "http://localhost:0", Metrics: metrics.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewClient(ClientConfig{BaseURL: "http://localhost:0", Metrics: metrics.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	same := true
+	for i := 0; i < 8; i++ {
+		da, db := a.jitter(time.Second), b.jitter(time.Second)
+		if da < time.Second/2 || da >= time.Second {
+			t.Fatalf("jitter %s outside the half-jitter range [500ms, 1s)", da)
+		}
+		if da != db {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("two clients drew 8 identical jitters — the RNG seeds are correlated")
+	}
+}

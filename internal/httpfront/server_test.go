@@ -555,3 +555,67 @@ func TestFaultInjectionGate(t *testing.T) {
 		t.Errorf("bad fault spec = %d, want 400 (body %s)", status, raw)
 	}
 }
+
+// TestServerCacheStatusOnWire checks the sharing layer's metadata crosses
+// the HTTP boundary: a repeated query reports cache="hit" in its response
+// and the /stats reply carries the cache accounting block.
+func TestServerCacheStatusOnWire(t *testing.T) {
+	defer testutil.NoGoroutineLeak(t)
+	_, ts := newTestFront(t, nil, func(c *serve.Config) { c.CacheBytes = 1 << 20 }, nil)
+
+	spec := QuerySpec{Algo: "BFS", Source: 0}
+	var first queryResponse
+	status, _, raw := postQuery(t, ts, spec)
+	if status != http.StatusOK {
+		t.Fatalf("first query status = %d: %s", status, raw)
+	}
+	if err := json.Unmarshal(raw, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Report.Cache != "" {
+		t.Errorf("first report = %+v, want no cache annotation", first.Report)
+	}
+
+	var second queryResponse
+	status, _, raw = postQuery(t, ts, spec)
+	if status != http.StatusOK {
+		t.Fatalf("second query status = %d: %s", status, raw)
+	}
+	if err := json.Unmarshal(raw, &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.Report.Engine != "cache" || second.Report.Cache != "hit" {
+		t.Errorf("second report = %+v, want engine=cache cache=hit", second.Report)
+	}
+	wantVals, err := decodeValues(first.ValuesB64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotVals, err := decodeValues(second.ValuesB64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range wantVals {
+		for v := range wantVals[s] {
+			if math.Float64bits(wantVals[s][v]) != math.Float64bits(gotVals[s][v]) {
+				t.Fatalf("snapshot %d vertex %d: cache hit bits differ over the wire", s, v)
+			}
+		}
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsReply
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheHits != 1 || st.EngineRuns != 1 {
+		t.Errorf("stats = hits %d / runs %d, want 1 / 1", st.CacheHits, st.EngineRuns)
+	}
+	if st.Cache.MaxBytes == 0 || st.Cache.Lookups != 2 || st.Cache.Hits != 1 {
+		t.Errorf("cache stats = %+v, want an enabled cache with 2 lookups = 1 hit + 1 miss", st.Cache)
+	}
+}

@@ -124,7 +124,15 @@ type QuerySpec struct {
 
 // Report mirrors serve.Report on the wire.
 type Report struct {
-	Engine    string   `json:"engine"`
+	Engine string `json:"engine"`
+	// Cache is the sharing layer's involvement: "hit", "coalesced",
+	// "batched", or absent for a normal solo run.
+	Cache string `json:"cache,omitempty"`
+	// Seeded marks a run initialized from cached converged values.
+	Seeded bool `json:"seeded,omitempty"`
+	// Sources is how many distinct sources the answering engine run
+	// served (absent for solo runs and cache hits).
+	Sources   int      `json:"sources,omitempty"`
 	Demoted   bool     `json:"demoted,omitempty"`
 	Probe     bool     `json:"probe,omitempty"`
 	Attempts  int      `json:"attempts"`
@@ -136,6 +144,9 @@ type Report struct {
 func reportFromServe(r serve.Report) Report {
 	return Report{
 		Engine:    r.Engine,
+		Cache:     r.Cache,
+		Seeded:    r.Seeded,
+		Sources:   r.Sources,
 		Demoted:   r.Demoted,
 		Probe:     r.Probe,
 		Attempts:  r.Attempts,

@@ -264,6 +264,11 @@ type OverloadError struct {
 	// caller should wait before retrying (see serve.RetryAfterHint). HTTP
 	// front ends surface it as a Retry-After header.
 	RetryAfter time.Duration
+	// RetryNow is true when the service explicitly said to retry
+	// immediately (e.g. a "Retry-After: 0" header) — distinct from the
+	// zero RetryAfter, which only means no hint was given. Retry loops
+	// should skip their back-off when set.
+	RetryNow bool
 }
 
 // Error implements error. The message is self-describing: it names the

@@ -56,6 +56,7 @@ import (
 	"mega/internal/graph"
 	"mega/internal/megaerr"
 	"mega/internal/metrics"
+	"mega/internal/qcache"
 )
 
 // Priority orders queued requests and drives the shed policy. Higher
@@ -132,6 +133,12 @@ type Request struct {
 	Workers  int
 	// Label tags the request in reports; the service does not interpret it.
 	Label string
+	// SeedBase, when non-nil, initializes the evaluation's CommonGraph
+	// solution from these converged values instead of solving from scratch
+	// (stable-vertex seeding). The sharing layer fills this from the cache;
+	// callers normally leave it nil. Soundness requires the values to be
+	// the exact converged solution of the request's own CommonGraph.
+	SeedBase []float64
 }
 
 // RunReport is what a RunFunc tells the service about one evaluation.
@@ -141,6 +148,10 @@ type RunReport struct {
 	// FellBack is true when a contained worker panic demoted the
 	// evaluation from the parallel to the sequential engine mid-flight.
 	FellBack bool
+	// Base, when non-nil, is the run's converged CommonGraph solution.
+	// The sharing layer caches it as stable-vertex seeding material for
+	// future overlapping queries.
+	Base []float64
 }
 
 // RunFunc evaluates one query. parallel is the service's engine decision
@@ -151,9 +162,21 @@ type RunFunc func(ctx context.Context, req *Request, parallel bool) ([][]float64
 
 // Report describes how the service executed one admitted query.
 type Report struct {
-	// Engine is the engine that produced the result: "parallel" or
-	// "sequential".
+	// Engine is the engine that produced the result: "parallel",
+	// "sequential", "multi" (a batched multi-source run), or "cache" (no
+	// engine ran).
 	Engine string
+	// Cache describes the sharing layer's involvement: "" (a normal solo
+	// run), "hit" (served from the result cache), "coalesced" (attached to
+	// an identical in-flight query), or "batched" (folded into a
+	// multi-source run with other sources).
+	Cache string
+	// Seeded is true when the run was initialized from a cached converged
+	// CommonGraph solution instead of solving from scratch.
+	Seeded bool
+	// Sources is how many distinct sources the answering engine run
+	// served (0 for solo runs and cache hits, >= 1 for flights).
+	Sources int
 	// Demoted is true when the breaker overrode a Parallel request.
 	Demoted bool
 	// Probe is true when this query was the breaker's re-promotion probe.
@@ -206,6 +229,14 @@ type Config struct {
 	// Metrics, when non-nil, receives the service's gauges, counters,
 	// histograms, and the Close-time accounting audits.
 	Metrics *metrics.Registry
+	// CacheBytes, when > 0, enables the cross-query sharing layer with a
+	// result cache bounded to this many resident value bytes. Zero
+	// disables caching, coalescing, batching, and seeding entirely.
+	CacheBytes int64
+	// RunMulti, when non-nil (and CacheBytes > 0), evaluates a batch of
+	// concurrent same-window same-algo different-source queries as one
+	// multi-source engine run. Nil disables multi-source batching only.
+	RunMulti RunMultiFunc
 }
 
 // Service states.
@@ -231,12 +262,18 @@ type Service struct {
 	strict bool
 	now    func() time.Time // injectable clock (breaker re-promotion tests)
 
+	// qc is the cross-query result cache; nil when CacheBytes == 0, which
+	// disables the whole sharing layer (flights stays empty).
+	qc *qcache.Cache
+
 	mu          sync.Mutex
 	state       int
 	running     int
 	queuedTotal int // waiters across every tenant queue; bounded by QueueDepth
 	tenants     map[string]*tenantState
-	vnow        uint64 // weighted-fair virtual clock (see chargeGrantLocked)
+	flights     map[flightKey]*flight
+	gathering   map[gatherKey]*flight // the still-gathering flight per (window, algo), open to new sources
+	vnow        uint64                // weighted-fair virtual clock (see chargeGrantLocked)
 	seq         uint64
 	active      map[*waiter]context.CancelFunc
 	drained     chan struct{}
@@ -253,11 +290,15 @@ type Service struct {
 	admitted, completed, failed, canceled uint64
 	rejected, shed, deadlineExceeded      uint64
 	demotions, probes                     uint64
+	cacheHits, coalesced, batched         uint64
+	seeded, engineRuns                    uint64
 
 	mQueued, mRunning, mDraining, mBreaker *metrics.Gauge
 	cAdmitted, cRejected, cShed, cDeadline *metrics.Counter
 	cDemotions, cProbes                    *metrics.Counter
 	cCompleted, cFailed, cCanceled         *metrics.Counter
+	cCacheHits, cCoalesced, cBatched       *metrics.Counter
+	cSeeded, cEngineRuns                   *metrics.Counter
 	hQueueWait, hRunTime                   *metrics.Histogram
 }
 
@@ -276,6 +317,9 @@ func New(cfg Config) (*Service, error) {
 	if cfg.DemotionPeriod < 0 || cfg.DefaultDeadline < 0 || cfg.DefaultQueueTimeout < 0 {
 		return nil, megaerr.Invalidf("serve: negative duration (DemotionPeriod=%s DefaultDeadline=%s DefaultQueueTimeout=%s)",
 			cfg.DemotionPeriod, cfg.DefaultDeadline, cfg.DefaultQueueTimeout)
+	}
+	if cfg.CacheBytes < 0 {
+		return nil, megaerr.Invalidf("serve: negative CacheBytes (%d)", cfg.CacheBytes)
 	}
 	if err := validTenantConfig("DefaultTenant", cfg.DefaultTenant); err != nil {
 		return nil, err
@@ -308,29 +352,54 @@ func New(cfg Config) (*Service, error) {
 		reg = metrics.New() // private registry: instruments always resolvable
 	}
 	s := &Service{
-		run:     cfg.Run,
-		cfg:     cfg,
-		reg:     reg,
-		strict:  metrics.Strict(),
-		now:     time.Now,
-		active:  make(map[*waiter]context.CancelFunc),
-		tenants: make(map[string]*tenantState),
+		run:       cfg.Run,
+		cfg:       cfg,
+		reg:       reg,
+		strict:    metrics.Strict(),
+		now:       time.Now,
+		active:    make(map[*waiter]context.CancelFunc),
+		tenants:   make(map[string]*tenantState),
+		flights:   make(map[flightKey]*flight),
+		gathering: make(map[gatherKey]*flight),
 
-		mQueued:    reg.Gauge("serve_queued"),
-		mRunning:   reg.Gauge("serve_running"),
-		mDraining:  reg.Gauge("serve_draining"),
-		mBreaker:   reg.Gauge("serve_breaker_open"),
-		cAdmitted:  reg.Counter("serve_admitted"),
-		cRejected:  reg.Counter("serve_rejected"),
-		cShed:      reg.Counter("serve_shed"),
-		cDeadline:  reg.Counter("serve_deadline_exceeded"),
-		cDemotions: reg.Counter("serve_demotions"),
-		cProbes:    reg.Counter("serve_probes"),
-		cCompleted: reg.Counter("serve_queries", "state", "completed"),
-		cFailed:    reg.Counter("serve_queries", "state", "failed"),
-		cCanceled:  reg.Counter("serve_queries", "state", "canceled"),
-		hQueueWait: reg.Histogram("serve_queue_wait_nanos"),
-		hRunTime:   reg.Histogram("serve_run_nanos"),
+		mQueued:     reg.Gauge("serve_queued"),
+		mRunning:    reg.Gauge("serve_running"),
+		mDraining:   reg.Gauge("serve_draining"),
+		mBreaker:    reg.Gauge("serve_breaker_open"),
+		cAdmitted:   reg.Counter("serve_admitted"),
+		cRejected:   reg.Counter("serve_rejected"),
+		cShed:       reg.Counter("serve_shed"),
+		cDeadline:   reg.Counter("serve_deadline_exceeded"),
+		cDemotions:  reg.Counter("serve_demotions"),
+		cProbes:     reg.Counter("serve_probes"),
+		cCompleted:  reg.Counter("serve_queries", "state", "completed"),
+		cFailed:     reg.Counter("serve_queries", "state", "failed"),
+		cCanceled:   reg.Counter("serve_queries", "state", "canceled"),
+		cCacheHits:  reg.Counter("serve_cache_hits"),
+		cCoalesced:  reg.Counter("serve_coalesced"),
+		cBatched:    reg.Counter("serve_batched"),
+		cSeeded:     reg.Counter("serve_seeded"),
+		cEngineRuns: reg.Counter("serve_engine_runs"),
+		hQueueWait:  reg.Histogram("serve_queue_wait_nanos"),
+		hRunTime:    reg.Histogram("serve_run_nanos"),
+	}
+	if cfg.CacheBytes > 0 {
+		tb := make(map[string]int64)
+		for name, tc := range cfg.Tenants {
+			if tc.CacheBytes > 0 {
+				tb[name] = tc.CacheBytes
+			}
+		}
+		qc, err := qcache.New(qcache.Config{
+			MaxBytes:           cfg.CacheBytes,
+			TenantBytes:        tb,
+			DefaultTenantBytes: cfg.DefaultTenant.CacheBytes,
+			Metrics:            reg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.qc = qc
 	}
 	// Materialize configured tenants eagerly so per-tenant stats and
 	// metrics are visible before their first request. No concurrency yet:
@@ -344,9 +413,9 @@ func New(cfg Config) (*Service, error) {
 // validTenantConfig rejects negative tenant bounds; zero always means
 // "default" (weight 1, no cap).
 func validTenantConfig(name string, tc TenantConfig) error {
-	if tc.Weight < 0 || tc.MaxRunning < 0 || tc.MaxQueued < 0 || tc.Burst < 0 {
-		return megaerr.Invalidf("serve: tenant %s: negative bound (Weight=%d MaxRunning=%d MaxQueued=%d Burst=%d)",
-			name, tc.Weight, tc.MaxRunning, tc.MaxQueued, tc.Burst)
+	if tc.Weight < 0 || tc.MaxRunning < 0 || tc.MaxQueued < 0 || tc.Burst < 0 || tc.CacheBytes < 0 {
+		return megaerr.Invalidf("serve: tenant %s: negative bound (Weight=%d MaxRunning=%d MaxQueued=%d Burst=%d CacheBytes=%d)",
+			name, tc.Weight, tc.MaxRunning, tc.MaxQueued, tc.Burst, tc.CacheBytes)
 	}
 	if tc.Burst > 0 && tc.MaxQueued == 0 {
 		return megaerr.Invalidf("serve: tenant %s: Burst=%d without MaxQueued (burst extends an explicit queue cap)", name, tc.Burst)
@@ -419,22 +488,39 @@ func (s *Service) Submit(ctx context.Context, req Request) (*Result, error) {
 	}
 	defer cancel()
 
-	w, err := s.admit(&req, cancel)
+	if s.shareable(ctx, &req) {
+		return s.submitShared(ctx, &req, cancel, submitted)
+	}
+	return s.submitSolo(ctx, &req, submitted)
+}
+
+// submitSolo is the classic single-query path: admit, wait for a slot,
+// run under the caller's context, account, report. The sharing layer
+// routes here for chaos queries, windowless requests, unschedulable
+// windows, and folded-key collisions.
+func (s *Service) submitSolo(ctx context.Context, req *Request, submitted time.Time) (*Result, error) {
+	// ctx already carries the request deadline; its cancel is run by
+	// Submit's defer. The waiter needs its own cancel handle for Close's
+	// straggler sweep, derived (not detached) from ctx.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	w, err := s.admit(req, cancel)
 	if err != nil {
 		return nil, err
 	}
-	if err := s.awaitSlot(ctx, &req, w); err != nil {
+	if err := s.awaitSlot(ctx, req, w); err != nil {
 		return nil, err
 	}
 	queueWait := s.now().Sub(submitted)
 	s.hQueueWait.Observe(queueWait.Nanoseconds())
 
-	parallel, probe := s.engineFor(&req)
+	parallel, probe := s.engineFor(req)
 	start := s.now()
-	vals, rep, runErr := s.runContained(ctx, &req, parallel)
+	vals, rep, runErr := s.runContained(ctx, req, parallel)
 	runTime := s.now().Sub(start)
 	s.hRunTime.Observe(runTime.Nanoseconds())
 	s.noteBreaker(parallel, probe, panicOutcome(rep, runErr))
+	s.noteEngineRun()
 	s.finish(w, runErr)
 	if runErr != nil {
 		return nil, runErr
@@ -722,6 +808,14 @@ func (s *Service) abandon(w *waiter, cause error) error {
 // next waiters, and signals the drain when the service empties.
 func (s *Service) finish(w *waiter, outcome error) {
 	s.mu.Lock()
+	s.finishLocked(w, outcome)
+	s.mu.Unlock()
+}
+
+// finishLocked is finish's body for callers already holding mu (flight
+// resolution releases the slot in the same locked step that publishes the
+// result).
+func (s *Service) finishLocked(w *waiter, outcome error) {
 	delete(s.active, w)
 	s.running--
 	w.tenant.running--
@@ -733,6 +827,14 @@ func (s *Service) finish(w *waiter, outcome error) {
 		close(s.drained)
 		s.drained = nil
 	}
+}
+
+// noteEngineRun counts one real engine run — the denominator of the
+// sharing layer's effectiveness (admitted queries per engine run).
+func (s *Service) noteEngineRun() {
+	s.mu.Lock()
+	s.engineRuns++
+	s.cEngineRuns.Inc()
 	s.mu.Unlock()
 }
 
@@ -910,8 +1012,16 @@ func (s *Service) Close(ctx context.Context) error {
 	s.reg.RecordAudit(tenantAudit)
 	strict := s.strict
 	s.mu.Unlock()
+	cacheAudit := metrics.AuditResult{Name: "cache.accounting", OK: true}
+	if s.qc != nil {
+		// Invalidate every cached result and audit the cache's own
+		// conservation law (hits + misses == lookups, bytes within budget)
+		// alongside the admission audits.
+		cacheAudit = s.qc.Close()
+		s.reg.RecordAudit(cacheAudit)
+	}
 	if strict {
-		return errors.Join(audit.Err(), tenantAudit.Err())
+		return errors.Join(audit.Err(), tenantAudit.Err(), cacheAudit.Err())
 	}
 	return nil
 }
@@ -955,6 +1065,18 @@ type Stats struct {
 	Demotions, Probes uint64
 	// BreakerOpen is true while new parallel requests are being demoted.
 	BreakerOpen bool
+	// CacheHits counts queries answered from the result cache with no
+	// engine involvement; CoalescedQueries attached to an identical
+	// in-flight run; BatchedQueries folded into a multi-source run;
+	// SeededQueries initialized from a cached converged base solution.
+	// All are zero when the sharing layer is disabled.
+	CacheHits, CoalescedQueries, BatchedQueries, SeededQueries uint64
+	// EngineRuns counts real engine runs; admitted minus the sharing
+	// counters above should track it.
+	EngineRuns uint64
+	// Cache is the result cache's own accounting (zero MaxBytes =
+	// disabled).
+	Cache qcache.Stats
 	// Tenants is the per-tenant breakdown, sorted by name. Empty only
 	// before any request (and with no configured tenants).
 	Tenants []TenantStats
@@ -972,7 +1094,12 @@ func (s *Service) Stats() Stats {
 		Rejected: s.rejected, Shed: s.shed, DeadlineExceeded: s.deadlineExceeded,
 		Demotions: s.demotions, Probes: s.probes,
 		BreakerOpen: s.brk != brkClosed,
-		Tenants:     s.tenantStatsLocked(),
+		CacheHits:   s.cacheHits, CoalescedQueries: s.coalesced, BatchedQueries: s.batched,
+		SeededQueries: s.seeded, EngineRuns: s.engineRuns,
+		Tenants: s.tenantStatsLocked(),
+	}
+	if s.qc != nil {
+		st.Cache = s.qc.Stats()
 	}
 	switch s.state {
 	case stateServing:
@@ -1033,6 +1160,12 @@ func retryAfterEstimate(capacity, queued int, p50 time.Duration) time.Duration {
 		p50 = time.Second
 	}
 	waves := (queued + capacity) / capacity // ceil((queued+1)/capacity)
+	// Clamp before multiplying: an extreme backlog times a large p50 can
+	// overflow time.Duration and wrap negative, which would fall out as
+	// retryAfterMin — the opposite of the right answer.
+	if int64(waves) > int64(retryAfterMax/p50) {
+		return retryAfterMax
+	}
 	d := time.Duration(waves) * p50
 	if d < retryAfterMin {
 		return retryAfterMin

@@ -59,16 +59,23 @@ type TenantConfig struct {
 	// waiters sit over quota: they are the first shed when any
 	// under-quota tenant needs the space.
 	Burst int
+	// CacheBytes, when > 0 and the service's result cache is enabled,
+	// caps this tenant's resident bytes in the cross-query result cache.
+	// Inserting past the cap evicts the tenant's own least-recently-used
+	// entries — never another tenant's. 0 defers to the service-wide
+	// bound (and DefaultTenant.CacheBytes for unlisted tenants).
+	CacheBytes int64
 }
 
-// ParseTenantSpec parses one "name:weight[:maxrun[:maxqueue[:burst]]]"
-// tenant spec (the cmd/megaserve -tenants grammar). Omitted trailing
-// fields select zero (no cap). Weight must be >= 1.
+// ParseTenantSpec parses one
+// "name:weight[:maxrun[:maxqueue[:burst[:cachebytes]]]]" tenant spec
+// (the cmd/megaserve -tenants grammar). Omitted trailing fields select
+// zero (no cap). Weight must be >= 1.
 func ParseTenantSpec(spec string) (string, TenantConfig, error) {
 	var cfg TenantConfig
 	parts := strings.Split(spec, ":")
-	if len(parts) < 2 || len(parts) > 5 {
-		return "", cfg, megaerr.Invalidf("serve: tenant spec %q: want name:weight[:maxrun[:maxqueue[:burst]]]", spec)
+	if len(parts) < 2 || len(parts) > 6 {
+		return "", cfg, megaerr.Invalidf("serve: tenant spec %q: want name:weight[:maxrun[:maxqueue[:burst[:cachebytes]]]]", spec)
 	}
 	name := parts[0]
 	if name == "" {
@@ -96,6 +103,15 @@ func ParseTenantSpec(spec string) (string, TenantConfig, error) {
 			return "", cfg, megaerr.Invalidf("serve: tenant spec %q: bad %s %q (want integer >= %d)", spec, f.what, parts[i+1], f.min)
 		}
 		*f.dst = v
+	}
+	// cachebytes is int64 (byte budgets exceed int32 range), so it sits
+	// outside the int-typed fields table.
+	if len(parts) == 6 {
+		v, err := strconv.ParseInt(parts[5], 10, 64)
+		if err != nil || v < 0 {
+			return "", cfg, megaerr.Invalidf("serve: tenant spec %q: bad cachebytes %q (want integer >= 0)", spec, parts[5])
+		}
+		cfg.CacheBytes = v
 	}
 	return name, cfg, nil
 }

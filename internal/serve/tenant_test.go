@@ -53,14 +53,16 @@ func TestParseTenantSpec(t *testing.T) {
 		{"b:2:3", "b", TenantConfig{Weight: 2, MaxRunning: 3}, true},
 		{"b:2:3:8", "b", TenantConfig{Weight: 2, MaxRunning: 3, MaxQueued: 8}, true},
 		{"b:2:0:8:2", "b", TenantConfig{Weight: 2, MaxQueued: 8, Burst: 2}, true},
+		{"b:2:0:8:2:1048576", "b", TenantConfig{Weight: 2, MaxQueued: 8, Burst: 2, CacheBytes: 1 << 20}, true},
 		{"", "", TenantConfig{}, false},
 		{"noweight", "", TenantConfig{}, false},
 		{":1", "", TenantConfig{}, false},
-		{"a:0", "", TenantConfig{}, false},     // weight must be >= 1
-		{"a:-1", "", TenantConfig{}, false},    // negative weight
-		{"a:1:-2", "", TenantConfig{}, false},  // negative maxrun
-		{"a:1:2:x", "", TenantConfig{}, false}, // non-integer
-		{"a:1:2:3:4:5", "", TenantConfig{}, false},
+		{"a:0", "", TenantConfig{}, false},          // weight must be >= 1
+		{"a:-1", "", TenantConfig{}, false},         // negative weight
+		{"a:1:-2", "", TenantConfig{}, false},       // negative maxrun
+		{"a:1:2:x", "", TenantConfig{}, false},      // non-integer
+		{"a:1:2:3:4:-5", "", TenantConfig{}, false}, // negative cachebytes
+		{"a:1:2:3:4:5:6", "", TenantConfig{}, false},
 		{"bad name:1", "", TenantConfig{}, false},
 	}
 	for _, c := range cases {
@@ -93,10 +95,10 @@ func FuzzParseTenantSpec(f *testing.F) {
 		if err := ValidateTenant(name); err != nil {
 			t.Fatalf("ParseTenantSpec(%q) accepted name %q that ValidateTenant rejects: %v", spec, name, err)
 		}
-		if cfg.Weight < 1 || cfg.MaxRunning < 0 || cfg.MaxQueued < 0 || cfg.Burst < 0 {
+		if cfg.Weight < 1 || cfg.MaxRunning < 0 || cfg.MaxQueued < 0 || cfg.Burst < 0 || cfg.CacheBytes < 0 {
 			t.Fatalf("ParseTenantSpec(%q) accepted out-of-range config %+v", spec, cfg)
 		}
-		rendered := fmt.Sprintf("%s:%d:%d:%d:%d", name, cfg.Weight, cfg.MaxRunning, cfg.MaxQueued, cfg.Burst)
+		rendered := fmt.Sprintf("%s:%d:%d:%d:%d:%d", name, cfg.Weight, cfg.MaxRunning, cfg.MaxQueued, cfg.Burst, cfg.CacheBytes)
 		name2, cfg2, err := ParseTenantSpec(rendered)
 		if err != nil || name2 != name || cfg2 != cfg {
 			t.Fatalf("round-trip %q -> %q = %q, %+v, %v; want original", spec, rendered, name2, cfg2, err)

@@ -96,6 +96,12 @@ type RecoverOptions struct {
 	// Checkpoint, when non-nil, resumes the first attempt from these
 	// checkpoint bytes instead of starting fresh.
 	Checkpoint []byte
+	// SeedBase, when non-nil, primes each fresh attempt with this
+	// precomputed converged CommonGraph solution so the engine skips its
+	// base solve (stable-vertex seeding). The values must be the exact
+	// converged solution for the query's algorithm, source, and
+	// CommonGraph content; a checkpoint restore overrides the seed.
+	SeedBase []float64
 	// Sink, when non-nil, receives every automatic checkpoint (e.g. to
 	// persist it atomically to disk). A sink error aborts the run.
 	Sink func([]byte) error
@@ -119,6 +125,10 @@ type Recovery struct {
 	FellBack bool
 	// Faults records the error of every failed attempt, in order.
 	Faults []string
+	// Base is the successful attempt's converged CommonGraph solution
+	// (nil on error). The query service caches it as seeding material for
+	// future overlapping queries.
+	Base []float64
 }
 
 // sleepRetry waits for the backoff duration or until ctx is done,
@@ -145,6 +155,8 @@ type resumableEngine interface {
 	Restore(data []byte) error
 	LastCheckpoint() []byte
 	SetMetrics(reg *metrics.Registry)
+	SeedBase(base []float64) error
+	BaseValues() []float64
 }
 
 // EvaluateRecover evaluates the query like EvaluateContext but survives
@@ -200,6 +212,13 @@ func EvaluateRecover(ctx context.Context, w *Window, k AlgorithmKind, source Ver
 		if opt.Sink != nil {
 			eng.SetCheckpointSink(opt.Sink)
 		}
+		if opt.SeedBase != nil && lastCkpt == nil {
+			// Stable-vertex seeding: skip the base solve. Only on fresh
+			// starts — a checkpoint carries its own (post-seed) state.
+			if err := eng.SeedBase(opt.SeedBase); err != nil {
+				return nil, rec, err
+			}
+		}
 		if lastCkpt != nil {
 			if err := eng.Restore(lastCkpt); err != nil {
 				// Corrupt or mismatched checkpoint: unrecoverable input.
@@ -219,6 +238,7 @@ func EvaluateRecover(ctx context.Context, w *Window, k AlgorithmKind, source Ver
 			for snap := range out {
 				out[snap] = eng.SnapshotValues(s, snap)
 			}
+			rec.Base = eng.BaseValues()
 			return out, rec, nil
 		}
 		rec.Faults = append(rec.Faults, err.Error())

@@ -66,8 +66,9 @@ func ParseQueryPriority(s string) (QueryPriority, error) { return serve.ParsePri
 // identifier ("" selects the default tenant).
 func ValidateQueryTenant(s string) error { return serve.ValidateTenant(s) }
 
-// ParseTenantSpec parses one "name:weight[:maxrun[:maxqueue[:burst]]]"
-// tenant spec (the megaserve -tenants grammar).
+// ParseTenantSpec parses one
+// "name:weight[:maxrun[:maxqueue[:burst[:cachebytes]]]]" tenant spec (the
+// megaserve -tenants grammar).
 func ParseTenantSpec(spec string) (string, TenantConfig, error) { return serve.ParseTenantSpec(spec) }
 
 // ServeOptions configures NewQueryService. The zero value serves with
@@ -103,6 +104,16 @@ type ServeOptions struct {
 	Backoff         time.Duration
 	Limits          Limits
 
+	// CacheBytes, when > 0, enables the cross-query sharing layer: a
+	// result cache of this many bytes keyed on window content + algorithm
+	// + source (hits return Float64bits-identical snapshots with no engine
+	// run), single-flight coalescing of concurrent identical queries,
+	// multi-source batching of concurrent same-window queries, and
+	// stable-vertex seeding of new queries from cached converged values.
+	// Zero disables all of it. Per-tenant cache budgets come from
+	// TenantConfig.CacheBytes.
+	CacheBytes int64
+
 	// Metrics, when non-nil, receives the service's gauges, counters, and
 	// histograms, each query's recovery counters, and the Close-time
 	// accounting audit.
@@ -131,17 +142,31 @@ func NewQueryService(opt ServeOptions) (*QueryService, error) {
 			MaxRetries:      opt.MaxRetries,
 			Backoff:         opt.Backoff,
 			Limits:          opt.Limits,
+			SeedBase:        req.SeedBase,
 			Metrics:         opt.Metrics,
 		})
 		var rep serve.RunReport
 		if rec != nil {
 			rep.Attempts = rec.Attempts
 			rep.FellBack = rec.FellBack
+			rep.Base = rec.Base
 		}
 		return vals, rep, err
 	}
+	// Multi-source batches run the single-pass Multi engine directly: the
+	// expanded schedule has no checkpoint/resume story, so the recovery
+	// wrapper does not apply.
+	runMulti := func(ctx context.Context, reqs []*QueryRequest) ([][][]float64, serve.RunReport, error) {
+		sources := make([]VertexID, len(reqs))
+		for i, r := range reqs {
+			sources[i] = r.Source
+		}
+		vals, err := EvaluateMultiSource(ctx, reqs[0].Window, reqs[0].Algo, sources, opt.Limits)
+		return vals, serve.RunReport{Attempts: 1}, err
+	}
 	return serve.New(serve.Config{
 		Run:                 run,
+		RunMulti:            runMulti,
 		Capacity:            opt.Capacity,
 		QueueDepth:          opt.QueueDepth,
 		DefaultDeadline:     opt.DefaultDeadline,
@@ -151,5 +176,6 @@ func NewQueryService(opt ServeOptions) (*QueryService, error) {
 		Tenants:             opt.Tenants,
 		DefaultTenant:       opt.DefaultTenant,
 		Metrics:             opt.Metrics,
+		CacheBytes:          opt.CacheBytes,
 	})
 }
