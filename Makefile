@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test vet fmt race fuzz audit chaos soak serve-soak bench-smoke bench-json ci
+.PHONY: all build test vet fmt race fuzz audit chaos crash soak serve-soak bench-smoke bench-json ci
 
 all: build
 
@@ -30,6 +30,8 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzLoadEdgeList -fuzztime=$(FUZZTIME) ./internal/gen/
 	$(GO) test -run='^$$' -fuzz=FuzzNewWindowFromParts -fuzztime=$(FUZZTIME) ./internal/evolve/
 	$(GO) test -run='^$$' -fuzz=FuzzCheckpointDecode -fuzztime=$(FUZZTIME) ./internal/engine/
+	$(GO) test -run='^$$' -fuzz=FuzzParseTenantSpec -fuzztime=$(FUZZTIME) ./internal/serve/
+	$(GO) test -run='^$$' -fuzz=FuzzManifestDecode -fuzztime=$(FUZZTIME) ./internal/ckptstore/
 
 # Invariant-audit sweep: every audit-tagged test (conservation laws,
 # stale-size regressions, attribution properties) across the layers that
@@ -46,6 +48,19 @@ audit:
 chaos:
 	MEGA_CHAOS=full $(GO) test -race -run 'CrashEquivalence|Audit|Attribution' \
 		./internal/engine/ ./internal/sim/ ./internal/uarch/
+
+# Disk-fault chaos: the durable checkpoint store under injected crashes
+# and disk faults — a process "dies" at every store.write / store.rename
+# protocol boundary and restarts against the same state directory, with
+# resumed results bit-identical to an uninterrupted run; segments are
+# torn (truncated and bit-flipped) at every byte offset and must be
+# quarantined with the previous generation served instead; and the query
+# service restarts over a crashed predecessor's state dir and re-admits
+# its orphans. MEGA_CHAOS widens the sweep to every boundary and forces
+# the store's Close-time accounting audit strict.
+crash:
+	MEGA_CHAOS=full $(GO) test -race -run 'Durable|ServeRecoverOrphans|TornSegment|CrashResidue|Quarantine' \
+		. ./internal/ckptstore/
 
 # Query-service soak: hundreds of concurrent mixed-priority queries with
 # injected transients, worker panics, and latency spikes, under the race
@@ -75,4 +90,4 @@ bench-smoke:
 bench-json:
 	$(GO) run ./cmd/megabench -perf -v -perfout BENCH_parallel.json
 
-ci: fmt vet build race bench-smoke audit chaos soak serve-soak fuzz
+ci: fmt vet build race bench-smoke audit chaos crash soak serve-soak fuzz

@@ -32,6 +32,7 @@ go test -run='^$' -fuzz=FuzzLoadEdgeList -fuzztime="$FUZZTIME" ./internal/gen/
 go test -run='^$' -fuzz=FuzzNewWindowFromParts -fuzztime="$FUZZTIME" ./internal/evolve/
 go test -run='^$' -fuzz=FuzzCheckpointDecode -fuzztime="$FUZZTIME" ./internal/engine/
 go test -run='^$' -fuzz=FuzzParseTenantSpec -fuzztime="$FUZZTIME" ./internal/serve/
+go test -run='^$' -fuzz=FuzzManifestDecode -fuzztime="$FUZZTIME" ./internal/ckptstore/
 # Metrics smoke: a snapshot written by megasim must round-trip through
 # its own validator — required families present, every audit passed.
 tmpdir="$(mktemp -d)"
@@ -48,6 +49,15 @@ MEGA_AUDIT=1 go test -race -run 'Audit|Attribution|StatsMatchMetrics|Conservatio
 # conservation laws too.
 MEGA_CHAOS=full go test -race -run 'CrashEquivalence|Audit|Attribution' \
 	./internal/engine/ ./internal/sim/ ./internal/uarch/
+# Disk-fault chaos gate: the durable checkpoint store's crash-equivalence
+# sweep — an injected crash at EVERY store.write / store.rename protocol
+# boundary, restart against the same state directory, values identical to
+# an uninterrupted run, books audited strict — plus the torn-write table
+# (segment truncated and bit-flipped at every byte offset must quarantine
+# and fall back to the previous generation) and the service-level
+# restart/orphan-recovery tests.
+MEGA_CHAOS=full go test -race -run 'Durable|ServeRecoverOrphans|TornSegment|CrashResidue|Quarantine' \
+	. ./internal/ckptstore/
 # Query-service soak: hundreds of concurrent mixed-priority queries with
 # injected transients, worker panics, and latency spikes under -race, with
 # strict audits (MEGA_CHAOS) so the Close-time accounting conservation
@@ -88,5 +98,100 @@ addr="$(cat "$tmpdir/addr")"
 "$tmpdir/megaserve" -server "http://$addr" -stats | tee "$tmpdir/stats.out"
 grep -q 'cache hits=1 misses=1 lookups=2' "$tmpdir/stats.out"
 grep -q 'engine_runs=1' "$tmpdir/stats.out"
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+# Crash-restart smoke, megasim: SIGKILL an eval run that is spooling
+# checkpoints into -state-dir, rerun the same command, and require the
+# rerun to report a durable resume and finish cleanly with the store's
+# accounting audit strict (MEGA_CHAOS).
+go build -o "$tmpdir/megasim" ./cmd/megasim
+"$tmpdir/megasim" -mode eval -snapshots 4 -checkpoint-every 1 \
+	-state-dir "$tmpdir/simstate" \
+	-fault 'engine.round:latency=250ms@6x1' >/dev/null 2>&1 &
+sim_pid=$!
+i=0
+until ls "$tmpdir/simstate"/q-*/ckpt-*.seg >/dev/null 2>&1; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "megasim never promoted a durable checkpoint" >&2
+		kill "$sim_pid" 2>/dev/null || true
+		exit 1
+	fi
+	sleep 0.1
+done
+kill -KILL "$sim_pid"
+wait "$sim_pid" || true
+MEGA_CHAOS=1 "$tmpdir/megasim" -mode eval -snapshots 4 -checkpoint-every 1 \
+	-state-dir "$tmpdir/simstate" | tee "$tmpdir/resume.out"
+grep -q '^resumed:' "$tmpdir/resume.out"
+# Crash-restart smoke, megaserve: SIGKILL the server mid-query (the query
+# slowed by injected latency so checkpoints outnumber rounds survived),
+# restart it on the same -state-dir, and require (a) the cold start to
+# re-admit the orphan, (b) the store books to drain to zero live queries
+# with at least one durable resume, and (c) a repeat of the killed query
+# to come back resumed or cache-served — never recomputed from scratch.
+"$tmpdir/megaserve" -listen 127.0.0.1:0 -addr-file "$tmpdir/addr2" \
+	-snapshots 4 -checkpoint-every 1 -allow-faults \
+	-state-dir "$tmpdir/srvstate" >/dev/null 2>"$tmpdir/serve2.log" &
+serve_pid=$!
+i=0
+while [ ! -s "$tmpdir/addr2" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "megaserve (state-dir) never wrote its addr file" >&2
+		cat "$tmpdir/serve2.log" >&2
+		kill "$serve_pid" 2>/dev/null || true
+		exit 1
+	fi
+	sleep 0.1
+done
+addr="$(cat "$tmpdir/addr2")"
+("$tmpdir/megaserve" -server "http://$addr" -algo SSSP -source 0 \
+	-fault 'engine.round:latency=250ms@6x1' >/dev/null 2>&1 || true) &
+i=0
+until ls "$tmpdir/srvstate"/q-*/ckpt-*.seg >/dev/null 2>&1; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "megaserve never promoted a durable checkpoint" >&2
+		cat "$tmpdir/serve2.log" >&2
+		kill "$serve_pid" 2>/dev/null || true
+		exit 1
+	fi
+	sleep 0.1
+done
+kill -KILL "$serve_pid"
+wait "$serve_pid" || true
+rm -f "$tmpdir/addr2"
+MEGA_CHAOS=1 "$tmpdir/megaserve" -listen 127.0.0.1:0 -addr-file "$tmpdir/addr2" \
+	-snapshots 4 -checkpoint-every 1 \
+	-state-dir "$tmpdir/srvstate" >/dev/null 2>"$tmpdir/serve3.log" &
+serve_pid=$!
+i=0
+while [ ! -s "$tmpdir/addr2" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "restarted megaserve never wrote its addr file" >&2
+		cat "$tmpdir/serve3.log" >&2
+		kill "$serve_pid" 2>/dev/null || true
+		exit 1
+	fi
+	sleep 0.1
+done
+addr="$(cat "$tmpdir/addr2")"
+grep -q 'recovered 1 orphaned' "$tmpdir/serve3.log"
+i=0
+until "$tmpdir/megaserve" -server "http://$addr" -stats \
+	| grep -q 'store queries=0 .* resumes=1'; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "recovered orphan never completed" >&2
+		"$tmpdir/megaserve" -server "http://$addr" -stats >&2 || true
+		kill "$serve_pid" 2>/dev/null || true
+		exit 1
+	fi
+	sleep 0.1
+done
+"$tmpdir/megaserve" -server "http://$addr" -algo SSSP -source 0 \
+	| grep -Eq 'resumed=true|engine=cache cache=hit'
 kill -TERM "$serve_pid"
 wait "$serve_pid"

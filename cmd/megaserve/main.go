@@ -8,6 +8,13 @@
 //	          [-capacity 4] [-queue-depth 64] [-default-deadline D] [-default-queue-timeout D]
 //	          [-tenants name:weight[:maxrun[:maxqueue[:burst]]]]... [-tenants @FILE]
 //	          [-drain 10s] [-allow-faults] [-fault-seed 42]
+//	          [-state-dir DIR] [-checkpoint-every N]
+//
+// -state-dir enables the crash-safe durable checkpoint store: running
+// queries spool checkpoints there, and a cold start against the same
+// directory validates the store, re-admits orphaned in-flight work, and
+// resumes it from its last durable checkpoint (see DESIGN.md §15 and the
+// README's "Surviving crashes" walkthrough). /stats gains a store block.
 //
 // It synthesizes (or loads) an evolving-graph window, stands up the
 // admission-controlled query service over it, and serves:
@@ -59,7 +66,6 @@ import (
 	"net"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -186,6 +192,9 @@ func main() {
 	allowFaults := flag.Bool("allow-faults", false, "server: honor fault-injection specs in query bodies (chaos testing)")
 	faultSeed := flag.Int64("fault-seed", 42, "server: seed for probabilistic fault ops")
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "server: cross-query result cache budget in bytes (0 disables sharing)")
+	stateDir := flag.String("state-dir", "", "server: durable checkpoint store directory (empty disables crash recovery)")
+	stateBytes := flag.Int64("state-bytes", 0, "server: durable store byte budget (0 = default 256MiB)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "server: checkpoint running queries every N rounds (0 = default 32)")
 	var tenantSpecs tenantSpecsFlag
 	flag.Var(&tenantSpecs, "tenants", "server: tenant contract name:weight[:maxrun[:maxqueue[:burst[:cachebytes]]]], repeatable; @FILE reads one per line")
 
@@ -201,6 +210,8 @@ func main() {
 	tenant := flag.String("tenant", "", "client: tenant to bill the query to (X-Mega-Tenant header)")
 	retries := flag.Int("retries", 0, "client: max retries on overload/draining (0 = default 3, negative = none)")
 	stats := flag.Bool("stats", false, "client: fetch /stats instead of querying")
+	var clientFaults tenantSpecsFlag
+	flag.Var(&clientFaults, "fault", "client: fault-injection spec for the query (repeatable; server must run -allow-faults)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -212,6 +223,7 @@ func main() {
 			server: *server, algo: *algoName, source: *source, priority: *priority,
 			deadline: *deadline, queueTimeout: *queueTimeout, engine: *engine,
 			workers: *workers, tenant: *tenant, retries: *retries, stats: *stats,
+			faults: clientFaults,
 		})
 	} else {
 		err = runServer(ctx, serverOptions{
@@ -223,6 +235,7 @@ func main() {
 			tenantSpecs: tenantSpecs,
 			drain:       *drain, allowFaults: *allowFaults, faultSeed: *faultSeed,
 			cacheBytes: *cacheBytes,
+			stateDir:   *stateDir, stateBytes: *stateBytes, ckptEvery: *ckptEvery,
 		})
 	}
 	if err != nil {
@@ -243,6 +256,9 @@ type serverOptions struct {
 	allowFaults                  bool
 	faultSeed                    int64
 	cacheBytes                   int64
+	stateDir                     string
+	stateBytes                   int64
+	ckptEvery                    int
 }
 
 // buildWindow synthesizes or loads the evolving-graph window the server
@@ -293,6 +309,17 @@ func runServer(ctx context.Context, opt serverOptions) error {
 		return err
 	}
 	reg := mega.NewMetricsRegistry()
+	var store *mega.CheckpointStore
+	if opt.stateDir != "" {
+		store, err = mega.OpenCheckpointStore(mega.CheckpointStoreConfig{
+			Dir:      opt.stateDir,
+			MaxBytes: opt.stateBytes,
+			Metrics:  reg,
+		})
+		if err != nil {
+			return err
+		}
+	}
 	svc, err := mega.NewQueryService(mega.ServeOptions{
 		Capacity:            opt.capacity,
 		QueueDepth:          opt.queueDepth,
@@ -300,10 +327,28 @@ func runServer(ctx context.Context, opt serverOptions) error {
 		DefaultQueueTimeout: opt.defQueueTimeout,
 		Tenants:             tenants,
 		CacheBytes:          opt.cacheBytes,
+		CheckpointEvery:     opt.ckptEvery,
 		Metrics:             reg,
+		Store:               store,
 	})
 	if err != nil {
+		if store != nil {
+			store.Close()
+		}
 		return err
+	}
+	if store != nil {
+		// Cold-start recovery: re-admit the in-flight work a dead process
+		// left in the store; each orphan resumes from its last durable
+		// checkpoint in the background under normal admission control.
+		n, rerr := svc.RecoverOrphans(ctx, win)
+		if rerr != nil {
+			cctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			svc.Close(cctx)
+			return rerr
+		}
+		fmt.Fprintf(os.Stderr, "megaserve: state dir %s: recovered %d orphaned queries\n", opt.stateDir, n)
 	}
 	front, err := httpfront.New(httpfront.Config{
 		Service:             svc,
@@ -378,6 +423,7 @@ type clientOptions struct {
 	tenant       string
 	retries      int
 	stats        bool
+	faults       []string
 }
 
 func runClient(ctx context.Context, opt clientOptions) error {
@@ -405,6 +451,12 @@ func runClient(ctx context.Context, opt clientOptions) error {
 				st.CoalescedQueries, st.BatchedQueries, st.SeededQueries, st.EngineRuns,
 				st.Cache.Entries, st.Cache.Bytes, st.Cache.MaxBytes)
 		}
+		if st.Store.MaxBytes > 0 {
+			fmt.Printf("store queries=%d segments=%d bytes=%d/%d writes=%d promoted=%d failed=%d quarantined=%d reclaimed=%d resumes=%d\n",
+				st.Store.Queries, st.Store.Segments, st.Store.Bytes, st.Store.MaxBytes,
+				st.Store.Writes, st.Store.Promoted, st.Store.Failed,
+				st.Store.Quarantined, st.Store.Reclaimed, st.Store.Resumes)
+		}
 		for _, tn := range st.Tenants {
 			fmt.Printf("tenant=%s weight=%d admitted=%d completed=%d failed=%d canceled=%d rejected=%d shed=%d running=%d queued=%d retry_after_hint=%s\n",
 				tn.Name, tn.Weight, tn.Admitted, tn.Completed, tn.Failed,
@@ -423,6 +475,7 @@ func runClient(ctx context.Context, opt clientOptions) error {
 		Engine:       opt.engine,
 		Workers:      opt.workers,
 		Tenant:       opt.tenant,
+		Faults:       opt.faults,
 	})
 	if err != nil {
 		return err
@@ -431,8 +484,8 @@ func runClient(ctx context.Context, opt clientOptions) error {
 	if cache == "" {
 		cache = "none"
 	}
-	fmt.Printf("snapshots=%d engine=%s cache=%s attempts=%d queue_wait=%s run_time=%s request_id=%s\n",
-		len(res.Values), res.Report.Engine, cache, res.Report.Attempts,
+	fmt.Printf("snapshots=%d engine=%s cache=%s resumed=%t attempts=%d queue_wait=%s run_time=%s request_id=%s\n",
+		len(res.Values), res.Report.Engine, cache, res.Report.Resumed, res.Report.Attempts,
 		time.Duration(res.Report.QueueWait), time.Duration(res.Report.RunTime), res.RequestID)
 	for i, snap := range res.Values {
 		reached := 0
@@ -450,25 +503,10 @@ func runClient(ctx context.Context, opt clientOptions) error {
 // unreached vertex under every built-in algorithm.
 func isUnreached(v float64) bool { return math.IsInf(v, 0) }
 
-// writeFileAtomic persists b via temp-file + rename so a concurrently
-// polling reader never sees a truncated address file.
+// writeFileAtomic persists b via the store's crash-safe publish helper
+// (temp-file + fsync + rename + parent-directory fsync) so a concurrently
+// polling reader never sees a truncated address file and a crash right
+// after the write cannot lose it.
 func writeFileAtomic(path string, b []byte) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(b); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return mega.AtomicWriteFile(path, b)
 }

@@ -7,6 +7,7 @@
 //	megasim [-graph PK|LJ|OR|DL|UK|Wen] [-algo SSSP] [-mode boe|ws|dh|jetstream|recompute|eval]
 //	        [-snapshots 16] [-batch 0.01] [-onchip 524288] [-load dir]
 //	        [-fault SPEC]... [-checkpoint FILE] [-checkpoint-every N] [-resume] [-retries N]
+//	        [-state-dir DIR]
 //
 // By default it runs SSSP over 16 snapshots of the PK stand-in under BOE.
 // With -load it consumes a dataset directory written by megagen instead of
@@ -20,6 +21,13 @@
 // persisted checkpoint file. -fault injects deterministic faults using
 // the "site[#shard]:kind[=latency]@visit[xevery]" grammar, e.g.
 // -fault engine.round:transient@100 or -fault parallel.phase#2:panic@7.
+//
+// -state-dir DIR (eval and serve modes) spools checkpoints into a
+// crash-safe durable store keyed by the query's content identity: kill
+// the process mid-run, rerun the same command, and the query resumes
+// from its last durable checkpoint instead of recomputing (the eval
+// report gains a "resumed:" line). Disk-fault sites (store.write,
+// store.sync, store.rename, store.dirsync) compose with -fault.
 //
 // Observability: -metrics FILE writes a JSON snapshot of the run's metric
 // families (cache, per-channel DRAM traffic, queue traffic, engine event
@@ -48,7 +56,6 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -106,6 +113,7 @@ func main() {
 	ckptFile := flag.String("checkpoint", "", "eval: persist checkpoints to this file (atomic rename)")
 	ckptEvery := flag.Int("checkpoint-every", 0, "eval: checkpoint every N rounds (0 = default 32)")
 	resume := flag.Bool("resume", false, "eval: resume from the -checkpoint file")
+	stateDir := flag.String("state-dir", "", "eval/serve: durable checkpoint store directory (crash-safe resume)")
 	retries := flag.Int("retries", 0, "eval: max restarts after transient faults (0 = default 3)")
 	queries := flag.String("queries", "", "serve: query-spec file, one query per line (- = stdin)")
 	capacity := flag.Int("capacity", 0, "serve: max concurrently running queries (0 = default 4)")
@@ -151,6 +159,7 @@ func main() {
 		engine: *engineFlag, workers: *workers,
 		ckptFile: *ckptFile, ckptEvery: *ckptEvery,
 		resume: *resume, retries: *retries,
+		stateDir:    *stateDir,
 		metricsPath: *metricsPath,
 		queries:     *queries,
 		capacity:    *capacity, queueDepth: *queueDepth,
@@ -230,6 +239,7 @@ type evalOptions struct {
 	ckptEvery   int
 	resume      bool
 	retries     int
+	stateDir    string
 	metricsPath string
 
 	// serve-mode knobs.
@@ -406,7 +416,7 @@ func run(ctx context.Context, graphName, algoName, mode string, snapshots int, b
 
 // runEval answers the query through the fault-tolerant evaluator and
 // prints a recovery report alongside a functional summary.
-func runEval(ctx context.Context, w *mega.Window, kind mega.AlgorithmKind, src mega.VertexID, opts evalOptions, reg *mega.MetricsRegistry) error {
+func runEval(ctx context.Context, w *mega.Window, kind mega.AlgorithmKind, src mega.VertexID, opts evalOptions, reg *mega.MetricsRegistry) (retErr error) {
 	ropt := mega.RecoverOptions{
 		Parallel:        opts.engine == "par",
 		Workers:         opts.workers,
@@ -432,11 +442,41 @@ func runEval(ctx context.Context, w *mega.Window, kind mega.AlgorithmKind, src m
 		}
 		ropt.Checkpoint = data
 	}
+	var store *mega.CheckpointStore
+	if opts.stateDir != "" {
+		var serr error
+		store, serr = mega.OpenCheckpointStore(mega.CheckpointStoreConfig{
+			Dir:     opts.stateDir,
+			Faults:  mega.FaultPlanFromContext(ctx),
+			Metrics: reg,
+		})
+		if serr != nil {
+			return serr
+		}
+		id, ierr := mega.CheckpointIDFor(w, kind, src, "")
+		if ierr != nil {
+			store.Close()
+			return ierr
+		}
+		ropt.Store = store
+		ropt.StoreID = id
+		// Close after the evaluation; the store audit (strict under
+		// MEGA_CHAOS) joins the run's own error so a books violation
+		// surfaces as exit code 6 even when the query itself succeeded.
+		defer func() {
+			if cerr := store.Close(); cerr != nil && retErr == nil {
+				retErr = cerr
+			}
+		}()
+	}
 
 	values, rec, err := mega.EvaluateRecover(ctx, w, kind, src, mega.BOE, ropt)
 	engineName := map[bool]string{false: "sequential", true: "parallel"}[ropt.Parallel]
 	fmt.Printf("workflow:        eval (%s engine) / %s (source %d)\n", engineName, kind, src)
 	fmt.Printf("attempts:        %d (%d resumed from checkpoint)\n", rec.Attempts, rec.Resumes)
+	if rec.DurableResume {
+		fmt.Printf("resumed:         true (durable checkpoint from %s)\n", opts.stateDir)
+	}
 	if rec.FellBack {
 		fmt.Printf("fallback:        worker panic demoted the run to the sequential engine\n")
 	}
@@ -464,27 +504,11 @@ func runEval(ctx context.Context, w *mega.Window, kind mega.AlgorithmKind, src m
 }
 
 // writeFileAtomic persists b so that a crash mid-write never leaves a
-// truncated checkpoint: write to a temp file in the same directory, fsync,
-// then rename over the destination.
+// truncated checkpoint. It delegates to the store's shared publish helper
+// (temp write, fsync, rename, parent-directory fsync — the last step is
+// what makes the rename itself durable across a crash).
 func writeFileAtomic(path string, b []byte) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(b); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return mega.AtomicWriteFile(path, b)
 }
 
 // showProfile is set by the -profile flag.

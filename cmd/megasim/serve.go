@@ -166,6 +166,17 @@ func runServe(ctx context.Context, w *mega.Window, kind mega.AlgorithmKind, src 
 		return err
 	}
 
+	var store *mega.CheckpointStore
+	if opts.stateDir != "" {
+		store, err = mega.OpenCheckpointStore(mega.CheckpointStoreConfig{
+			Dir:     opts.stateDir,
+			Faults:  mega.FaultPlanFromContext(ctx),
+			Metrics: reg,
+		})
+		if err != nil {
+			return err
+		}
+	}
 	svc, err := mega.NewQueryService(mega.ServeOptions{
 		Capacity:        opts.capacity,
 		QueueDepth:      opts.queueDepth,
@@ -173,9 +184,25 @@ func runServe(ctx context.Context, w *mega.Window, kind mega.AlgorithmKind, src 
 		MaxRetries:      opts.retries,
 		CacheBytes:      opts.cacheBytes,
 		Metrics:         reg,
+		Store:           store, // service takes ownership; Close closes it
 	})
 	if err != nil {
+		if store != nil {
+			store.Close()
+		}
 		return err
+	}
+	if store != nil {
+		// Cold start: re-admit whatever a killed process left behind so
+		// those queries finish alongside this run's batch.
+		if n, rerr := svc.RecoverOrphans(ctx, w); rerr != nil {
+			drainCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			svc.Close(drainCtx)
+			return rerr
+		} else if n > 0 {
+			fmt.Printf("recovered:       %d orphaned queries from %s\n", n, opts.stateDir)
+		}
 	}
 
 	type outcome struct {
@@ -251,6 +278,12 @@ func runServe(ctx context.Context, w *mega.Window, kind mega.AlgorithmKind, src 
 		fmt.Printf("cache:           %d hits / %d lookups, %d coalesced, %d batched, %d seeded; %d engine runs\n",
 			st.Cache.Hits, st.Cache.Lookups, st.CoalescedQueries, st.BatchedQueries,
 			st.SeededQueries, st.EngineRuns)
+	}
+	if st.Store.MaxBytes > 0 {
+		fmt.Printf("store:           %d queries, %d segments, %d/%d bytes; %d writes (%d promoted, %d failed, %d quarantined), %d reclaimed, %d resumes\n",
+			st.Store.Queries, st.Store.Segments, st.Store.Bytes, st.Store.MaxBytes,
+			st.Store.Writes, st.Store.Promoted, st.Store.Failed,
+			st.Store.Quarantined, st.Store.Reclaimed, st.Store.Resumes)
 	}
 
 	if reg != nil {

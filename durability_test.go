@@ -1,0 +1,390 @@
+package mega_test
+
+import (
+	"context"
+	"errors"
+	"os"
+	"testing"
+	"time"
+
+	"mega"
+	"mega/internal/fault"
+)
+
+// openStore opens a durable checkpoint store for tests, failing fast.
+func openStore(t *testing.T, cfg mega.CheckpointStoreConfig) *mega.CheckpointStore {
+	t.Helper()
+	s, err := mega.OpenCheckpointStore(cfg)
+	if err != nil {
+		t.Fatalf("OpenCheckpointStore: %v", err)
+	}
+	return s
+}
+
+// TestDurableCrashEquivalenceSweep is the headline chaos suite: crash the
+// process (an injected panic that unwinds the sequential engine
+// terminally) at checkpoint-store protocol boundaries, restart against
+// the same state directory, and require the resumed run's values to be
+// identical to an uninterrupted run and the reopened store's books to
+// audit clean. Under MEGA_CHAOS every store.write and store.rename visit
+// is swept; the default run takes a three-point subset of each.
+func TestDurableCrashEquivalenceSweep(t *testing.T) {
+	w := eightSnapshotWindow(t)
+	clean, err := mega.Evaluate(w, mega.SSSP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instantBackoff(t)
+	ropt := func(s *mega.CheckpointStore, id mega.CheckpointQueryID) mega.RecoverOptions {
+		return mega.RecoverOptions{CheckpointEvery: 4, Store: s, StoreID: id}
+	}
+	id, err := mega.CheckpointIDFor(w, mega.SSSP, 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Instrumented clean run: count each store site's visits so the sweep
+	// can place a crash at every protocol boundary the run crosses.
+	counter := mega.NewFaultPlan(1)
+	{
+		s := openStore(t, mega.CheckpointStoreConfig{Dir: t.TempDir(), Faults: counter})
+		if _, _, err := mega.EvaluateRecover(context.Background(), w, mega.SSSP, 0, mega.BOE, ropt(s, id)); err != nil {
+			t.Fatalf("instrumented clean run: %v", err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("instrumented store Close: %v", err)
+		}
+	}
+
+	for _, site := range []string{"store.write", "store.rename"} {
+		visits := counter.Visits(fault.Site(site), -1)
+		if visits < 2 {
+			t.Fatalf("clean run crossed only %d %s boundaries; window too small for the sweep", visits, site)
+		}
+		sweep := []uint64{1, visits/2 + 1, visits}
+		if os.Getenv("MEGA_CHAOS") != "" {
+			sweep = sweep[:0]
+			for v := uint64(1); v <= visits; v++ {
+				sweep = append(sweep, v)
+			}
+		}
+		for _, visit := range sweep {
+			t.Run(site+"@"+itoa(visit), func(t *testing.T) {
+				dir := t.TempDir()
+				op, err := mega.ParseFaultOp(site + ":panic@" + itoa(visit))
+				if err != nil {
+					t.Fatal(err)
+				}
+				crashed := openStore(t, mega.CheckpointStoreConfig{
+					Dir:    dir,
+					Faults: mega.NewFaultPlan(2).Add(op),
+				})
+				// The injected panic unwinds the sequential engine as a
+				// worker panic — a terminal failure, our stand-in for the
+				// process dying mid-protocol. The store is deliberately
+				// abandoned without Close, like a dead process's would be.
+				if _, _, err := mega.EvaluateRecover(context.Background(), w, mega.SSSP, 0, mega.BOE, ropt(crashed, id)); err == nil {
+					t.Fatalf("crash at %s visit %d did not kill the run", site, visit)
+				}
+
+				// Restart: a fresh store on the same directory adopts the
+				// wreckage; the rerun resumes from the last durable
+				// generation and must match the uninterrupted run exactly.
+				reopened := openStore(t, mega.CheckpointStoreConfig{Dir: dir})
+				hadCheckpoint := len(reopened.Entries()) > 0
+				got, rec, err := mega.EvaluateRecover(context.Background(), w, mega.SSSP, 0, mega.BOE, ropt(reopened, id))
+				if err != nil {
+					t.Fatalf("resumed run: %v", err)
+				}
+				if hadCheckpoint && !rec.DurableResume {
+					t.Fatalf("store held a checkpoint but the rerun did not durably resume: %+v", rec)
+				}
+				sameValues(t, clean, got)
+				if n := len(reopened.Entries()); n != 0 {
+					t.Fatalf("%d store entries survived the successful rerun", n)
+				}
+				if err := reopened.Close(); err != nil {
+					t.Fatalf("reopened store failed its accounting audit: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestDurableResumeAfterTerminalFailure kills a query mid-run with an
+// injected engine panic (terminal for the sequential engine), then reruns
+// it against the same store: the second run must resume from the durable
+// checkpoint, match a clean run, and delete the entry on success.
+func TestDurableResumeAfterTerminalFailure(t *testing.T) {
+	w := eightSnapshotWindow(t)
+	clean, err := mega.Evaluate(w, mega.SSSP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kill := countRounds(t, w) / 2
+	instantBackoff(t)
+
+	store := openStore(t, mega.CheckpointStoreConfig{Dir: t.TempDir()})
+	id, err := mega.CheckpointIDFor(w, mega.SSSP, 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ropt := mega.RecoverOptions{CheckpointEvery: 1, Store: store, StoreID: id}
+
+	op, err := mega.ParseFaultOp("engine.round:panic@" + itoa(kill))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := mega.WithFaultPlan(context.Background(), mega.NewFaultPlan(3).Add(op))
+	if _, _, err := mega.EvaluateRecover(ctx, w, mega.SSSP, 0, mega.BOE, ropt); err == nil {
+		t.Fatal("the injected mid-run panic did not fail the query")
+	}
+	if n := len(store.Entries()); n != 1 {
+		t.Fatalf("store holds %d entries after the crash, want the orphaned query", n)
+	}
+
+	got, rec, err := mega.EvaluateRecover(context.Background(), w, mega.SSSP, 0, mega.BOE, ropt)
+	if err != nil {
+		t.Fatalf("rerun: %v", err)
+	}
+	if !rec.DurableResume {
+		t.Fatalf("rerun did not resume durably: %+v", rec)
+	}
+	sameValues(t, clean, got)
+	if st := store.Stats(); st.Resumes != 1 || st.Queries != 0 {
+		t.Fatalf("store stats after resumed success: %+v", st)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatalf("store Close: %v", err)
+	}
+}
+
+// TestDurableStoreQuarantineRestartsFresh plants a store checkpoint that
+// passes the CRC gate but is not an engine checkpoint: the evaluator must
+// quarantine it and restart fresh rather than fail the query.
+func TestDurableStoreQuarantineRestartsFresh(t *testing.T) {
+	w := eightSnapshotWindow(t)
+	clean, err := mega.Evaluate(w, mega.SSSP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instantBackoff(t)
+
+	store := openStore(t, mega.CheckpointStoreConfig{Dir: t.TempDir()})
+	id, err := mega.CheckpointIDFor(w, mega.SSSP, 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Write(id, []byte("valid CRC, not an engine checkpoint")); err != nil {
+		t.Fatal(err)
+	}
+
+	got, rec, err := mega.EvaluateRecover(context.Background(), w, mega.SSSP, 0, mega.BOE,
+		mega.RecoverOptions{CheckpointEvery: 8, Store: store, StoreID: id})
+	if err != nil {
+		t.Fatalf("EvaluateRecover = %v, want quarantine-then-fresh-restart", err)
+	}
+	if rec.DurableResume {
+		t.Fatal("a rejected checkpoint must not count as a durable resume")
+	}
+	if len(rec.Faults) == 0 {
+		t.Fatalf("the rejected checkpoint left no trace in rec.Faults: %+v", rec)
+	}
+	sameValues(t, clean, got)
+	if st := store.Stats(); st.Quarantined == 0 {
+		t.Fatalf("store never quarantined the bad checkpoint: %+v", st)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatalf("store Close: %v", err)
+	}
+}
+
+// TestDurableFlakyDiskComposesWithRetry injects failing fsync/rename/
+// dir-sync at the store seam: the spool write fails transiently, the
+// recovery loop retries, and the query still completes with values
+// identical to a clean run.
+func TestDurableFlakyDiskComposesWithRetry(t *testing.T) {
+	w := eightSnapshotWindow(t)
+	clean, err := mega.Evaluate(w, mega.SSSP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, site := range []string{"store.sync", "store.rename", "store.dirsync"} {
+		t.Run(site, func(t *testing.T) {
+			instantBackoff(t)
+			op, err := mega.ParseFaultOp(site + ":transient@2")
+			if err != nil {
+				t.Fatal(err)
+			}
+			store := openStore(t, mega.CheckpointStoreConfig{
+				Dir:    t.TempDir(),
+				Faults: mega.NewFaultPlan(4).Add(op),
+			})
+			id, err := mega.CheckpointIDFor(w, mega.SSSP, 0, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, rec, err := mega.EvaluateRecover(context.Background(), w, mega.SSSP, 0, mega.BOE,
+				mega.RecoverOptions{CheckpointEvery: 4, Store: store, StoreID: id})
+			if err != nil {
+				t.Fatalf("EvaluateRecover = %v, want retry past the flaky disk", err)
+			}
+			if rec.Attempts < 2 {
+				t.Fatalf("attempts = %d, want a retry after the disk fault", rec.Attempts)
+			}
+			sameValues(t, clean, got)
+			if err := store.Close(); err != nil {
+				t.Fatalf("store Close: %v", err)
+			}
+		})
+	}
+}
+
+// TestServeDurableRestartResume is the service-level restart story: a
+// query dies mid-run, the service (and its store) shut down, and a new
+// service over the same state directory answers the re-submitted query by
+// resuming — Report.Resumed set, values identical to a clean run.
+func TestServeDurableRestartResume(t *testing.T) {
+	w := eightSnapshotWindow(t)
+	clean, err := mega.Evaluate(w, mega.SSSP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kill := countRounds(t, w) / 2
+	instantBackoff(t)
+	dir := t.TempDir()
+	req := mega.QueryRequest{Window: w, Algo: mega.SSSP, Source: 0}
+
+	svc1, err := mega.NewQueryService(mega.ServeOptions{
+		CheckpointEvery: 1,
+		Store:           openStore(t, mega.CheckpointStoreConfig{Dir: dir}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := mega.ParseFaultOp("engine.round:panic@" + itoa(kill))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := mega.WithFaultPlan(context.Background(), mega.NewFaultPlan(5).Add(op))
+	if _, err := svc1.Submit(ctx, req); err == nil {
+		t.Fatal("the injected mid-run panic did not fail the query")
+	}
+	cctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := svc1.Close(cctx); err != nil {
+		t.Fatalf("svc1 Close: %v", err)
+	}
+
+	svc2, err := mega.NewQueryService(mega.ServeOptions{
+		CheckpointEvery: 1,
+		Store:           openStore(t, mega.CheckpointStoreConfig{Dir: dir}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := svc2.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatalf("resubmit after restart: %v", err)
+	}
+	if !res.Report.Resumed {
+		t.Fatalf("report = %+v, want Resumed=true", res.Report)
+	}
+	sameValues(t, clean, res.Values)
+	st := svc2.Stats()
+	if st.Store.Resumes != 1 || st.Store.Queries != 0 {
+		t.Fatalf("store stats after resumed success: %+v", st.Store)
+	}
+	if err := svc2.Close(cctx); err != nil {
+		t.Fatalf("svc2 Close: %v", err)
+	}
+}
+
+// TestServeRecoverOrphans checks cold-start recovery: the restarted
+// service re-admits the orphaned query itself, runs it to completion in
+// the background, and clears the store entry.
+func TestServeRecoverOrphans(t *testing.T) {
+	w := eightSnapshotWindow(t)
+	kill := countRounds(t, w) / 2
+	instantBackoff(t)
+	dir := t.TempDir()
+	req := mega.QueryRequest{Window: w, Algo: mega.SSSP, Source: 0, Tenant: "team-a"}
+
+	svc1, err := mega.NewQueryService(mega.ServeOptions{
+		CheckpointEvery: 1,
+		Store:           openStore(t, mega.CheckpointStoreConfig{Dir: dir}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := mega.ParseFaultOp("engine.round:panic@" + itoa(kill))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := mega.WithFaultPlan(context.Background(), mega.NewFaultPlan(6).Add(op))
+	if _, err := svc1.Submit(ctx, req); err == nil {
+		t.Fatal("the injected mid-run panic did not fail the query")
+	}
+	cctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := svc1.Close(cctx); err != nil {
+		t.Fatalf("svc1 Close: %v", err)
+	}
+
+	svc2, err := mega.NewQueryService(mega.ServeOptions{
+		CheckpointEvery: 1,
+		Store:           openStore(t, mega.CheckpointStoreConfig{Dir: dir}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := svc2.RecoverOrphans(context.Background(), w)
+	if err != nil || n != 1 {
+		t.Fatalf("RecoverOrphans = (%d, %v), want (1, nil)", n, err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := svc2.Stats()
+		if st.Completed >= 1 {
+			if st.Store.Resumes < 1 || st.Store.Queries != 0 {
+				t.Fatalf("store stats after orphan recovery: %+v", st.Store)
+			}
+			// The orphan ran under its original tenant's accounting.
+			found := false
+			for _, tn := range st.Tenants {
+				if tn.Name == "team-a" && tn.Completed == 1 {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("orphan not billed to its original tenant: %+v", st.Tenants)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("orphan never completed: %+v", svc2.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := svc2.Close(cctx); err != nil {
+		t.Fatalf("svc2 Close: %v", err)
+	}
+}
+
+// TestQuarantinedCheckpointErrorContract pins the satellite megaerr
+// change: Quarantined surfaces in the message, the error still matches
+// ErrCheckpoint (exit-code tables are untouched), and the plain message
+// stays byte-stable.
+func TestQuarantinedCheckpointErrorContract(t *testing.T) {
+	plain := &mega.CheckpointError{Reason: "r"}
+	if plain.Error() != "mega: bad checkpoint: r" {
+		t.Fatalf("plain message changed: %q", plain.Error())
+	}
+	q := &mega.CheckpointError{Reason: "r", Quarantined: true}
+	if q.Error() != "mega: bad checkpoint (quarantined): r" {
+		t.Fatalf("quarantined message: %q", q.Error())
+	}
+	if !errors.Is(q, mega.ErrCheckpoint) {
+		t.Fatal("quarantined error no longer matches ErrCheckpoint")
+	}
+}

@@ -1,0 +1,998 @@
+// Package ckptstore is a crash-safe on-disk checkpoint store for the
+// query service. Each query owns a directory keyed by a stable identity
+// fingerprint (window fingerprint + algorithm + source + tenant) holding
+// generation-numbered, CRC-gated segment files and a tiny manifest that
+// records the latest good generation.
+//
+// Durability discipline (argued in DESIGN.md §15): every publish is
+// temp-file write → fsync → rename → parent-directory fsync, and a
+// segment is only promoted (made the manifest's latest generation) after
+// its bytes are durable AND a read-back re-validation passed. A torn or
+// bit-flipped segment discovered at any point is quarantined — moved
+// aside, never deleted — and the previous generation answers instead.
+// Open tolerates every crash interleaving the protocol permits: stray
+// temp files are discarded, a valid-but-unpromoted segment is rolled
+// forward, and a corrupt manifest is rebuilt from the surviving segments.
+//
+// The store keeps strict books: every segment it ever saw (adopted at
+// Open or written in-session) ends in exactly one class — live, failed,
+// quarantined, or reclaimed by GC — and the ckptstore.accounting audit
+// re-derives the conservation law and re-walks the disk at Close.
+package ckptstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"mega/internal/fault"
+	"mega/internal/megaerr"
+	"mega/internal/metrics"
+)
+
+const (
+	manifestName      = "MANIFEST"
+	quarantineDirName = "quarantine"
+	// DefaultMaxBytes bounds a store's live segment bytes when
+	// Config.MaxBytes is zero.
+	DefaultMaxBytes = 256 << 20
+	// DefaultKeepGenerations is the per-query retention when
+	// Config.KeepGenerations is zero: the newest generation plus one
+	// fallback for quarantine recovery.
+	DefaultKeepGenerations = 2
+)
+
+// QueryID is the stable identity of one query's checkpoint stream: the
+// window's content fingerprint, the algorithm and source, and the tenant.
+// Two queries share a directory exactly when they would compute the same
+// values — which is what makes resuming one from the other's checkpoint
+// sound.
+type QueryID struct {
+	// Win is the window content fingerprint (engine.Fingerprint.Key).
+	Win uint64
+	// Algo is the algorithm kind (algo.Kind).
+	Algo uint32
+	// Source is the query's source vertex.
+	Source uint32
+	// Tenant is the owning tenant (at most 256 bytes).
+	Tenant string
+}
+
+// dirName folds the identity into the query's directory name.
+func (id QueryID) dirName() string {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], id.Win)
+	h.Write(b[:])
+	binary.LittleEndian.PutUint32(b[:4], id.Algo)
+	h.Write(b[:4])
+	binary.LittleEndian.PutUint32(b[:4], id.Source)
+	h.Write(b[:4])
+	h.Write([]byte(id.Tenant))
+	return fmt.Sprintf("q-%016x", h.Sum64())
+}
+
+// String renders the identity for logs and error messages.
+func (id QueryID) String() string {
+	return fmt.Sprintf("win=%016x algo=%d source=%d tenant=%q", id.Win, id.Algo, id.Source, id.Tenant)
+}
+
+// Config configures Open.
+type Config struct {
+	// Dir is the store's root directory; created if absent.
+	Dir string
+	// MaxBytes bounds total live segment bytes; once exceeded the
+	// globally oldest segments are reclaimed (the segment just written
+	// is never the victim). Zero means DefaultMaxBytes.
+	MaxBytes int64
+	// KeepGenerations bounds live generations per query. Zero means
+	// DefaultKeepGenerations.
+	KeepGenerations int
+	// Faults, when non-nil, is checked at the store's io seam (the
+	// store.write / store.sync / store.rename / store.dirsync sites) so
+	// chaos suites can inject short writes, failed syncs, failed renames,
+	// and crashes between write and rename.
+	Faults *fault.Plan
+	// Metrics receives the store's counters, gauges, and the Close-time
+	// accounting audit. Nil gets a private registry.
+	Metrics *metrics.Registry
+}
+
+// Entry summarizes one resumable query in the store.
+type Entry struct {
+	// ID is the query identity.
+	ID QueryID
+	// Generation is the latest live (promoted) generation.
+	Generation uint64
+	// Bytes is the query's total live segment bytes.
+	Bytes int64
+}
+
+// Stats is a point-in-time snapshot of the store's books.
+type Stats struct {
+	// Queries and Segments count currently live directories and segment
+	// files; Bytes is their total size, bounded by MaxBytes.
+	Queries  int
+	Segments int
+	Bytes    int64
+	MaxBytes int64
+	// Adopted counts segments inherited from a previous process at Open;
+	// Writes counts in-session write attempts. Every one of them lands in
+	// exactly one terminal class: still live, Failed (io error),
+	// Quarantined (corruption moved aside), or Reclaimed (GC / Delete).
+	Adopted     uint64
+	Writes      uint64
+	Promoted    uint64
+	Failed      uint64
+	Quarantined uint64
+	Reclaimed   uint64
+	// Loads counts Load calls; Resumes counts loads that returned a
+	// checkpoint (a durable resume).
+	Loads   uint64
+	Resumes uint64
+}
+
+type segInfo struct {
+	bytes int64
+	// seq is a store-wide monotonic age stamp; the byte-budget GC evicts
+	// the smallest seq first, so a query's generations always retire
+	// oldest-first and stale queries retire before active ones.
+	seq uint64
+}
+
+type queryState struct {
+	id  QueryID
+	dir string
+	// next is the next generation number to allocate — one past the
+	// highest generation ever seen, so numbers are never reused even
+	// across quarantines.
+	next uint64
+	segs map[uint64]segInfo
+}
+
+// Store is a crash-safe checkpoint store. All methods are safe for
+// concurrent use; a single store-wide mutex serializes them (checkpoint
+// writes are rare and already amortized by the engines' checkpoint
+// cadence, so the simplicity is worth more than write concurrency).
+type Store struct {
+	dir      string
+	maxBytes int64
+	keep     int
+	faults   *fault.Plan
+	reg      *metrics.Registry
+	strict   bool
+
+	mu      sync.Mutex
+	closed  bool
+	queries map[string]*queryState
+	seq     uint64
+
+	adopted, writes, promoted, failed, quarantined, reclaimed uint64
+	loads, resumes                                            uint64
+	liveBytes                                                 int64
+
+	cWrites, cPromoted, cFailed, cQuarantined, cReclaimed *metrics.Counter
+	cLoads, cResumes                                      *metrics.Counter
+	gBytes, gSegments, gQueries                           *metrics.Gauge
+}
+
+// Open opens (creating if necessary) the store rooted at cfg.Dir and
+// adopts whatever a previous process left behind: valid segments are
+// adopted (rolling forward past a crash that died between segment
+// publish and manifest update), corrupt segments and manifests are
+// quarantined, and stray temp files are discarded.
+func Open(cfg Config) (*Store, error) {
+	if cfg.Dir == "" {
+		return nil, megaerr.Invalidf("ckptstore: Config.Dir is required")
+	}
+	if cfg.MaxBytes == 0 {
+		cfg.MaxBytes = DefaultMaxBytes
+	}
+	if cfg.MaxBytes < 0 {
+		return nil, megaerr.Invalidf("ckptstore: MaxBytes %d is negative", cfg.MaxBytes)
+	}
+	if cfg.KeepGenerations == 0 {
+		cfg.KeepGenerations = DefaultKeepGenerations
+	}
+	if cfg.KeepGenerations < 0 {
+		return nil, megaerr.Invalidf("ckptstore: KeepGenerations %d is negative", cfg.KeepGenerations)
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.New()
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ckptstore: create %s: %w", cfg.Dir, err)
+	}
+	s := &Store{
+		dir:          cfg.Dir,
+		maxBytes:     cfg.MaxBytes,
+		keep:         cfg.KeepGenerations,
+		faults:       cfg.Faults,
+		reg:          reg,
+		strict:       metrics.Strict(),
+		queries:      make(map[string]*queryState),
+		cWrites:      reg.Counter("ckpt_store_writes"),
+		cPromoted:    reg.Counter("ckpt_store_promoted"),
+		cFailed:      reg.Counter("ckpt_store_failed"),
+		cQuarantined: reg.Counter("ckpt_store_quarantined"),
+		cReclaimed:   reg.Counter("ckpt_store_reclaimed"),
+		cLoads:       reg.Counter("ckpt_store_loads"),
+		cResumes:     reg.Counter("ckpt_store_resumes"),
+		gBytes:       reg.Gauge("ckpt_store_bytes"),
+		gSegments:    reg.Gauge("ckpt_store_segments"),
+		gQueries:     reg.Gauge("ckpt_store_queries"),
+	}
+	ents, err := os.ReadDir(cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("ckptstore: scan %s: %w", cfg.Dir, err)
+	}
+	for _, e := range ents {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "q-") {
+			s.adoptQueryLocked(filepath.Join(cfg.Dir, e.Name()))
+		}
+	}
+	s.gcLocked(nil)
+	s.updateGaugesLocked()
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// adoptQueryLocked rebuilds one query directory's state from disk,
+// handling every crash residue the write protocol can leave: temp files
+// are removed, corrupt segments and manifests are quarantined, and a
+// valid segment newer than the manifest (crash between publish and
+// promote) is rolled forward.
+func (s *Store) adoptQueryLocked(dir string) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	type cand struct {
+		id    QueryID
+		bytes int64
+	}
+	cands := make(map[uint64]cand)
+	var corrupt []string
+	for _, e := range ents {
+		name := e.Name()
+		switch {
+		case e.IsDir():
+			continue
+		case strings.Contains(name, ".tmp"):
+			// An unrenamed temp file: the previous process crashed
+			// before (or during) publish. It was never promoted, so it
+			// owes the books nothing.
+			_ = os.Remove(filepath.Join(dir, name))
+		case name == manifestName:
+			continue
+		case strings.HasPrefix(name, "ckpt-") && strings.HasSuffix(name, ".seg"):
+			path := filepath.Join(dir, name)
+			gen, perr := parseSegName(name)
+			data, rerr := os.ReadFile(path)
+			if perr != nil || rerr != nil {
+				corrupt = append(corrupt, name)
+				continue
+			}
+			id, dgen, _, derr := decodeSegment(data)
+			if derr != nil || dgen != gen {
+				corrupt = append(corrupt, name)
+				continue
+			}
+			cands[gen] = cand{id: id, bytes: int64(len(data))}
+		}
+	}
+	var man Manifest
+	manValid := false
+	manPath := filepath.Join(dir, manifestName)
+	if data, rerr := os.ReadFile(manPath); rerr == nil {
+		if m, derr := DecodeManifest(data); derr == nil {
+			man, manValid = m, true
+		} else {
+			s.quarantineFile(dir, manPath, manifestName)
+		}
+	}
+	// Identity: the manifest's when it survived, else the newest valid
+	// segment's. Segments disagreeing with it are corrupt or misplaced.
+	var id QueryID
+	switch {
+	case manValid:
+		id = man.ID
+	case len(cands) > 0:
+		var best uint64
+		for gen := range cands {
+			if gen >= best {
+				best, id = gen, cands[gen].id
+			}
+		}
+	}
+	q := &queryState{id: id, dir: dir, segs: make(map[uint64]segInfo)}
+	for gen, c := range cands {
+		s.adopted++
+		if c.id != id {
+			s.quarantined++
+			s.cQuarantined.Inc()
+			s.quarantineFile(dir, filepath.Join(dir, segName(gen)), segName(gen))
+			continue
+		}
+		q.segs[gen] = segInfo{bytes: c.bytes, seq: s.nextSeq()}
+		s.liveBytes += c.bytes
+		if gen >= q.next {
+			q.next = gen + 1
+		}
+	}
+	for _, name := range corrupt {
+		s.adopted++
+		s.quarantined++
+		s.cQuarantined.Inc()
+		s.quarantineFile(dir, filepath.Join(dir, name), name)
+	}
+	if len(q.segs) == 0 {
+		// Nothing live: drop the manifest (if any) and the directory
+		// unless quarantined evidence keeps it around.
+		_ = os.Remove(manPath)
+		_ = os.Remove(dir)
+		return
+	}
+	if man.Generation != maxGen(q) || !manValid {
+		// Roll forward (or rebuild): the newest durable valid segment
+		// becomes the promoted generation. Plain AtomicWrite — Open-time
+		// healing does not consume fault-injection visits.
+		_ = AtomicWrite(manPath, EncodeManifest(Manifest{ID: id, Generation: maxGen(q)}))
+	}
+	s.queries[filepath.Base(dir)] = q
+	// Enforce per-query retention on what we adopted.
+	for len(q.segs) > s.keep {
+		s.reclaimGenLocked(q, minGen(q))
+	}
+}
+
+// Write appends one checkpoint generation for id and promotes it. The
+// write is atomic and durable when Write returns nil; on a detected torn
+// write the bytes are quarantined and the write retried once with a
+// fresh temp file. Errors are transient-marked where a retry can
+// plausibly succeed, so EvaluateRecover's retry loop composes with a
+// flaky disk.
+func (s *Store) Write(id QueryID, payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return megaerr.Invalidf("ckptstore: Write on closed store")
+	}
+	if len(id.Tenant) > maxTenantLen {
+		return megaerr.Invalidf("ckptstore: tenant %q exceeds %d bytes", id.Tenant, maxTenantLen)
+	}
+	q, err := s.queryLocked(id)
+	if err != nil {
+		return err
+	}
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		quarantined, werr := s.writeSegmentLocked(q, payload)
+		if werr == nil {
+			s.updateGaugesLocked()
+			return nil
+		}
+		if !quarantined {
+			return werr
+		}
+		lastErr = werr
+	}
+	return lastErr
+}
+
+// Sink adapts the store to the engine's checkpoint-sink signature.
+func (s *Store) Sink(id QueryID) func([]byte) error {
+	return func(ckpt []byte) error { return s.Write(id, ckpt) }
+}
+
+// queryLocked returns (creating if needed) the state for id.
+func (s *Store) queryLocked(id QueryID) (*queryState, error) {
+	name := id.dirName()
+	if q := s.queries[name]; q != nil {
+		if q.id != id {
+			return nil, megaerr.Invalidf("ckptstore: identity fold collision between (%s) and (%s)", q.id, id)
+		}
+		return q, nil
+	}
+	dir := filepath.Join(s.dir, name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, megaerr.MarkTransient("ckptstore: create "+dir, err)
+	}
+	q := &queryState{id: id, dir: dir, next: 1, segs: make(map[uint64]segInfo)}
+	s.queries[name] = q
+	return q, nil
+}
+
+// writeSegmentLocked runs one write attempt through the full protocol:
+// temp write → fsync → close → read-back validation → rename → parent
+// dir fsync → manifest promote. It returns quarantined=true when the
+// read-back gate caught a torn write (retryable with a fresh attempt).
+func (s *Store) writeSegmentLocked(q *queryState, payload []byte) (torn bool, err error) {
+	s.writes++
+	s.cWrites.Inc()
+	gen := q.next
+	q.next++
+	data := encodeSegment(q.id, gen, payload)
+	segPath := filepath.Join(q.dir, segName(gen))
+	tmp := segPath + ".tmp"
+	classified := false
+	// An injected crash (fault panic) unwinds through here with the
+	// attempt unclassified. The process outlives the simulated crash, so
+	// keep its books consistent: count the attempt failed and drop the
+	// in-flight files. A real crash leaves them on disk — Open's adopt
+	// pass is what cleans those up.
+	defer func() {
+		if !classified {
+			s.failed++
+			s.cFailed.Inc()
+			_ = os.Remove(tmp)
+			_ = os.Remove(segPath)
+		}
+	}()
+	fail := func(e error) (bool, error) {
+		classified = true
+		s.failed++
+		s.cFailed.Inc()
+		_ = os.Remove(tmp)
+		_ = os.Remove(segPath)
+		return false, e
+	}
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fail(megaerr.MarkTransient("ckptstore: create "+tmp, err))
+	}
+	if err := s.seamWrite(f, data); err != nil {
+		f.Close()
+		return fail(err)
+	}
+	if err := s.seamSync(f); err != nil {
+		f.Close()
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		return fail(megaerr.MarkTransient("ckptstore: close "+tmp, err))
+	}
+	// Read-back gate: re-read and re-validate the synced temp before it
+	// can be published. A silent short write (the disk acked, the bytes
+	// didn't land) or a bit flip between buffer and platter is caught
+	// here and quarantined — a torn segment is never renamed into place.
+	readBack, rerr := os.ReadFile(tmp)
+	valid := rerr == nil
+	if valid {
+		rid, rgen, _, derr := decodeSegment(readBack)
+		valid = derr == nil && rid == q.id && rgen == gen
+	}
+	if !valid {
+		classified = true
+		s.quarantined++
+		s.cQuarantined.Inc()
+		s.quarantineFile(q.dir, tmp, segName(gen))
+		return true, megaerr.QuarantinedCheckpointf("torn write caught on read-back of generation %d (%s)", gen, q.id)
+	}
+	if err := s.seamRename(tmp, segPath); err != nil {
+		return fail(err)
+	}
+	if err := s.seamDirSync(q.dir); err != nil {
+		return fail(err)
+	}
+	// Promote: the manifest repoints at the new generation with the same
+	// atomic discipline. Until this lands, a crash serves the previous
+	// generation; after it, the new one — never anything in between.
+	manData := EncodeManifest(Manifest{ID: q.id, Generation: gen})
+	if err := s.seamAtomicWrite(filepath.Join(q.dir, manifestName), manData); err != nil {
+		return fail(err)
+	}
+	classified = true
+	q.segs[gen] = segInfo{bytes: int64(len(data)), seq: s.nextSeq()}
+	s.liveBytes += int64(len(data))
+	s.promoted++
+	s.cPromoted.Inc()
+	s.gcLocked(q)
+	return false, nil
+}
+
+// Load returns the newest valid checkpoint payload for id and its
+// generation, or (nil, 0, nil) when the store holds nothing resumable.
+// A corrupt generation discovered here is quarantined and the previous
+// one served — corruption degrades the resume, it never fails the query.
+func (s *Store) Load(id QueryID) ([]byte, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, 0, megaerr.Invalidf("ckptstore: Load on closed store")
+	}
+	s.loads++
+	s.cLoads.Inc()
+	q := s.queries[id.dirName()]
+	if q == nil || q.id != id {
+		return nil, 0, nil
+	}
+	for len(q.segs) > 0 {
+		gen := maxGen(q)
+		data, err := os.ReadFile(filepath.Join(q.dir, segName(gen)))
+		if err == nil {
+			rid, rgen, payload, derr := decodeSegment(data)
+			if derr == nil && rid == id && rgen == gen {
+				s.resumes++
+				s.cResumes.Inc()
+				return payload, gen, nil
+			}
+		}
+		s.quarantineGenLocked(q, gen)
+	}
+	s.dropQueryLocked(q)
+	s.updateGaugesLocked()
+	return nil, 0, nil
+}
+
+// Quarantine moves one live generation aside — for callers who discover
+// a checkpoint the store's CRC gate could not: e.g. the engine rejected
+// the restored payload. The manifest repoints at the surviving newest
+// generation. Unknown ids and generations are no-ops.
+func (s *Store) Quarantine(id QueryID, gen uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return megaerr.Invalidf("ckptstore: Quarantine on closed store")
+	}
+	q := s.queries[id.dirName()]
+	if q == nil || q.id != id {
+		return nil
+	}
+	if _, ok := q.segs[gen]; !ok {
+		return nil
+	}
+	s.quarantineGenLocked(q, gen)
+	if len(q.segs) == 0 {
+		s.dropQueryLocked(q)
+	}
+	s.updateGaugesLocked()
+	return nil
+}
+
+// Delete drops every live generation for id — called when the query
+// completed and its checkpoints are obsolete. Bytes count as reclaimed.
+func (s *Store) Delete(id QueryID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return megaerr.Invalidf("ckptstore: Delete on closed store")
+	}
+	q := s.queries[id.dirName()]
+	if q == nil || q.id != id {
+		return nil
+	}
+	for len(q.segs) > 0 {
+		s.reclaimGenLocked(q, minGen(q))
+	}
+	s.dropQueryLocked(q)
+	s.updateGaugesLocked()
+	return nil
+}
+
+// Entries lists the resumable queries, ordered by directory name for
+// determinism. Service restart recovery walks this to re-admit work.
+func (s *Store) Entries() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.queries))
+	for name := range s.queries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]Entry, 0, len(names))
+	for _, name := range names {
+		q := s.queries[name]
+		var bytes int64
+		for _, info := range q.segs {
+			bytes += info.bytes
+		}
+		out = append(out, Entry{ID: q.id, Generation: maxGen(q), Bytes: bytes})
+	}
+	return out
+}
+
+// Stats snapshots the books.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statsLocked()
+}
+
+func (s *Store) statsLocked() Stats {
+	st := Stats{
+		Queries:     len(s.queries),
+		Bytes:       s.liveBytes,
+		MaxBytes:    s.maxBytes,
+		Adopted:     s.adopted,
+		Writes:      s.writes,
+		Promoted:    s.promoted,
+		Failed:      s.failed,
+		Quarantined: s.quarantined,
+		Reclaimed:   s.reclaimed,
+		Loads:       s.loads,
+		Resumes:     s.resumes,
+	}
+	for _, q := range s.queries {
+		st.Segments += len(q.segs)
+	}
+	return st
+}
+
+// Audit re-derives the store's conservation law and re-walks the disk:
+// every segment ever seen is in exactly one terminal class (adopted +
+// writes == live + failed + quarantined + reclaimed), the byte ledger
+// matches the sum of live segments, every live segment exists on disk at
+// its recorded size, and no untracked segment file hides in a tracked
+// directory.
+func (s *Store) Audit() metrics.AuditResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.auditLocked()
+}
+
+func (s *Store) auditLocked() metrics.AuditResult {
+	var problems []string
+	live := 0
+	var ledger int64
+	for _, q := range s.queries {
+		live += len(q.segs)
+		for _, info := range q.segs {
+			ledger += info.bytes
+		}
+	}
+	if s.adopted+s.writes != uint64(live)+s.failed+s.quarantined+s.reclaimed {
+		problems = append(problems, fmt.Sprintf(
+			"segment conservation: adopted %d + writes %d != live %d + failed %d + quarantined %d + reclaimed %d",
+			s.adopted, s.writes, live, s.failed, s.quarantined, s.reclaimed))
+	}
+	if ledger != s.liveBytes {
+		problems = append(problems, fmt.Sprintf("byte ledger %d != Σ live segments %d", s.liveBytes, ledger))
+	}
+	var disk int64
+	for name, q := range s.queries {
+		for gen, info := range q.segs {
+			fi, err := os.Stat(filepath.Join(q.dir, segName(gen)))
+			if err != nil {
+				problems = append(problems, fmt.Sprintf("%s: live generation %d missing on disk: %v", name, gen, err))
+				continue
+			}
+			if fi.Size() != info.bytes {
+				problems = append(problems, fmt.Sprintf("%s: generation %d is %d bytes on disk, %d in the ledger", name, gen, fi.Size(), info.bytes))
+			}
+			disk += fi.Size()
+		}
+		ents, err := os.ReadDir(q.dir)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: unreadable: %v", name, err))
+			continue
+		}
+		for _, e := range ents {
+			n := e.Name()
+			if e.IsDir() || !strings.HasPrefix(n, "ckpt-") || !strings.HasSuffix(n, ".seg") {
+				continue
+			}
+			gen, err := parseSegName(n)
+			if err != nil {
+				problems = append(problems, fmt.Sprintf("%s: unparseable segment file %s", name, n))
+				continue
+			}
+			if _, ok := q.segs[gen]; !ok {
+				problems = append(problems, fmt.Sprintf("%s: untracked segment file %s on disk", name, n))
+			}
+		}
+	}
+	if len(problems) == 0 && disk != s.liveBytes {
+		problems = append(problems, fmt.Sprintf("disk bytes %d != ledger %d", disk, s.liveBytes))
+	}
+	res := metrics.AuditResult{Name: "ckptstore.accounting", OK: len(problems) == 0}
+	if res.OK {
+		res.Detail = fmt.Sprintf("adopted=%d writes=%d live=%d failed=%d quarantined=%d reclaimed=%d bytes=%d",
+			s.adopted, s.writes, live, s.failed, s.quarantined, s.reclaimed, s.liveBytes)
+	} else {
+		res.Detail = strings.Join(problems, "; ")
+	}
+	return res
+}
+
+// Close audits the books (strict under tests / MEGA_CHAOS / MEGA_AUDIT)
+// and closes the store. Live segments stay on disk for the next process.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	res := s.auditLocked()
+	s.reg.RecordAudit(res)
+	if s.strict {
+		return res.Err()
+	}
+	return nil
+}
+
+// --- internal bookkeeping -------------------------------------------------
+
+func (s *Store) nextSeq() uint64 {
+	s.seq++
+	return s.seq
+}
+
+// gcLocked enforces per-query retention and the global byte budget.
+// justWrote's newest generation is exempt from the byte budget (a budget
+// must never evict the checkpoint it was asked to keep); pass nil when
+// no write is in flight.
+func (s *Store) gcLocked(justWrote *queryState) {
+	if justWrote != nil {
+		for len(justWrote.segs) > s.keep {
+			s.reclaimGenLocked(justWrote, minGen(justWrote))
+		}
+	}
+	for s.liveBytes > s.maxBytes {
+		var victim *queryState
+		var vgen, vseq uint64 = 0, math.MaxUint64
+		for _, q := range s.queries {
+			for gen, info := range q.segs {
+				if q == justWrote && gen == maxGen(justWrote) {
+					continue
+				}
+				if info.seq < vseq {
+					victim, vgen, vseq = q, gen, info.seq
+				}
+			}
+		}
+		if victim == nil {
+			return
+		}
+		s.reclaimGenLocked(victim, vgen)
+		if len(victim.segs) == 0 {
+			s.dropQueryLocked(victim)
+		}
+	}
+}
+
+// reclaimGenLocked retires one live generation to the reclaimed class
+// and removes its file.
+func (s *Store) reclaimGenLocked(q *queryState, gen uint64) {
+	info := q.segs[gen]
+	delete(q.segs, gen)
+	s.liveBytes -= info.bytes
+	s.reclaimed++
+	s.cReclaimed.Inc()
+	_ = os.Remove(filepath.Join(q.dir, segName(gen)))
+}
+
+// quarantineGenLocked retires one live generation to the quarantined
+// class, moves its file aside, and repoints the manifest at the newest
+// survivor.
+func (s *Store) quarantineGenLocked(q *queryState, gen uint64) {
+	info := q.segs[gen]
+	delete(q.segs, gen)
+	s.liveBytes -= info.bytes
+	s.quarantined++
+	s.cQuarantined.Inc()
+	s.quarantineFile(q.dir, filepath.Join(q.dir, segName(gen)), segName(gen))
+	if len(q.segs) > 0 {
+		// Best effort: if this write is lost, Open's adopt pass rebuilds
+		// the manifest from the surviving segments anyway.
+		_ = AtomicWrite(filepath.Join(q.dir, manifestName), EncodeManifest(Manifest{ID: q.id, Generation: maxGen(q)}))
+	}
+}
+
+// dropQueryLocked forgets a query with no live segments, removing its
+// manifest. The directory itself is removed only when empty — a
+// quarantine/ subdirectory full of evidence keeps it around.
+func (s *Store) dropQueryLocked(q *queryState) {
+	delete(s.queries, filepath.Base(q.dir))
+	_ = os.Remove(filepath.Join(q.dir, manifestName))
+	_ = os.Remove(q.dir)
+	_ = syncDir(s.dir)
+}
+
+// quarantineFile moves path aside into dir's quarantine/ subdirectory
+// under a non-clobbering name derived from base. Never deletes data —
+// the point of quarantine is preserving the evidence.
+func (s *Store) quarantineFile(dir, path, base string) {
+	qdir := filepath.Join(dir, quarantineDirName)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return
+	}
+	dst := filepath.Join(qdir, base+".quar")
+	for i := 1; ; i++ {
+		if _, err := os.Lstat(dst); errors.Is(err, fs.ErrNotExist) {
+			break
+		}
+		dst = filepath.Join(qdir, fmt.Sprintf("%s.quar.%d", base, i))
+	}
+	_ = os.Rename(path, dst)
+	_ = syncDir(qdir)
+	_ = syncDir(dir)
+}
+
+func (s *Store) updateGaugesLocked() {
+	segs := 0
+	for _, q := range s.queries {
+		segs += len(q.segs)
+	}
+	s.gBytes.Set(s.liveBytes)
+	s.gSegments.Set(int64(segs))
+	s.gQueries.Set(int64(len(s.queries)))
+}
+
+func segName(gen uint64) string { return fmt.Sprintf("ckpt-%016x.seg", gen) }
+
+func parseSegName(name string) (uint64, error) {
+	hexPart := strings.TrimSuffix(strings.TrimPrefix(name, "ckpt-"), ".seg")
+	var gen uint64
+	if _, err := fmt.Sscanf(hexPart, "%x", &gen); err != nil {
+		return 0, megaerr.Checkpointf("segment file name %q: %v", name, err)
+	}
+	if segName(gen) != name {
+		return 0, megaerr.Checkpointf("segment file name %q is not canonical", name)
+	}
+	return gen, nil
+}
+
+func maxGen(q *queryState) uint64 {
+	var best uint64
+	for gen := range q.segs {
+		if gen > best {
+			best = gen
+		}
+	}
+	return best
+}
+
+func minGen(q *queryState) uint64 {
+	best := uint64(math.MaxUint64)
+	for gen := range q.segs {
+		if gen < best {
+			best = gen
+		}
+	}
+	return best
+}
+
+// --- io seam --------------------------------------------------------------
+
+// seamWrite writes data through the store.write fault site. An injected
+// transient here is a SILENT short write: the call reports success but
+// only a prefix lands — exactly the failure mode the read-back gate
+// exists to catch. An injected panic is a crash mid-write.
+func (s *Store) seamWrite(f *os.File, data []byte) error {
+	n := len(data)
+	if err := s.faults.Check(fault.SiteStoreWrite); err != nil {
+		if !megaerr.IsTransient(err) {
+			return err
+		}
+		n = len(data) / 2
+	}
+	if _, err := f.Write(data[:n]); err != nil {
+		return megaerr.MarkTransient("ckptstore: write "+f.Name(), err)
+	}
+	return nil
+}
+
+// seamSync fsyncs through the store.sync fault site; an injected
+// transient models a failed fsync (the bytes never became durable).
+func (s *Store) seamSync(f *os.File) error {
+	if err := s.faults.Check(fault.SiteStoreSync); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return megaerr.MarkTransient("ckptstore: fsync "+f.Name(), err)
+	}
+	return nil
+}
+
+// seamRename renames through the store.rename fault site; an injected
+// panic here is the classic crash between write and rename.
+func (s *Store) seamRename(oldpath, newpath string) error {
+	if err := s.faults.Check(fault.SiteStoreRename); err != nil {
+		return err
+	}
+	if err := os.Rename(oldpath, newpath); err != nil {
+		return megaerr.MarkTransient("ckptstore: rename "+oldpath, err)
+	}
+	return nil
+}
+
+// seamDirSync fsyncs a directory through the store.dirsync fault site —
+// the sync that makes a rename itself durable.
+func (s *Store) seamDirSync(dir string) error {
+	if err := s.faults.Check(fault.SiteStoreDirSync); err != nil {
+		return err
+	}
+	if err := syncDir(dir); err != nil {
+		return megaerr.MarkTransient("ckptstore: fsync dir "+dir, err)
+	}
+	return nil
+}
+
+// seamAtomicWrite is AtomicWrite routed through the fault seam, used for
+// manifest promotion so chaos plans can interleave crashes between the
+// segment publish and the manifest update.
+func (s *Store) seamAtomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return megaerr.MarkTransient("ckptstore: create "+tmp, err)
+	}
+	if err := s.seamWrite(f, data); err != nil {
+		f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := s.seamSync(f); err != nil {
+		f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return megaerr.MarkTransient("ckptstore: close "+tmp, err)
+	}
+	if err := s.seamRename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	return s.seamDirSync(filepath.Dir(path))
+}
+
+// AtomicWrite publishes data at path with full crash discipline: write
+// to a temp file in the same directory, fsync it, rename it into place,
+// then fsync the parent directory so the rename itself survives a crash.
+// Readers observe either the old contents or the new, never a torn mix.
+func AtomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory, making the renames inside it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

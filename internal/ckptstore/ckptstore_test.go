@@ -1,0 +1,672 @@
+package ckptstore
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mega/internal/fault"
+	"mega/internal/megaerr"
+)
+
+func testID(n uint32) QueryID {
+	return QueryID{Win: 0xfeedface<<16 | uint64(n), Algo: 1, Source: n, Tenant: "t"}
+}
+
+func mustOpen(t *testing.T, cfg Config) *Store {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+// mustAudit fails the test if the store's books or disk state are off.
+func mustAudit(t *testing.T, s *Store) {
+	t.Helper()
+	if res := s.Audit(); !res.OK {
+		t.Fatalf("ckptstore.accounting: %s", res.Detail)
+	}
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	s := mustOpen(t, Config{})
+	id := testID(1)
+	if payload, gen, err := s.Load(id); err != nil || payload != nil || gen != 0 {
+		t.Fatalf("Load on empty store = (%v, %d, %v), want (nil, 0, nil)", payload, gen, err)
+	}
+	if err := s.Write(id, []byte("first")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := s.Write(id, []byte("second")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	payload, gen, err := s.Load(id)
+	if err != nil || string(payload) != "second" || gen != 2 {
+		t.Fatalf("Load = (%q, %d, %v), want (second, 2, nil)", payload, gen, err)
+	}
+	st := s.Stats()
+	if st.Writes != 2 || st.Promoted != 2 || st.Failed != 0 || st.Quarantined != 0 {
+		t.Fatalf("stats after two writes: %+v", st)
+	}
+	if st.Loads != 2 || st.Resumes != 1 {
+		t.Fatalf("load accounting: loads=%d resumes=%d, want 2/1", st.Loads, st.Resumes)
+	}
+	if err := s.Delete(id); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if st := s.Stats(); st.Queries != 0 || st.Segments != 0 || st.Bytes != 0 || st.Reclaimed != 2 {
+		t.Fatalf("stats after Delete: %+v", st)
+	}
+	mustAudit(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := s.Write(id, []byte("x")); !errors.Is(err, megaerr.ErrInvalidInput) {
+		t.Fatalf("Write after Close = %v, want ErrInvalidInput", err)
+	}
+}
+
+func TestKeepGenerationsRetention(t *testing.T) {
+	s := mustOpen(t, Config{KeepGenerations: 2})
+	id := testID(2)
+	for i := 0; i < 5; i++ {
+		if err := s.Write(id, []byte{byte(i)}); err != nil {
+			t.Fatalf("Write %d: %v", i, err)
+		}
+	}
+	st := s.Stats()
+	if st.Segments != 2 || st.Reclaimed != 3 {
+		t.Fatalf("retention: segments=%d reclaimed=%d, want 2/3", st.Segments, st.Reclaimed)
+	}
+	if payload, gen, err := s.Load(id); err != nil || gen != 5 || payload[0] != 4 {
+		t.Fatalf("Load = (%v, %d, %v), want newest generation 5", payload, gen, err)
+	}
+	mustAudit(t, s)
+}
+
+func TestByteBudgetEvictsGloballyOldest(t *testing.T) {
+	// Budget small enough that the third write must evict the oldest
+	// segment across queries, not just within the writing query.
+	payload := bytes.Repeat([]byte{7}, 64)
+	segBytes := int64(len(encodeSegment(testID(1), 1, payload)))
+	s := mustOpen(t, Config{MaxBytes: 2 * segBytes, KeepGenerations: 4})
+	a, b := testID(10), testID(11)
+	if err := s.Write(a, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(b, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(b, payload); err != nil {
+		t.Fatal(err)
+	}
+	// Query a's only segment was globally oldest; it must be the victim.
+	if payload, _, err := s.Load(a); err != nil || payload != nil {
+		t.Fatalf("Load(a) after eviction = (%v, %v), want gone", payload, err)
+	}
+	if got, gen, err := s.Load(b); err != nil || gen != 2 || !bytes.Equal(got, payload) {
+		t.Fatalf("Load(b) = (gen %d, %v), want generation 2 intact", gen, err)
+	}
+	if st := s.Stats(); st.Reclaimed != 1 || st.Bytes > s.Stats().MaxBytes {
+		t.Fatalf("budget stats: %+v", st)
+	}
+	mustAudit(t, s)
+}
+
+func TestOversizedWriteSurvivesItsOwnBudget(t *testing.T) {
+	s := mustOpen(t, Config{MaxBytes: 16})
+	id := testID(3)
+	big := bytes.Repeat([]byte{1}, 256)
+	if err := s.Write(id, big); err != nil {
+		t.Fatalf("oversized Write: %v", err)
+	}
+	// The budget must never evict the checkpoint it was just asked to
+	// keep, even though it alone overshoots MaxBytes.
+	if payload, gen, err := s.Load(id); err != nil || gen != 1 || !bytes.Equal(payload, big) {
+		t.Fatalf("Load = (gen %d, %v), want the oversized write intact", gen, err)
+	}
+	mustAudit(t, s)
+}
+
+func TestReopenAdoptsAndResumes(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Config{Dir: dir})
+	id := testID(4)
+	for i := 0; i < 3; i++ {
+		if err := s.Write(id, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2 := mustOpen(t, Config{Dir: dir})
+	st := s2.Stats()
+	if st.Adopted != 2 || st.Segments != 2 {
+		t.Fatalf("reopen stats: adopted=%d segments=%d, want 2/2", st.Adopted, st.Segments)
+	}
+	payload, gen, err := s2.Load(id)
+	if err != nil || gen != 3 || payload[0] != 2 {
+		t.Fatalf("Load after reopen = (%v, %d, %v), want generation 3", payload, gen, err)
+	}
+	// Generation numbers must never be reused across processes.
+	if err := s2.Write(id, []byte("next")); err != nil {
+		t.Fatal(err)
+	}
+	if _, gen, _ := s2.Load(id); gen != 4 {
+		t.Fatalf("post-reopen generation = %d, want 4", gen)
+	}
+	mustAudit(t, s2)
+	if err := s2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// seedDir writes gens generations for id into a fresh store directory and
+// returns the directory plus each generation's payload.
+func seedDir(t *testing.T, gens int, id QueryID) (string, [][]byte) {
+	t.Helper()
+	dir := t.TempDir()
+	s := mustOpen(t, Config{Dir: dir, KeepGenerations: gens})
+	payloads := make([][]byte, gens)
+	for i := range payloads {
+		payloads[i] = bytes.Repeat([]byte{byte(i + 1)}, 24)
+		if err := s.Write(id, payloads[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir, payloads
+}
+
+func queryDir(t *testing.T, root string, id QueryID) string {
+	t.Helper()
+	return filepath.Join(root, id.dirName())
+}
+
+func TestOpenCrashResidueMatrix(t *testing.T) {
+	id := testID(5)
+
+	t.Run("stray temp file discarded", func(t *testing.T) {
+		dir, _ := seedDir(t, 2, id)
+		qdir := queryDir(t, dir, id)
+		tmp := filepath.Join(qdir, segName(9)+".tmp")
+		if err := os.WriteFile(tmp, []byte("half a segment"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s := mustOpen(t, Config{Dir: dir})
+		defer s.Close()
+		if _, err := os.Lstat(tmp); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("temp file survived Open: %v", err)
+		}
+		if _, gen, err := s.Load(id); err != nil || gen != 2 {
+			t.Fatalf("Load = (gen %d, %v), want 2", gen, err)
+		}
+		mustAudit(t, s)
+	})
+
+	t.Run("valid unpromoted segment rolls forward", func(t *testing.T) {
+		// Crash between segment publish and manifest promote: the segment
+		// for generation 3 is durable but the manifest still says 2.
+		dir, _ := seedDir(t, 2, id)
+		qdir := queryDir(t, dir, id)
+		next := []byte("rolled forward")
+		if err := os.WriteFile(filepath.Join(qdir, segName(3)), encodeSegment(id, 3, next), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s := mustOpen(t, Config{Dir: dir, KeepGenerations: 3})
+		defer s.Close()
+		payload, gen, err := s.Load(id)
+		if err != nil || gen != 3 || !bytes.Equal(payload, next) {
+			t.Fatalf("Load = (%q, %d, %v), want roll-forward to 3", payload, gen, err)
+		}
+		man, derr := DecodeManifest(readFile(t, filepath.Join(qdir, manifestName)))
+		if derr != nil || man.Generation != 3 {
+			t.Fatalf("manifest after roll-forward = (%+v, %v), want generation 3", man, derr)
+		}
+		mustAudit(t, s)
+	})
+
+	t.Run("corrupt manifest rebuilt from segments", func(t *testing.T) {
+		dir, payloads := seedDir(t, 2, id)
+		qdir := queryDir(t, dir, id)
+		if err := os.WriteFile(filepath.Join(qdir, manifestName), []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s := mustOpen(t, Config{Dir: dir})
+		defer s.Close()
+		payload, gen, err := s.Load(id)
+		if err != nil || gen != 2 || !bytes.Equal(payload, payloads[1]) {
+			t.Fatalf("Load = (gen %d, %v), want rebuild to 2", gen, err)
+		}
+		// The corrupt manifest is evidence: quarantined, not deleted.
+		if ents := quarantined(t, qdir); len(ents) != 1 {
+			t.Fatalf("quarantine holds %v, want the corrupt manifest", ents)
+		}
+		mustAudit(t, s)
+	})
+
+	t.Run("missing manifest rebuilt", func(t *testing.T) {
+		dir, payloads := seedDir(t, 2, id)
+		qdir := queryDir(t, dir, id)
+		if err := os.Remove(filepath.Join(qdir, manifestName)); err != nil {
+			t.Fatal(err)
+		}
+		s := mustOpen(t, Config{Dir: dir})
+		defer s.Close()
+		if payload, gen, err := s.Load(id); err != nil || gen != 2 || !bytes.Equal(payload, payloads[1]) {
+			t.Fatalf("Load = (gen %d, %v), want 2", gen, err)
+		}
+		mustAudit(t, s)
+	})
+
+	t.Run("identity mismatched segment quarantined", func(t *testing.T) {
+		dir, payloads := seedDir(t, 2, id)
+		qdir := queryDir(t, dir, id)
+		other := testID(99)
+		if err := os.WriteFile(filepath.Join(qdir, segName(7)), encodeSegment(other, 7, []byte("imposter")), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s := mustOpen(t, Config{Dir: dir})
+		defer s.Close()
+		if payload, gen, err := s.Load(id); err != nil || gen != 2 || !bytes.Equal(payload, payloads[1]) {
+			t.Fatalf("Load = (gen %d, %v), want the rightful generation 2", gen, err)
+		}
+		if st := s.Stats(); st.Quarantined != 1 {
+			t.Fatalf("quarantined = %d, want 1", st.Quarantined)
+		}
+		mustAudit(t, s)
+	})
+}
+
+// TestTornSegmentEveryByteOffset is the satellite torn-write table test:
+// the newest segment truncated at every byte offset, then bit-flipped at
+// every byte offset, must always be quarantined at reopen with the
+// previous generation served — corruption degrades the resume by one
+// generation, it never fails the query and never panics.
+func TestTornSegmentEveryByteOffset(t *testing.T) {
+	id := testID(6)
+	baseDir, payloads := seedDir(t, 2, id)
+	segData := readFile(t, filepath.Join(queryDir(t, baseDir, id), segName(2)))
+
+	check := func(t *testing.T, mutated []byte) {
+		t.Helper()
+		dir := cloneStoreDir(t, baseDir)
+		segPath := filepath.Join(queryDir(t, dir, id), segName(2))
+		if err := os.WriteFile(segPath, mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s := mustOpen(t, Config{Dir: dir})
+		defer s.Close()
+		payload, gen, err := s.Load(id)
+		if err != nil || gen != 1 || !bytes.Equal(payload, payloads[0]) {
+			t.Fatalf("Load = (gen %d, %v), want previous generation 1", gen, err)
+		}
+		if st := s.Stats(); st.Quarantined != 1 {
+			t.Fatalf("quarantined = %d, want 1", st.Quarantined)
+		}
+		if n := len(quarantined(t, queryDir(t, dir, id))); n != 1 {
+			t.Fatalf("quarantine holds %d files, want the torn segment", n)
+		}
+		mustAudit(t, s)
+	}
+
+	for i := 0; i < len(segData); i++ {
+		t.Run("truncate", func(t *testing.T) { check(t, segData[:i]) })
+	}
+	for i := 0; i < len(segData); i++ {
+		t.Run("bitflip", func(t *testing.T) {
+			mutated := append([]byte(nil), segData...)
+			mutated[i] ^= 0x40
+			check(t, mutated)
+		})
+	}
+}
+
+// cloneStoreDir copies a seeded store tree so each torn-write case
+// mutates a pristine replica.
+func cloneStoreDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(src, path)
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatalf("cloning store dir: %v", err)
+	}
+	return dst
+}
+
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func quarantined(t *testing.T, qdir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(filepath.Join(qdir, quarantineDirName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(ents))
+	for i, e := range ents {
+		names[i] = e.Name()
+	}
+	return names
+}
+
+// --- disk-fault injection through the io seam ----------------------------
+
+func plan(ops ...fault.Op) *fault.Plan { return fault.NewPlan(1).Add(ops...) }
+
+func TestSilentShortWriteCaughtByReadBack(t *testing.T) {
+	// A transient at store.write is a SILENT short write: the disk acks,
+	// half the bytes land. The read-back gate must quarantine it before
+	// publish, and the retry (a fresh attempt) must succeed.
+	s := mustOpen(t, Config{
+		Faults: plan(fault.Op{Site: fault.SiteStoreWrite, Shard: fault.AnyShard, Kind: fault.KindTransient, Visit: 1}),
+	})
+	id := testID(7)
+	if err := s.Write(id, []byte("must survive a torn first attempt")); err != nil {
+		t.Fatalf("Write with torn first attempt: %v", err)
+	}
+	st := s.Stats()
+	if st.Writes != 2 || st.Promoted != 1 || st.Quarantined != 1 {
+		t.Fatalf("books after torn+retry: %+v", st)
+	}
+	if payload, gen, err := s.Load(id); err != nil || gen != 2 || string(payload) != "must survive a torn first attempt" {
+		t.Fatalf("Load = (%q, %d, %v)", payload, gen, err)
+	}
+	// The torn temp file is preserved as evidence.
+	if n := len(quarantined(t, queryDir(t, s.Dir(), id))); n != 1 {
+		t.Fatalf("quarantine holds %d files, want 1", n)
+	}
+	mustAudit(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestPersistentTornWritesFailTheWrite(t *testing.T) {
+	// Both attempts torn: Write must give up with a quarantined
+	// checkpoint error rather than publish garbage or loop forever.
+	s := mustOpen(t, Config{
+		Faults: plan(fault.Op{Site: fault.SiteStoreWrite, Shard: fault.AnyShard, Kind: fault.KindTransient, Visit: 1, Every: 1}),
+	})
+	defer s.Close()
+	err := s.Write(testID(8), []byte("never lands"))
+	if !errors.Is(err, megaerr.ErrCheckpoint) {
+		t.Fatalf("Write = %v, want ErrCheckpoint", err)
+	}
+	var ce *megaerr.CheckpointError
+	if !errors.As(err, &ce) || !ce.Quarantined {
+		t.Fatalf("Write error %v is not marked Quarantined", err)
+	}
+	if st := s.Stats(); st.Writes != 2 || st.Quarantined != 2 || st.Promoted != 0 {
+		t.Fatalf("books: %+v", st)
+	}
+	mustAudit(t, s)
+}
+
+func TestFailedSyncRenameDirSyncAreTransient(t *testing.T) {
+	cases := []struct {
+		name string
+		site fault.Site
+	}{
+		{"failed fsync", fault.SiteStoreSync},
+		{"failed rename", fault.SiteStoreRename},
+		{"failed dir fsync", fault.SiteStoreDirSync},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := mustOpen(t, Config{
+				Faults: plan(fault.Op{Site: tc.site, Shard: fault.AnyShard, Kind: fault.KindTransient, Visit: 1}),
+			})
+			defer s.Close()
+			id := testID(9)
+			err := s.Write(id, []byte("payload"))
+			if !megaerr.IsTransient(err) {
+				t.Fatalf("Write = %v, want a transient error (retryable by EvaluateRecover)", err)
+			}
+			if st := s.Stats(); st.Writes != 1 || st.Failed != 1 || st.Promoted != 0 {
+				t.Fatalf("books: %+v", st)
+			}
+			// The failed attempt must leave nothing behind; the next write
+			// succeeds with a fresh generation number.
+			if err := s.Write(id, []byte("payload")); err != nil {
+				t.Fatalf("retry Write: %v", err)
+			}
+			if _, gen, _ := s.Load(id); gen != 2 {
+				t.Fatalf("generation = %d, want 2 (no reuse of the failed 1)", gen)
+			}
+			mustAudit(t, s)
+		})
+	}
+}
+
+func TestInjectedCrashKeepsSurvivorBooksConsistent(t *testing.T) {
+	// A KindPanic at a store site models a crash; the panic unwinds out of
+	// Write. The process that outlives the simulated crash must still have
+	// audit-consistent books and a usable store.
+	for _, site := range []fault.Site{fault.SiteStoreWrite, fault.SiteStoreRename} {
+		t.Run(string(site), func(t *testing.T) {
+			s := mustOpen(t, Config{
+				Faults: plan(fault.Op{Site: site, Shard: fault.AnyShard, Kind: fault.KindPanic, Visit: 1}),
+			})
+			defer s.Close()
+			id := testID(12)
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Fatalf("Write did not panic at %s", site)
+					}
+				}()
+				_ = s.Write(id, []byte("dies mid-protocol"))
+			}()
+			if st := s.Stats(); st.Writes != 1 || st.Failed != 1 {
+				t.Fatalf("books after crash unwind: %+v", st)
+			}
+			if err := s.Write(id, []byte("after the storm")); err != nil {
+				t.Fatalf("Write after crash unwind: %v", err)
+			}
+			if payload, _, err := s.Load(id); err != nil || string(payload) != "after the storm" {
+				t.Fatalf("Load = (%q, %v)", payload, err)
+			}
+			mustAudit(t, s)
+		})
+	}
+}
+
+func TestTornManifestHealedAtReopen(t *testing.T) {
+	// Visit 2 of store.write is the manifest publish. A silent short write
+	// there leaves a corrupt manifest behind a perfectly good segment; the
+	// next Open must quarantine the manifest and rebuild it.
+	dir := t.TempDir()
+	s := mustOpen(t, Config{
+		Dir:    dir,
+		Faults: plan(fault.Op{Site: fault.SiteStoreWrite, Shard: fault.AnyShard, Kind: fault.KindTransient, Visit: 2}),
+	})
+	id := testID(13)
+	if err := s.Write(id, []byte("good segment, torn manifest")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	mustAudit(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, derr := DecodeManifest(readFile(t, filepath.Join(queryDir(t, dir, id), manifestName))); derr == nil {
+		t.Fatal("manifest decoded cleanly; the fault did not tear it")
+	}
+
+	s2 := mustOpen(t, Config{Dir: dir})
+	defer s2.Close()
+	if payload, gen, err := s2.Load(id); err != nil || gen != 1 || string(payload) != "good segment, torn manifest" {
+		t.Fatalf("Load after heal = (%q, %d, %v)", payload, gen, err)
+	}
+	man, derr := DecodeManifest(readFile(t, filepath.Join(queryDir(t, dir, id), manifestName)))
+	if derr != nil || man.Generation != 1 || man.ID != id {
+		t.Fatalf("healed manifest = (%+v, %v)", man, derr)
+	}
+	mustAudit(t, s2)
+}
+
+func TestQuarantineServesPreviousGeneration(t *testing.T) {
+	s := mustOpen(t, Config{})
+	defer s.Close()
+	id := testID(14)
+	if err := s.Write(id, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(id, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	// The engine rejected generation 2 (a corruption the CRC gate cannot
+	// see); the caller quarantines it and the previous generation serves.
+	if err := s.Quarantine(id, 2); err != nil {
+		t.Fatalf("Quarantine: %v", err)
+	}
+	if payload, gen, err := s.Load(id); err != nil || gen != 1 || string(payload) != "one" {
+		t.Fatalf("Load = (%q, %d, %v), want generation 1", payload, gen, err)
+	}
+	if err := s.Quarantine(id, 1); err != nil {
+		t.Fatal(err)
+	}
+	if payload, gen, err := s.Load(id); err != nil || payload != nil || gen != 0 {
+		t.Fatalf("Load after full quarantine = (%v, %d, %v), want empty", payload, gen, err)
+	}
+	mustAudit(t, s)
+}
+
+func TestAuditCatchesDiskDrift(t *testing.T) {
+	t.Run("untracked segment file", func(t *testing.T) {
+		s := mustOpen(t, Config{})
+		id := testID(15)
+		if err := s.Write(id, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		stray := filepath.Join(queryDir(t, s.Dir(), id), segName(42))
+		if err := os.WriteFile(stray, encodeSegment(id, 42, []byte("stray")), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if res := s.Audit(); res.OK || !strings.Contains(res.Detail, "untracked") {
+			t.Fatalf("audit missed the untracked segment: %+v", res)
+		}
+	})
+	t.Run("live segment missing on disk", func(t *testing.T) {
+		s := mustOpen(t, Config{})
+		id := testID(16)
+		if err := s.Write(id, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Remove(filepath.Join(queryDir(t, s.Dir(), id), segName(1))); err != nil {
+			t.Fatal(err)
+		}
+		if res := s.Audit(); res.OK || !strings.Contains(res.Detail, "missing on disk") {
+			t.Fatalf("audit missed the vanished segment: %+v", res)
+		}
+	})
+}
+
+func TestEntriesListsResumableQueries(t *testing.T) {
+	s := mustOpen(t, Config{})
+	defer s.Close()
+	ids := []QueryID{testID(20), testID(21), testID(22)}
+	for _, id := range ids {
+		if err := s.Write(id, []byte("p")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents := s.Entries()
+	if len(ents) != len(ids) {
+		t.Fatalf("Entries = %d, want %d", len(ents), len(ids))
+	}
+	seen := make(map[QueryID]bool)
+	for i, e := range ents {
+		seen[e.ID] = true
+		if e.Generation != 1 || e.Bytes <= 0 {
+			t.Fatalf("entry %d: %+v", i, e)
+		}
+		if i > 0 && ents[i-1].ID.dirName() > e.ID.dirName() {
+			t.Fatal("Entries not sorted by directory name")
+		}
+	}
+	for _, id := range ids {
+		if !seen[id] {
+			t.Fatalf("entry for %s missing", id)
+		}
+	}
+	mustAudit(t, s)
+}
+
+func TestAtomicWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "addr")
+	if err := AtomicWrite(path, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := AtomicWrite(path, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	if got := readFile(t, path); string(got) != "second" {
+		t.Fatalf("content = %q", got)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("temp files leaked: %v", ents)
+	}
+}
+
+func TestOversizedTenantRejected(t *testing.T) {
+	s := mustOpen(t, Config{})
+	defer s.Close()
+	id := QueryID{Win: 1, Tenant: strings.Repeat("t", maxTenantLen+1)}
+	if err := s.Write(id, []byte("x")); !errors.Is(err, megaerr.ErrInvalidInput) {
+		t.Fatalf("Write = %v, want ErrInvalidInput", err)
+	}
+	mustAudit(t, s)
+}
+
+func TestSegmentCodecRoundTrip(t *testing.T) {
+	id := QueryID{Win: 0xdeadbeefcafef00d, Algo: 3, Source: 71, Tenant: "team-a"}
+	payload := bytes.Repeat([]byte{0xab}, 129)
+	rid, gen, got, err := decodeSegment(encodeSegment(id, 17, payload))
+	if err != nil || rid != id || gen != 17 || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip = (%+v, %d, %v)", rid, gen, err)
+	}
+	if _, _, _, err := decodeSegment(append(encodeSegment(id, 17, payload), 0)); !errors.Is(err, megaerr.ErrCheckpoint) {
+		t.Fatalf("trailing byte accepted: %v", err)
+	}
+}

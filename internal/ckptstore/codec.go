@@ -1,0 +1,249 @@
+// Manifest and segment codecs for the checkpoint store.
+//
+// Both formats follow the engine checkpoint discipline (see
+// internal/engine/checkpoint.go): a magic prefix with an embedded format
+// version byte, little-endian fixed-width integers, a length-prefixed
+// variable field, and a CRC32 (IEEE) trailer over everything before it.
+// Decoders are bounds-checked at every read, reject trailing garbage,
+// never panic, and fail only with megaerr.ErrCheckpoint-matching errors —
+// properties FuzzManifestDecode holds them to.
+package ckptstore
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+
+	"mega/internal/megaerr"
+)
+
+const (
+	manifestMagic = "MEGAMAN\x01"
+	segmentMagic  = "MEGASEG\x01"
+	codecVersion  = 1
+	// maxTenantLen bounds the tenant field on decode so a corrupt length
+	// prefix cannot demand an absurd allocation.
+	maxTenantLen = 256
+)
+
+// Manifest records a query's identity and its latest good (promoted)
+// checkpoint generation. It is the store's source of truth at Open: a
+// segment file newer than the manifest generation was never promoted.
+type Manifest struct {
+	// ID is the query identity the directory belongs to.
+	ID QueryID
+	// Generation is the latest promoted segment generation.
+	Generation uint64
+}
+
+// EncodeManifest renders m in the canonical binary form DecodeManifest
+// accepts. Encoding is deterministic: DecodeManifest(EncodeManifest(m))
+// round-trips exactly.
+func EncodeManifest(m Manifest) []byte {
+	buf := make([]byte, 0, len(manifestMagic)+4+8+4+4+8+2+len(m.ID.Tenant)+4)
+	buf = append(buf, manifestMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, codecVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, m.ID.Win)
+	buf = binary.LittleEndian.AppendUint32(buf, m.ID.Algo)
+	buf = binary.LittleEndian.AppendUint32(buf, m.ID.Source)
+	buf = binary.LittleEndian.AppendUint64(buf, m.Generation)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(m.ID.Tenant)))
+	buf = append(buf, m.ID.Tenant...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// DecodeManifest parses and validates a manifest. It never panics; every
+// failure matches megaerr.ErrCheckpoint.
+func DecodeManifest(data []byte) (Manifest, error) {
+	var m Manifest
+	r := reader{buf: data}
+	if err := r.magic(manifestMagic, "manifest"); err != nil {
+		return m, err
+	}
+	if err := r.checkCRC("manifest"); err != nil {
+		return m, err
+	}
+	ver, err := r.u32("manifest version")
+	if err != nil {
+		return m, err
+	}
+	if ver != codecVersion {
+		return m, megaerr.Checkpointf("manifest version %d, store speaks %d", ver, codecVersion)
+	}
+	if m.ID.Win, err = r.u64("manifest window fingerprint"); err != nil {
+		return m, err
+	}
+	if m.ID.Algo, err = r.u32("manifest algo"); err != nil {
+		return m, err
+	}
+	if m.ID.Source, err = r.u32("manifest source"); err != nil {
+		return m, err
+	}
+	if m.Generation, err = r.u64("manifest generation"); err != nil {
+		return m, err
+	}
+	if m.ID.Tenant, err = r.tenant(); err != nil {
+		return m, err
+	}
+	if err := r.done("manifest"); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// encodeSegment renders one checkpoint generation: the query identity,
+// the generation number, and the engine checkpoint payload.
+func encodeSegment(id QueryID, gen uint64, payload []byte) []byte {
+	buf := make([]byte, 0, len(segmentMagic)+4+8+4+4+8+2+len(id.Tenant)+4+len(payload)+4)
+	buf = append(buf, segmentMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, codecVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, id.Win)
+	buf = binary.LittleEndian.AppendUint32(buf, id.Algo)
+	buf = binary.LittleEndian.AppendUint32(buf, id.Source)
+	buf = binary.LittleEndian.AppendUint64(buf, gen)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(id.Tenant)))
+	buf = append(buf, id.Tenant...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// decodeSegment parses and validates one segment file. Like
+// DecodeManifest it never panics and fails only with ErrCheckpoint.
+func decodeSegment(data []byte) (id QueryID, gen uint64, payload []byte, err error) {
+	r := reader{buf: data}
+	if err = r.magic(segmentMagic, "segment"); err != nil {
+		return
+	}
+	if err = r.checkCRC("segment"); err != nil {
+		return
+	}
+	ver, err := r.u32("segment version")
+	if err != nil {
+		return
+	}
+	if ver != codecVersion {
+		err = megaerr.Checkpointf("segment version %d, store speaks %d", ver, codecVersion)
+		return
+	}
+	if id.Win, err = r.u64("segment window fingerprint"); err != nil {
+		return
+	}
+	if id.Algo, err = r.u32("segment algo"); err != nil {
+		return
+	}
+	if id.Source, err = r.u32("segment source"); err != nil {
+		return
+	}
+	if gen, err = r.u64("segment generation"); err != nil {
+		return
+	}
+	if id.Tenant, err = r.tenant(); err != nil {
+		return
+	}
+	plen, err := r.u32("segment payload length")
+	if err != nil {
+		return
+	}
+	if payload, err = r.bytes(int(plen), "segment payload"); err != nil {
+		return
+	}
+	err = r.done("segment")
+	return
+}
+
+// reader is a bounds-checked cursor over an encoded manifest or segment.
+// Every accessor verifies the remaining length first, so corrupt or
+// truncated input surfaces as ErrCheckpoint, never as a panic.
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) remaining() int { return len(r.buf) - r.off }
+
+func (r *reader) magic(want, what string) error {
+	if r.remaining() < len(want) {
+		return megaerr.Checkpointf("%s truncated before magic: %d bytes", what, len(r.buf))
+	}
+	got := string(r.buf[r.off : r.off+len(want)])
+	if got != want {
+		return megaerr.Checkpointf("%s magic mismatch: not a %s file", what, what)
+	}
+	r.off += len(want)
+	return nil
+}
+
+// checkCRC validates the CRC32 trailer over everything before it and
+// shrinks the readable window so later reads cannot consume the trailer.
+func (r *reader) checkCRC(what string) error {
+	if r.remaining() < 4 {
+		return megaerr.Checkpointf("%s truncated before checksum: %d bytes", what, len(r.buf))
+	}
+	body := r.buf[:len(r.buf)-4]
+	want := binary.LittleEndian.Uint32(r.buf[len(r.buf)-4:])
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return megaerr.Checkpointf("%s checksum mismatch: computed %08x, stored %08x", what, got, want)
+	}
+	r.buf = body
+	return nil
+}
+
+func (r *reader) u16(what string) (uint16, error) {
+	if r.remaining() < 2 {
+		return 0, megaerr.Checkpointf("truncated reading %s", what)
+	}
+	v := binary.LittleEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v, nil
+}
+
+func (r *reader) u32(what string) (uint32, error) {
+	if r.remaining() < 4 {
+		return 0, megaerr.Checkpointf("truncated reading %s", what)
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) u64(what string) (uint64, error) {
+	if r.remaining() < 8 {
+		return 0, megaerr.Checkpointf("truncated reading %s", what)
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *reader) bytes(n int, what string) ([]byte, error) {
+	if n < 0 || r.remaining() < n {
+		return nil, megaerr.Checkpointf("truncated reading %s: want %d bytes, have %d", what, n, r.remaining())
+	}
+	v := make([]byte, n)
+	copy(v, r.buf[r.off:r.off+n])
+	r.off += n
+	return v, nil
+}
+
+func (r *reader) tenant() (string, error) {
+	n, err := r.u16("tenant length")
+	if err != nil {
+		return "", err
+	}
+	if n > maxTenantLen {
+		return "", megaerr.Checkpointf("tenant length %d exceeds limit %d", n, maxTenantLen)
+	}
+	b, err := r.bytes(int(n), "tenant")
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// done rejects trailing garbage: a valid encoding is consumed exactly.
+func (r *reader) done(what string) error {
+	if r.remaining() != 0 {
+		return megaerr.Checkpointf("%s has %d trailing bytes", what, r.remaining())
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package ckptstore
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"mega/internal/megaerr"
+)
+
+// FuzzManifestDecode holds DecodeManifest to the codec contract: arbitrary
+// bytes never panic, every rejection matches megaerr.ErrCheckpoint, and an
+// accepted input is exactly the canonical encoding of what it decoded to
+// (the format is deterministic and prefix-free, so decode∘encode is the
+// identity in both directions).
+func FuzzManifestDecode(f *testing.F) {
+	seeds := []Manifest{
+		{},
+		{ID: QueryID{Win: 1, Algo: 2, Source: 3, Tenant: "t"}, Generation: 4},
+		{ID: QueryID{Win: ^uint64(0), Algo: ^uint32(0), Source: ^uint32(0), Tenant: strings.Repeat("x", maxTenantLen)}, Generation: ^uint64(0)},
+	}
+	for _, m := range seeds {
+		enc := EncodeManifest(m)
+		f.Add(enc)
+		f.Add(enc[:len(enc)-1])
+		f.Add(append(append([]byte(nil), enc...), 0))
+		mut := append([]byte(nil), enc...)
+		mut[len(mut)/2] ^= 0x20
+		f.Add(mut)
+	}
+	f.Add([]byte(nil))
+	f.Add([]byte(manifestMagic))
+	f.Add([]byte(segmentMagic))
+	f.Add(encodeSegment(QueryID{Win: 9}, 1, []byte("not a manifest")))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeManifest(data)
+		if err != nil {
+			if !errors.Is(err, megaerr.ErrCheckpoint) {
+				t.Fatalf("rejection %v does not match ErrCheckpoint", err)
+			}
+			return
+		}
+		if reenc := EncodeManifest(m); !bytes.Equal(reenc, data) {
+			t.Fatalf("accepted non-canonical encoding:\n in:  %x\n out: %x", data, reenc)
+		}
+	})
+}

@@ -64,6 +64,22 @@ const (
 	// SiteGenIO fires in dataset I/O: once per file an evolution load
 	// opens.
 	SiteGenIO Site = "gen.io"
+	// SiteStoreWrite fires in the checkpoint store before each segment or
+	// manifest body write. KindTransient here does NOT fail the call: it
+	// models a silent short write — the kernel acknowledges the write but
+	// only a prefix of the bytes lands — which the store's read-back gate
+	// must catch and quarantine. KindPanic models a crash mid-write.
+	SiteStoreWrite Site = "store.write"
+	// SiteStoreSync fires before each file fsync in the checkpoint store;
+	// KindTransient models a failed fsync (the write never became durable).
+	SiteStoreSync Site = "store.sync"
+	// SiteStoreRename fires before the temp→final rename; KindTransient
+	// models a failed rename, KindPanic a crash between write and rename
+	// (the classic torn-publish window the atomic protocol closes).
+	SiteStoreRename Site = "store.rename"
+	// SiteStoreDirSync fires before the parent-directory fsync that makes
+	// a rename durable; KindTransient models that sync failing.
+	SiteStoreDirSync Site = "store.dirsync"
 )
 
 // Sites lists every instrumented site, for CLI validation and docs.
@@ -72,6 +88,7 @@ func Sites() []Site {
 		SiteSolveRound, SiteEngineOp, SiteEngineRound,
 		SiteParallelRound, SiteParallelPhase,
 		SiteSimHop, SiteUarchCycle, SiteGenIO,
+		SiteStoreWrite, SiteStoreSync, SiteStoreRename, SiteStoreDirSync,
 	}
 }
 

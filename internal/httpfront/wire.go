@@ -132,11 +132,14 @@ type Report struct {
 	Seeded bool `json:"seeded,omitempty"`
 	// Sources is how many distinct sources the answering engine run
 	// served (absent for solo runs and cache hits).
-	Sources   int      `json:"sources,omitempty"`
-	Demoted   bool     `json:"demoted,omitempty"`
-	Probe     bool     `json:"probe,omitempty"`
-	Attempts  int      `json:"attempts"`
-	FellBack  bool     `json:"fell_back,omitempty"`
+	Sources  int  `json:"sources,omitempty"`
+	Demoted  bool `json:"demoted,omitempty"`
+	Probe    bool `json:"probe,omitempty"`
+	Attempts int  `json:"attempts"`
+	FellBack bool `json:"fell_back,omitempty"`
+	// Resumed marks a query that picked up a durable checkpoint a
+	// previous process left behind instead of recomputing from scratch.
+	Resumed   bool     `json:"resumed,omitempty"`
 	QueueWait Duration `json:"queue_wait"`
 	RunTime   Duration `json:"run_time"`
 }
@@ -151,6 +154,7 @@ func reportFromServe(r serve.Report) Report {
 		Probe:     r.Probe,
 		Attempts:  r.Attempts,
 		FellBack:  r.FellBack,
+		Resumed:   r.Resumed,
 		QueueWait: Duration(r.QueueWait),
 		RunTime:   Duration(r.RunTime),
 	}

@@ -203,10 +203,20 @@ type CheckpointError struct {
 	// Reason describes the rejection, e.g. "checksum mismatch" or
 	// "checkpoint for 1024 vertices, engine has 2048".
 	Reason string
+	// Quarantined is true when the corrupt bytes were moved aside and a
+	// previous good generation (or a fresh start) answers instead: the
+	// corruption was observed and survived rather than fatal. Callers
+	// that see Quarantined should treat the error as informational — the
+	// store already recovered — while still matching ErrCheckpoint for
+	// taxonomy purposes.
+	Quarantined bool
 }
 
 // Error implements error.
 func (e *CheckpointError) Error() string {
+	if e.Quarantined {
+		return fmt.Sprintf("mega: bad checkpoint (quarantined): %s", e.Reason)
+	}
 	return fmt.Sprintf("mega: bad checkpoint: %s", e.Reason)
 }
 
@@ -217,6 +227,13 @@ func (e *CheckpointError) Unwrap() error { return ErrCheckpoint }
 // reason.
 func Checkpointf(format string, args ...any) error {
 	return &CheckpointError{Reason: fmt.Sprintf(format, args...)}
+}
+
+// QuarantinedCheckpointf builds an ErrCheckpoint-matching error whose
+// Quarantined flag is set: the corrupt generation was moved aside and an
+// older good generation (or a fresh start) will serve instead.
+func QuarantinedCheckpointf(format string, args ...any) error {
+	return &CheckpointError{Reason: fmt.Sprintf(format, args...), Quarantined: true}
 }
 
 // AuditError reports a violated model invariant. It matches ErrAudit

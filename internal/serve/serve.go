@@ -52,6 +52,8 @@ import (
 	"sync"
 
 	"mega/internal/algo"
+	"mega/internal/ckptstore"
+	"mega/internal/engine"
 	"mega/internal/evolve"
 	"mega/internal/graph"
 	"mega/internal/megaerr"
@@ -148,6 +150,10 @@ type RunReport struct {
 	// FellBack is true when a contained worker panic demoted the
 	// evaluation from the parallel to the sequential engine mid-flight.
 	FellBack bool
+	// Resumed is true when the evaluation's first attempt restored a
+	// checkpoint from the durable store — the query picked up work a
+	// previous process (or a previous failed query) left behind.
+	Resumed bool
 	// Base, when non-nil, is the run's converged CommonGraph solution.
 	// The sharing layer caches it as stable-vertex seeding material for
 	// future overlapping queries.
@@ -181,9 +187,11 @@ type Report struct {
 	Demoted bool
 	// Probe is true when this query was the breaker's re-promotion probe.
 	Probe bool
-	// Attempts and FellBack come from the evaluation's RunReport.
+	// Attempts, FellBack, and Resumed come from the evaluation's
+	// RunReport; Resumed marks a durable-checkpoint resume.
 	Attempts int
 	FellBack bool
+	Resumed  bool
 	// QueueWait is the time spent waiting for a run slot.
 	QueueWait time.Duration
 	// RunTime is the evaluation's wall time.
@@ -237,6 +245,12 @@ type Config struct {
 	// concurrent same-window same-algo different-source queries as one
 	// multi-source engine run. Nil disables multi-source batching only.
 	RunMulti RunMultiFunc
+	// Store, when non-nil, is the durable checkpoint store the RunFunc
+	// spools into. The service takes ownership: Close closes the store
+	// (joining its ckptstore.accounting audit under strict mode), Stats
+	// embeds its books, and RecoverOrphans rescans it after a restart to
+	// re-admit resumable work.
+	Store *ckptstore.Store
 }
 
 // Service states.
@@ -265,6 +279,12 @@ type Service struct {
 	// qc is the cross-query result cache; nil when CacheBytes == 0, which
 	// disables the whole sharing layer (flights stays empty).
 	qc *qcache.Cache
+
+	// store is the durable checkpoint store (nil without one); orphanWG
+	// joins the background re-submissions RecoverOrphans spawns so Close
+	// never leaks them.
+	store    *ckptstore.Store
+	orphanWG sync.WaitGroup
 
 	mu          sync.Mutex
 	state       int
@@ -357,6 +377,7 @@ func New(cfg Config) (*Service, error) {
 		reg:       reg,
 		strict:    metrics.Strict(),
 		now:       time.Now,
+		store:     cfg.Store,
 		active:    make(map[*waiter]context.CancelFunc),
 		tenants:   make(map[string]*tenantState),
 		flights:   make(map[flightKey]*flight),
@@ -537,6 +558,7 @@ func (s *Service) submitSolo(ctx context.Context, req *Request, submitted time.T
 			Probe:     probe,
 			Attempts:  rep.Attempts,
 			FellBack:  rep.FellBack,
+			Resumed:   rep.Resumed,
 			QueueWait: queueWait,
 			RunTime:   runTime,
 		},
@@ -1003,6 +1025,11 @@ func (s *Service) Close(ctx context.Context) error {
 		}
 	}
 
+	// Join RecoverOrphans' background re-submissions: once draining set
+	// in, a not-yet-admitted orphan is rejected immediately and the rest
+	// resolved with the drain above, so this wait is bounded.
+	s.orphanWG.Wait()
+
 	s.mu.Lock()
 	s.state = stateClosed
 	s.mDraining.Set(0)
@@ -1020,10 +1047,77 @@ func (s *Service) Close(ctx context.Context) error {
 		cacheAudit = s.qc.Close()
 		s.reg.RecordAudit(cacheAudit)
 	}
+	var storeErr error
+	if s.store != nil {
+		// The store audits its own books (ckptstore.accounting: every
+		// segment in exactly one terminal class, byte ledger == disk) and
+		// records the result in its registry; strict mode surfaces a
+		// violation as part of Close's error.
+		storeErr = s.store.Close()
+	}
 	if strict {
-		return errors.Join(audit.Err(), tenantAudit.Err(), cacheAudit.Err())
+		return errors.Join(audit.Err(), tenantAudit.Err(), cacheAudit.Err(), storeErr)
 	}
 	return nil
+}
+
+// RecoverOrphans rescans the durable checkpoint store for work a dead
+// process left behind: every stored entry whose window fingerprint
+// matches win is re-submitted in the background under its original
+// tenant, resuming from its last durable checkpoint and completing (or
+// cleanly failing) under this service's admission control. It returns
+// how many orphans were re-admitted. Entries for other windows are left
+// alone — a later restart with their window (or the byte-budget GC)
+// handles them. Call it once after New, before heavy traffic.
+func (s *Service) RecoverOrphans(ctx context.Context, win *evolve.Window) (int, error) {
+	if s.store == nil || win == nil {
+		return 0, nil
+	}
+	fp, err := engine.FingerprintBOE(win)
+	if err != nil {
+		return 0, err
+	}
+	key := fp.Key()
+	n := 0
+	for _, e := range s.store.Entries() {
+		if e.ID.Win != key {
+			continue
+		}
+		if e.ID.Source >= uint64ToU32Cap(win.NumVertices()) {
+			continue // stale entry from a differently-sized ancestor
+		}
+		req := Request{
+			Window: win,
+			Algo:   algo.Kind(e.ID.Algo),
+			Source: graph.VertexID(e.ID.Source),
+			Tenant: e.ID.Tenant,
+			Label:  "recovered-orphan",
+		}
+		n++
+		s.orphanWG.Add(1)
+		// Detach from the caller's context: orphan recovery outlives the
+		// cold-start call that triggered it, bounded by Close's drain.
+		rctx := context.WithoutCancel(ctx)
+		go func(req Request) {
+			defer s.orphanWG.Done()
+			// The result is discarded: success deletes the store entry
+			// and seeds the result cache; failure is accounted like any
+			// other failed query.
+			_, _ = s.Submit(rctx, req)
+		}(req)
+	}
+	return n, nil
+}
+
+// uint64ToU32Cap clamps a vertex count to the uint32 id space.
+func uint64ToU32Cap(n int) uint32 {
+	if n < 0 {
+		return 0
+	}
+	if n > int(^uint32(0)) {
+		return ^uint32(0)
+	}
+	return uint32(n)
 }
 
 // auditLocked computes the aggregate accounting conservation audit.
@@ -1077,6 +1171,9 @@ type Stats struct {
 	// Cache is the result cache's own accounting (zero MaxBytes =
 	// disabled).
 	Cache qcache.Stats
+	// Store is the durable checkpoint store's accounting (zero MaxBytes
+	// = no store configured).
+	Store ckptstore.Stats
 	// Tenants is the per-tenant breakdown, sorted by name. Empty only
 	// before any request (and with no configured tenants).
 	Tenants []TenantStats
@@ -1100,6 +1197,9 @@ func (s *Service) Stats() Stats {
 	}
 	if s.qc != nil {
 		st.Cache = s.qc.Stats()
+	}
+	if s.store != nil {
+		st.Store = s.store.Stats()
 	}
 	switch s.state {
 	case stateServing:

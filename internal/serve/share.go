@@ -476,6 +476,7 @@ func (s *Service) flightResult(fl *flight, idx int, mode string, submitted time.
 			Probe:     fl.probe,
 			Attempts:  fl.rep.Attempts,
 			FellBack:  fl.rep.FellBack,
+			Resumed:   fl.rep.Resumed,
 			Cache:     mode,
 			Seeded:    fl.seeded,
 			Sources:   len(fl.sources),

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mega/internal/algo"
+	"mega/internal/ckptstore"
 	"mega/internal/engine"
 	"mega/internal/fault"
 	"mega/internal/gen"
@@ -41,6 +42,11 @@ func WithFaultPlan(ctx context.Context, p *FaultPlan) context.Context {
 // ParseFaultOp parses the "site[#shard]:kind[=latency]@visit[xevery]"
 // grammar, e.g. "engine.round:transient@120" or "parallel.phase#2:panic@3".
 func ParseFaultOp(spec string) (FaultOp, error) { return fault.ParseOp(spec) }
+
+// FaultPlanFromContext returns the fault plan carried by ctx, or nil —
+// useful for handing a request's plan to components configured outside
+// the context flow (e.g. a checkpoint store's io seam).
+func FaultPlanFromContext(ctx context.Context) *FaultPlan { return fault.From(ctx) }
 
 // Transient/checkpoint error contract (see the package error contract).
 var (
@@ -106,6 +112,18 @@ type RecoverOptions struct {
 	// persist it atomically to disk). A sink error aborts the run.
 	Sink func([]byte) error
 
+	// Store, when non-nil, spools every automatic checkpoint durably
+	// under StoreID (composing with Sink, which still runs after the
+	// store write) and, when Checkpoint is nil, resumes the first attempt
+	// from the store's latest good generation. On success the entry is
+	// deleted — the checkpoints are obsolete. A store-loaded checkpoint
+	// the engine rejects is quarantined and the attempt restarts fresh
+	// instead of failing the query.
+	Store *ckptstore.Store
+	// StoreID keys the query's directory in Store: the window content
+	// fingerprint plus algorithm, source, and tenant.
+	StoreID ckptstore.QueryID
+
 	// Metrics, when non-nil, receives the retry loop's counters
 	// (recover_attempts, recover_resumes, recover_backoff_waits,
 	// recover_fallbacks) and, from the successful attempt's engine, the
@@ -123,6 +141,10 @@ type Recovery struct {
 	// FellBack is true when a worker panic demoted the run from the
 	// parallel engine to the sequential one.
 	FellBack bool
+	// DurableResume is true when the first attempt restored a checkpoint
+	// loaded from the durable store (RecoverOptions.Store) — the query
+	// picked up where a previous process left off.
+	DurableResume bool
 	// Faults records the error of every failed attempt, in order.
 	Faults []string
 	// Base is the successful attempt's converged CommonGraph solution
@@ -190,6 +212,35 @@ func EvaluateRecover(ctx context.Context, w *Window, k AlgorithmKind, source Ver
 	lastCkpt := opt.Checkpoint
 	rec := &Recovery{}
 
+	// Durable spooling: checkpoints flow to the store first, then to the
+	// caller's sink. An explicit opt.Checkpoint outranks the store's
+	// latest generation; otherwise the first attempt resumes durably.
+	sink := opt.Sink
+	var storeGen uint64
+	fromStore := false
+	if opt.Store != nil {
+		storeSink := opt.Store.Sink(opt.StoreID)
+		if user := opt.Sink; user != nil {
+			sink = func(ckpt []byte) error {
+				if err := storeSink(ckpt); err != nil {
+					return err
+				}
+				return user(ckpt)
+			}
+		} else {
+			sink = storeSink
+		}
+		if lastCkpt == nil {
+			data, gen, lerr := opt.Store.Load(opt.StoreID)
+			if lerr != nil {
+				return nil, rec, lerr
+			}
+			if data != nil {
+				lastCkpt, storeGen, fromStore = data, gen, true
+			}
+		}
+	}
+
 	for {
 		rec.Attempts++
 		if opt.Metrics != nil {
@@ -209,8 +260,8 @@ func EvaluateRecover(ctx context.Context, w *Window, k AlgorithmKind, source Ver
 		// attempts contribute the retry-loop counters but no engine rows.
 		eng.SetMetrics(opt.Metrics)
 		eng.SetCheckpointEvery(every)
-		if opt.Sink != nil {
-			eng.SetCheckpointSink(opt.Sink)
+		if sink != nil {
+			eng.SetCheckpointSink(sink)
 		}
 		if opt.SeedBase != nil && lastCkpt == nil {
 			// Stable-vertex seeding: skip the base solve. Only on fresh
@@ -221,8 +272,26 @@ func EvaluateRecover(ctx context.Context, w *Window, k AlgorithmKind, source Ver
 		}
 		if lastCkpt != nil {
 			if err := eng.Restore(lastCkpt); err != nil {
+				if fromStore {
+					// The durable checkpoint passed the store's CRC gate
+					// but does not fit this engine (stale schema or an
+					// identity-fold collision): quarantine it and restart
+					// fresh rather than failing the query.
+					_ = opt.Store.Quarantine(opt.StoreID, storeGen)
+					rec.Faults = append(rec.Faults, err.Error())
+					fromStore = false
+					lastCkpt = nil
+					continue
+				}
 				// Corrupt or mismatched checkpoint: unrecoverable input.
 				return nil, rec, err
+			}
+			if fromStore {
+				fromStore = false
+				rec.DurableResume = true
+				if opt.Metrics != nil {
+					opt.Metrics.Counter("recover_durable_resumes").Inc()
+				}
 			}
 			if rec.Attempts > 1 {
 				rec.Resumes++
@@ -239,6 +308,14 @@ func EvaluateRecover(ctx context.Context, w *Window, k AlgorithmKind, source Ver
 				out[snap] = eng.SnapshotValues(s, snap)
 			}
 			rec.Base = eng.BaseValues()
+			if opt.Store != nil {
+				// The query completed; its durable checkpoints are
+				// obsolete. Best effort — a failed delete only leaves an
+				// orphan that a future restart re-runs to the same result.
+				if derr := opt.Store.Delete(opt.StoreID); derr != nil {
+					rec.Faults = append(rec.Faults, derr.Error())
+				}
+			}
 			return out, rec, nil
 		}
 		rec.Faults = append(rec.Faults, err.Error())

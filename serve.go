@@ -2,8 +2,10 @@ package mega
 
 import (
 	"context"
+	"sync"
 	"time"
 
+	"mega/internal/engine"
 	"mega/internal/megaerr"
 	"mega/internal/serve"
 )
@@ -118,6 +120,14 @@ type ServeOptions struct {
 	// histograms, each query's recovery counters, and the Close-time
 	// accounting audit.
 	Metrics *MetricsRegistry
+
+	// Store, when non-nil, durably spools every query's checkpoints so a
+	// killed process resumes instead of recomputing. The service takes
+	// ownership: Close closes the store (joining its accounting audit in
+	// strict mode), Stats embeds its books, and RecoverOrphans re-admits
+	// work a dead process left behind. Open one with
+	// OpenCheckpointStore.
+	Store *CheckpointStore
 }
 
 // NewQueryService builds a QueryService whose queries evaluate through
@@ -134,8 +144,33 @@ func NewQueryService(opt ServeOptions) (*QueryService, error) {
 			"mega: negative ServeOptions (CheckpointEvery=%d MaxRetries=%d Backoff=%s)",
 			opt.CheckpointEvery, opt.MaxRetries, opt.Backoff)
 	}
+	// Durable-store identities fold the window's content fingerprint with
+	// algo/source/tenant; fingerprinting iterates every edge, so memoize
+	// per Window for the service's lifetime (windows are immutable).
+	var fpMemo sync.Map // *Window -> uint64 fingerprint key
+	storeID := func(req *QueryRequest) (CheckpointQueryID, bool) {
+		if opt.Store == nil || req.Window == nil {
+			return CheckpointQueryID{}, false
+		}
+		var key uint64
+		if v, ok := fpMemo.Load(req.Window); ok {
+			key = v.(uint64)
+		} else {
+			fp, err := engine.FingerprintBOE(req.Window)
+			if err != nil {
+				return CheckpointQueryID{}, false
+			}
+			key = fp.Key()
+			fpMemo.Store(req.Window, key)
+		}
+		tenant := req.Tenant
+		if tenant == "" {
+			tenant = DefaultTenantName
+		}
+		return CheckpointQueryID{Win: key, Algo: uint32(req.Algo), Source: uint32(req.Source), Tenant: tenant}, true
+	}
 	run := func(ctx context.Context, req *QueryRequest, parallel bool) ([][]float64, serve.RunReport, error) {
-		vals, rec, err := EvaluateRecover(ctx, req.Window, req.Algo, req.Source, BOE, RecoverOptions{
+		ropt := RecoverOptions{
 			Parallel:        parallel,
 			Workers:         req.Workers,
 			CheckpointEvery: opt.CheckpointEvery,
@@ -144,11 +179,17 @@ func NewQueryService(opt ServeOptions) (*QueryService, error) {
 			Limits:          opt.Limits,
 			SeedBase:        req.SeedBase,
 			Metrics:         opt.Metrics,
-		})
+		}
+		if id, ok := storeID(req); ok {
+			ropt.Store = opt.Store
+			ropt.StoreID = id
+		}
+		vals, rec, err := EvaluateRecover(ctx, req.Window, req.Algo, req.Source, BOE, ropt)
 		var rep serve.RunReport
 		if rec != nil {
 			rep.Attempts = rec.Attempts
 			rep.FellBack = rec.FellBack
+			rep.Resumed = rec.DurableResume
 			rep.Base = rec.Base
 		}
 		return vals, rep, err
@@ -177,5 +218,6 @@ func NewQueryService(opt ServeOptions) (*QueryService, error) {
 		DefaultTenant:       opt.DefaultTenant,
 		Metrics:             opt.Metrics,
 		CacheBytes:          opt.CacheBytes,
+		Store:               opt.Store,
 	})
 }

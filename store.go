@@ -1,0 +1,53 @@
+package mega
+
+import (
+	"mega/internal/ckptstore"
+	"mega/internal/engine"
+)
+
+// Durable checkpoint store surface (internal/ckptstore re-exported). A
+// CheckpointStore persists engine checkpoints across process death with
+// full crash discipline — temp→fsync→rename publishes, parent-directory
+// fsyncs, CRC-gated generations, corruption quarantine — so a killed
+// megaserve or megasim resumes exactly where it died. See DESIGN.md §15
+// for the layout and the fsync ordering argument.
+type (
+	// CheckpointStore is a crash-safe on-disk checkpoint store.
+	CheckpointStore = ckptstore.Store
+	// CheckpointStoreConfig configures OpenCheckpointStore.
+	CheckpointStoreConfig = ckptstore.Config
+	// CheckpointQueryID is the stable identity a query's checkpoints are
+	// filed under: window fingerprint + algorithm + source + tenant.
+	CheckpointQueryID = ckptstore.QueryID
+	// CheckpointStoreStats snapshots a store's accounting books.
+	CheckpointStoreStats = ckptstore.Stats
+	// CheckpointStoreEntry summarizes one resumable query in a store.
+	CheckpointStoreEntry = ckptstore.Entry
+)
+
+// OpenCheckpointStore opens (creating if necessary) a durable checkpoint
+// store, adopting whatever a previous process left behind: valid
+// segments are adopted, corrupt ones quarantined, stray temp files
+// discarded.
+func OpenCheckpointStore(cfg CheckpointStoreConfig) (*CheckpointStore, error) {
+	return ckptstore.Open(cfg)
+}
+
+// CheckpointIDFor computes the durable-store identity of a query: the
+// window's content fingerprint folded with the algorithm, source, and
+// tenant. Two queries share an identity exactly when they compute the
+// same values, which is what makes cross-process resume sound.
+func CheckpointIDFor(w *Window, k AlgorithmKind, source VertexID, tenant string) (CheckpointQueryID, error) {
+	fp, err := engine.FingerprintBOE(w)
+	if err != nil {
+		return CheckpointQueryID{}, err
+	}
+	return CheckpointQueryID{Win: fp.Key(), Algo: uint32(k), Source: uint32(source), Tenant: tenant}, nil
+}
+
+// AtomicWriteFile publishes data at path with full crash discipline:
+// temp-file write, fsync, rename, parent-directory fsync. Readers see
+// either the old contents or the new, never a torn mix.
+func AtomicWriteFile(path string, data []byte) error {
+	return ckptstore.AtomicWrite(path, data)
+}
